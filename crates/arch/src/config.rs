@@ -1,0 +1,151 @@
+//! Accelerator hardware configuration.
+
+use crate::mapping::MappingKind;
+
+/// Dimensions of a 2-D processing-element tile.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct PeTile {
+    /// Number of PE rows.
+    pub rows: usize,
+    /// Number of PE columns.
+    pub cols: usize,
+}
+
+impl PeTile {
+    /// Number of PEs in the tile.
+    pub fn count(&self) -> usize {
+        self.rows * self.cols
+    }
+}
+
+impl Default for PeTile {
+    fn default() -> Self {
+        Self { rows: 4, cols: 4 }
+    }
+}
+
+/// Full configuration of a training accelerator instance.
+///
+/// The paper's four comparison designs (MN-Acc, RC-Acc, MNShift-Acc, Shift-BNN) are all
+/// instances of this structure with different `mapping` / `lfsr_reversion` combinations and are
+/// provided as presets by the `shift-bnn` crate.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AcceleratorConfig {
+    /// Human-readable design name.
+    pub name: String,
+    /// Computation mapping scheme of each PE tile.
+    pub mapping: MappingKind,
+    /// Whether ε is regenerated locally by LFSR reversed shifting (true) or stored off-chip
+    /// between stages (false).
+    pub lfsr_reversion: bool,
+    /// Number of Sample Processing Units; each trains one sampled model at a time.
+    pub spus: usize,
+    /// PE tile inside each SPU.
+    pub pe_tile: PeTile,
+    /// Clock frequency in MHz.
+    pub frequency_mhz: f64,
+    /// Bytes per value of the training datapath (2 for the paper's 16-bit configuration).
+    pub precision_bytes: usize,
+    /// Weight-parameter buffer capacity in KiB (shared across SPUs).
+    pub weight_buffer_kib: usize,
+    /// Per-SPU neuron buffer capacity in KiB (NBin + NBout combined).
+    pub neuron_buffer_kib: usize,
+    /// Off-chip DRAM bandwidth in GiB/s.
+    pub dram_bandwidth_gib_s: f64,
+    /// LFSR width of each GRNG slice.
+    pub lfsr_width: usize,
+}
+
+impl Default for AcceleratorConfig {
+    fn default() -> Self {
+        Self {
+            name: "RC-Acc".to_string(),
+            mapping: MappingKind::Rc,
+            lfsr_reversion: false,
+            spus: 16,
+            pe_tile: PeTile::default(),
+            frequency_mhz: 200.0,
+            precision_bytes: 2,
+            weight_buffer_kib: 512,
+            neuron_buffer_kib: 64,
+            dram_bandwidth_gib_s: 12.8,
+            lfsr_width: 256,
+        }
+    }
+}
+
+impl AcceleratorConfig {
+    /// Total number of PEs across all SPUs.
+    pub fn total_pes(&self) -> usize {
+        self.spus * self.pe_tile.count()
+    }
+
+    /// Peak MAC throughput in operations per second.
+    pub fn peak_macs_per_second(&self) -> f64 {
+        self.total_pes() as f64 * self.frequency_mhz * 1e6
+    }
+
+    /// Peak throughput in GOPS, counting one MAC as two operations (multiply + add), the
+    /// convention the paper's GOPS/W metric uses.
+    pub fn peak_gops(&self) -> f64 {
+        2.0 * self.peak_macs_per_second() / 1e9
+    }
+
+    /// DRAM bandwidth in bytes per clock cycle.
+    pub fn dram_bytes_per_cycle(&self) -> f64 {
+        self.dram_bandwidth_gib_s * 1024.0 * 1024.0 * 1024.0 / (self.frequency_mhz * 1e6)
+    }
+
+    /// Duration of one clock cycle in seconds.
+    pub fn cycle_time_s(&self) -> f64 {
+        1.0 / (self.frequency_mhz * 1e6)
+    }
+
+    /// Per-SPU neuron buffer capacity in bytes.
+    pub fn neuron_buffer_bytes(&self) -> u64 {
+        self.neuron_buffer_kib as u64 * 1024
+    }
+
+    /// Weight-parameter buffer capacity in bytes.
+    pub fn weight_buffer_bytes(&self) -> u64 {
+        self.weight_buffer_kib as u64 * 1024
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matches_paper_dimensions() {
+        let cfg = AcceleratorConfig::default();
+        assert_eq!(cfg.spus, 16);
+        assert_eq!(cfg.pe_tile.count(), 16);
+        assert_eq!(cfg.total_pes(), 256);
+        assert_eq!(cfg.frequency_mhz, 200.0);
+        assert_eq!(cfg.precision_bytes, 2);
+        assert_eq!(cfg.lfsr_width, 256);
+    }
+
+    #[test]
+    fn peak_rates_follow_from_pes_and_frequency() {
+        let cfg = AcceleratorConfig::default();
+        assert_eq!(cfg.peak_macs_per_second(), 256.0 * 200.0e6);
+        assert!((cfg.peak_gops() - 102.4).abs() < 1e-9);
+    }
+
+    #[test]
+    fn dram_bytes_per_cycle_is_bandwidth_over_frequency() {
+        let cfg = AcceleratorConfig::default();
+        let expected = 12.8 * 1024.0 * 1024.0 * 1024.0 / 200.0e6;
+        assert!((cfg.dram_bytes_per_cycle() - expected).abs() < 1e-9);
+    }
+
+    #[test]
+    fn buffer_capacities_convert_to_bytes() {
+        let cfg = AcceleratorConfig::default();
+        assert_eq!(cfg.weight_buffer_bytes(), 512 * 1024);
+        assert_eq!(cfg.neuron_buffer_bytes(), 64 * 1024);
+        assert!(cfg.cycle_time_s() > 0.0);
+    }
+}

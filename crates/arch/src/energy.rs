@@ -1,0 +1,141 @@
+//! Energy model: per-operation energy constants and accounting.
+//!
+//! Absolute values follow the well-known relative costs reported by Horowitz (ISSCC'14) and used
+//! throughout the accelerator literature the paper builds on: an off-chip DRAM access costs two
+//! to three orders of magnitude more energy than a 16-bit MAC, and on-chip SRAM sits in between.
+//! The reproduction depends on those *ratios*, not on the absolute Joule values — every figure
+//! normalizes against a baseline design, exactly as the paper does.
+
+/// Per-operation energy constants (in picojoules) plus static power.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EnergyModel {
+    /// Energy of one 16-bit multiply-accumulate.
+    pub mac_pj: f64,
+    /// Energy of reading or writing one 16-bit value in an on-chip SRAM buffer.
+    pub sram_pj_per_value: f64,
+    /// Energy of reading or writing one 16-bit value in off-chip DRAM (interface + device).
+    pub dram_pj_per_value: f64,
+    /// Energy of one GRNG event (LFSR shift + incremental sum update + sampler input).
+    pub grng_pj_per_sample: f64,
+    /// Energy of one extra adder-tree reduction stage (the MN-mapping reversion overhead).
+    pub adder_tree_pj: f64,
+    /// Static (leakage + clocking) power of the whole accelerator in watts.
+    pub static_power_w: f64,
+}
+
+impl Default for EnergyModel {
+    fn default() -> Self {
+        Self {
+            mac_pj: 1.0,
+            sram_pj_per_value: 2.5,
+            // Effective energy per 16-bit DRAM value, including the memory-interface controller
+            // and the DDR device's activate/background power amortized over the accesses of a
+            // memory-bound training phase. The paper extracts energy from Xilinx XPE, which
+            // attributes the MIG + DDR3 power to the design the same way; what matters for the
+            // reproduced figures is that off-chip accesses dominate a BNN iteration's energy.
+            dram_pj_per_value: 2500.0,
+            grng_pj_per_sample: 0.3,
+            adder_tree_pj: 0.4,
+            static_power_w: 0.5,
+        }
+    }
+}
+
+impl EnergyModel {
+    /// Scales the DRAM cost relative to the default, used for sensitivity studies.
+    pub fn with_dram_scale(mut self, scale: f64) -> Self {
+        self.dram_pj_per_value *= scale;
+        self
+    }
+}
+
+/// Energy consumed by one simulated training run, broken down by component.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct EnergyBreakdown {
+    /// Off-chip DRAM access energy in millijoules.
+    pub dram_mj: f64,
+    /// On-chip SRAM access energy in millijoules.
+    pub sram_mj: f64,
+    /// MAC / arithmetic energy in millijoules.
+    pub compute_mj: f64,
+    /// GRNG (LFSR shifting and ε generation) energy in millijoules.
+    pub grng_mj: f64,
+    /// Static energy (static power × execution time) in millijoules.
+    pub static_mj: f64,
+}
+
+impl EnergyBreakdown {
+    /// Total energy in millijoules.
+    pub fn total_mj(&self) -> f64 {
+        self.dram_mj + self.sram_mj + self.compute_mj + self.grng_mj + self.static_mj
+    }
+
+    /// Fraction of the total taken by DRAM accesses.
+    pub fn dram_fraction(&self) -> f64 {
+        let total = self.total_mj();
+        if total > 0.0 {
+            self.dram_mj / total
+        } else {
+            0.0
+        }
+    }
+
+    /// Elementwise sum of two breakdowns.
+    pub fn accumulate(&mut self, other: &EnergyBreakdown) {
+        self.dram_mj += other.dram_mj;
+        self.sram_mj += other.sram_mj;
+        self.compute_mj += other.compute_mj;
+        self.grng_mj += other.grng_mj;
+        self.static_mj += other.static_mj;
+    }
+}
+
+/// Converts a count of events with a per-event picojoule cost into millijoules.
+pub fn pj_to_mj(events: u64, pj_per_event: f64) -> f64 {
+    events as f64 * pj_per_event * 1e-9
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_preserves_memory_hierarchy_ordering() {
+        let m = EnergyModel::default();
+        assert!(m.dram_pj_per_value > 50.0 * m.sram_pj_per_value);
+        assert!(m.sram_pj_per_value > m.mac_pj);
+        assert!(m.grng_pj_per_sample < m.mac_pj);
+    }
+
+    #[test]
+    fn breakdown_totals_and_fractions() {
+        let b = EnergyBreakdown { dram_mj: 6.0, sram_mj: 2.0, compute_mj: 1.0, grng_mj: 0.5, static_mj: 0.5 };
+        assert!((b.total_mj() - 10.0).abs() < 1e-12);
+        assert!((b.dram_fraction() - 0.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn accumulate_adds_componentwise() {
+        let mut a = EnergyBreakdown { dram_mj: 1.0, ..Default::default() };
+        let b = EnergyBreakdown { dram_mj: 2.0, compute_mj: 3.0, ..Default::default() };
+        a.accumulate(&b);
+        assert_eq!(a.dram_mj, 3.0);
+        assert_eq!(a.compute_mj, 3.0);
+    }
+
+    #[test]
+    fn pj_conversion() {
+        assert!((pj_to_mj(1_000_000_000, 1.0) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn dram_scaling_for_sensitivity_studies() {
+        let m = EnergyModel::default().with_dram_scale(0.5);
+        assert!((m.dram_pj_per_value - EnergyModel::default().dram_pj_per_value / 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_breakdown_has_zero_fraction() {
+        assert_eq!(EnergyBreakdown::default().dram_fraction(), 0.0);
+    }
+}

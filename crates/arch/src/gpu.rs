@@ -1,0 +1,138 @@
+//! Roofline-style GPU model used for the energy-efficiency comparison (Fig. 12).
+//!
+//! The paper measures a Tesla P100 with the Nvidia profiler; neither the GPU nor the profiler is
+//! available here, so the comparison point is produced by a simple analytic model: execution time
+//! is the maximum of the compute time at a realistic fraction of peak FLOPS and the memory time
+//! implied by the training traffic (which, on a GPU, still includes storing and re-reading every
+//! ε — the paper's point that GPUs cannot avoid the GRV round trip either), and energy is the
+//! execution time multiplied by a sustained board power.
+
+use bnn_models::workload::ModelVolume;
+use bnn_models::ModelConfig;
+
+/// Analytic GPU model.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GpuModel {
+    /// Device name.
+    pub name: String,
+    /// Peak throughput in FLOP/s for the precision used by training.
+    pub peak_flops: f64,
+    /// Fraction of peak FLOPS sustained on convolution/GEMM-heavy training kernels.
+    pub achievable_fraction: f64,
+    /// Memory bandwidth in bytes per second.
+    pub memory_bandwidth_b_s: f64,
+    /// Sustained board power in watts during training.
+    pub sustained_power_w: f64,
+    /// Bytes per value of the training datapath (4 for the FP32 PyTorch baseline).
+    pub bytes_per_value: usize,
+}
+
+impl GpuModel {
+    /// A Tesla P100 (16 GB, PCIe) running FP32 training, the paper's GPU comparison point.
+    pub fn tesla_p100() -> Self {
+        Self {
+            name: "Tesla P100".to_string(),
+            peak_flops: 9.3e12,
+            achievable_fraction: 0.35,
+            memory_bandwidth_b_s: 732.0e9,
+            sustained_power_w: 210.0,
+            bytes_per_value: 4,
+        }
+    }
+}
+
+/// Result of simulating one training iteration on the GPU model.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GpuReport {
+    /// Execution time in seconds.
+    pub latency_s: f64,
+    /// Energy in millijoules.
+    pub energy_mj: f64,
+    /// Off-chip traffic in bytes (weights + ε + feature maps, all round trips).
+    pub dram_bytes: u64,
+    /// Total MAC operations.
+    pub total_macs: u64,
+}
+
+impl GpuReport {
+    /// Achieved throughput in GOPS (two operations per MAC).
+    pub fn gops(&self) -> f64 {
+        if self.latency_s > 0.0 {
+            2.0 * self.total_macs as f64 / self.latency_s / 1e9
+        } else {
+            0.0
+        }
+    }
+
+    /// Energy efficiency in GOPS per watt.
+    pub fn gops_per_watt(&self, power_w: f64) -> f64 {
+        if power_w > 0.0 {
+            self.gops() / power_w
+        } else {
+            0.0
+        }
+    }
+}
+
+/// Simulates one training iteration of `model` with `samples` Monte-Carlo samples on `gpu`.
+pub fn simulate_gpu_training(gpu: &GpuModel, model: &ModelConfig, samples: usize) -> GpuReport {
+    let volume = ModelVolume::for_model(model, samples);
+    let total_macs = volume.total_training_macs();
+
+    // Off-chip traffic: parameters stream once per stage, feature maps once per stage per
+    // sample, and ε must be written after the forward pass and read back twice — the GPU has no
+    // way to avoid that round trip short of changing the algorithm.
+    let weight_values = 4 * volume.total_weight_param_values();
+    let epsilon_values = 3 * volume.total_epsilon_values();
+    let feature_values = 3 * volume.total_feature_map_values();
+    let dram_bytes = (weight_values + epsilon_values + feature_values) * gpu.bytes_per_value as u64;
+
+    let compute_s = 2.0 * total_macs as f64 / (gpu.peak_flops * gpu.achievable_fraction);
+    let memory_s = dram_bytes as f64 / gpu.memory_bandwidth_b_s;
+    let latency_s = compute_s.max(memory_s);
+    let energy_mj = latency_s * gpu.sustained_power_w * 1e3;
+
+    GpuReport { latency_s, energy_mj, dram_bytes, total_macs }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bnn_models::ModelKind;
+
+    #[test]
+    fn p100_constants_are_sane() {
+        let gpu = GpuModel::tesla_p100();
+        assert!(gpu.peak_flops > 9e12);
+        assert!(gpu.memory_bandwidth_b_s > 7e11);
+        assert!(gpu.achievable_fraction > 0.0 && gpu.achievable_fraction <= 1.0);
+    }
+
+    #[test]
+    fn small_fc_models_are_memory_bound_on_gpu() {
+        let gpu = GpuModel::tesla_p100();
+        let report = simulate_gpu_training(&gpu, &ModelKind::Mlp.bnn(), 16);
+        let compute_s = 2.0 * report.total_macs as f64 / (gpu.peak_flops * gpu.achievable_fraction);
+        let memory_s = report.dram_bytes as f64 / gpu.memory_bandwidth_b_s;
+        assert!(memory_s > compute_s, "B-MLP should be bandwidth bound on a GPU");
+        assert!((report.latency_s - memory_s).abs() < 1e-12);
+    }
+
+    #[test]
+    fn epsilon_traffic_scales_with_samples_on_gpu_too() {
+        let gpu = GpuModel::tesla_p100();
+        let r8 = simulate_gpu_training(&gpu, &ModelKind::LeNet.bnn(), 8);
+        let r32 = simulate_gpu_training(&gpu, &ModelKind::LeNet.bnn(), 32);
+        assert!(r32.dram_bytes > 3 * r8.dram_bytes);
+        assert!(r32.energy_mj > r8.energy_mj);
+    }
+
+    #[test]
+    fn gops_and_efficiency_are_consistent() {
+        let gpu = GpuModel::tesla_p100();
+        let report = simulate_gpu_training(&gpu, &ModelKind::Vgg16.bnn(), 16);
+        assert!(report.gops() > 0.0);
+        let eff = report.gops_per_watt(gpu.sustained_power_w);
+        assert!((eff - report.gops() / gpu.sustained_power_w).abs() < 1e-9);
+    }
+}

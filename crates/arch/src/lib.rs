@@ -1,0 +1,52 @@
+//! Accelerator architecture simulator for the Shift-BNN reproduction.
+//!
+//! The paper evaluates its design with Verilog RTL synthesized for a Xilinx VC709 board plus the
+//! Xilinx Power Estimator. This crate replaces that flow with an analytic-plus-cycle-level
+//! simulator that captures the quantities the evaluation reports:
+//!
+//! * [`config`] — the hardware configuration shared by every design (PE tiles, SPUs, buffers,
+//!   frequency, precision, DRAM bandwidth, LFSR width);
+//! * [`mapping`] — the four computation mappings of the design-space exploration (MN, RC, K,
+//!   BM), their PE utilization on a layer, and the overheads each pays to support LFSR
+//!   reversion;
+//! * [`simulate`] — the per-layer, per-stage traffic/latency/energy model producing a
+//!   [`TrainingRunReport`](simulate::TrainingRunReport);
+//! * [`traffic`] / [`energy`] — operand-class traffic, footprint and energy accounting;
+//! * [`microsim`] — a cycle-level model of one RC-mapped PE tile, validated against the
+//!   reference convolution and used to sanity-check the analytic cycle counts;
+//! * [`resource`] — the FPGA LUT/FF/DSP/BRAM/power model calibrated to the paper's Table 2;
+//! * [`gpu`] — a roofline model of the Tesla P100 comparison point.
+//!
+//! # Example
+//!
+//! ```
+//! use bnn_arch::config::AcceleratorConfig;
+//! use bnn_arch::energy::EnergyModel;
+//! use bnn_arch::simulate::simulate_training;
+//! use bnn_models::ModelKind;
+//!
+//! let mut shift_bnn = AcceleratorConfig::default();
+//! shift_bnn.name = "Shift-BNN".to_string();
+//! shift_bnn.lfsr_reversion = true;
+//!
+//! let report = simulate_training(&shift_bnn, &ModelKind::LeNet.bnn(), 16, &EnergyModel::default());
+//! assert_eq!(report.dram_traffic.epsilon, 0); // ε never leaves the chip
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod config;
+pub mod energy;
+pub mod gpu;
+pub mod mapping;
+pub mod microsim;
+pub mod resource;
+pub mod simulate;
+pub mod traffic;
+
+pub use config::{AcceleratorConfig, PeTile};
+pub use energy::{EnergyBreakdown, EnergyModel};
+pub use mapping::{MappingKind, Stage};
+pub use simulate::{simulate_training, TrainingRunReport};
+pub use traffic::{FootprintBreakdown, TrafficByOperand};

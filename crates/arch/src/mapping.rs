@@ -1,0 +1,241 @@
+//! Computation mapping schemes and their interaction with LFSR reversion.
+//!
+//! Section 5 of the paper explores four ways of mapping the convolution loop nest onto a 2-D PE
+//! tile and analyses what each needs in order to support ε retrieval by reversed LFSR shifting:
+//!
+//! | Mapping | Parallel dims | Reversion cost |
+//! |---|---|---|
+//! | MN | output × input channels | ε swap between PE(m,n) and PE(n,m) or duplicated adder trees |
+//! | RC | output feature map | two accumulation/control modes only |
+//! | K  | kernel elements | O(n²) ε-swap wiring + dual control |
+//! | BM | batch × output channels | extra per-column adder trees + dual input buffers |
+//!
+//! The per-mapping `ReversionOverheads` below quantify those costs for the energy, SRAM and
+//! area models; RC is the cheapest, which is why Shift-BNN adopts it.
+
+use crate::config::PeTile;
+use bnn_models::{LayerDims, LayerKind};
+
+/// The four computation mapping schemes considered in the design-space exploration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MappingKind {
+    /// Input-channel × output-channel mapping (Diannao / NVDLA style).
+    Mn,
+    /// Output-feature-map mapping (ShiDianNao style) — the scheme Shift-BNN builds on.
+    Rc,
+    /// Kernel mapping (systolic style).
+    K,
+    /// Batch × output-channel mapping (Procrustes style).
+    Bm,
+}
+
+/// One training stage.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Stage {
+    /// Forward propagation.
+    Forward,
+    /// Backward error propagation.
+    Backward,
+    /// Gradient calculation and weight update.
+    GradientCalc,
+}
+
+impl Stage {
+    /// The three stages in execution order.
+    pub fn all() -> [Stage; 3] {
+        [Stage::Forward, Stage::Backward, Stage::GradientCalc]
+    }
+
+    /// Whether the stage consumes ε a second time (i.e. is after the forward stage).
+    pub fn reuses_epsilon(&self) -> bool {
+        !matches!(self, Stage::Forward)
+    }
+}
+
+/// Relative overheads a mapping incurs when the LFSR reversion technique is applied to it.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ReversionOverheads {
+    /// Multiplier (≥ 1) on arithmetic energy during the backward/gradient stages (duplicated
+    /// adder trees, extra reduction stages).
+    pub compute_energy: f64,
+    /// Multiplier (≥ 1) on on-chip buffer accesses during the backward/gradient stages
+    /// (intermittent partial-sum round trips, duplicated buffers).
+    pub sram_energy: f64,
+    /// Fractional area/wiring overhead added to the PE array (ε-swap interconnect, extra adder
+    /// trees), used by the FPGA resource model.
+    pub wiring_area: f64,
+    /// Number of distinct accumulation/control modes the PE needs.
+    pub control_modes: u32,
+}
+
+impl MappingKind {
+    /// Short name used in reports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            MappingKind::Mn => "MN",
+            MappingKind::Rc => "RC",
+            MappingKind::K => "K",
+            MappingKind::Bm => "BM",
+        }
+    }
+
+    /// All four mappings.
+    pub fn all() -> [MappingKind; 4] {
+        [MappingKind::Mn, MappingKind::Rc, MappingKind::K, MappingKind::Bm]
+    }
+
+    /// PE-array utilization achieved on a layer (the fraction of PE-cycles doing useful MACs),
+    /// determined by how well the layer's parallel dimensions fill the tile.
+    pub fn utilization(&self, dims: &LayerDims, tile: &PeTile) -> f64 {
+        let eff = |work: usize, pes: usize| -> f64 {
+            if work == 0 || pes == 0 {
+                return 0.0;
+            }
+            let slots = work.div_ceil(pes) * pes;
+            work as f64 / slots as f64
+        };
+        match (self, dims.kind) {
+            (MappingKind::Rc, LayerKind::Conv) => eff(dims.r, tile.rows) * eff(dims.c, tile.cols),
+            // In an FC layer every PE produces a different output neuron.
+            (MappingKind::Rc, LayerKind::FullyConnected) => eff(dims.m, tile.count()),
+            (MappingKind::Mn, _) => eff(dims.m, tile.rows) * eff(dims.n, tile.cols),
+            (MappingKind::K, _) => eff(dims.k, tile.rows) * eff(dims.k, tile.cols),
+            // Mini-batch of one: only a single batch column is active.
+            (MappingKind::Bm, _) => eff(1, tile.rows) * eff(dims.m, tile.cols),
+        }
+    }
+
+    /// Relative off-chip feature-map traffic of the mapping compared to RC.
+    ///
+    /// RC (output-feature-map) mapping maximizes reuse of input neurons on a 2-D feature map
+    /// (they flow through the PE array), so it is the reference. Channel-parallel mappings
+    /// re-fetch input neurons for every output-channel group and spill partial sums more often,
+    /// which shows up as extra feature-map DRAM traffic.
+    pub fn feature_traffic_factor(&self) -> f64 {
+        match self {
+            MappingKind::Rc => 1.0,
+            MappingKind::Mn => 2.5,
+            MappingKind::K => 1.8,
+            MappingKind::Bm => 2.2,
+        }
+    }
+
+    /// Overheads this mapping pays to support LFSR reversion (Section 5's qualitative analysis,
+    /// quantified for the energy/area models).
+    pub fn reversion_overheads(&self) -> ReversionOverheads {
+        match self {
+            // RC needs only a second accumulation mode in the PE and psum round trips via NBout.
+            MappingKind::Rc => ReversionOverheads {
+                compute_energy: 1.0,
+                sram_energy: 1.10,
+                wiring_area: 0.02,
+                control_modes: 2,
+            },
+            // MN (variant of Fig. 7(c)): an n-input adder tree per PE row is duplicated and the
+            // partial sums of whole PE rows must be regrouped through the buffers.
+            MappingKind::Mn => ReversionOverheads {
+                compute_energy: 1.50,
+                sram_energy: 1.80,
+                wiring_area: 0.10,
+                control_modes: 2,
+            },
+            // K needs O(n²) ε-swap wiring between PEs plus dual control.
+            MappingKind::K => ReversionOverheads {
+                compute_energy: 1.10,
+                sram_energy: 1.10,
+                wiring_area: 0.25,
+                control_modes: 2,
+            },
+            // BM needs an adder tree per PE column and a second input-buffer organisation.
+            MappingKind::Bm => ReversionOverheads {
+                compute_energy: 1.25,
+                sram_energy: 1.20,
+                wiring_area: 0.15,
+                control_modes: 2,
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tile() -> PeTile {
+        PeTile { rows: 4, cols: 4 }
+    }
+
+    #[test]
+    fn rc_utilization_is_high_for_large_feature_maps_and_low_for_tiny_ones() {
+        let big = LayerDims::conv("c", 64, 64, 3, 56, 56, 1, 1);
+        let small = LayerDims::conv("c", 64, 64, 3, 4, 4, 1, 0);
+        assert!(MappingKind::Rc.utilization(&big, &tile()) > 0.99);
+        assert!(MappingKind::Rc.utilization(&small, &tile()) < 0.3);
+    }
+
+    #[test]
+    fn mn_utilization_suffers_on_first_layer_with_three_input_channels() {
+        let first = LayerDims::conv("conv1", 3, 64, 3, 224, 224, 1, 1);
+        let util = MappingKind::Mn.utilization(&first, &tile());
+        assert!(util <= 0.75, "3 input channels cannot fill a 4-wide dimension: {util}");
+        let deep = LayerDims::conv("conv3", 256, 256, 3, 28, 28, 1, 1);
+        assert!(MappingKind::Mn.utilization(&deep, &tile()) > 0.99);
+    }
+
+    #[test]
+    fn k_mapping_utilization_depends_on_kernel_size() {
+        let k3 = LayerDims::conv("c", 64, 64, 3, 28, 28, 1, 1);
+        let k1 = LayerDims::conv("c", 64, 64, 1, 28, 28, 1, 0);
+        assert!((MappingKind::K.utilization(&k3, &tile()) - 9.0 / 16.0).abs() < 1e-9);
+        assert!((MappingKind::K.utilization(&k1, &tile()) - 1.0 / 16.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn bm_mapping_wastes_rows_with_minibatch_of_one() {
+        let l = LayerDims::conv("c", 64, 64, 3, 28, 28, 1, 1);
+        let util = MappingKind::Bm.utilization(&l, &tile());
+        assert!(util <= 0.25 + 1e-9, "only one of four batch rows can be active: {util}");
+    }
+
+    #[test]
+    fn fc_layers_use_output_neuron_parallelism_under_rc() {
+        let fc = LayerDims::fc("fc", 4096, 1000);
+        let util = MappingKind::Rc.utilization(&fc, &tile());
+        assert!(util > 0.98, "1000 outputs over 16 PEs: {util}");
+        let tiny = LayerDims::fc("fc", 64, 10);
+        assert!(MappingKind::Rc.utilization(&tiny, &tile()) < 0.7);
+    }
+
+    #[test]
+    fn rc_has_the_cheapest_reversion_overheads() {
+        let rc = MappingKind::Rc.reversion_overheads();
+        for other in [MappingKind::Mn, MappingKind::K, MappingKind::Bm] {
+            let o = other.reversion_overheads();
+            assert!(rc.compute_energy <= o.compute_energy, "{}", other.name());
+            assert!(rc.sram_energy <= o.sram_energy, "{}", other.name());
+            assert!(rc.wiring_area < o.wiring_area, "{}", other.name());
+        }
+    }
+
+    #[test]
+    fn stage_enumeration_and_epsilon_reuse() {
+        assert_eq!(Stage::all().len(), 3);
+        assert!(!Stage::Forward.reuses_epsilon());
+        assert!(Stage::Backward.reuses_epsilon());
+        assert!(Stage::GradientCalc.reuses_epsilon());
+    }
+
+    #[test]
+    fn rc_has_the_best_feature_map_reuse() {
+        assert_eq!(MappingKind::Rc.feature_traffic_factor(), 1.0);
+        for other in [MappingKind::Mn, MappingKind::K, MappingKind::Bm] {
+            assert!(other.feature_traffic_factor() > 1.0, "{}", other.name());
+        }
+    }
+
+    #[test]
+    fn names_are_stable() {
+        let names: Vec<&str> = MappingKind::all().iter().map(|m| m.name()).collect();
+        assert_eq!(names, vec!["MN", "RC", "K", "BM"]);
+    }
+}

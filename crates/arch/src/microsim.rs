@@ -1,0 +1,253 @@
+//! Cycle-level micro-simulation of one RC-mapped PE tile.
+//!
+//! The analytic model in [`crate::simulate`] derives cycle counts from utilization formulas.
+//! This module cross-checks those formulas by actually *executing* a convolutional layer the way
+//! a Shift-BNN SPU does (Fig. 8 of the paper): output neurons are tiled onto the PE array, one
+//! sampled weight is broadcast per cycle, every active PE performs one MAC, and the sampled
+//! weights come from a GRNG slice — generated forward during the forward stage and reconstructed
+//! by reversed shifting during the backward stage. Because it produces real numerical outputs,
+//! the micro-simulator is also validated against the reference convolution of `bnn-tensor`.
+
+use crate::config::PeTile;
+use bnn_lfsr::Grng;
+use bnn_tensor::conv::ConvGeometry;
+use bnn_tensor::Tensor;
+
+/// Result of micro-simulating one convolution on the PE tile.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MicrosimResult {
+    /// The computed output feature map `[M, OH, OW]`.
+    pub output: Tensor,
+    /// Cycles taken (one broadcast weight per cycle per output tile).
+    pub cycles: u64,
+    /// MAC operations actually performed (idle PEs in partial tiles do not count).
+    pub macs: u64,
+    /// Input-neuron buffer reads performed by the shift-unit array / crossbar.
+    pub neuron_reads: u64,
+    /// The sampled weights used, in generation order (for cross-stage comparison).
+    pub sampled_weights: Vec<f32>,
+}
+
+/// A cycle-level model of one SPU's RC-mapped PE tile with its GRNG slice.
+#[derive(Debug)]
+pub struct RcTileSimulator {
+    tile: PeTile,
+}
+
+impl RcTileSimulator {
+    /// Creates a simulator for a PE tile of the given dimensions.
+    pub fn new(tile: PeTile) -> Self {
+        Self { tile }
+    }
+
+    /// The modelled PE tile.
+    pub fn tile(&self) -> &PeTile {
+        &self.tile
+    }
+
+    /// Analytic cycle count for a forward convolution: one cycle per weight per output tile.
+    pub fn analytic_forward_cycles(&self, geom: &ConvGeometry, out_h: usize, out_w: usize) -> u64 {
+        let tiles_r = out_h.div_ceil(self.tile.rows) as u64;
+        let tiles_c = out_w.div_ceil(self.tile.cols) as u64;
+        let weights = (geom.out_channels * geom.in_channels * geom.kernel * geom.kernel) as u64;
+        weights * tiles_r * tiles_c
+    }
+
+    /// Runs the forward stage of one convolutional layer for one sampled model.
+    ///
+    /// Weights are sampled on the fly as `w = μ + ε·σ`, one ε per weight, drawn from `grng` in
+    /// the canonical order (output channel, input channel, kernel row, kernel column) — the same
+    /// order the backward stage will retrieve them in reverse.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mu`/`sigma` do not have shape `[M, N, K, K]` or the input does not have
+    /// `geom.in_channels` channels, or if `grng` is not in forward mode.
+    pub fn forward_conv(
+        &self,
+        geom: &ConvGeometry,
+        input: &Tensor,
+        mu: &Tensor,
+        sigma: &Tensor,
+        grng: &mut Grng,
+    ) -> MicrosimResult {
+        let (m, n, k) = (geom.out_channels, geom.in_channels, geom.kernel);
+        assert_eq!(mu.shape(), &[m, n, k, k], "mu must be [M, N, K, K]");
+        assert_eq!(sigma.shape(), mu.shape(), "sigma must match mu");
+        assert_eq!(input.shape()[0], n, "input channel count mismatch");
+        let (h, w) = (input.shape()[1], input.shape()[2]);
+        let (oh, ow) = geom.output_size(h, w);
+
+        // Sample the whole kernel set in generation order; the hardware interleaves this with
+        // the broadcast, but the ε order is identical.
+        let mut sampled = Vec::with_capacity(m * n * k * k);
+        for om in 0..m {
+            for ic in 0..n {
+                for ky in 0..k {
+                    for kx in 0..k {
+                        let e = grng.next_epsilon() as f32;
+                        let widx = [om, ic, ky, kx];
+                        sampled.push(mu.at(&widx) + e * sigma.at(&widx));
+                    }
+                }
+            }
+        }
+
+        let mut output = Tensor::zeros(&[m, oh, ow]);
+        let mut cycles = 0u64;
+        let mut macs = 0u64;
+        let mut neuron_reads = 0u64;
+        let pad = geom.padding as isize;
+        let stride = geom.stride as isize;
+
+        // Tile the output feature map over the PE array; within a tile, broadcast one weight per
+        // cycle and let every mapped PE accumulate its partial sum.
+        for tile_r in (0..oh).step_by(self.tile.rows) {
+            for tile_c in (0..ow).step_by(self.tile.cols) {
+                for om in 0..m {
+                    for ic in 0..n {
+                        for ky in 0..k {
+                            for kx in 0..k {
+                                cycles += 1;
+                                let wv = sampled[((om * n + ic) * k + ky) * k + kx];
+                                for pr in 0..self.tile.rows {
+                                    for pc in 0..self.tile.cols {
+                                        let oy = tile_r + pr;
+                                        let ox = tile_c + pc;
+                                        if oy >= oh || ox >= ow {
+                                            continue; // idle PE in a partial tile
+                                        }
+                                        let iy = oy as isize * stride + ky as isize - pad;
+                                        let ix = ox as isize * stride + kx as isize - pad;
+                                        macs += 1;
+                                        if iy < 0 || iy >= h as isize || ix < 0 || ix >= w as isize {
+                                            continue; // zero padding contributes nothing
+                                        }
+                                        neuron_reads += 1;
+                                        let iv = input.at(&[ic, iy as usize, ix as usize]);
+                                        let cur = output.at(&[om, oy, ox]);
+                                        output.set(&[om, oy, ox], cur + wv * iv);
+                                    }
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+
+        MicrosimResult { output, cycles, macs, neuron_reads, sampled_weights: sampled }
+    }
+
+    /// Reconstructs the layer's sampled weights during the backward stage by retrieving ε in
+    /// reverse order from the same GRNG (which must have generated them during
+    /// [`forward_conv`](Self::forward_conv)). Returns the weights in generation order so they
+    /// can be compared against [`MicrosimResult::sampled_weights`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mu`/`sigma` shapes disagree or the GRNG is not in backward mode.
+    pub fn reconstruct_weights_backward(
+        &self,
+        mu: &Tensor,
+        sigma: &Tensor,
+        grng: &mut Grng,
+    ) -> Vec<f32> {
+        assert_eq!(mu.shape(), sigma.shape());
+        let count = mu.len();
+        let mut reconstructed = vec![0.0f32; count];
+        // ε come back last-generated-first; walk the weight indices in reverse.
+        for idx in (0..count).rev() {
+            let e = grng.retrieve_epsilon() as f32;
+            reconstructed[idx] = mu.data()[idx] + e * sigma.data()[idx];
+        }
+        reconstructed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bnn_lfsr::GrngMode;
+    use bnn_tensor::conv::conv2d_forward;
+
+    fn geometry() -> ConvGeometry {
+        ConvGeometry { in_channels: 2, out_channels: 3, kernel: 3, stride: 1, padding: 1 }
+    }
+
+    fn params(geom: &ConvGeometry) -> (Tensor, Tensor) {
+        let shape = [geom.out_channels, geom.in_channels, geom.kernel, geom.kernel];
+        let count: usize = shape.iter().product();
+        let mu = Tensor::from_vec(
+            shape.to_vec(),
+            (0..count).map(|i| ((i as f32) * 0.13).sin() * 0.4).collect(),
+        )
+        .unwrap();
+        let sigma = Tensor::filled(&shape, 0.05);
+        (mu, sigma)
+    }
+
+    #[test]
+    fn microsim_matches_reference_convolution() {
+        let geom = geometry();
+        let sim = RcTileSimulator::new(PeTile { rows: 4, cols: 4 });
+        let (mu, sigma) = params(&geom);
+        let input = Tensor::from_vec(
+            vec![2, 6, 6],
+            (0..72).map(|i| ((i as f32) * 0.21).cos()).collect(),
+        )
+        .unwrap();
+        let mut grng = Grng::shift_bnn_default(55).unwrap();
+        let result = sim.forward_conv(&geom, &input, &mu, &sigma, &mut grng);
+
+        // Rebuild the weight tensor the simulator sampled and compare against bnn-tensor's conv.
+        let weights = Tensor::from_vec(mu.shape().to_vec(), result.sampled_weights.clone()).unwrap();
+        let bias = Tensor::zeros(&[geom.out_channels]);
+        let reference = conv2d_forward(&geom, &input, &weights, &bias).unwrap();
+        for (a, b) in result.output.data().iter().zip(reference.data()) {
+            assert!((a - b).abs() < 1e-4, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn microsim_cycles_match_analytic_formula() {
+        let geom = geometry();
+        let sim = RcTileSimulator::new(PeTile { rows: 4, cols: 4 });
+        let (mu, sigma) = params(&geom);
+        for size in [4usize, 6, 8, 10] {
+            let input = Tensor::filled(&[2, size, size], 1.0);
+            let mut grng = Grng::shift_bnn_default(9).unwrap();
+            let result = sim.forward_conv(&geom, &input, &mu, &sigma, &mut grng);
+            let (oh, ow) = geom.output_size(size, size);
+            assert_eq!(result.cycles, sim.analytic_forward_cycles(&geom, oh, ow), "size {size}");
+        }
+    }
+
+    #[test]
+    fn macs_account_for_partial_tiles() {
+        let geom = geometry();
+        let sim = RcTileSimulator::new(PeTile { rows: 4, cols: 4 });
+        let (mu, sigma) = params(&geom);
+        // 6x6 output does not divide evenly by 4, so MACs < cycles × 16 but = weights × outputs.
+        let input = Tensor::filled(&[2, 6, 6], 1.0);
+        let mut grng = Grng::shift_bnn_default(1).unwrap();
+        let result = sim.forward_conv(&geom, &input, &mu, &sigma, &mut grng);
+        let weights = (3 * 2 * 9) as u64;
+        assert_eq!(result.macs, weights * 36);
+        assert!(result.macs < result.cycles * 16);
+        assert!(result.neuron_reads <= result.macs);
+    }
+
+    #[test]
+    fn backward_reconstruction_reproduces_forward_weights_exactly() {
+        let geom = geometry();
+        let sim = RcTileSimulator::new(PeTile { rows: 4, cols: 4 });
+        let (mu, sigma) = params(&geom);
+        let input = Tensor::filled(&[2, 8, 8], 0.3);
+        let mut grng = Grng::shift_bnn_default(77).unwrap();
+        let result = sim.forward_conv(&geom, &input, &mu, &sigma, &mut grng);
+        grng.set_mode(GrngMode::Backward);
+        let reconstructed = sim.reconstruct_weights_backward(&mu, &sigma, &mut grng);
+        assert_eq!(reconstructed, result.sampled_weights);
+    }
+}

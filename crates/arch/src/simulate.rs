@@ -1,0 +1,412 @@
+//! The analytic training-run simulator: per-layer, per-stage traffic, latency and energy.
+//!
+//! For every weight-bearing layer and every training stage (FW, BW, GC) the simulator derives:
+//!
+//! * **DRAM traffic** per operand class — weight parameters are streamed once per stage (they
+//!   are reused across all SPUs/samples through the weight parameter buffer), feature maps and
+//!   errors move once per sample, and ε moves `S × weights` values per crossing stage *unless*
+//!   the design retrieves them locally by LFSR reversion;
+//! * **compute cycles** from the MAC count, the PE-tile utilization of the configured mapping
+//!   and the sample-level parallelism across SPUs;
+//! * **memory cycles** from the DRAM byte volume and bandwidth; compute and memory overlap via
+//!   double buffering, so a stage's latency is the maximum of the two;
+//! * **energy** from the per-operation constants of [`EnergyModel`], with the mapping-specific
+//!   reversion overheads applied to the backward/gradient stages.
+
+use crate::config::AcceleratorConfig;
+use crate::energy::{pj_to_mj, EnergyBreakdown, EnergyModel};
+use crate::mapping::Stage;
+use crate::traffic::{FootprintBreakdown, TrafficByOperand};
+use bnn_models::workload::{LayerVolume, ModelVolume};
+use bnn_models::ModelConfig;
+
+/// Simulation result for one layer and one training stage.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StageReport {
+    /// Which stage this is.
+    pub stage: Stage,
+    /// MAC operations executed.
+    pub macs: u64,
+    /// Cycles the PE array is busy.
+    pub compute_cycles: u64,
+    /// Cycles the DRAM interface is busy.
+    pub memory_cycles: u64,
+    /// Stage latency (compute and memory overlap via double buffering).
+    pub latency_cycles: u64,
+    /// DRAM traffic in values (reads + writes).
+    pub dram_traffic: TrafficByOperand,
+    /// On-chip buffer accesses in values.
+    pub sram_accesses: u64,
+    /// GRNG events (LFSR shifts producing or reproducing an ε).
+    pub grng_events: u64,
+    /// Dynamic energy of the stage (static energy is added at the run level).
+    pub energy: EnergyBreakdown,
+}
+
+/// Simulation result for one layer across all three stages.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LayerReport {
+    /// Layer name.
+    pub name: String,
+    /// Whether the layer is fully connected (the paper's latency analysis distinguishes these).
+    pub fully_connected: bool,
+    /// Per-stage results.
+    pub stages: Vec<StageReport>,
+}
+
+impl LayerReport {
+    /// Total latency of the layer across stages.
+    pub fn latency_cycles(&self) -> u64 {
+        self.stages.iter().map(|s| s.latency_cycles).sum()
+    }
+
+    /// Total DRAM traffic of the layer.
+    pub fn dram_traffic(&self) -> TrafficByOperand {
+        let mut t = TrafficByOperand::default();
+        for s in &self.stages {
+            t.accumulate(&s.dram_traffic);
+        }
+        t
+    }
+}
+
+/// Full result of simulating one training iteration (one example, `S` samples) on a design.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrainingRunReport {
+    /// Design name (e.g. `"Shift-BNN"`).
+    pub design: String,
+    /// Model name (e.g. `"B-VGG"`).
+    pub model: String,
+    /// Sample count `S`.
+    pub samples: usize,
+    /// Per-layer reports in execution order.
+    pub layers: Vec<LayerReport>,
+    /// Total energy including static energy.
+    pub energy: EnergyBreakdown,
+    /// End-to-end latency in cycles.
+    pub latency_cycles: u64,
+    /// End-to-end latency in seconds.
+    pub latency_s: f64,
+    /// Total DRAM traffic in values.
+    pub dram_traffic: TrafficByOperand,
+    /// Total DRAM traffic in bytes.
+    pub dram_bytes: u64,
+    /// Peak off-chip memory footprint.
+    pub footprint: FootprintBreakdown,
+    /// Total MAC operations.
+    pub total_macs: u64,
+}
+
+impl TrainingRunReport {
+    /// Achieved throughput in GOPS (two operations per MAC).
+    pub fn gops(&self) -> f64 {
+        if self.latency_s > 0.0 {
+            2.0 * self.total_macs as f64 / self.latency_s / 1e9
+        } else {
+            0.0
+        }
+    }
+
+    /// Average power in watts.
+    pub fn average_power_w(&self) -> f64 {
+        if self.latency_s > 0.0 {
+            self.energy.total_mj() * 1e-3 / self.latency_s
+        } else {
+            0.0
+        }
+    }
+
+    /// Energy efficiency in GOPS per watt — the paper's Fig. 12 metric.
+    pub fn gops_per_watt(&self) -> f64 {
+        let p = self.average_power_w();
+        if p > 0.0 {
+            self.gops() / p
+        } else {
+            0.0
+        }
+    }
+
+    /// Total energy in millijoules.
+    pub fn total_energy_mj(&self) -> f64 {
+        self.energy.total_mj()
+    }
+}
+
+fn ceil_div(a: u64, b: u64) -> u64 {
+    if b == 0 {
+        0
+    } else {
+        a.div_ceil(b)
+    }
+}
+
+fn stage_dram_traffic(
+    stage: Stage,
+    volume: &LayerVolume,
+    config: &AcceleratorConfig,
+    bayesian: bool,
+) -> TrafficByOperand {
+    let weights = match stage {
+        // μ and σ are read once per stage (reused across SPUs through the WPB).
+        Stage::Forward | Stage::Backward => volume.weight_param_values,
+        // The gradient stage reads the parameters and writes their gradients back.
+        Stage::GradientCalc => 2 * volume.weight_param_values,
+    };
+    let epsilon = if bayesian && !config.lfsr_reversion {
+        // Stored after FW, fetched again during BW (weight reconstruction) and GC (Δσ).
+        volume.epsilon_values
+    } else {
+        0
+    };
+    let base_features = match stage {
+        // Read the input activations, write the output activations.
+        Stage::Forward => volume.input_values + volume.output_values,
+        // Read the output-side errors, write the input-side errors.
+        Stage::Backward => volume.output_values + volume.input_values,
+        // Read the stored activations and the errors to form the likelihood gradient.
+        Stage::GradientCalc => volume.input_values + volume.output_values,
+    };
+    // Mappings with poorer on-chip reuse of feature maps re-fetch them from DRAM more often.
+    let features = (base_features as f64 * config.mapping.feature_traffic_factor()).round() as u64;
+    TrafficByOperand { weights, epsilon, features }
+}
+
+fn stage_report(
+    stage: Stage,
+    volume: &LayerVolume,
+    config: &AcceleratorConfig,
+    energy_model: &EnergyModel,
+    bayesian: bool,
+) -> StageReport {
+    let tile = &config.pe_tile;
+    let util = config.mapping.utilization(&volume.dims, tile).max(1e-3);
+    let samples = volume.epsilon_values.checked_div(volume.dims.weights()).unwrap_or(0).max(1);
+    let samples = if bayesian { samples } else { 1 };
+
+    // Compute cycles: samples are spread over the SPUs; each SPU processes one sampled model
+    // with `tile` PEs at the mapping's utilization.
+    let per_sample_macs = volume.stage_macs / samples;
+    let per_sample_cycles = (per_sample_macs as f64 / (tile.count() as f64 * util)).ceil() as u64;
+    let spu_rounds = ceil_div(samples, config.spus as u64);
+    let compute_cycles = per_sample_cycles * spu_rounds;
+
+    // DRAM traffic and the resulting memory cycles.
+    let dram_traffic = stage_dram_traffic(stage, volume, config, bayesian);
+    let dram_bytes = dram_traffic.bytes(config.precision_bytes);
+    let memory_cycles = (dram_bytes as f64 / config.dram_bytes_per_cycle()).ceil() as u64;
+
+    // GRNG events: ε are generated on chip during FW in every design; reversion designs shift
+    // the LFSRs again (backwards) during BW to reproduce them.
+    let grng_events = if !bayesian {
+        0
+    } else {
+        match (stage, config.lfsr_reversion) {
+            (Stage::Forward, _) => volume.epsilon_values,
+            (Stage::Backward, true) => volume.epsilon_values,
+            _ => 0,
+        }
+    };
+
+    // On-chip buffer accesses: everything crossing DRAM passes through a buffer, input neurons
+    // are staged once per stage through NBin/the shift-unit array, and partial sums round-trip
+    // NBout once per output value. MAC-level operand movement stays in PE-local registers.
+    let mut sram_accesses = dram_traffic.total() + volume.input_values + 2 * volume.output_values;
+
+    // Mapping-specific reversion overheads apply to the stages that consume retrieved ε.
+    let overheads = config.mapping.reversion_overheads();
+    let mut compute_energy_factor = 1.0;
+    if config.lfsr_reversion && stage.reuses_epsilon() {
+        compute_energy_factor = overheads.compute_energy;
+        sram_accesses = (sram_accesses as f64 * overheads.sram_energy) as u64;
+    }
+
+    let energy = EnergyBreakdown {
+        dram_mj: pj_to_mj(dram_traffic.total(), energy_model.dram_pj_per_value),
+        sram_mj: pj_to_mj(sram_accesses, energy_model.sram_pj_per_value),
+        compute_mj: pj_to_mj(volume.stage_macs, energy_model.mac_pj) * compute_energy_factor,
+        grng_mj: pj_to_mj(grng_events, energy_model.grng_pj_per_sample),
+        static_mj: 0.0,
+    };
+
+    StageReport {
+        stage,
+        macs: volume.stage_macs,
+        compute_cycles,
+        memory_cycles,
+        latency_cycles: compute_cycles.max(memory_cycles),
+        dram_traffic,
+        sram_accesses,
+        grng_events,
+        energy,
+    }
+}
+
+/// Peak memory footprint of a training iteration on `config`.
+fn footprint(volume: &ModelVolume, config: &AcceleratorConfig) -> FootprintBreakdown {
+    let bytes = config.precision_bytes as u64;
+    let weights: u64 = volume.layers.iter().map(|l| l.weight_param_values).sum::<u64>();
+    // Parameters plus their gradients must reside in DRAM.
+    let weights_bytes = 2 * weights * bytes;
+    let epsilon_bytes = if config.lfsr_reversion {
+        0
+    } else {
+        volume.total_epsilon_values() * bytes
+    };
+    // Activations of every layer persist until the gradient stage; errors are transient per
+    // layer pair, so the dominant persistent term is the activations (input side of each layer).
+    let features_bytes: u64 =
+        volume.layers.iter().map(|l| l.input_values + l.output_values).sum::<u64>() * bytes / 2;
+    FootprintBreakdown { weights_bytes, epsilon_bytes, features_bytes }
+}
+
+/// Simulates one training iteration (one input example, `samples` Monte-Carlo samples) of
+/// `model` on the accelerator described by `config`.
+///
+/// The returned report contains per-layer, per-stage detail plus run-level energy, latency,
+/// DRAM-access and footprint totals.
+pub fn simulate_training(
+    config: &AcceleratorConfig,
+    model: &ModelConfig,
+    samples: usize,
+    energy_model: &EnergyModel,
+) -> TrainingRunReport {
+    let volume = ModelVolume::for_model(model, samples);
+    let mut layers = Vec::with_capacity(volume.layers.len());
+    let mut total_energy = EnergyBreakdown::default();
+    let mut total_traffic = TrafficByOperand::default();
+    let mut latency_cycles = 0u64;
+    let mut total_macs = 0u64;
+
+    for layer_volume in &volume.layers {
+        let mut stages = Vec::with_capacity(3);
+        for stage in Stage::all() {
+            let report = stage_report(stage, layer_volume, config, energy_model, model.bayesian);
+            total_energy.accumulate(&report.energy);
+            total_traffic.accumulate(&report.dram_traffic);
+            latency_cycles += report.latency_cycles;
+            total_macs += report.macs;
+            stages.push(report);
+        }
+        layers.push(LayerReport {
+            name: layer_volume.dims.name.clone(),
+            fully_connected: layer_volume.dims.is_fully_connected(),
+            stages,
+        });
+    }
+
+    let latency_s = latency_cycles as f64 * config.cycle_time_s();
+    total_energy.static_mj = energy_model.static_power_w * latency_s * 1e3;
+
+    TrainingRunReport {
+        design: config.name.clone(),
+        model: model.name.clone(),
+        samples,
+        layers,
+        energy: total_energy,
+        latency_cycles,
+        latency_s,
+        dram_bytes: total_traffic.bytes(config.precision_bytes),
+        dram_traffic: total_traffic,
+        footprint: footprint(&volume, config),
+        total_macs,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mapping::MappingKind;
+    use bnn_models::ModelKind;
+
+    fn rc_config(reversion: bool) -> AcceleratorConfig {
+        AcceleratorConfig {
+            name: if reversion { "Shift-BNN".into() } else { "RC-Acc".into() },
+            lfsr_reversion: reversion,
+            mapping: MappingKind::Rc,
+            ..AcceleratorConfig::default()
+        }
+    }
+
+    #[test]
+    fn reversion_eliminates_all_epsilon_traffic() {
+        let model = ModelKind::LeNet.bnn();
+        let base = simulate_training(&rc_config(false), &model, 16, &EnergyModel::default());
+        let shift = simulate_training(&rc_config(true), &model, 16, &EnergyModel::default());
+        assert!(base.dram_traffic.epsilon > 0);
+        assert_eq!(shift.dram_traffic.epsilon, 0);
+        assert_eq!(base.dram_traffic.weights, shift.dram_traffic.weights);
+        assert_eq!(base.dram_traffic.features, shift.dram_traffic.features);
+        assert!(shift.total_energy_mj() < base.total_energy_mj());
+        assert!(shift.latency_cycles <= base.latency_cycles);
+        assert_eq!(shift.footprint.epsilon_bytes, 0);
+        assert!(base.footprint.epsilon_bytes > 0);
+    }
+
+    #[test]
+    fn epsilon_dominates_baseline_traffic_at_16_samples() {
+        // Fig. 3: ε is the majority of off-chip traffic for every BNN model at S = 16.
+        for kind in ModelKind::all() {
+            let report =
+                simulate_training(&rc_config(false), &kind.bnn(), 16, &EnergyModel::default());
+            let (_, e, _) = report.dram_traffic.fractions();
+            assert!(e > 0.5, "{}: epsilon fraction {e}", kind.paper_name());
+        }
+    }
+
+    #[test]
+    fn bnn_moves_an_order_of_magnitude_more_data_than_dnn() {
+        // Fig. 2: at S = 8 the BNN's traffic is roughly 9x its DNN counterpart on average.
+        let kind = ModelKind::Mlp;
+        let dnn = simulate_training(&rc_config(false), &kind.dnn(), 1, &EnergyModel::default());
+        let bnn = simulate_training(&rc_config(false), &kind.bnn(), 8, &EnergyModel::default());
+        let ratio = bnn.dram_bytes as f64 / dnn.dram_bytes as f64;
+        assert!(ratio > 4.0, "traffic ratio {ratio}");
+    }
+
+    #[test]
+    fn fc_layers_are_memory_bound_and_conv_layers_compute_bound_on_baseline() {
+        let model = ModelKind::AlexNet.bnn();
+        let report = simulate_training(&rc_config(false), &model, 16, &EnergyModel::default());
+        let conv_layer = &report.layers[2]; // conv3
+        let fc_layer = report.layers.iter().find(|l| l.fully_connected).unwrap();
+        let conv_fw = &conv_layer.stages[0];
+        let fc_fw = &fc_layer.stages[0];
+        assert!(conv_fw.compute_cycles >= conv_fw.memory_cycles, "conv should be compute bound");
+        assert!(fc_fw.memory_cycles > fc_fw.compute_cycles, "fc should be memory bound");
+    }
+
+    #[test]
+    fn latency_and_power_metrics_are_positive_and_consistent() {
+        let report = simulate_training(
+            &rc_config(true),
+            &ModelKind::LeNet.bnn(),
+            8,
+            &EnergyModel::default(),
+        );
+        assert!(report.latency_s > 0.0);
+        assert!(report.gops() > 0.0);
+        assert!(report.average_power_w() > 0.0);
+        let eff = report.gops_per_watt();
+        assert!((eff - report.gops() / report.average_power_w()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn larger_sample_counts_increase_traffic_linearly_for_epsilon() {
+        let model = ModelKind::LeNet.bnn();
+        let cfg = rc_config(false);
+        let r8 = simulate_training(&cfg, &model, 8, &EnergyModel::default());
+        let r32 = simulate_training(&cfg, &model, 32, &EnergyModel::default());
+        assert_eq!(r8.dram_traffic.epsilon * 4, r32.dram_traffic.epsilon);
+        assert_eq!(r8.dram_traffic.weights, r32.dram_traffic.weights);
+    }
+
+    #[test]
+    fn per_layer_reports_cover_all_layers_and_stages() {
+        let model = ModelKind::LeNet.bnn();
+        let report = simulate_training(&rc_config(true), &model, 4, &EnergyModel::default());
+        assert_eq!(report.layers.len(), model.layer_count());
+        assert!(report.layers.iter().all(|l| l.stages.len() == 3));
+        let summed: u64 = report.layers.iter().map(|l| l.latency_cycles()).sum();
+        assert_eq!(summed, report.latency_cycles);
+    }
+}

@@ -1,0 +1,91 @@
+//! Off-chip traffic and memory-footprint accounting, broken down by operand class.
+
+/// DRAM traffic (in values) attributed to the three operand classes of BNN training.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct TrafficByOperand {
+    /// Weight parameters (μ, σ) and their gradients.
+    pub weights: u64,
+    /// Gaussian random variables ε.
+    pub epsilon: u64,
+    /// Input/output feature maps and errors.
+    pub features: u64,
+}
+
+impl TrafficByOperand {
+    /// Total number of values transferred.
+    pub fn total(&self) -> u64 {
+        self.weights + self.epsilon + self.features
+    }
+
+    /// Total bytes transferred at the given precision.
+    pub fn bytes(&self, bytes_per_value: usize) -> u64 {
+        self.total() * bytes_per_value as u64
+    }
+
+    /// Adds another traffic record into this one.
+    pub fn accumulate(&mut self, other: &TrafficByOperand) {
+        self.weights += other.weights;
+        self.epsilon += other.epsilon;
+        self.features += other.features;
+    }
+
+    /// Fractions `(weights, epsilon, features)` of the total (all zero if there is no traffic).
+    pub fn fractions(&self) -> (f64, f64, f64) {
+        let total = self.total();
+        if total == 0 {
+            return (0.0, 0.0, 0.0);
+        }
+        let t = total as f64;
+        (self.weights as f64 / t, self.epsilon as f64 / t, self.features as f64 / t)
+    }
+}
+
+/// Peak off-chip memory footprint (in bytes) of a training iteration, by operand class.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct FootprintBreakdown {
+    /// Weight parameters and gradients resident in DRAM.
+    pub weights_bytes: u64,
+    /// Stored ε (zero when LFSR reversion is used).
+    pub epsilon_bytes: u64,
+    /// Feature maps / errors that must persist across stages.
+    pub features_bytes: u64,
+}
+
+impl FootprintBreakdown {
+    /// Total footprint in bytes.
+    pub fn total_bytes(&self) -> u64 {
+        self.weights_bytes + self.epsilon_bytes + self.features_bytes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn totals_bytes_and_fractions() {
+        let t = TrafficByOperand { weights: 10, epsilon: 70, features: 20 };
+        assert_eq!(t.total(), 100);
+        assert_eq!(t.bytes(2), 200);
+        let (w, e, f) = t.fractions();
+        assert!((w - 0.1).abs() < 1e-12 && (e - 0.7).abs() < 1e-12 && (f - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn accumulate_is_componentwise() {
+        let mut a = TrafficByOperand { weights: 1, epsilon: 2, features: 3 };
+        a.accumulate(&TrafficByOperand { weights: 10, epsilon: 20, features: 30 });
+        assert_eq!(a, TrafficByOperand { weights: 11, epsilon: 22, features: 33 });
+    }
+
+    #[test]
+    fn empty_traffic_has_zero_fractions() {
+        assert_eq!(TrafficByOperand::default().fractions(), (0.0, 0.0, 0.0));
+    }
+
+    #[test]
+    fn footprint_totals() {
+        let f = FootprintBreakdown { weights_bytes: 5, epsilon_bytes: 10, features_bytes: 1 };
+        assert_eq!(f.total_bytes(), 16);
+    }
+}

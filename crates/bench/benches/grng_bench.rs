@@ -1,0 +1,69 @@
+//! Criterion benchmarks of the Gaussian RNG: ε generation and retrieval rates, and the ablation
+//! called out in DESIGN.md — the incremental pop-count ("initial sum + bit update") path of
+//! Fig. 8(b) versus a full adder-tree recount of the pattern.
+
+use bnn_lfsr::{Grng, GrngMode};
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+fn bench_generation_and_retrieval(c: &mut Criterion) {
+    let mut group = c.benchmark_group("grng");
+    group.bench_function("generate_1k", |b| {
+        let mut grng = Grng::shift_bnn_default(11).unwrap();
+        b.iter(|| {
+            for _ in 0..1000 {
+                black_box(grng.next_epsilon());
+            }
+        });
+    });
+    group.bench_function("generate_then_retrieve_1k", |b| {
+        let mut grng = Grng::shift_bnn_default(13).unwrap();
+        b.iter(|| {
+            grng.set_mode(GrngMode::Forward);
+            for _ in 0..1000 {
+                black_box(grng.next_epsilon());
+            }
+            grng.set_mode(GrngMode::Backward);
+            for _ in 0..1000 {
+                black_box(grng.retrieve_epsilon());
+            }
+        });
+    });
+    group.finish();
+}
+
+fn bench_incremental_vs_recount(c: &mut Criterion) {
+    let mut group = c.benchmark_group("epsilon_ablation");
+    group.bench_function("incremental_popcount", |b| {
+        let mut grng = Grng::shift_bnn_default(17).unwrap();
+        b.iter(|| {
+            for _ in 0..256 {
+                black_box(grng.next_epsilon());
+            }
+        });
+    });
+    group.bench_function("full_recount_adder_tree", |b| {
+        let mut grng = Grng::shift_bnn_default(17).unwrap();
+        b.iter(|| {
+            for _ in 0..256 {
+                grng.next_epsilon();
+                black_box(grng.recount_epsilon());
+            }
+        });
+    });
+    group.finish();
+}
+
+criterion_group!{
+    name = benches;
+    config = quick_criterion();
+    targets = bench_generation_and_retrieval, bench_incremental_vs_recount
+}
+
+fn quick_criterion() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_secs(1))
+}
+
+criterion_main!(benches);

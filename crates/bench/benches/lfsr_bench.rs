@@ -1,0 +1,55 @@
+//! Criterion benchmarks of the reversible LFSR: forward and backward shifting throughput at the
+//! widths relevant to the paper (the 8-bit illustrative example and the 256-bit GRNG register),
+//! the quantity that bounds how fast ε can be produced or retrieved on chip.
+
+use bnn_lfsr::Lfsr;
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_lfsr_shifting(c: &mut Criterion) {
+    let mut group = c.benchmark_group("lfsr_shift");
+    for &width in &[8usize, 64, 128, 256] {
+        group.bench_with_input(BenchmarkId::new("forward", width), &width, |b, &w| {
+            let mut lfsr = Lfsr::with_maximal_taps(w, 0xACE1).unwrap();
+            b.iter(|| {
+                for _ in 0..64 {
+                    black_box(lfsr.step_forward());
+                }
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("backward", width), &width, |b, &w| {
+            let mut lfsr = Lfsr::with_maximal_taps(w, 0xACE1).unwrap();
+            lfsr.step_forward_by(1024);
+            b.iter(|| {
+                for _ in 0..64 {
+                    black_box(lfsr.step_backward());
+                }
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_round_trip(c: &mut Criterion) {
+    c.bench_function("lfsr_round_trip_256bit_1k_steps", |b| {
+        let mut lfsr = Lfsr::shift_bnn_default(7).unwrap();
+        b.iter(|| {
+            lfsr.step_forward_by(black_box(1000));
+            lfsr.step_backward_by(black_box(1000));
+        });
+    });
+}
+
+criterion_group!{
+    name = benches;
+    config = quick_criterion();
+    targets = bench_lfsr_shifting, bench_round_trip
+}
+
+fn quick_criterion() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_secs(1))
+}
+
+criterion_main!(benches);

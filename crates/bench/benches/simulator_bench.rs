@@ -1,0 +1,69 @@
+//! Criterion benchmarks of the accelerator simulator itself: how long producing the paper's
+//! per-model reports takes (the analytic model must stay fast enough to sweep sample counts and
+//! designs), plus the cycle-level RC-tile micro-simulator.
+
+use bnn_arch::config::PeTile;
+use bnn_arch::microsim::RcTileSimulator;
+use bnn_arch::{simulate_training, EnergyModel};
+use bnn_lfsr::Grng;
+use bnn_models::ModelKind;
+use bnn_tensor::conv::ConvGeometry;
+use bnn_tensor::Tensor;
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use shift_bnn::designs::DesignKind;
+
+fn bench_analytic_model(c: &mut Criterion) {
+    let energy = EnergyModel::default();
+    let mut group = c.benchmark_group("analytic_simulation");
+    for kind in [ModelKind::Mlp, ModelKind::LeNet, ModelKind::Vgg16, ModelKind::ResNet18] {
+        let model = kind.bnn();
+        group.bench_with_input(BenchmarkId::new("shift_bnn_s16", kind.paper_name()), &model, |b, m| {
+            let cfg = DesignKind::ShiftBnn.config();
+            b.iter(|| black_box(simulate_training(&cfg, m, 16, &energy)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_design_space_sweep(c: &mut Criterion) {
+    let energy = EnergyModel::default();
+    c.bench_function("four_designs_five_models_s16", |b| {
+        b.iter(|| {
+            for kind in ModelKind::all() {
+                let model = kind.bnn();
+                for design in DesignKind::all() {
+                    black_box(simulate_training(&design.config(), &model, 16, &energy));
+                }
+            }
+        });
+    });
+}
+
+fn bench_microsim(c: &mut Criterion) {
+    let sim = RcTileSimulator::new(PeTile { rows: 4, cols: 4 });
+    let geom = ConvGeometry { in_channels: 3, out_channels: 8, kernel: 3, stride: 1, padding: 1 };
+    let input = Tensor::filled(&[3, 16, 16], 0.5);
+    let mu = Tensor::filled(&[8, 3, 3, 3], 0.1);
+    let sigma = Tensor::filled(&[8, 3, 3, 3], 0.05);
+    c.bench_function("microsim_conv_16x16_3to8", |b| {
+        b.iter(|| {
+            let mut grng = Grng::shift_bnn_default(3).unwrap();
+            black_box(sim.forward_conv(&geom, &input, &mu, &sigma, &mut grng));
+        });
+    });
+}
+
+criterion_group!{
+    name = benches;
+    config = quick_criterion();
+    targets = bench_analytic_model, bench_design_space_sweep, bench_microsim
+}
+
+fn quick_criterion() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_secs(1))
+}
+
+criterion_main!(benches);

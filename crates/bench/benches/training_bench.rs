@@ -1,0 +1,70 @@
+//! Criterion benchmarks of the Bayes-by-Backprop training step: the cost of one training
+//! iteration under the baseline ε handling (store + replay) versus Shift-BNN's LFSR retrieval,
+//! on MLP- and LeNet-style networks.
+
+use bnn_tensor::Tensor;
+use bnn_train::data::SyntheticDataset;
+use bnn_train::network::Network;
+use bnn_train::trainer::{EpsilonStrategy, Trainer, TrainerConfig};
+use bnn_train::variational::BayesConfig;
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn trainer(strategy: EpsilonStrategy, conv: bool) -> (Trainer, Tensor) {
+    let mut rng = StdRng::seed_from_u64(5);
+    let config = BayesConfig::default();
+    let (network, input) = if conv {
+        (Network::bayes_lenet(&[3, 16, 16], 4, config, &mut rng), Tensor::filled(&[3, 16, 16], 0.3))
+    } else {
+        (Network::bayes_mlp(128, &[96], 4, config, &mut rng), Tensor::filled(&[128], 0.3))
+    };
+    let t = Trainer::new(
+        network,
+        TrainerConfig { samples: 4, learning_rate: 0.05, strategy, seed: 9 },
+    )
+    .unwrap();
+    (t, input)
+}
+
+fn bench_train_step(c: &mut Criterion) {
+    let mut group = c.benchmark_group("train_step_s4");
+    for (name, conv) in [("b_mlp", false), ("b_lenet", true)] {
+        for (strategy_name, strategy) in
+            [("store_replay", EpsilonStrategy::StoreReplay), ("lfsr_retrieve", EpsilonStrategy::LfsrRetrieve)]
+        {
+            group.bench_with_input(
+                BenchmarkId::new(name, strategy_name),
+                &strategy,
+                |b, &strategy| {
+                    let (mut t, input) = trainer(strategy, conv);
+                    b.iter(|| black_box(t.train_example(&input, 1).unwrap()));
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_epoch(c: &mut Criterion) {
+    c.bench_function("train_epoch_b_mlp_16_examples", |b| {
+        let (mut t, _) = trainer(EpsilonStrategy::LfsrRetrieve, false);
+        let data = SyntheticDataset::generate(&[128], 4, 4, 0.2, 3);
+        b.iter(|| black_box(t.train_epoch(&data).unwrap()));
+    });
+}
+
+criterion_group!{
+    name = benches;
+    config = quick_criterion();
+    targets = bench_train_step, bench_epoch
+}
+
+fn quick_criterion() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_secs(1))
+}
+
+criterion_main!(benches);

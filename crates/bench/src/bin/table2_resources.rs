@@ -1,0 +1,47 @@
+//! Table 2: FPGA resource usage and average power of the components in one Shift-BNN SPU.
+
+use bnn_arch::resource::{accelerator_usage, component_usage, spu_usage, SpuComponent};
+use shift_bnn::designs::DesignKind;
+use shift_bnn_bench::{num, print_table};
+
+fn main() {
+    let config = DesignKind::ShiftBnn.config();
+    let mut rows = Vec::new();
+    for component in SpuComponent::all() {
+        let usage = component_usage(component, &config);
+        rows.push(vec![
+            component.name().to_string(),
+            usage.lut.to_string(),
+            usage.ff.to_string(),
+            usage.dsp.to_string(),
+            usage.bram.to_string(),
+            num(usage.avg_power_w, 3),
+        ]);
+    }
+    let spu = spu_usage(&config);
+    rows.push(vec![
+        "total (1 SPU)".to_string(),
+        spu.lut.to_string(),
+        spu.ff.to_string(),
+        spu.dsp.to_string(),
+        spu.bram.to_string(),
+        num(spu.avg_power_w, 3),
+    ]);
+    let total = accelerator_usage(&config);
+    rows.push(vec![
+        "total (16 SPUs + ctrl)".to_string(),
+        total.lut.to_string(),
+        total.ff.to_string(),
+        total.dsp.to_string(),
+        total.bram.to_string(),
+        num(total.avg_power_w, 3),
+    ]);
+    print_table(
+        "Table 2: resource usage of Shift-BNN components (per SPU)",
+        &["component", "LUT", "FF", "DSP", "BRAM", "Pavg (W)"],
+        &rows,
+    );
+    println!(
+        "paper (per SPU): PE tile 966/469/16/0 @0.076W, shift array 222/464/0/0 @0.016W, function units 785/399/32/0 @0.008W, GRNGs 2277/4224/0/0 @0.005W, NBin/NBout 0/0/0/48 @0.112W"
+    );
+}

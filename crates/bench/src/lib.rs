@@ -1,0 +1,72 @@
+//! Shared helpers for the figure/table binaries of the Shift-BNN benchmark harness.
+//!
+//! Every binary in `src/bin/` regenerates one table or figure of the paper's evaluation section
+//! and prints it as an aligned text table; `EXPERIMENTS.md` records the paper-reported values
+//! next to the values these binaries produce.
+
+/// Prints an aligned text table with a title, a header row and data rows.
+///
+/// # Examples
+///
+/// ```
+/// shift_bnn_bench::print_table(
+///     "Demo",
+///     &["model", "value"],
+///     &[vec!["B-LeNet".to_string(), "1.00".to_string()]],
+/// );
+/// ```
+pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
+    println!("\n== {title} ==");
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let header_line: Vec<String> =
+        headers.iter().enumerate().map(|(i, h)| format!("{:>width$}", h, width = widths[i])).collect();
+    println!("{}", header_line.join("  "));
+    println!("{}", "-".repeat(header_line.join("  ").len()));
+    for row in rows {
+        let line: Vec<String> = row
+            .iter()
+            .enumerate()
+            .map(|(i, c)| format!("{:>width$}", c, width = widths.get(i).copied().unwrap_or(0)))
+            .collect();
+        println!("{}", line.join("  "));
+    }
+}
+
+/// Formats a ratio with two decimal places and a trailing `x`.
+pub fn ratio(value: f64) -> String {
+    format!("{value:.2}x")
+}
+
+/// Formats a fraction as a percentage with one decimal place.
+pub fn percent(value: f64) -> String {
+    format!("{:.1}%", value * 100.0)
+}
+
+/// Formats a float with the given number of decimals.
+pub fn num(value: f64, decimals: usize) -> String {
+    format!("{value:.decimals$}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(ratio(1.5), "1.50x");
+        assert_eq!(percent(0.756), "75.6%");
+        assert_eq!(num(3.14159, 3), "3.142");
+    }
+
+    #[test]
+    fn print_table_does_not_panic_on_ragged_rows() {
+        print_table("t", &["a", "b"], &[vec!["1".into()], vec!["1".into(), "2".into(), "3".into()]]);
+    }
+}

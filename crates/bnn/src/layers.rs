@@ -1,0 +1,574 @@
+//! Bayesian and auxiliary layers.
+//!
+//! Every layer implements [`Layer`]. Bayesian layers ([`BayesLinear`], [`BayesConv2d`]) sample
+//! their weights from `(μ, σ)` with ε drawn from an [`EpsilonSource`] during the forward stage,
+//! and *reconstruct* the same weights during the backward stage by asking the source for the same
+//! ε block again — exactly the paper's process ② — rather than caching the sampled weights.
+//! Auxiliary layers (ReLU, max-pooling, flatten) carry no parameters.
+
+use crate::epsilon::EpsilonSource;
+use crate::variational::{BayesConfig, VariationalParams};
+use bnn_tensor::activation::{relu, relu_backward};
+use bnn_tensor::conv::{
+    conv2d_backward_input, conv2d_backward_weights, conv2d_forward, ConvGeometry,
+};
+use bnn_tensor::pool::{max_pool2d, max_pool2d_backward};
+use bnn_tensor::{Tensor, TensorError};
+use rand::Rng;
+
+/// A network layer processing one sampled model at a time.
+///
+/// The trainer drives layers through three phases per iteration:
+///
+/// 1. [`begin_iteration`](Layer::begin_iteration) with the number of Monte-Carlo samples `S`;
+/// 2. for each sample `s`: [`forward`](Layer::forward) through all layers, then
+///    [`backward`](Layer::backward) through all layers in reverse;
+/// 3. [`apply_update`](Layer::apply_update) once.
+pub trait Layer {
+    /// Forward pass for sample `s`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`TensorError`] if the input shape does not match the layer.
+    fn forward(
+        &mut self,
+        sample: usize,
+        input: &Tensor,
+        eps: &mut dyn EpsilonSource,
+    ) -> Result<Tensor, TensorError>;
+
+    /// Backward pass for sample `s`, consuming the gradient w.r.t. this layer's output and
+    /// returning the gradient w.r.t. its input.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`TensorError`] if the gradient shape does not match the layer.
+    fn backward(
+        &mut self,
+        sample: usize,
+        grad_output: &Tensor,
+        eps: &mut dyn EpsilonSource,
+    ) -> Result<Tensor, TensorError>;
+
+    /// Prepares per-sample caches for an iteration of `samples` Monte-Carlo samples.
+    fn begin_iteration(&mut self, samples: usize);
+
+    /// Applies the accumulated parameter updates (averaged over the iteration's samples).
+    fn apply_update(&mut self, learning_rate: f32);
+
+    /// Number of ε values this layer draws per sample (0 for non-Bayesian layers).
+    fn epsilon_count(&self) -> usize {
+        0
+    }
+
+    /// Number of trainable scalar parameters (counting μ and ρ separately).
+    fn parameter_count(&self) -> usize {
+        0
+    }
+
+    /// Complexity loss `Σ[log q − log P]` accumulated across the samples of the current
+    /// iteration (0 for non-Bayesian layers).
+    fn complexity_loss(&self) -> f32 {
+        0.0
+    }
+
+    /// A short human-readable layer name for reports.
+    fn name(&self) -> &'static str;
+}
+
+/// A Bayesian fully-connected layer: `output = W·input + b` with `W` sampled per Monte-Carlo
+/// sample.
+#[derive(Debug)]
+pub struct BayesLinear {
+    in_features: usize,
+    out_features: usize,
+    weights: VariationalParams,
+    bias: Tensor,
+    grad_bias: Tensor,
+    config: BayesConfig,
+    samples: usize,
+    cached_inputs: Vec<Option<Tensor>>,
+    accumulated_complexity: f32,
+}
+
+impl BayesLinear {
+    /// Creates a Bayesian linear layer with Xavier-initialized means.
+    pub fn new(
+        in_features: usize,
+        out_features: usize,
+        config: BayesConfig,
+        rng: &mut impl Rng,
+    ) -> Self {
+        let weights = VariationalParams::init(&[out_features, in_features], &config, rng);
+        Self {
+            in_features,
+            out_features,
+            weights,
+            bias: Tensor::zeros(&[out_features]),
+            grad_bias: Tensor::zeros(&[out_features]),
+            config,
+            samples: 1,
+            cached_inputs: Vec::new(),
+            accumulated_complexity: 0.0,
+        }
+    }
+
+    /// The layer's variational parameters (exposed for inspection and tests).
+    pub fn weights(&self) -> &VariationalParams {
+        &self.weights
+    }
+
+    /// Input feature count.
+    pub fn in_features(&self) -> usize {
+        self.in_features
+    }
+
+    /// Output feature count.
+    pub fn out_features(&self) -> usize {
+        self.out_features
+    }
+}
+
+impl Layer for BayesLinear {
+    fn forward(
+        &mut self,
+        sample: usize,
+        input: &Tensor,
+        eps: &mut dyn EpsilonSource,
+    ) -> Result<Tensor, TensorError> {
+        let input = input.reshape(&[self.in_features])?;
+        let epsilon = eps.generate_block(self.weights.len());
+        let w = self.weights.sample(&epsilon, self.config.precision);
+        self.accumulated_complexity +=
+            self.config.kl_weight * self.weights.complexity_loss(&w, &epsilon, self.config.prior_sigma);
+        let x = input.reshape(&[self.in_features, 1])?;
+        let mut out = w.matmul(&x)?.reshape(&[self.out_features])?;
+        out = out.add(&self.bias)?;
+        out = self.config.precision.quantize_tensor(&out);
+        self.cached_inputs[sample] = Some(input);
+        Ok(out)
+    }
+
+    fn backward(
+        &mut self,
+        sample: usize,
+        grad_output: &Tensor,
+        eps: &mut dyn EpsilonSource,
+    ) -> Result<Tensor, TensorError> {
+        let grad_output = grad_output.reshape(&[self.out_features])?;
+        let input = self.cached_inputs[sample]
+            .take()
+            .expect("backward called for a sample without a cached forward");
+        // Reconstruct the sampled weights from the retrieved ε (process ② of the paper).
+        let epsilon = eps.retrieve_block(self.weights.len());
+        let w = self.weights.sample(&epsilon, self.config.precision);
+
+        // Gradient w.r.t. the input: W^T · grad_output.
+        let g_col = grad_output.reshape(&[self.out_features, 1])?;
+        let grad_input = w.transpose2().matmul(&g_col)?.reshape(&[self.in_features])?;
+
+        // Likelihood gradient w.r.t. the weights: grad_output ⊗ input.
+        let grad_w = g_col.matmul(&input.reshape(&[1, self.in_features])?)?;
+        self.weights.accumulate_gradients(&grad_w, &w, &epsilon, &self.config);
+        self.grad_bias.axpy(1.0, &grad_output)?;
+        Ok(grad_input)
+    }
+
+    fn begin_iteration(&mut self, samples: usize) {
+        self.samples = samples.max(1);
+        self.cached_inputs = (0..self.samples).map(|_| None).collect();
+        self.accumulated_complexity = 0.0;
+    }
+
+    fn apply_update(&mut self, learning_rate: f32) {
+        self.weights.sgd_step(learning_rate, self.samples);
+        let scale = -learning_rate / self.samples as f32;
+        self.bias.axpy(scale, &self.grad_bias).expect("bias gradient matches bias shape");
+        self.grad_bias.map_inplace(|_| 0.0);
+    }
+
+    fn epsilon_count(&self) -> usize {
+        self.weights.len()
+    }
+
+    fn parameter_count(&self) -> usize {
+        2 * self.weights.len() + self.bias.len()
+    }
+
+    fn complexity_loss(&self) -> f32 {
+        self.accumulated_complexity
+    }
+
+    fn name(&self) -> &'static str {
+        "bayes_linear"
+    }
+}
+
+/// A Bayesian 2-D convolution layer with per-sample weight sampling.
+#[derive(Debug)]
+pub struct BayesConv2d {
+    geometry: ConvGeometry,
+    weights: VariationalParams,
+    bias: Tensor,
+    grad_bias: Tensor,
+    config: BayesConfig,
+    samples: usize,
+    cached_inputs: Vec<Option<Tensor>>,
+    accumulated_complexity: f32,
+}
+
+impl BayesConv2d {
+    /// Creates a Bayesian convolution layer with Xavier-initialized means.
+    pub fn new(geometry: ConvGeometry, config: BayesConfig, rng: &mut impl Rng) -> Self {
+        let shape = [geometry.out_channels, geometry.in_channels, geometry.kernel, geometry.kernel];
+        let weights = VariationalParams::init(&shape, &config, rng);
+        Self {
+            geometry,
+            weights,
+            bias: Tensor::zeros(&[geometry.out_channels]),
+            grad_bias: Tensor::zeros(&[geometry.out_channels]),
+            config,
+            samples: 1,
+            cached_inputs: Vec::new(),
+            accumulated_complexity: 0.0,
+        }
+    }
+
+    /// The convolution geometry.
+    pub fn geometry(&self) -> &ConvGeometry {
+        &self.geometry
+    }
+
+    /// The layer's variational parameters.
+    pub fn weights(&self) -> &VariationalParams {
+        &self.weights
+    }
+}
+
+impl Layer for BayesConv2d {
+    fn forward(
+        &mut self,
+        sample: usize,
+        input: &Tensor,
+        eps: &mut dyn EpsilonSource,
+    ) -> Result<Tensor, TensorError> {
+        let epsilon = eps.generate_block(self.weights.len());
+        let w = self.weights.sample(&epsilon, self.config.precision);
+        self.accumulated_complexity +=
+            self.config.kl_weight * self.weights.complexity_loss(&w, &epsilon, self.config.prior_sigma);
+        let out = conv2d_forward(&self.geometry, input, &w, &self.bias)?;
+        let out = self.config.precision.quantize_tensor(&out);
+        self.cached_inputs[sample] = Some(input.clone());
+        Ok(out)
+    }
+
+    fn backward(
+        &mut self,
+        sample: usize,
+        grad_output: &Tensor,
+        eps: &mut dyn EpsilonSource,
+    ) -> Result<Tensor, TensorError> {
+        let input = self.cached_inputs[sample]
+            .take()
+            .expect("backward called for a sample without a cached forward");
+        let epsilon = eps.retrieve_block(self.weights.len());
+        let w = self.weights.sample(&epsilon, self.config.precision);
+        let (h, wd) = (input.shape()[1], input.shape()[2]);
+        let grad_input = conv2d_backward_input(&self.geometry, grad_output, &w, h, wd)?;
+        let (grad_w, grad_b) = conv2d_backward_weights(&self.geometry, &input, grad_output)?;
+        self.weights.accumulate_gradients(&grad_w, &w, &epsilon, &self.config);
+        self.grad_bias.axpy(1.0, &grad_b)?;
+        Ok(grad_input)
+    }
+
+    fn begin_iteration(&mut self, samples: usize) {
+        self.samples = samples.max(1);
+        self.cached_inputs = (0..self.samples).map(|_| None).collect();
+        self.accumulated_complexity = 0.0;
+    }
+
+    fn apply_update(&mut self, learning_rate: f32) {
+        self.weights.sgd_step(learning_rate, self.samples);
+        let scale = -learning_rate / self.samples as f32;
+        self.bias.axpy(scale, &self.grad_bias).expect("bias gradient matches bias shape");
+        self.grad_bias.map_inplace(|_| 0.0);
+    }
+
+    fn epsilon_count(&self) -> usize {
+        self.weights.len()
+    }
+
+    fn parameter_count(&self) -> usize {
+        2 * self.weights.len() + self.bias.len()
+    }
+
+    fn complexity_loss(&self) -> f32 {
+        self.accumulated_complexity
+    }
+
+    fn name(&self) -> &'static str {
+        "bayes_conv2d"
+    }
+}
+
+/// ReLU activation layer.
+#[derive(Debug, Default)]
+pub struct ReluLayer {
+    cached_inputs: Vec<Option<Tensor>>,
+}
+
+impl ReluLayer {
+    /// Creates a ReLU layer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Layer for ReluLayer {
+    fn forward(
+        &mut self,
+        sample: usize,
+        input: &Tensor,
+        _eps: &mut dyn EpsilonSource,
+    ) -> Result<Tensor, TensorError> {
+        self.cached_inputs[sample] = Some(input.clone());
+        Ok(relu(input))
+    }
+
+    fn backward(
+        &mut self,
+        sample: usize,
+        grad_output: &Tensor,
+        _eps: &mut dyn EpsilonSource,
+    ) -> Result<Tensor, TensorError> {
+        let input = self.cached_inputs[sample]
+            .take()
+            .expect("backward called for a sample without a cached forward");
+        Ok(relu_backward(&input, grad_output))
+    }
+
+    fn begin_iteration(&mut self, samples: usize) {
+        self.cached_inputs = (0..samples.max(1)).map(|_| None).collect();
+    }
+
+    fn apply_update(&mut self, _learning_rate: f32) {}
+
+    fn name(&self) -> &'static str {
+        "relu"
+    }
+}
+
+/// Non-overlapping max-pooling layer.
+#[derive(Debug)]
+pub struct MaxPoolLayer {
+    window: usize,
+    cached: Vec<Option<(Vec<usize>, Vec<usize>)>>,
+}
+
+impl MaxPoolLayer {
+    /// Creates a max-pooling layer with the given window (and equal stride).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window` is zero.
+    pub fn new(window: usize) -> Self {
+        assert!(window > 0, "pooling window must be positive");
+        Self { window, cached: Vec::new() }
+    }
+}
+
+impl Layer for MaxPoolLayer {
+    fn forward(
+        &mut self,
+        sample: usize,
+        input: &Tensor,
+        _eps: &mut dyn EpsilonSource,
+    ) -> Result<Tensor, TensorError> {
+        let pooled = max_pool2d(input, self.window)?;
+        self.cached[sample] = Some((input.shape().to_vec(), pooled.argmax.clone()));
+        Ok(pooled.output)
+    }
+
+    fn backward(
+        &mut self,
+        sample: usize,
+        grad_output: &Tensor,
+        _eps: &mut dyn EpsilonSource,
+    ) -> Result<Tensor, TensorError> {
+        let (shape, argmax) = self.cached[sample]
+            .take()
+            .expect("backward called for a sample without a cached forward");
+        Ok(max_pool2d_backward(grad_output, &argmax, &shape))
+    }
+
+    fn begin_iteration(&mut self, samples: usize) {
+        self.cached = (0..samples.max(1)).map(|_| None).collect();
+    }
+
+    fn apply_update(&mut self, _learning_rate: f32) {}
+
+    fn name(&self) -> &'static str {
+        "max_pool"
+    }
+}
+
+/// Flattens a `[C, H, W]` feature map into a `[C·H·W]` vector (and restores the shape on the way
+/// back).
+#[derive(Debug, Default)]
+pub struct FlattenLayer {
+    cached_shapes: Vec<Option<Vec<usize>>>,
+}
+
+impl FlattenLayer {
+    /// Creates a flatten layer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Layer for FlattenLayer {
+    fn forward(
+        &mut self,
+        sample: usize,
+        input: &Tensor,
+        _eps: &mut dyn EpsilonSource,
+    ) -> Result<Tensor, TensorError> {
+        self.cached_shapes[sample] = Some(input.shape().to_vec());
+        input.reshape(&[input.len()])
+    }
+
+    fn backward(
+        &mut self,
+        sample: usize,
+        grad_output: &Tensor,
+        _eps: &mut dyn EpsilonSource,
+    ) -> Result<Tensor, TensorError> {
+        let shape = self.cached_shapes[sample]
+            .take()
+            .expect("backward called for a sample without a cached forward");
+        grad_output.reshape(&shape)
+    }
+
+    fn begin_iteration(&mut self, samples: usize) {
+        self.cached_shapes = (0..samples.max(1)).map(|_| None).collect();
+    }
+
+    fn apply_update(&mut self, _learning_rate: f32) {}
+
+    fn name(&self) -> &'static str {
+        "flatten"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::epsilon::LfsrRetrieve;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn eps_source() -> LfsrRetrieve {
+        LfsrRetrieve::new(99).unwrap()
+    }
+
+    #[test]
+    fn linear_forward_backward_shapes() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut layer = BayesLinear::new(6, 4, BayesConfig::default(), &mut rng);
+        let mut eps = eps_source();
+        layer.begin_iteration(1);
+        let input = Tensor::filled(&[6], 0.5);
+        let out = layer.forward(0, &input, &mut eps).unwrap();
+        assert_eq!(out.shape(), &[4]);
+        let grad = Tensor::filled(&[4], 1.0);
+        let grad_in = layer.backward(0, &grad, &mut eps).unwrap();
+        assert_eq!(grad_in.shape(), &[6]);
+        assert_eq!(layer.epsilon_count(), 24);
+        assert_eq!(layer.parameter_count(), 2 * 24 + 4);
+        layer.apply_update(0.01);
+    }
+
+    #[test]
+    fn conv_forward_backward_shapes() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let geom = ConvGeometry { in_channels: 1, out_channels: 2, kernel: 3, stride: 1, padding: 1 };
+        let mut layer = BayesConv2d::new(geom, BayesConfig::default(), &mut rng);
+        let mut eps = eps_source();
+        layer.begin_iteration(2);
+        let input = Tensor::filled(&[1, 6, 6], 1.0);
+        let out = layer.forward(0, &input, &mut eps).unwrap();
+        assert_eq!(out.shape(), &[2, 6, 6]);
+        let grad_in = layer.backward(0, &Tensor::filled(&[2, 6, 6], 0.1), &mut eps).unwrap();
+        assert_eq!(grad_in.shape(), &[1, 6, 6]);
+        assert_eq!(layer.epsilon_count(), 2 * 9);
+    }
+
+    #[test]
+    fn backward_reconstructs_the_same_weights_it_sampled() {
+        // The complexity loss uses the forward weights, the gradients use the reconstructed
+        // ones; with the same source both must coincide, so one SGD step from two layers driven
+        // by identically seeded sources stays identical.
+        let mut rng_a = StdRng::seed_from_u64(3);
+        let mut rng_b = StdRng::seed_from_u64(3);
+        let cfg = BayesConfig::default();
+        let mut layer_a = BayesLinear::new(5, 3, cfg, &mut rng_a);
+        let mut layer_b = BayesLinear::new(5, 3, cfg, &mut rng_b);
+        let mut eps_a = LfsrRetrieve::new(7).unwrap();
+        let mut eps_b = crate::epsilon::StoreReplay::new(7).unwrap();
+        let input = Tensor::from_vec(vec![5], vec![0.1, -0.2, 0.3, 0.4, -0.5]).unwrap();
+        let grad = Tensor::from_vec(vec![3], vec![1.0, -1.0, 0.5]).unwrap();
+        for (layer, eps) in [
+            (&mut layer_a, &mut eps_a as &mut dyn EpsilonSource),
+            (&mut layer_b, &mut eps_b as &mut dyn EpsilonSource),
+        ] {
+            layer.begin_iteration(1);
+            layer.forward(0, &input, eps).unwrap();
+            layer.backward(0, &grad, eps).unwrap();
+            layer.apply_update(0.05);
+        }
+        assert_eq!(layer_a.weights().mu(), layer_b.weights().mu());
+        assert_eq!(layer_a.weights().rho(), layer_b.weights().rho());
+    }
+
+    #[test]
+    fn relu_and_flatten_round_trip_shapes() {
+        let mut relu_layer = ReluLayer::new();
+        let mut flatten = FlattenLayer::new();
+        let mut eps = eps_source();
+        relu_layer.begin_iteration(1);
+        flatten.begin_iteration(1);
+        let input = Tensor::from_vec(vec![2, 2, 2], vec![-1., 2., -3., 4., 5., -6., 7., -8.]).unwrap();
+        let activated = relu_layer.forward(0, &input, &mut eps).unwrap();
+        let flat = flatten.forward(0, &activated, &mut eps).unwrap();
+        assert_eq!(flat.shape(), &[8]);
+        let back = flatten.backward(0, &Tensor::filled(&[8], 1.0), &mut eps).unwrap();
+        assert_eq!(back.shape(), &[2, 2, 2]);
+        let grad_in = relu_layer.backward(0, &back, &mut eps).unwrap();
+        // Gradient passes only where the input was positive.
+        assert_eq!(grad_in.data(), &[0., 1., 0., 1., 1., 0., 1., 0.]);
+    }
+
+    #[test]
+    fn max_pool_layer_reduces_and_restores() {
+        let mut pool = MaxPoolLayer::new(2);
+        let mut eps = eps_source();
+        pool.begin_iteration(1);
+        let input = Tensor::from_vec(vec![1, 2, 2], vec![1., 5., 2., 3.]).unwrap();
+        let out = pool.forward(0, &input, &mut eps).unwrap();
+        assert_eq!(out.data(), &[5.0]);
+        let grad_in = pool.backward(0, &Tensor::filled(&[1, 1, 1], 2.0), &mut eps).unwrap();
+        assert_eq!(grad_in.data(), &[0.0, 2.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn complexity_loss_accumulates_only_on_bayes_layers() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut layer = BayesLinear::new(4, 2, BayesConfig::default(), &mut rng);
+        let mut eps = eps_source();
+        layer.begin_iteration(1);
+        layer.forward(0, &Tensor::filled(&[4], 1.0), &mut eps).unwrap();
+        assert_ne!(layer.complexity_loss(), 0.0);
+        let relu_layer = ReluLayer::new();
+        assert_eq!(relu_layer.complexity_loss(), 0.0);
+    }
+}

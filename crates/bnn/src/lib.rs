@@ -1,0 +1,60 @@
+//! Bayes-by-Backprop BNN training with LFSR-retrieved Gaussian samples — the algorithmic half of
+//! the Shift-BNN reproduction.
+//!
+//! A Bayesian neural network keeps a Gaussian distribution `N(μ, σ²)` per weight and trains
+//! `(μ, σ)` by variational inference: per training example it draws `S` weight samples
+//! `w = μ + ε∘σ`, runs forward/backward/gradient-calculation for each sampled model, and
+//! averages the parameter gradients (the paper's Fig. 1(a)). The Gaussian random variables ε are
+//! needed twice — at sampling time and again during backpropagation — and how they are kept
+//! around is exactly what distinguishes the baseline from Shift-BNN:
+//!
+//! * [`epsilon::StoreReplay`] stores every ε (the baseline's DRAM round trip);
+//! * [`epsilon::LfsrRetrieve`] regenerates every ε locally by shifting the LFSR backwards.
+//!
+//! Both produce bit-identical training, which this crate's tests and the `fig09` benchmark
+//! binary demonstrate.
+//!
+//! # Modules
+//!
+//! * [`variational`] — the (μ, ρ) parameter pair and Bayes-by-Backprop gradients;
+//! * [`layers`] — Bayesian linear / convolution layers plus ReLU, pooling and flatten;
+//! * [`network`] — sequential container and B-MLP / B-LeNet builders;
+//! * [`trainer`] — the training loop, metrics, and the ε-strategy switch;
+//! * [`data`] — deterministic synthetic datasets standing in for MNIST/CIFAR/ImageNet;
+//! * [`epsilon`] — the ε-source abstraction.
+//!
+//! # Example
+//!
+//! ```
+//! use bnn_train::data::SyntheticDataset;
+//! use bnn_train::network::Network;
+//! use bnn_train::trainer::{Trainer, TrainerConfig};
+//! use bnn_train::variational::BayesConfig;
+//! use rand::rngs::StdRng;
+//! use rand::SeedableRng;
+//!
+//! # fn main() -> Result<(), bnn_train::trainer::TrainError> {
+//! let dataset = SyntheticDataset::generate(&[4], 2, 6, 0.2, 3);
+//! let mut rng = StdRng::seed_from_u64(0);
+//! let network = Network::bayes_mlp(4, &[8], 2, BayesConfig::default(), &mut rng);
+//! let mut trainer = Trainer::new(network, TrainerConfig { samples: 2, ..Default::default() })?;
+//! let metrics = trainer.train_epoch(&dataset)?;
+//! assert!(metrics.steps > 0);
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod data;
+pub mod epsilon;
+pub mod layers;
+pub mod network;
+pub mod trainer;
+pub mod variational;
+
+pub use epsilon::{EpsilonSource, LfsrRetrieve, StoreReplay};
+pub use network::Network;
+pub use trainer::{EpsilonStrategy, Trainer, TrainerConfig};
+pub use variational::BayesConfig;

@@ -1,0 +1,278 @@
+//! Sequential Bayesian network container and model builders.
+
+use crate::epsilon::EpsilonSource;
+use crate::layers::{BayesConv2d, BayesLinear, FlattenLayer, Layer, MaxPoolLayer, ReluLayer};
+use crate::variational::BayesConfig;
+use bnn_tensor::conv::ConvGeometry;
+use bnn_tensor::loss::softmax;
+use bnn_tensor::{Tensor, TensorError};
+use rand::Rng;
+
+/// A sequential stack of [`Layer`]s trained with Bayes-by-Backprop.
+pub struct Network {
+    layers: Vec<Box<dyn Layer>>,
+    config: BayesConfig,
+}
+
+impl std::fmt::Debug for Network {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let names: Vec<&str> = self.layers.iter().map(|l| l.name()).collect();
+        f.debug_struct("Network").field("layers", &names).field("config", &self.config).finish()
+    }
+}
+
+impl Network {
+    /// Creates an empty network with the given Bayesian hyper-parameters.
+    pub fn new(config: BayesConfig) -> Self {
+        Self { layers: Vec::new(), config }
+    }
+
+    /// The network's Bayesian hyper-parameters.
+    pub fn config(&self) -> &BayesConfig {
+        &self.config
+    }
+
+    /// Appends a layer.
+    pub fn push(&mut self, layer: Box<dyn Layer>) -> &mut Self {
+        self.layers.push(layer);
+        self
+    }
+
+    /// Number of layers.
+    pub fn len(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// Returns `true` if the network has no layers.
+    pub fn is_empty(&self) -> bool {
+        self.layers.is_empty()
+    }
+
+    /// Immutable access to the layer stack.
+    pub fn layers(&self) -> &[Box<dyn Layer>] {
+        &self.layers
+    }
+
+    /// Number of ε values drawn per Monte-Carlo sample (one per Bayesian weight).
+    pub fn epsilon_count(&self) -> usize {
+        self.layers.iter().map(|l| l.epsilon_count()).sum()
+    }
+
+    /// Number of trainable scalar parameters.
+    pub fn parameter_count(&self) -> usize {
+        self.layers.iter().map(|l| l.parameter_count()).sum()
+    }
+
+    /// Complexity loss accumulated by all Bayesian layers during the current iteration.
+    pub fn complexity_loss(&self) -> f32 {
+        self.layers.iter().map(|l| l.complexity_loss()).sum()
+    }
+
+    /// Prepares every layer for an iteration over `samples` Monte-Carlo samples.
+    pub fn begin_iteration(&mut self, samples: usize) {
+        for layer in &mut self.layers {
+            layer.begin_iteration(samples);
+        }
+    }
+
+    /// Forward pass of one sampled model.
+    ///
+    /// # Errors
+    ///
+    /// Propagates shape errors from the layers.
+    pub fn forward_sample(
+        &mut self,
+        sample: usize,
+        input: &Tensor,
+        eps: &mut dyn EpsilonSource,
+    ) -> Result<Tensor, TensorError> {
+        let mut x = input.clone();
+        for layer in &mut self.layers {
+            x = layer.forward(sample, &x, eps)?;
+        }
+        Ok(x)
+    }
+
+    /// Backward pass of one sampled model (layers traversed in reverse order, retrieving ε).
+    ///
+    /// # Errors
+    ///
+    /// Propagates shape errors from the layers.
+    pub fn backward_sample(
+        &mut self,
+        sample: usize,
+        grad_output: &Tensor,
+        eps: &mut dyn EpsilonSource,
+    ) -> Result<Tensor, TensorError> {
+        let mut g = grad_output.clone();
+        for layer in self.layers.iter_mut().rev() {
+            g = layer.backward(sample, &g, eps)?;
+        }
+        Ok(g)
+    }
+
+    /// Applies accumulated updates on every layer.
+    pub fn apply_update(&mut self, learning_rate: f32) {
+        for layer in &mut self.layers {
+            layer.apply_update(learning_rate);
+        }
+    }
+
+    /// Predictive class probabilities for `input`, averaged over one forward pass per provided
+    /// ε source (Monte-Carlo model averaging).
+    ///
+    /// # Errors
+    ///
+    /// Propagates shape errors from the layers.
+    pub fn predict(
+        &mut self,
+        input: &Tensor,
+        sources: &mut [Box<dyn EpsilonSource>],
+    ) -> Result<Tensor, TensorError> {
+        assert!(!sources.is_empty(), "prediction needs at least one ε source");
+        self.begin_iteration(sources.len());
+        let mut mean: Option<Tensor> = None;
+        for (s, src) in sources.iter_mut().enumerate() {
+            let logits = self.forward_sample(s, input, src.as_mut())?;
+            let probs = softmax(&logits);
+            mean = Some(match mean {
+                None => probs,
+                Some(acc) => acc.add(&probs)?,
+            });
+        }
+        Ok(mean.expect("at least one source").scale(1.0 / sources.len() as f32))
+    }
+
+    /// Predictive entropy (in nats) of a probability vector — the paper's motivating
+    /// uncertainty measure.
+    pub fn predictive_entropy(probabilities: &Tensor) -> f32 {
+        -probabilities
+            .data()
+            .iter()
+            .filter(|&&p| p > 0.0)
+            .map(|&p| p * p.ln())
+            .sum::<f32>()
+    }
+
+    /// Builds a Bayesian multi-layer perceptron: `input_dim → hidden… → classes` with ReLU
+    /// between layers (the B-MLP family).
+    pub fn bayes_mlp(
+        input_dim: usize,
+        hidden: &[usize],
+        classes: usize,
+        config: BayesConfig,
+        rng: &mut impl Rng,
+    ) -> Self {
+        let mut net = Network::new(config);
+        let mut prev = input_dim;
+        for &h in hidden {
+            net.push(Box::new(BayesLinear::new(prev, h, config, rng)));
+            net.push(Box::new(ReluLayer::new()));
+            prev = h;
+        }
+        net.push(Box::new(BayesLinear::new(prev, classes, config, rng)));
+        net
+    }
+
+    /// Builds a small Bayesian convolutional network in the LeNet style used by the paper's
+    /// B-LeNet experiments: two conv+pool blocks followed by two fully-connected layers.
+    ///
+    /// `input_shape` is `[channels, height, width]`; height and width must be divisible by 4.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the spatial size is not divisible by 4.
+    pub fn bayes_lenet(
+        input_shape: &[usize; 3],
+        classes: usize,
+        config: BayesConfig,
+        rng: &mut impl Rng,
+    ) -> Self {
+        let [c, h, w] = *input_shape;
+        assert!(h % 4 == 0 && w % 4 == 0, "LeNet-style builder needs spatial size divisible by 4");
+        let conv1 = ConvGeometry { in_channels: c, out_channels: 6, kernel: 3, stride: 1, padding: 1 };
+        let conv2 = ConvGeometry { in_channels: 6, out_channels: 16, kernel: 3, stride: 1, padding: 1 };
+        let flat = 16 * (h / 4) * (w / 4);
+        let mut net = Network::new(config);
+        net.push(Box::new(BayesConv2d::new(conv1, config, rng)));
+        net.push(Box::new(ReluLayer::new()));
+        net.push(Box::new(MaxPoolLayer::new(2)));
+        net.push(Box::new(BayesConv2d::new(conv2, config, rng)));
+        net.push(Box::new(ReluLayer::new()));
+        net.push(Box::new(MaxPoolLayer::new(2)));
+        net.push(Box::new(FlattenLayer::new()));
+        net.push(Box::new(BayesLinear::new(flat, 64, config, rng)));
+        net.push(Box::new(ReluLayer::new()));
+        net.push(Box::new(BayesLinear::new(64, classes, config, rng)));
+        net
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::epsilon::LfsrRetrieve;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn mlp_builder_wires_expected_layers_and_counts() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let net = Network::bayes_mlp(10, &[8, 6], 3, BayesConfig::default(), &mut rng);
+        // 3 linear + 2 relu layers.
+        assert_eq!(net.len(), 5);
+        assert_eq!(net.epsilon_count(), 10 * 8 + 8 * 6 + 6 * 3);
+        assert!(net.parameter_count() > 2 * net.epsilon_count());
+        assert!(!net.is_empty());
+    }
+
+    #[test]
+    fn lenet_builder_produces_class_logits() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut net = Network::bayes_lenet(&[1, 8, 8], 4, BayesConfig::default(), &mut rng);
+        let mut eps = LfsrRetrieve::new(3).unwrap();
+        net.begin_iteration(1);
+        let out = net
+            .forward_sample(0, &Tensor::filled(&[1, 8, 8], 0.5), &mut eps)
+            .unwrap();
+        assert_eq!(out.shape(), &[4]);
+    }
+
+    #[test]
+    fn forward_backward_round_trip_consumes_all_epsilons() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut net = Network::bayes_mlp(6, &[5], 2, BayesConfig::default(), &mut rng);
+        let mut eps = LfsrRetrieve::new(11).unwrap();
+        net.begin_iteration(1);
+        let out = net.forward_sample(0, &Tensor::filled(&[6], 1.0), &mut eps).unwrap();
+        let grad = Tensor::filled(out.shape(), 1.0);
+        net.backward_sample(0, &grad, &mut eps).unwrap();
+        // All generated blocks were retrieved in reverse order; reset must not panic.
+        use crate::epsilon::EpsilonSource;
+        eps.reset_iteration();
+        net.apply_update(0.01);
+    }
+
+    #[test]
+    fn predict_returns_normalized_probabilities() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut net = Network::bayes_mlp(4, &[6], 3, BayesConfig::default(), &mut rng);
+        let mut sources: Vec<Box<dyn EpsilonSource>> = (0..4)
+            .map(|i| Box::new(LfsrRetrieve::new(100 + i).unwrap()) as Box<dyn EpsilonSource>)
+            .collect();
+        let probs = net.predict(&Tensor::filled(&[4], 0.2), &mut sources).unwrap();
+        assert_eq!(probs.shape(), &[3]);
+        assert!((probs.sum() - 1.0).abs() < 1e-5);
+        let entropy = Network::predictive_entropy(&probs);
+        assert!(entropy >= 0.0 && entropy <= (3.0f32).ln() + 1e-5);
+    }
+
+    #[test]
+    fn debug_lists_layer_names() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let net = Network::bayes_mlp(2, &[2], 2, BayesConfig::default(), &mut rng);
+        let dbg = format!("{net:?}");
+        assert!(dbg.contains("bayes_linear"));
+        assert!(dbg.contains("relu"));
+    }
+}

@@ -1,0 +1,102 @@
+//! Cross-module integration and property tests: the LFSR-retrieval training path is bit-exact
+//! against the store-and-replay baseline across network shapes, sample counts and precisions.
+
+use bnn_train::data::SyntheticDataset;
+use bnn_train::network::Network;
+use bnn_train::trainer::{EpsilonStrategy, Trainer, TrainerConfig};
+use bnn_train::variational::BayesConfig;
+use bnn_tensor::Precision;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn build_trainer(
+    strategy: EpsilonStrategy,
+    samples: usize,
+    seed: u64,
+    precision: Precision,
+    conv: bool,
+) -> Trainer {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let config = BayesConfig { kl_weight: 1e-3, ..BayesConfig::default() }.with_precision(precision);
+    let network = if conv {
+        Network::bayes_lenet(&[1, 8, 8], 3, config, &mut rng)
+    } else {
+        Network::bayes_mlp(16, &[10], 3, config, &mut rng)
+    };
+    Trainer::new(
+        network,
+        TrainerConfig { samples, learning_rate: 0.05, strategy, seed: seed ^ 0xABCD },
+    )
+    .unwrap()
+}
+
+fn dataset(conv: bool, seed: u64) -> SyntheticDataset {
+    if conv {
+        SyntheticDataset::generate(&[1, 8, 8], 3, 4, 0.2, seed)
+    } else {
+        SyntheticDataset::generate(&[16], 3, 4, 0.2, seed)
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// For any sample count, seed, precision and architecture family, LFSR retrieval and
+    /// store-replay produce identical training trajectories.
+    #[test]
+    fn lfsr_retrieval_is_bit_exact(
+        samples in 1usize..5,
+        seed in 1u64..1_000,
+        precision_16 in prop::bool::ANY,
+        conv in prop::bool::ANY,
+    ) {
+        let precision = if precision_16 { Precision::PAPER_16BIT } else { Precision::Fp32 };
+        let data = dataset(conv, seed);
+        let mut baseline = build_trainer(EpsilonStrategy::StoreReplay, samples, seed, precision, conv);
+        let mut shift = build_trainer(EpsilonStrategy::LfsrRetrieve, samples, seed, precision, conv);
+        for _ in 0..2 {
+            let mb = baseline.train_epoch(&data).unwrap();
+            let ms = shift.train_epoch(&data).unwrap();
+            prop_assert_eq!(mb, ms);
+        }
+        let acc_b = baseline.evaluate(&data).unwrap();
+        let acc_s = shift.evaluate(&data).unwrap();
+        prop_assert_eq!(acc_b, acc_s);
+        prop_assert_eq!(shift.stored_epsilons(), 0);
+        prop_assert!(baseline.stored_epsilons() > 0);
+    }
+}
+
+#[test]
+fn lenet_on_synthetic_cifar_converges_and_strategies_agree() {
+    let data = SyntheticDataset::generate(&[1, 8, 8], 3, 8, 0.25, 99);
+    let (train, val) = data.split(0.75);
+    let mut shift = build_trainer(EpsilonStrategy::LfsrRetrieve, 2, 5, Precision::Fp32, true);
+    let first = shift.train_epoch(&train).unwrap();
+    let mut last = first;
+    for _ in 0..6 {
+        last = shift.train_epoch(&train).unwrap();
+    }
+    assert!(last.mean_nll < first.mean_nll, "nll {} -> {}", first.mean_nll, last.mean_nll);
+    let acc = shift.evaluate(&val).unwrap();
+    assert!(acc > 0.3, "validation accuracy {acc}");
+}
+
+#[test]
+fn eight_bit_training_degrades_relative_to_sixteen_bit() {
+    // The Table 1 trend: 8-bit fixed point is materially worse (often divergent) while 16-bit
+    // tracks fp32 closely.
+    let data = SyntheticDataset::generate(&[16], 3, 10, 0.2, 21);
+    let mut acc = Vec::new();
+    for precision in [Precision::Fp32, Precision::PAPER_16BIT, Precision::PAPER_8BIT] {
+        let mut t = build_trainer(EpsilonStrategy::LfsrRetrieve, 2, 13, precision, false);
+        for _ in 0..10 {
+            t.train_epoch(&data).unwrap();
+        }
+        acc.push(t.evaluate(&data).unwrap());
+    }
+    let (fp32, fx16, fx8) = (acc[0], acc[1], acc[2]);
+    assert!((fp32 - fx16).abs() < 0.25, "16-bit should track fp32: {fp32} vs {fx16}");
+    assert!(fx8 <= fx16 + 1e-9, "8-bit should not beat 16-bit: {fx8} vs {fx16}");
+}

@@ -1,0 +1,100 @@
+//! The four accelerator designs compared in the paper's evaluation.
+//!
+//! | Design | Mapping | LFSR reversion |
+//! |---|---|---|
+//! | MN-Acc | MN (Diannao-like output stationary) | no |
+//! | RC-Acc | RC (ShiDianNao-like) | no |
+//! | MNShift-Acc | MN | yes (with the Fig. 7(c) duplicated-adder-tree workaround) |
+//! | Shift-BNN | RC | yes |
+//!
+//! All four use 16 SPUs with 4×4 PE tiles, the same on-chip buffer capacity, a 200 MHz clock and
+//! a 16-bit datapath, as required for the paper's "fair comparison".
+
+use bnn_arch::{AcceleratorConfig, MappingKind};
+
+/// One of the paper's four comparison designs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DesignKind {
+    /// MN-mapping baseline without LFSR reversion (the paper's general baseline).
+    MnAcc,
+    /// RC-mapping baseline without LFSR reversion.
+    RcAcc,
+    /// MN-mapping with LFSR reversion (design-space-exploration alternative).
+    MnShiftAcc,
+    /// The proposed design: RC mapping with LFSR reversion.
+    ShiftBnn,
+}
+
+impl DesignKind {
+    /// All four designs in the order the paper's figures list them.
+    pub fn all() -> [DesignKind; 4] {
+        [DesignKind::MnAcc, DesignKind::RcAcc, DesignKind::MnShiftAcc, DesignKind::ShiftBnn]
+    }
+
+    /// The name used in the paper's figures.
+    pub fn name(&self) -> &'static str {
+        match self {
+            DesignKind::MnAcc => "MN-Acc",
+            DesignKind::RcAcc => "RC-Acc",
+            DesignKind::MnShiftAcc => "MNShift-Acc",
+            DesignKind::ShiftBnn => "Shift-BNN",
+        }
+    }
+
+    /// Whether the design retrieves ε by reversed LFSR shifting.
+    pub fn uses_lfsr_reversion(&self) -> bool {
+        matches!(self, DesignKind::MnShiftAcc | DesignKind::ShiftBnn)
+    }
+
+    /// The computation mapping the design uses.
+    pub fn mapping(&self) -> MappingKind {
+        match self {
+            DesignKind::MnAcc | DesignKind::MnShiftAcc => MappingKind::Mn,
+            DesignKind::RcAcc | DesignKind::ShiftBnn => MappingKind::Rc,
+        }
+    }
+
+    /// The full hardware configuration of the design.
+    pub fn config(&self) -> AcceleratorConfig {
+        AcceleratorConfig {
+            name: self.name().to_string(),
+            mapping: self.mapping(),
+            lfsr_reversion: self.uses_lfsr_reversion(),
+            ..AcceleratorConfig::default()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn four_designs_with_paper_names() {
+        let names: Vec<&str> = DesignKind::all().iter().map(|d| d.name()).collect();
+        assert_eq!(names, vec!["MN-Acc", "RC-Acc", "MNShift-Acc", "Shift-BNN"]);
+    }
+
+    #[test]
+    fn reversion_and_mapping_assignments_match_the_paper() {
+        assert!(!DesignKind::MnAcc.uses_lfsr_reversion());
+        assert!(!DesignKind::RcAcc.uses_lfsr_reversion());
+        assert!(DesignKind::MnShiftAcc.uses_lfsr_reversion());
+        assert!(DesignKind::ShiftBnn.uses_lfsr_reversion());
+        assert_eq!(DesignKind::ShiftBnn.mapping(), MappingKind::Rc);
+        assert_eq!(DesignKind::MnShiftAcc.mapping(), MappingKind::Mn);
+    }
+
+    #[test]
+    fn all_designs_share_fair_comparison_resources() {
+        let configs: Vec<AcceleratorConfig> = DesignKind::all().iter().map(|d| d.config()).collect();
+        for cfg in &configs {
+            assert_eq!(cfg.spus, 16);
+            assert_eq!(cfg.pe_tile.count(), 16);
+            assert_eq!(cfg.precision_bytes, 2);
+            assert_eq!(cfg.frequency_mhz, 200.0);
+            assert_eq!(cfg.neuron_buffer_kib, configs[0].neuron_buffer_kib);
+            assert_eq!(cfg.weight_buffer_kib, configs[0].weight_buffer_kib);
+        }
+    }
+}

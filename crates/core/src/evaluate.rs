@@ -1,0 +1,123 @@
+//! Evaluation of a BNN training workload on one accelerator design.
+
+use crate::designs::DesignKind;
+use bnn_arch::gpu::{simulate_gpu_training, GpuModel, GpuReport};
+use bnn_arch::simulate::{simulate_training, TrainingRunReport};
+use bnn_arch::EnergyModel;
+use bnn_models::ModelConfig;
+
+/// The result of running one model's training iteration on one design.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DesignEvaluation {
+    /// Which design was evaluated.
+    pub design: DesignKind,
+    /// The simulator's full report.
+    pub report: TrainingRunReport,
+}
+
+impl DesignEvaluation {
+    /// Total energy in millijoules.
+    pub fn energy_mj(&self) -> f64 {
+        self.report.total_energy_mj()
+    }
+
+    /// End-to-end latency in seconds.
+    pub fn latency_s(&self) -> f64 {
+        self.report.latency_s
+    }
+
+    /// DRAM accesses in values.
+    pub fn dram_accesses(&self) -> u64 {
+        self.report.dram_traffic.total()
+    }
+
+    /// Energy efficiency in GOPS/W.
+    pub fn gops_per_watt(&self) -> f64 {
+        self.report.gops_per_watt()
+    }
+
+    /// Peak memory footprint in bytes.
+    pub fn footprint_bytes(&self) -> u64 {
+        self.report.footprint.total_bytes()
+    }
+}
+
+/// Evaluates `model` with `samples` Monte-Carlo samples on `design` using the default energy
+/// model.
+pub fn evaluate(design: DesignKind, model: &ModelConfig, samples: usize) -> DesignEvaluation {
+    evaluate_with(design, model, samples, &EnergyModel::default())
+}
+
+/// Evaluates `model` on `design` with an explicit energy model (for sensitivity studies).
+pub fn evaluate_with(
+    design: DesignKind,
+    model: &ModelConfig,
+    samples: usize,
+    energy: &EnergyModel,
+) -> DesignEvaluation {
+    let report = simulate_training(&design.config(), model, samples, energy);
+    DesignEvaluation { design, report }
+}
+
+/// Evaluates the GPU comparison point (Tesla P100) on the same workload.
+pub fn evaluate_gpu(model: &ModelConfig, samples: usize) -> (GpuModel, GpuReport) {
+    let gpu = GpuModel::tesla_p100();
+    let report = simulate_gpu_training(&gpu, model, samples);
+    (gpu, report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bnn_models::ModelKind;
+
+    #[test]
+    fn shift_bnn_beats_rc_acc_on_energy_for_every_model() {
+        for kind in ModelKind::all() {
+            let model = kind.bnn();
+            let rc = evaluate(DesignKind::RcAcc, &model, 16);
+            let shift = evaluate(DesignKind::ShiftBnn, &model, 16);
+            assert!(
+                shift.energy_mj() < rc.energy_mj(),
+                "{}: {} vs {}",
+                kind.paper_name(),
+                shift.energy_mj(),
+                rc.energy_mj()
+            );
+            assert!(shift.dram_accesses() < rc.dram_accesses());
+        }
+    }
+
+    #[test]
+    fn mnshift_improves_on_mn_but_less_than_shift_bnn_on_rc() {
+        // The design-space-exploration conclusion: reversion helps MN too, but the duplicated
+        // adder trees blunt the benefit relative to RC.
+        let model = ModelKind::LeNet.bnn();
+        let mn = evaluate(DesignKind::MnAcc, &model, 16);
+        let mnshift = evaluate(DesignKind::MnShiftAcc, &model, 16);
+        let rc = evaluate(DesignKind::RcAcc, &model, 16);
+        let shift = evaluate(DesignKind::ShiftBnn, &model, 16);
+        let mn_saving = 1.0 - mnshift.energy_mj() / mn.energy_mj();
+        let rc_saving = 1.0 - shift.energy_mj() / rc.energy_mj();
+        assert!(mn_saving > 0.0);
+        assert!(rc_saving > mn_saving, "RC saving {rc_saving} vs MN saving {mn_saving}");
+    }
+
+    #[test]
+    fn gpu_evaluation_produces_comparable_metrics() {
+        let model = ModelKind::Mlp.bnn();
+        let (gpu, report) = evaluate_gpu(&model, 16);
+        assert!(report.latency_s > 0.0);
+        assert!(report.gops_per_watt(gpu.sustained_power_w) > 0.0);
+    }
+
+    #[test]
+    fn evaluation_exposes_footprint_and_efficiency() {
+        let model = ModelKind::LeNet.bnn();
+        let shift = evaluate(DesignKind::ShiftBnn, &model, 16);
+        let rc = evaluate(DesignKind::RcAcc, &model, 16);
+        assert!(shift.footprint_bytes() < rc.footprint_bytes());
+        assert!(shift.gops_per_watt() > rc.gops_per_watt());
+        assert!(shift.latency_s() <= rc.latency_s());
+    }
+}

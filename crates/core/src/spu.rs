@@ -1,0 +1,154 @@
+//! A functional model of one Sample Processing Unit (SPU).
+//!
+//! Fig. 8 of the paper: each SPU owns a 4×4 PE tile (RC-mapped), a 4×4 array of GRNG slices with
+//! function units (sampler, derivative processing unit, updater), a shift-unit array, a crossbar
+//! and NBin/NBout buffers. The SPU trains one sampled model; 16 SPUs run in parallel, one per
+//! Monte-Carlo sample, sharing the weight parameters.
+//!
+//! This module combines the cycle-level tile simulator of `bnn-arch` with an LFSR GRNG bank to
+//! provide an executable model of the SPU's forward sampling and backward reconstruction path,
+//! including the derivative-processing-unit approximation (`Δw_p ≈ w / σ_c²`, a 2-bit left shift
+//! when `σ_c = 0.5`).
+
+use bnn_arch::config::PeTile;
+use bnn_arch::microsim::{MicrosimResult, RcTileSimulator};
+use bnn_lfsr::{GrngBank, GrngMode, LfsrError};
+use bnn_tensor::conv::ConvGeometry;
+use bnn_tensor::Tensor;
+
+/// The prior standard deviation the paper's DPU assumes (σ_c = 0.5, so 1/σ_c² = 4).
+pub const PRIOR_SIGMA: f32 = 0.5;
+
+/// One Sample Processing Unit.
+#[derive(Debug)]
+pub struct SampleProcessingUnit {
+    tile: PeTile,
+    grngs: GrngBank,
+    simulator: RcTileSimulator,
+}
+
+impl SampleProcessingUnit {
+    /// Creates an SPU with a `tile`-sized PE array and one GRNG slice per PE.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`LfsrError`] from GRNG construction.
+    pub fn new(tile: PeTile, lfsr_width: usize, seed: u64) -> Result<Self, LfsrError> {
+        let grngs = GrngBank::new(tile.count(), lfsr_width, seed)?;
+        Ok(Self { tile, grngs, simulator: RcTileSimulator::new(tile) })
+    }
+
+    /// Creates the paper's default SPU: a 4×4 tile with 256-bit GRNG slices.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`LfsrError`] from GRNG construction.
+    pub fn shift_bnn_default(seed: u64) -> Result<Self, LfsrError> {
+        Self::new(PeTile { rows: 4, cols: 4 }, 256, seed)
+    }
+
+    /// The PE-tile dimensions.
+    pub fn tile(&self) -> &PeTile {
+        &self.tile
+    }
+
+    /// Number of GRNG slices (one per PE).
+    pub fn grng_slices(&self) -> usize {
+        self.grngs.len()
+    }
+
+    /// Runs the forward stage of one convolutional layer on this SPU: weights are sampled from
+    /// `(μ, σ)` with ε drawn from GRNG slice 0 (during convolutional layers only one slice is
+    /// enabled because the sampled weight is broadcast to every PE).
+    ///
+    /// # Panics
+    ///
+    /// Panics if tensor shapes do not match `geometry`.
+    pub fn forward_conv(
+        &mut self,
+        geometry: &ConvGeometry,
+        input: &Tensor,
+        mu: &Tensor,
+        sigma: &Tensor,
+    ) -> MicrosimResult {
+        self.grngs.set_mode(GrngMode::Forward);
+        self.simulator.forward_conv(geometry, input, mu, sigma, self.grngs.slice_mut(0))
+    }
+
+    /// Reconstructs the layer's sampled weights during the backward stage by reversed LFSR
+    /// shifting on slice 0, returning them in generation order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mu` and `sigma` shapes disagree.
+    pub fn backward_reconstruct(&mut self, mu: &Tensor, sigma: &Tensor) -> Vec<f32> {
+        self.grngs.set_mode(GrngMode::Backward);
+        self.simulator.reconstruct_weights_backward(mu, sigma, self.grngs.slice_mut(0))
+    }
+
+    /// The derivative-processing-unit approximation of the prior/posterior gradient:
+    /// `Δw_p ≈ w / σ_c²`, which for `σ_c = 0.5` is a multiplication by 4 (a 2-bit left shift in
+    /// the 16-bit datapath).
+    pub fn dpu_prior_gradient(weight: f32) -> f32 {
+        weight / (PRIOR_SIGMA * PRIOR_SIGMA)
+    }
+
+    /// The updater's Δσ computation: the final weight gradient multiplied by the ε that sampled
+    /// the weight (process ③ of Fig. 1(a)).
+    pub fn updater_sigma_gradient(final_weight_gradient: f32, epsilon: f32) -> f32 {
+        final_weight_gradient * epsilon
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn geometry() -> ConvGeometry {
+        ConvGeometry { in_channels: 1, out_channels: 2, kernel: 3, stride: 1, padding: 1 }
+    }
+
+    #[test]
+    fn spu_has_one_grng_per_pe() {
+        let spu = SampleProcessingUnit::shift_bnn_default(3).unwrap();
+        assert_eq!(spu.grng_slices(), 16);
+        assert_eq!(spu.tile().count(), 16);
+    }
+
+    #[test]
+    fn forward_then_backward_reconstruction_is_exact() {
+        let mut spu = SampleProcessingUnit::shift_bnn_default(11).unwrap();
+        let geom = geometry();
+        let mu = Tensor::filled(&[2, 1, 3, 3], 0.1);
+        let sigma = Tensor::filled(&[2, 1, 3, 3], 0.05);
+        let input = Tensor::filled(&[1, 8, 8], 1.0);
+        let fw = spu.forward_conv(&geom, &input, &mu, &sigma);
+        let reconstructed = spu.backward_reconstruct(&mu, &sigma);
+        assert_eq!(reconstructed, fw.sampled_weights);
+    }
+
+    #[test]
+    fn two_spus_with_different_seeds_sample_different_models() {
+        let geom = geometry();
+        let mu = Tensor::filled(&[2, 1, 3, 3], 0.0);
+        let sigma = Tensor::filled(&[2, 1, 3, 3], 1.0);
+        let input = Tensor::filled(&[1, 4, 4], 1.0);
+        let mut a = SampleProcessingUnit::shift_bnn_default(1).unwrap();
+        let mut b = SampleProcessingUnit::shift_bnn_default(2).unwrap();
+        let wa = a.forward_conv(&geom, &input, &mu, &sigma).sampled_weights;
+        let wb = b.forward_conv(&geom, &input, &mu, &sigma).sampled_weights;
+        assert_ne!(wa, wb);
+    }
+
+    #[test]
+    fn dpu_approximation_is_a_two_bit_shift_for_the_default_prior() {
+        assert_eq!(SampleProcessingUnit::dpu_prior_gradient(0.25), 1.0);
+        assert_eq!(SampleProcessingUnit::dpu_prior_gradient(-1.0), -4.0);
+    }
+
+    #[test]
+    fn updater_scales_gradient_by_epsilon() {
+        assert_eq!(SampleProcessingUnit::updater_sigma_gradient(0.5, 2.0), 1.0);
+        assert_eq!(SampleProcessingUnit::updater_sigma_gradient(0.5, 0.0), 0.0);
+    }
+}

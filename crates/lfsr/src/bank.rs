@@ -1,0 +1,199 @@
+//! Banks of GRNGs as instantiated inside a Sample Processing Unit.
+//!
+//! Each Shift-BNN SPU contains a 4×4 array of GRNG slices, one per processing element. During a
+//! convolutional layer only one slice is enabled (the sampled weight is broadcast to every PE);
+//! during a fully-connected layer all slices run in parallel, each sampling the weight for its
+//! own PE. A [`GrngBank`] models that array, keeps every slice independently seeded and provides
+//! the bulk generate/retrieve operations the dataflow needs.
+
+use crate::error::LfsrError;
+use crate::grng::{Grng, GrngMode};
+
+/// An array of independently seeded [`Grng`]s with a common width and a shared operating mode.
+///
+/// # Examples
+///
+/// ```
+/// use bnn_lfsr::{GrngBank, GrngMode};
+///
+/// # fn main() -> Result<(), bnn_lfsr::LfsrError> {
+/// // A 4x4 PE tile's worth of 256-bit GRNGs.
+/// let mut bank = GrngBank::new(16, 256, 0xC0FFEE)?;
+/// let kernel = bank.generate_on(0, 9); // 3x3 kernel sampled by slice 0
+/// bank.set_mode(GrngMode::Backward);
+/// let retrieved = bank.retrieve_on(0, 9);
+/// assert_eq!(retrieved, kernel.iter().rev().copied().collect::<Vec<_>>());
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct GrngBank {
+    slices: Vec<Grng>,
+    mode: GrngMode,
+}
+
+impl GrngBank {
+    /// Creates a bank of `count` GRNGs of the given LFSR `width`.
+    ///
+    /// Slice `i` is seeded deterministically from `base_seed` and `i` so that independent banks
+    /// built from the same base seed are reproducible while slices within a bank are decorrelated.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LfsrError`] if the width is unsupported or `count` is zero (reported as an
+    /// invalid width of zero, since a zero-sized bank has no meaningful register).
+    pub fn new(count: usize, width: usize, base_seed: u64) -> Result<Self, LfsrError> {
+        if count == 0 {
+            return Err(LfsrError::InvalidWidth { width: 0 });
+        }
+        let mut slices = Vec::with_capacity(count);
+        for i in 0..count {
+            // A fixed odd multiplier keeps per-slice seeds well separated; seed 0 is avoided by
+            // the +1 offset.
+            let seed = base_seed
+                .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                .wrapping_add((i as u64 + 1).wrapping_mul(0xD134_2543_DE82_EF95));
+            let grng = if width == 256 {
+                Grng::shift_bnn_default(seed)?
+            } else {
+                Grng::new(width, seed | 1)?
+            };
+            slices.push(grng);
+        }
+        Ok(Self { slices, mode: GrngMode::Forward })
+    }
+
+    /// Number of GRNG slices in the bank.
+    pub fn len(&self) -> usize {
+        self.slices.len()
+    }
+
+    /// Returns `true` if the bank holds no slices (never true for a successfully constructed
+    /// bank, provided for API completeness).
+    pub fn is_empty(&self) -> bool {
+        self.slices.is_empty()
+    }
+
+    /// The LFSR width shared by every slice.
+    pub fn width(&self) -> usize {
+        self.slices[0].width()
+    }
+
+    /// The bank-wide operating mode.
+    pub fn mode(&self) -> GrngMode {
+        self.mode
+    }
+
+    /// Switches every slice to `mode`.
+    pub fn set_mode(&mut self, mode: GrngMode) {
+        self.mode = mode;
+        for s in &mut self.slices {
+            s.set_mode(mode);
+        }
+    }
+
+    /// Immutable access to slice `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= len()`.
+    pub fn slice(&self, index: usize) -> &Grng {
+        &self.slices[index]
+    }
+
+    /// Mutable access to slice `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= len()`.
+    pub fn slice_mut(&mut self, index: usize) -> &mut Grng {
+        &mut self.slices[index]
+    }
+
+    /// Iterates over the slices.
+    pub fn iter(&self) -> std::slice::Iter<'_, Grng> {
+        self.slices.iter()
+    }
+
+    /// Generates `count` ε values on slice `index` (convolutional-layer mode: one slice active).
+    pub fn generate_on(&mut self, index: usize, count: usize) -> Vec<f64> {
+        self.slices[index].generate(count)
+    }
+
+    /// Retrieves `count` ε values on slice `index` in reverse generation order.
+    pub fn retrieve_on(&mut self, index: usize, count: usize) -> Vec<f64> {
+        self.slices[index].retrieve(count)
+    }
+
+    /// Generates one ε on every slice (fully-connected-layer mode: all slices active), returning
+    /// them in slice order.
+    pub fn generate_all(&mut self) -> Vec<f64> {
+        self.slices.iter_mut().map(Grng::next_epsilon).collect()
+    }
+
+    /// Retrieves one ε from every slice, returning them in slice order.
+    pub fn retrieve_all(&mut self) -> Vec<f64> {
+        self.slices.iter_mut().map(Grng::retrieve_epsilon).collect()
+    }
+
+    /// Total ε values generated forward and not yet retrieved, summed over all slices.
+    pub fn outstanding(&self) -> i64 {
+        self.slices.iter().map(Grng::outstanding).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bank_requires_at_least_one_slice() {
+        assert!(GrngBank::new(0, 64, 1).is_err());
+    }
+
+    #[test]
+    fn slices_are_decorrelated() {
+        let mut bank = GrngBank::new(4, 64, 7).unwrap();
+        let a = bank.generate_on(0, 16);
+        let b = bank.generate_on(1, 16);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn generate_all_then_retrieve_all_round_trips_each_slice() {
+        let mut bank = GrngBank::new(16, 256, 42).unwrap();
+        let mut forward = Vec::new();
+        for _ in 0..10 {
+            forward.push(bank.generate_all());
+        }
+        bank.set_mode(GrngMode::Backward);
+        for step in (0..10).rev() {
+            let retrieved = bank.retrieve_all();
+            assert_eq!(retrieved, forward[step]);
+        }
+        assert_eq!(bank.outstanding(), 0);
+    }
+
+    #[test]
+    fn same_base_seed_reproduces_identical_banks() {
+        let mut a = GrngBank::new(3, 128, 5).unwrap();
+        let mut b = GrngBank::new(3, 128, 5).unwrap();
+        assert_eq!(a.generate_all(), b.generate_all());
+    }
+
+    #[test]
+    fn mode_is_applied_to_every_slice() {
+        let mut bank = GrngBank::new(2, 64, 9).unwrap();
+        bank.set_mode(GrngMode::Backward);
+        assert!(bank.iter().all(|g| g.mode() == GrngMode::Backward));
+        assert_eq!(bank.mode(), GrngMode::Backward);
+    }
+
+    #[test]
+    fn width_and_len_report_construction_parameters() {
+        let bank = GrngBank::new(5, 128, 1).unwrap();
+        assert_eq!(bank.len(), 5);
+        assert!(!bank.is_empty());
+        assert_eq!(bank.width(), 128);
+    }
+}

@@ -1,0 +1,74 @@
+//! Error types for LFSR and GRNG construction.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced when constructing or configuring an [`Lfsr`](crate::Lfsr) or
+/// [`Grng`](crate::Grng).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LfsrError {
+    /// The requested register width is zero or exceeds the supported maximum.
+    InvalidWidth {
+        /// The width that was requested.
+        width: usize,
+    },
+    /// The tap set is empty, references a register outside the LFSR, or does not include the
+    /// tail register (which a Fibonacci LFSR always taps).
+    InvalidTaps {
+        /// The offending tap positions (1-based, as in the paper's `R_1..R_n` notation).
+        taps: Vec<usize>,
+        /// Width of the LFSR the taps were validated against.
+        width: usize,
+    },
+    /// The seed provided for the LFSR state was all zeroes, which is a fixed point of the
+    /// shift recurrence and therefore produces a degenerate (constant) sequence.
+    ZeroSeed,
+    /// No maximal-length tap configuration is known for the requested width.
+    UnknownTapWidth {
+        /// The width for which no tap table entry exists.
+        width: usize,
+    },
+}
+
+impl fmt::Display for LfsrError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LfsrError::InvalidWidth { width } => {
+                write!(f, "invalid LFSR width {width}: must be between 2 and 4096 bits")
+            }
+            LfsrError::InvalidTaps { taps, width } => {
+                write!(f, "invalid tap set {taps:?} for a {width}-bit LFSR")
+            }
+            LfsrError::ZeroSeed => write!(f, "LFSR seed must not be all zeroes"),
+            LfsrError::UnknownTapWidth { width } => {
+                write!(f, "no known maximal-length taps for width {width}")
+            }
+        }
+    }
+}
+
+impl Error for LfsrError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_lowercase_and_informative() {
+        let e = LfsrError::InvalidWidth { width: 0 };
+        assert!(e.to_string().contains("invalid LFSR width 0"));
+        let e = LfsrError::InvalidTaps { taps: vec![9], width: 8 };
+        assert!(e.to_string().contains("[9]"));
+        assert!(e.to_string().contains("8-bit"));
+        let e = LfsrError::ZeroSeed;
+        assert!(e.to_string().contains("all zeroes"));
+        let e = LfsrError::UnknownTapWidth { width: 7 };
+        assert!(e.to_string().contains("width 7"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<LfsrError>();
+    }
+}

@@ -1,0 +1,286 @@
+//! Gaussian random number generation from LFSR patterns.
+//!
+//! Following VIBNN and Shift-BNN, a Gaussian random variable is obtained from an `n`-bit LFSR
+//! pattern through the Central Limit Theorem: the number of ones in the pattern follows
+//! `B(n, 0.5) ≈ N(n/2, n/4)`, so `ε = (ones − n/2) / sqrt(n/4)` is approximately a unit Gaussian.
+//!
+//! Shift-BNN's GRNG (Fig. 8(b) of the paper) adds two twists that are both modelled here:
+//!
+//! 1. **Three operating modes** — forward (FW stage), backward (BW stage) and idle — selected via
+//!    [`Grng::set_mode`].
+//! 2. **Incremental pop-count** — instead of recounting ones with an adder tree after every
+//!    shift, the generator stores the seed's bit-sum and adds the difference between the bit that
+//!    enters and the bit that leaves the register on each shift.
+
+use crate::error::LfsrError;
+use crate::lfsr::Lfsr;
+
+/// Operating mode of a [`Grng`], mirroring the three modes of the hardware GRNG.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum GrngMode {
+    /// Forward mode, used during the forward (FW) training stage: the LFSR shifts toward the
+    /// tail and produces *new* ε values.
+    #[default]
+    Forward,
+    /// Backward mode, used during backpropagation (BW/GC): the LFSR shifts toward the head and
+    /// *retrieves* previously generated ε values in reverse order.
+    Backward,
+    /// Idle mode: registers hold their values; requesting an ε in this mode is a logic error.
+    Idle,
+}
+
+/// A Gaussian random number generator backed by a reversible LFSR.
+///
+/// # Examples
+///
+/// Generate a forward ε stream and retrieve it again in reverse order without storing it:
+///
+/// ```
+/// use bnn_lfsr::{Grng, GrngMode};
+///
+/// # fn main() -> Result<(), bnn_lfsr::LfsrError> {
+/// let mut grng = Grng::shift_bnn_default(7)?;
+/// let forward: Vec<f64> = (0..100).map(|_| grng.next_epsilon()).collect();
+///
+/// grng.set_mode(GrngMode::Backward);
+/// let retrieved: Vec<f64> = (0..100).map(|_| grng.retrieve_epsilon()).collect();
+///
+/// let mut reversed = forward.clone();
+/// reversed.reverse();
+/// assert_eq!(retrieved, reversed);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Grng {
+    lfsr: Lfsr,
+    /// Pop-count of the seed pattern (the "initial sum" register of Fig. 8(b)).
+    initial_sum: u32,
+    /// Running pop-count maintained incrementally (the "bit update" path of Fig. 8(b)).
+    current_sum: u32,
+    mode: GrngMode,
+    /// Number of ε values produced in forward mode minus values retrieved in backward mode.
+    outstanding: i64,
+}
+
+impl Grng {
+    /// Wraps an existing LFSR into a GRNG. The LFSR's current pattern becomes the seed pattern.
+    pub fn from_lfsr(lfsr: Lfsr) -> Self {
+        let sum = lfsr.popcount();
+        Self { lfsr, initial_sum: sum, current_sum: sum, mode: GrngMode::Forward, outstanding: 0 }
+    }
+
+    /// Creates a GRNG over a maximal-length LFSR of the given width.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`LfsrError`] from LFSR construction (unknown width or zero seed).
+    pub fn new(width: usize, seed: u64) -> Result<Self, LfsrError> {
+        Ok(Self::from_lfsr(Lfsr::with_maximal_taps(width, seed)?))
+    }
+
+    /// Creates the 256-bit GRNG used by a Shift-BNN GRNG slice.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`LfsrError`] from LFSR construction.
+    pub fn shift_bnn_default(seed: u64) -> Result<Self, LfsrError> {
+        Ok(Self::from_lfsr(Lfsr::shift_bnn_default(seed)?))
+    }
+
+    /// The register width of the underlying LFSR.
+    pub fn width(&self) -> usize {
+        self.lfsr.width()
+    }
+
+    /// The current operating mode.
+    pub fn mode(&self) -> GrngMode {
+        self.mode
+    }
+
+    /// Switches the operating mode (forward / backward / idle).
+    pub fn set_mode(&mut self, mode: GrngMode) {
+        self.mode = mode;
+    }
+
+    /// Number of ε values generated forward and not yet retrieved backward.
+    pub fn outstanding(&self) -> i64 {
+        self.outstanding
+    }
+
+    /// Pop-count of the seed pattern.
+    pub fn initial_sum(&self) -> u32 {
+        self.initial_sum
+    }
+
+    /// The incrementally maintained pop-count of the current pattern.
+    pub fn current_sum(&self) -> u32 {
+        self.current_sum
+    }
+
+    /// Borrow of the underlying LFSR (for inspection in tests and the micro-simulator).
+    pub fn lfsr(&self) -> &Lfsr {
+        &self.lfsr
+    }
+
+    /// Converts a pattern pop-count into a unit Gaussian variable via the CLT approximation.
+    pub fn epsilon_from_sum(&self, sum: u32) -> f64 {
+        let n = self.lfsr.width() as f64;
+        (f64::from(sum) - 0.5 * n) / (0.25 * n).sqrt()
+    }
+
+    /// The ε corresponding to the register's *current* pattern (no shift).
+    pub fn current_epsilon(&self) -> f64 {
+        self.epsilon_from_sum(self.current_sum)
+    }
+
+    /// Generates the next ε: shifts the LFSR forward once and returns the new pattern's ε.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the GRNG is in [`GrngMode::Idle`] or [`GrngMode::Backward`]; hardware would
+    /// simply not clock the register, and calling this in the wrong mode indicates a dataflow
+    /// bug in the caller.
+    pub fn next_epsilon(&mut self) -> f64 {
+        assert_eq!(self.mode, GrngMode::Forward, "next_epsilon requires forward mode");
+        let entering = self.lfsr.feedback_bit();
+        let leaving = self.lfsr.step_forward();
+        self.current_sum = self.current_sum + u32::from(entering) - u32::from(leaving);
+        debug_assert_eq!(self.current_sum, self.lfsr.popcount());
+        self.outstanding += 1;
+        self.current_epsilon()
+    }
+
+    /// Retrieves the most recently generated (and not yet retrieved) ε by reading the current
+    /// pattern and then shifting the LFSR backward once.
+    ///
+    /// Calling this repeatedly returns the forward ε stream in exactly reversed order, which is
+    /// the order backpropagation consumes the weight samples in (last layer first, kernels
+    /// rotated 180°).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the GRNG is not in [`GrngMode::Backward`].
+    pub fn retrieve_epsilon(&mut self) -> f64 {
+        assert_eq!(self.mode, GrngMode::Backward, "retrieve_epsilon requires backward mode");
+        let epsilon = self.current_epsilon();
+        let leaving_head = self.lfsr.step_backward();
+        let entering_tail = self.lfsr.register(self.lfsr.width());
+        self.current_sum = self.current_sum + u32::from(entering_tail) - u32::from(leaving_head);
+        debug_assert_eq!(self.current_sum, self.lfsr.popcount());
+        self.outstanding -= 1;
+        epsilon
+    }
+
+    /// Generates `count` forward ε values.
+    pub fn generate(&mut self, count: usize) -> Vec<f64> {
+        (0..count).map(|_| self.next_epsilon()).collect()
+    }
+
+    /// Retrieves `count` ε values in reverse generation order.
+    pub fn retrieve(&mut self, count: usize) -> Vec<f64> {
+        (0..count).map(|_| self.retrieve_epsilon()).collect()
+    }
+
+    /// Full recount of the current pattern's ones using the LFSR state, bypassing the
+    /// incremental sum. Exposed so benchmarks can compare the adder-tree recount against the
+    /// incremental path (the ablation called out in DESIGN.md).
+    pub fn recount_epsilon(&self) -> f64 {
+        self.epsilon_from_sum(self.lfsr.popcount())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn incremental_sum_always_matches_full_popcount() {
+        let mut grng = Grng::shift_bnn_default(1234).unwrap();
+        for _ in 0..500 {
+            grng.next_epsilon();
+            assert_eq!(grng.current_sum(), grng.lfsr().popcount());
+        }
+        grng.set_mode(GrngMode::Backward);
+        for _ in 0..500 {
+            grng.retrieve_epsilon();
+            assert_eq!(grng.current_sum(), grng.lfsr().popcount());
+        }
+    }
+
+    #[test]
+    fn retrieval_reproduces_forward_stream_in_reverse_bit_exactly() {
+        let mut grng = Grng::new(64, 0xACE1).unwrap();
+        let forward = grng.generate(257);
+        grng.set_mode(GrngMode::Backward);
+        let retrieved = grng.retrieve(257);
+        let mut reversed = forward;
+        reversed.reverse();
+        assert_eq!(retrieved, reversed);
+        assert_eq!(grng.outstanding(), 0);
+        // After full retrieval the register holds the seed again.
+        assert_eq!(grng.current_sum(), grng.initial_sum());
+    }
+
+    #[test]
+    fn epsilon_has_zero_mean_unit_scale_mapping() {
+        let grng = Grng::new(16, 0xFFFF).unwrap();
+        // All ones: sum = 16, mean 8, std 2 -> epsilon = 4.
+        assert!((grng.current_epsilon() - 4.0).abs() < 1e-12);
+        assert!((grng.epsilon_from_sum(8) - 0.0).abs() < 1e-12);
+        assert!((grng.epsilon_from_sum(6) + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "forward mode")]
+    fn next_epsilon_panics_in_backward_mode() {
+        let mut grng = Grng::new(8, 1).unwrap();
+        grng.set_mode(GrngMode::Backward);
+        grng.next_epsilon();
+    }
+
+    #[test]
+    #[should_panic(expected = "backward mode")]
+    fn retrieve_epsilon_panics_in_forward_mode() {
+        let mut grng = Grng::new(8, 1).unwrap();
+        grng.retrieve_epsilon();
+    }
+
+    #[test]
+    fn idle_mode_holds_state() {
+        let mut grng = Grng::new(8, 3).unwrap();
+        grng.set_mode(GrngMode::Idle);
+        assert_eq!(grng.mode(), GrngMode::Idle);
+        // No API mutates the register in idle mode; current ε stays put.
+        let e = grng.current_epsilon();
+        assert_eq!(e, grng.current_epsilon());
+    }
+
+    #[test]
+    fn recount_matches_incremental_path() {
+        let mut grng = Grng::shift_bnn_default(99).unwrap();
+        for _ in 0..100 {
+            let inc = grng.next_epsilon();
+            assert_eq!(inc, grng.recount_epsilon());
+        }
+    }
+
+    #[test]
+    fn distinct_seeds_produce_distinct_streams() {
+        let mut a = Grng::shift_bnn_default(1).unwrap();
+        let mut b = Grng::shift_bnn_default(2).unwrap();
+        let sa = a.generate(32);
+        let sb = b.generate(32);
+        assert_ne!(sa, sb);
+    }
+
+    #[test]
+    fn outstanding_tracks_generation_and_retrieval() {
+        let mut grng = Grng::new(32, 5).unwrap();
+        grng.generate(10);
+        assert_eq!(grng.outstanding(), 10);
+        grng.set_mode(GrngMode::Backward);
+        grng.retrieve(4);
+        assert_eq!(grng.outstanding(), 6);
+    }
+}

@@ -1,0 +1,56 @@
+//! Reversible LFSR-based Gaussian random number generation, the core mechanism behind
+//! **Shift-BNN** (MICRO 2021).
+//!
+//! Training a Bayesian neural network with variational inference draws one Gaussian random
+//! variable ε per weight per sample during the forward pass (`w = μ + ε∘σ`) and needs the *same*
+//! ε again during backpropagation and gradient calculation. On a conventional accelerator those
+//! ε are written to DRAM after the forward pass and read back later — and they dominate off-chip
+//! traffic. Shift-BNN's observation is that the ε are produced by Fibonacci LFSRs, and a
+//! Fibonacci LFSR is *reversible*: shifting it backwards (with the tap XOR rearranged per
+//! `A = C ⊕ B ⇔ C = A ⊕ B`) reproduces every earlier pattern in exactly the reversed order that
+//! backpropagation consumes them in. The ε therefore never need to leave the chip.
+//!
+//! This crate provides bit-exact software models of:
+//!
+//! * [`Lfsr`] — a reversible Fibonacci LFSR of arbitrary width ([`taps`] has maximal-length tap
+//!   tables, including the 8-bit example of the paper's Fig. 4 and the 256-bit register used by
+//!   the Shift-BNN GRNG slice);
+//! * [`Grng`] — the CLT-based Gaussian generator with forward / backward / idle modes and the
+//!   incremental pop-count ("initial sum + bit update") datapath of Fig. 8(b);
+//! * [`GrngBank`] — the 4×4 array of GRNG slices inside one Sample Processing Unit;
+//! * [`gaussian`] — statistical helpers used to validate distribution quality.
+//!
+//! # Quick start
+//!
+//! ```
+//! use bnn_lfsr::{Grng, GrngMode};
+//!
+//! # fn main() -> Result<(), bnn_lfsr::LfsrError> {
+//! let mut grng = Grng::shift_bnn_default(0xBEEF)?;
+//!
+//! // Forward stage: sample weights for three 3x3 kernels.
+//! let forward: Vec<f64> = (0..27).map(|_| grng.next_epsilon()).collect();
+//!
+//! // Backward stage: retrieve the same epsilons in reverse order, storing nothing.
+//! grng.set_mode(GrngMode::Backward);
+//! let retrieved: Vec<f64> = (0..27).map(|_| grng.retrieve_epsilon()).collect();
+//! assert!(forward.iter().rev().zip(&retrieved).all(|(a, b)| a == b));
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+mod bank;
+mod error;
+pub mod gaussian;
+mod grng;
+#[allow(clippy::module_inception)]
+mod lfsr;
+pub mod taps;
+
+pub use bank::GrngBank;
+pub use error::LfsrError;
+pub use grng::{Grng, GrngMode};
+pub use lfsr::{Lfsr, MAX_WIDTH};

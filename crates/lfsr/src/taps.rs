@@ -1,0 +1,161 @@
+//! Maximal-length Fibonacci LFSR tap tables.
+//!
+//! The Shift-BNN GRNG uses a 256-bit Fibonacci LFSR; the design-space exploration and the unit
+//! tests in this crate also exercise smaller widths. The tap positions below are classic
+//! maximal-length configurations (XNOR/XOR tap tables as published in Xilinx XAPP 052 and in
+//! standard LFSR references). Positions are **1-based**, matching the paper's `R_1..R_n`
+//! notation, and always include the tail register `R_n`.
+
+use crate::error::LfsrError;
+
+/// A maximal-length tap configuration for a given LFSR width.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TapConfig {
+    /// Number of registers in the LFSR.
+    pub width: usize,
+    /// Tap positions (1-based). The last entry is always `width` (the tail register).
+    pub taps: [usize; 4],
+    /// Number of meaningful entries in `taps` (2 or 4; maximal-length LFSRs use 2 or 4 taps).
+    pub len: usize,
+}
+
+impl TapConfig {
+    /// Returns the tap positions as a slice.
+    pub fn positions(&self) -> &[usize] {
+        &self.taps[..self.len]
+    }
+}
+
+/// Known maximal-length tap configurations, indexed by width.
+///
+/// Source: standard m-sequence polynomial tables (Xilinx XAPP 052 and Ward & Molteno's tables).
+const TABLE: &[TapConfig] = &[
+    TapConfig { width: 4, taps: [3, 4, 0, 0], len: 2 },
+    TapConfig { width: 8, taps: [4, 5, 6, 8], len: 4 },
+    TapConfig { width: 12, taps: [1, 4, 6, 12], len: 4 },
+    TapConfig { width: 16, taps: [4, 13, 15, 16], len: 4 },
+    TapConfig { width: 24, taps: [17, 22, 23, 24], len: 4 },
+    TapConfig { width: 32, taps: [1, 2, 22, 32], len: 4 },
+    TapConfig { width: 48, taps: [20, 21, 47, 48], len: 4 },
+    TapConfig { width: 64, taps: [60, 61, 63, 64], len: 4 },
+    TapConfig { width: 96, taps: [47, 49, 94, 96], len: 4 },
+    TapConfig { width: 128, taps: [99, 101, 126, 128], len: 4 },
+    TapConfig { width: 160, taps: [142, 143, 159, 160], len: 4 },
+    TapConfig { width: 192, taps: [177, 178, 190, 192], len: 4 },
+    TapConfig { width: 256, taps: [246, 251, 254, 256], len: 4 },
+];
+
+/// Looks up the maximal-length tap positions for `width`.
+///
+/// # Errors
+///
+/// Returns [`LfsrError::UnknownTapWidth`] if no entry exists for `width`.
+///
+/// # Examples
+///
+/// ```
+/// let taps = bnn_lfsr::taps::maximal_taps(8)?;
+/// assert_eq!(taps, vec![4, 5, 6, 8]);
+/// # Ok::<(), bnn_lfsr::LfsrError>(())
+/// ```
+pub fn maximal_taps(width: usize) -> Result<Vec<usize>, LfsrError> {
+    TABLE
+        .iter()
+        .find(|cfg| cfg.width == width)
+        .map(|cfg| cfg.positions().to_vec())
+        .ok_or(LfsrError::UnknownTapWidth { width })
+}
+
+/// Returns every width for which a maximal-length tap configuration is known.
+///
+/// # Examples
+///
+/// ```
+/// assert!(bnn_lfsr::taps::supported_widths().contains(&256));
+/// ```
+pub fn supported_widths() -> Vec<usize> {
+    TABLE.iter().map(|cfg| cfg.width).collect()
+}
+
+/// Validates a tap set against an LFSR width.
+///
+/// A valid Fibonacci tap set is non-empty, references only registers `1..=width`, contains no
+/// duplicates, and includes the tail register `width` (the feedback always consumes the bit that
+/// is about to be shifted out).
+///
+/// # Errors
+///
+/// Returns [`LfsrError::InvalidTaps`] when any of the above conditions is violated.
+pub fn validate_taps(width: usize, taps: &[usize]) -> Result<(), LfsrError> {
+    let invalid = || LfsrError::InvalidTaps { taps: taps.to_vec(), width };
+    if taps.is_empty() || taps.len() > width {
+        return Err(invalid());
+    }
+    let mut seen = vec![false; width + 1];
+    for &t in taps {
+        if t == 0 || t > width {
+            return Err(invalid());
+        }
+        if seen[t] {
+            return Err(invalid());
+        }
+        seen[t] = true;
+    }
+    if !seen[width] {
+        return Err(invalid());
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_entries_are_self_consistent() {
+        for cfg in TABLE {
+            validate_taps(cfg.width, cfg.positions()).expect("table entry must validate");
+            assert_eq!(*cfg.positions().last().unwrap(), cfg.width);
+            // Positions must be strictly increasing so the feedback XOR order is well defined.
+            for pair in cfg.positions().windows(2) {
+                assert!(pair[0] < pair[1], "taps must be sorted for width {}", cfg.width);
+            }
+        }
+    }
+
+    #[test]
+    fn maximal_taps_returns_paper_eight_bit_configuration() {
+        // Fig. 4(a) of the paper taps R4, R5, R6 and R8.
+        assert_eq!(maximal_taps(8).unwrap(), vec![4, 5, 6, 8]);
+    }
+
+    #[test]
+    fn maximal_taps_has_256_bit_entry_used_by_shift_bnn() {
+        let taps = maximal_taps(256).unwrap();
+        assert_eq!(taps.len(), 4);
+        assert_eq!(*taps.last().unwrap(), 256);
+    }
+
+    #[test]
+    fn unknown_width_is_an_error() {
+        assert_eq!(maximal_taps(7), Err(LfsrError::UnknownTapWidth { width: 7 }));
+    }
+
+    #[test]
+    fn validate_rejects_empty_out_of_range_duplicate_and_missing_tail() {
+        assert!(validate_taps(8, &[]).is_err());
+        assert!(validate_taps(8, &[0, 8]).is_err());
+        assert!(validate_taps(8, &[9, 8]).is_err());
+        assert!(validate_taps(8, &[4, 4, 8]).is_err());
+        assert!(validate_taps(8, &[4, 5, 6]).is_err(), "tail register must be tapped");
+        assert!(validate_taps(8, &[4, 5, 6, 8]).is_ok());
+    }
+
+    #[test]
+    fn supported_widths_lists_all_table_entries() {
+        let widths = supported_widths();
+        assert_eq!(widths.len(), TABLE.len());
+        assert!(widths.contains(&8));
+        assert!(widths.contains(&128));
+    }
+}

@@ -1,0 +1,164 @@
+//! Per-layer dimensions used for workload accounting.
+//!
+//! A layer is described by the seven loop dimensions of the paper's Fig. 1(b): output channels
+//! `M`, input channels `N`, kernel size `K`, output feature-map size `R × C`, plus the input
+//! feature-map size it consumes; the sample dimension `S` is applied by the workload layer on
+//! top. Fully-connected layers are the `K = R = C = 1` special case.
+
+/// Kind of a compute layer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum LayerKind {
+    /// 2-D convolution.
+    Conv,
+    /// Fully-connected (matrix-vector) layer.
+    FullyConnected,
+}
+
+/// Dimensions of one weight-bearing layer.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct LayerDims {
+    /// Human-readable layer name (e.g. `"conv3_2"`, `"fc1"`).
+    pub name: String,
+    /// Convolution or fully-connected.
+    pub kind: LayerKind,
+    /// Output channels (or output features).
+    pub m: usize,
+    /// Input channels (or input features).
+    pub n: usize,
+    /// Kernel size `K` (1 for fully-connected layers).
+    pub k: usize,
+    /// Output feature-map height `R` (1 for fully-connected layers).
+    pub r: usize,
+    /// Output feature-map width `C` (1 for fully-connected layers).
+    pub c: usize,
+    /// Input feature-map height.
+    pub in_h: usize,
+    /// Input feature-map width.
+    pub in_w: usize,
+}
+
+impl LayerDims {
+    /// Describes a convolution layer, computing the output size from stride and padding.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the geometry yields an empty output.
+    #[allow(clippy::too_many_arguments)]
+    pub fn conv(
+        name: impl Into<String>,
+        in_channels: usize,
+        out_channels: usize,
+        kernel: usize,
+        in_h: usize,
+        in_w: usize,
+        stride: usize,
+        padding: usize,
+    ) -> Self {
+        let out = |size: usize| {
+            (size + 2 * padding)
+                .checked_sub(kernel)
+                .map(|v| v / stride + 1)
+                .filter(|&v| v > 0)
+                .unwrap_or_else(|| panic!("conv layer with empty output: {size}x{size} k={kernel}"))
+        };
+        Self {
+            name: name.into(),
+            kind: LayerKind::Conv,
+            m: out_channels,
+            n: in_channels,
+            k: kernel,
+            r: out(in_h),
+            c: out(in_w),
+            in_h,
+            in_w,
+        }
+    }
+
+    /// Describes a fully-connected layer.
+    pub fn fc(name: impl Into<String>, in_features: usize, out_features: usize) -> Self {
+        Self {
+            name: name.into(),
+            kind: LayerKind::FullyConnected,
+            m: out_features,
+            n: in_features,
+            k: 1,
+            r: 1,
+            c: 1,
+            in_h: 1,
+            in_w: 1,
+        }
+    }
+
+    /// Number of weights: `M · N · K²`.
+    pub fn weights(&self) -> u64 {
+        (self.m * self.n * self.k * self.k) as u64
+    }
+
+    /// Multiply-accumulate operations of one forward pass: `M · N · K² · R · C`.
+    pub fn forward_macs(&self) -> u64 {
+        self.weights() * (self.r * self.c) as u64
+    }
+
+    /// Input feature-map elements consumed (`N · H_in · W_in` for conv, `N` for FC).
+    pub fn input_elements(&self) -> u64 {
+        match self.kind {
+            LayerKind::Conv => (self.n * self.in_h * self.in_w) as u64,
+            LayerKind::FullyConnected => self.n as u64,
+        }
+    }
+
+    /// Output feature-map elements produced (`M · R · C` for conv, `M` for FC).
+    pub fn output_elements(&self) -> u64 {
+        (self.m * self.r * self.c) as u64
+    }
+
+    /// Returns `true` for fully-connected layers, whose training time the paper shows is
+    /// dominated by ε memory traffic rather than computation.
+    pub fn is_fully_connected(&self) -> bool {
+        self.kind == LayerKind::FullyConnected
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conv_output_size_and_counts() {
+        let l = LayerDims::conv("conv1", 3, 64, 3, 224, 224, 1, 1);
+        assert_eq!((l.r, l.c), (224, 224));
+        assert_eq!(l.weights(), 3 * 64 * 9);
+        assert_eq!(l.forward_macs(), 3 * 64 * 9 * 224 * 224);
+        assert_eq!(l.input_elements(), 3 * 224 * 224);
+        assert_eq!(l.output_elements(), 64 * 224 * 224);
+        assert!(!l.is_fully_connected());
+    }
+
+    #[test]
+    fn strided_conv_halves_output() {
+        let l = LayerDims::conv("conv_s2", 64, 128, 3, 56, 56, 2, 1);
+        assert_eq!((l.r, l.c), (28, 28));
+    }
+
+    #[test]
+    fn fc_counts() {
+        let l = LayerDims::fc("fc1", 4096, 1000);
+        assert_eq!(l.weights(), 4096 * 1000);
+        assert_eq!(l.forward_macs(), 4096 * 1000);
+        assert_eq!(l.input_elements(), 4096);
+        assert_eq!(l.output_elements(), 1000);
+        assert!(l.is_fully_connected());
+    }
+
+    #[test]
+    fn alexnet_style_11x11_stride4() {
+        let l = LayerDims::conv("conv1", 3, 96, 11, 227, 227, 4, 0);
+        assert_eq!((l.r, l.c), (55, 55));
+    }
+
+    #[test]
+    #[should_panic(expected = "empty output")]
+    fn degenerate_conv_panics() {
+        LayerDims::conv("bad", 1, 1, 7, 3, 3, 1, 0);
+    }
+}

@@ -1,0 +1,31 @@
+//! Model zoo and workload descriptors for the Shift-BNN reproduction.
+//!
+//! The paper evaluates five Bayesian network families — B-MLP, B-LeNet, B-AlexNet, B-VGG and
+//! B-ResNet — each built on its conventional DNN counterpart. This crate captures their layer
+//! geometries ([`zoo`]) and converts them into per-iteration operand volumes ([`workload`]):
+//! how many weight parameters, Gaussian random variables ε and feature-map values a training
+//! iteration touches as a function of the sample count `S`. The accelerator simulator
+//! (`bnn-arch`) turns those volumes into traffic, latency and energy.
+//!
+//! # Example
+//!
+//! ```
+//! use bnn_models::workload::ModelVolume;
+//! use bnn_models::zoo::ModelKind;
+//!
+//! let bvgg = ModelKind::Vgg16.bnn();
+//! let volume = ModelVolume::for_model(&bvgg, 16);
+//! let (_, epsilon_fraction, _) = volume.operand_fractions();
+//! assert!(epsilon_fraction > 0.5); // ε dominates the operands, the paper's key observation
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod layer;
+pub mod workload;
+pub mod zoo;
+
+pub use layer::{LayerDims, LayerKind};
+pub use workload::{LayerVolume, ModelVolume};
+pub use zoo::{ModelConfig, ModelKind};

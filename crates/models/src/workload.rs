@@ -1,0 +1,163 @@
+//! Training-workload volumes: how many values of each operand class a training iteration
+//! touches, as a function of the Monte-Carlo sample count `S`.
+//!
+//! These are *logical* counts (numbers of values); the accelerator simulator in `bnn-arch`
+//! converts them into bytes, DRAM accesses, cycles and energy according to its buffer sizes,
+//! dataflow mapping and precision.
+
+use crate::layer::LayerDims;
+use crate::zoo::ModelConfig;
+
+/// Number of training stages: forward, backward, gradient calculation.
+pub const TRAINING_STAGES: u64 = 3;
+
+/// Operand volumes of one layer for one training iteration (one input example, `S` samples).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LayerVolume {
+    /// The layer's dimensions.
+    pub dims: LayerDims,
+    /// Weight-parameter values: `weights` for a DNN, `2 × weights` (μ and σ) for a BNN.
+    pub weight_param_values: u64,
+    /// Gaussian random variables drawn: `S × weights` for a BNN, 0 for a DNN.
+    pub epsilon_values: u64,
+    /// Input feature-map values consumed across all samples.
+    pub input_values: u64,
+    /// Output feature-map values produced across all samples.
+    pub output_values: u64,
+    /// MAC operations of one stage across all samples (`S × M·N·K²·R·C`).
+    pub stage_macs: u64,
+}
+
+impl LayerVolume {
+    /// Computes the volumes of `dims` for `samples` Monte-Carlo samples.
+    pub fn for_layer(dims: &LayerDims, samples: usize, bayesian: bool) -> Self {
+        let s = samples.max(1) as u64;
+        let weights = dims.weights();
+        Self {
+            dims: dims.clone(),
+            weight_param_values: if bayesian { 2 * weights } else { weights },
+            epsilon_values: if bayesian { s * weights } else { 0 },
+            input_values: s * dims.input_elements(),
+            output_values: s * dims.output_elements(),
+            stage_macs: s * dims.forward_macs(),
+        }
+    }
+
+    /// Total MACs across the three training stages.
+    pub fn training_macs(&self) -> u64 {
+        TRAINING_STAGES * self.stage_macs
+    }
+}
+
+/// Operand volumes of a whole model for one training iteration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ModelVolume {
+    /// Name of the model the volumes were computed for.
+    pub model_name: String,
+    /// Monte-Carlo sample count `S` used.
+    pub samples: usize,
+    /// Whether the model is Bayesian.
+    pub bayesian: bool,
+    /// Per-layer volumes in execution order.
+    pub layers: Vec<LayerVolume>,
+}
+
+impl ModelVolume {
+    /// Computes per-layer volumes for `model` trained with `samples` samples.
+    pub fn for_model(model: &ModelConfig, samples: usize) -> Self {
+        let layers = model
+            .layers
+            .iter()
+            .map(|l| LayerVolume::for_layer(l, samples, model.bayesian))
+            .collect();
+        Self { model_name: model.name.clone(), samples, bayesian: model.bayesian, layers }
+    }
+
+    /// Total Gaussian random variables drawn per iteration.
+    pub fn total_epsilon_values(&self) -> u64 {
+        self.layers.iter().map(|l| l.epsilon_values).sum()
+    }
+
+    /// Total weight-parameter values ((μ, σ) pairs count as two values).
+    pub fn total_weight_param_values(&self) -> u64 {
+        self.layers.iter().map(|l| l.weight_param_values).sum()
+    }
+
+    /// Total feature-map values (inputs plus outputs of every layer, across samples).
+    pub fn total_feature_map_values(&self) -> u64 {
+        self.layers.iter().map(|l| l.input_values + l.output_values).sum()
+    }
+
+    /// Total MACs across the three training stages.
+    pub fn total_training_macs(&self) -> u64 {
+        self.layers.iter().map(LayerVolume::training_macs).sum()
+    }
+
+    /// Fraction of the three operand classes (weights, ε, feature maps) by value count —
+    /// the quantity behind the paper's Fig. 3 breakdown.
+    pub fn operand_fractions(&self) -> (f64, f64, f64) {
+        let w = self.total_weight_param_values() as f64;
+        let e = self.total_epsilon_values() as f64;
+        let f = self.total_feature_map_values() as f64;
+        let total = (w + e + f).max(1.0);
+        (w / total, e / total, f / total)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::zoo::ModelKind;
+
+    #[test]
+    fn dnn_layers_draw_no_epsilon() {
+        let dnn = ModelKind::LeNet.dnn();
+        let vol = ModelVolume::for_model(&dnn, 16);
+        assert_eq!(vol.total_epsilon_values(), 0);
+        assert!(!vol.bayesian);
+    }
+
+    #[test]
+    fn bnn_epsilon_scales_linearly_with_samples() {
+        let bnn = ModelKind::LeNet.bnn();
+        let v8 = ModelVolume::for_model(&bnn, 8);
+        let v32 = ModelVolume::for_model(&bnn, 32);
+        assert_eq!(v8.total_epsilon_values() * 4, v32.total_epsilon_values());
+        assert_eq!(v8.total_epsilon_values(), 8 * bnn.total_weights());
+    }
+
+    #[test]
+    fn weight_params_double_for_bayesian_models() {
+        let kind = ModelKind::Mlp;
+        let dnn = ModelVolume::for_model(&kind.dnn(), 1);
+        let bnn = ModelVolume::for_model(&kind.bnn(), 1);
+        assert_eq!(bnn.total_weight_param_values(), 2 * dnn.total_weight_param_values());
+    }
+
+    #[test]
+    fn training_macs_cover_three_stages_and_all_samples() {
+        let bnn = ModelKind::Mlp.bnn();
+        let vol = ModelVolume::for_model(&bnn, 4);
+        assert_eq!(
+            vol.total_training_macs(),
+            3 * 4 * bnn.total_forward_macs()
+        );
+    }
+
+    #[test]
+    fn epsilon_dominates_operands_at_moderate_sample_counts() {
+        // The Fig. 3 observation: with S = 16, ε is the largest operand class for every model.
+        for kind in ModelKind::all() {
+            let vol = ModelVolume::for_model(&kind.bnn(), 16);
+            let (w, e, f) = vol.operand_fractions();
+            assert!(e > w && e > f, "{}: w={w:.2} e={e:.2} f={f:.2}", kind.paper_name());
+        }
+    }
+
+    #[test]
+    fn operand_fractions_sum_to_one() {
+        let vol = ModelVolume::for_model(&ModelKind::Vgg16.bnn(), 16);
+        let (w, e, f) = vol.operand_fractions();
+        assert!((w + e + f - 1.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,303 @@
+//! The five network families evaluated in the paper and their DNN counterparts.
+//!
+//! Layer shapes follow the canonical published architectures: MLP (the 3-hidden-layer
+//! fully-connected network of VIBNN), LeNet-5, AlexNet, VGG-16 and ResNet-18. The Bayesian
+//! variants (B-MLP, B-LeNet, …) have exactly the same layer geometry — each weight simply
+//! becomes a `(μ, σ)` pair sampled `S` times — which is how the paper constructs them.
+
+use crate::layer::LayerDims;
+
+/// A full network description used for workload accounting.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ModelConfig {
+    /// Model name, e.g. `"VGG"` or `"B-VGG"`.
+    pub name: String,
+    /// Dataset the paper trains this model on.
+    pub dataset: &'static str,
+    /// Input shape `(channels, height, width)`.
+    pub input_shape: (usize, usize, usize),
+    /// Weight-bearing layers in execution order (pooling layers carry no weights and are folded
+    /// into the adjacent layers' feature-map sizes).
+    pub layers: Vec<LayerDims>,
+    /// Whether each weight is a `(μ, σ)` distribution sampled `S` times.
+    pub bayesian: bool,
+}
+
+impl ModelConfig {
+    /// Total number of weights across all layers.
+    pub fn total_weights(&self) -> u64 {
+        self.layers.iter().map(LayerDims::weights).sum()
+    }
+
+    /// Total forward-pass MACs for one input example (one sample).
+    pub fn total_forward_macs(&self) -> u64 {
+        self.layers.iter().map(LayerDims::forward_macs).sum()
+    }
+
+    /// Total feature-map elements touched in one forward pass (inputs plus outputs of every
+    /// weight-bearing layer).
+    pub fn total_feature_map_elements(&self) -> u64 {
+        self.layers.iter().map(|l| l.input_elements() + l.output_elements()).sum()
+    }
+
+    /// Number of weight-bearing layers.
+    pub fn layer_count(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// Returns the Bayesian variant of this model (same geometry, `B-` name prefix).
+    pub fn bayesian_variant(&self) -> ModelConfig {
+        if self.bayesian {
+            return self.clone();
+        }
+        ModelConfig { name: format!("B-{}", self.name), bayesian: true, ..self.clone() }
+    }
+}
+
+/// The five model families of the paper's evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ModelKind {
+    /// 3-hidden-layer fully-connected network on MNIST (B-MLP).
+    Mlp,
+    /// LeNet-5 on CIFAR-10 (B-LeNet).
+    LeNet,
+    /// AlexNet on ImageNet (B-AlexNet).
+    AlexNet,
+    /// VGG-16 on ImageNet (B-VGG).
+    Vgg16,
+    /// ResNet-18 on ImageNet (B-ResNet).
+    ResNet18,
+}
+
+impl ModelKind {
+    /// All five families in the order the paper's figures list them.
+    pub fn all() -> [ModelKind; 5] {
+        [ModelKind::Mlp, ModelKind::LeNet, ModelKind::AlexNet, ModelKind::Vgg16, ModelKind::ResNet18]
+    }
+
+    /// The DNN (non-Bayesian) variant.
+    pub fn dnn(&self) -> ModelConfig {
+        match self {
+            ModelKind::Mlp => mlp(),
+            ModelKind::LeNet => lenet5(),
+            ModelKind::AlexNet => alexnet(),
+            ModelKind::Vgg16 => vgg16(),
+            ModelKind::ResNet18 => resnet18(),
+        }
+    }
+
+    /// The Bayesian variant (B-MLP, B-LeNet, …).
+    pub fn bnn(&self) -> ModelConfig {
+        self.dnn().bayesian_variant()
+    }
+
+    /// The name the paper uses for the Bayesian variant.
+    pub fn paper_name(&self) -> &'static str {
+        match self {
+            ModelKind::Mlp => "B-MLP",
+            ModelKind::LeNet => "B-LeNet",
+            ModelKind::AlexNet => "B-AlexNet",
+            ModelKind::Vgg16 => "B-VGG",
+            ModelKind::ResNet18 => "B-ResNet",
+        }
+    }
+}
+
+/// The 3-hidden-layer MLP (784-400-400-400-10) trained on MNIST.
+pub fn mlp() -> ModelConfig {
+    let layers = vec![
+        LayerDims::fc("fc1", 784, 400),
+        LayerDims::fc("fc2", 400, 400),
+        LayerDims::fc("fc3", 400, 400),
+        LayerDims::fc("fc4", 400, 10),
+    ];
+    ModelConfig { name: "MLP".into(), dataset: "MNIST", input_shape: (1, 28, 28), layers, bayesian: false }
+}
+
+/// LeNet-5 adapted to 32×32×3 CIFAR-10 inputs.
+pub fn lenet5() -> ModelConfig {
+    let layers = vec![
+        LayerDims::conv("conv1", 3, 6, 5, 32, 32, 1, 0),
+        // 2x2 max pool: 28 -> 14
+        LayerDims::conv("conv2", 6, 16, 5, 14, 14, 1, 0),
+        // 2x2 max pool: 10 -> 5
+        LayerDims::fc("fc1", 16 * 5 * 5, 120),
+        LayerDims::fc("fc2", 120, 84),
+        LayerDims::fc("fc3", 84, 10),
+    ];
+    ModelConfig { name: "LeNet".into(), dataset: "CIFAR-10", input_shape: (3, 32, 32), layers, bayesian: false }
+}
+
+/// AlexNet on 227×227×3 ImageNet inputs.
+pub fn alexnet() -> ModelConfig {
+    let layers = vec![
+        LayerDims::conv("conv1", 3, 96, 11, 227, 227, 4, 0),
+        // 3x3/2 max pool: 55 -> 27
+        LayerDims::conv("conv2", 96, 256, 5, 27, 27, 1, 2),
+        // 3x3/2 max pool: 27 -> 13
+        LayerDims::conv("conv3", 256, 384, 3, 13, 13, 1, 1),
+        LayerDims::conv("conv4", 384, 384, 3, 13, 13, 1, 1),
+        LayerDims::conv("conv5", 384, 256, 3, 13, 13, 1, 1),
+        // 3x3/2 max pool: 13 -> 6
+        LayerDims::fc("fc6", 256 * 6 * 6, 4096),
+        LayerDims::fc("fc7", 4096, 4096),
+        LayerDims::fc("fc8", 4096, 1000),
+    ];
+    ModelConfig { name: "AlexNet".into(), dataset: "ImageNet", input_shape: (3, 227, 227), layers, bayesian: false }
+}
+
+/// VGG-16 on 224×224×3 ImageNet inputs.
+pub fn vgg16() -> ModelConfig {
+    let mut layers = Vec::new();
+    // (block, repeats, in_channels, out_channels, spatial size at block input)
+    let blocks = [
+        (1usize, 2usize, 3usize, 64usize, 224usize),
+        (2, 2, 64, 128, 112),
+        (3, 3, 128, 256, 56),
+        (4, 3, 256, 512, 28),
+        (5, 3, 512, 512, 14),
+    ];
+    for (block, repeats, in_c, out_c, size) in blocks {
+        for rep in 1..=repeats {
+            let n = if rep == 1 { in_c } else { out_c };
+            layers.push(LayerDims::conv(format!("conv{block}_{rep}"), n, out_c, 3, size, size, 1, 1));
+        }
+    }
+    layers.push(LayerDims::fc("fc1", 512 * 7 * 7, 4096));
+    layers.push(LayerDims::fc("fc2", 4096, 4096));
+    layers.push(LayerDims::fc("fc3", 4096, 1000));
+    ModelConfig { name: "VGG".into(), dataset: "ImageNet", input_shape: (3, 224, 224), layers, bayesian: false }
+}
+
+/// ResNet-18 on 224×224×3 ImageNet inputs (shortcut 1×1 convolutions included).
+pub fn resnet18() -> ModelConfig {
+    let mut layers = vec![LayerDims::conv("conv1", 3, 64, 7, 224, 224, 2, 3)];
+    // After conv1 (112x112) a 3x3/2 max pool gives 56x56.
+    let stages = [
+        (2usize, 64usize, 64usize, 56usize, false),
+        (3, 64, 128, 56, true),
+        (4, 128, 256, 28, true),
+        (5, 256, 512, 14, true),
+    ];
+    for (stage, in_c, out_c, in_size, downsample) in stages {
+        let out_size = if downsample { in_size / 2 } else { in_size };
+        // First basic block (possibly strided, with a projection shortcut).
+        let stride = if downsample { 2 } else { 1 };
+        layers.push(LayerDims::conv(
+            format!("conv{stage}_1a"),
+            in_c,
+            out_c,
+            3,
+            in_size,
+            in_size,
+            stride,
+            1,
+        ));
+        layers.push(LayerDims::conv(format!("conv{stage}_1b"), out_c, out_c, 3, out_size, out_size, 1, 1));
+        if downsample {
+            layers.push(LayerDims::conv(
+                format!("shortcut{stage}"),
+                in_c,
+                out_c,
+                1,
+                in_size,
+                in_size,
+                2,
+                0,
+            ));
+        }
+        // Second basic block.
+        layers.push(LayerDims::conv(format!("conv{stage}_2a"), out_c, out_c, 3, out_size, out_size, 1, 1));
+        layers.push(LayerDims::conv(format!("conv{stage}_2b"), out_c, out_c, 3, out_size, out_size, 1, 1));
+    }
+    layers.push(LayerDims::fc("fc", 512, 1000));
+    ModelConfig { name: "ResNet".into(), dataset: "ImageNet", input_shape: (3, 224, 224), layers, bayesian: false }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn in_millions(v: u64) -> f64 {
+        v as f64 / 1e6
+    }
+
+    #[test]
+    fn mlp_parameter_count_matches_architecture() {
+        let m = mlp();
+        assert_eq!(m.total_weights(), 784 * 400 + 400 * 400 + 400 * 400 + 400 * 10);
+        assert_eq!(m.layer_count(), 4);
+    }
+
+    #[test]
+    fn lenet_has_canonical_sixty_two_thousand_weights() {
+        let w = lenet5().total_weights();
+        assert!((60_000..66_000).contains(&w), "LeNet weights {w}");
+    }
+
+    #[test]
+    fn alexnet_has_roughly_sixty_million_weights() {
+        let w = in_millions(alexnet().total_weights());
+        assert!((58.0..63.0).contains(&w), "AlexNet weights {w}M");
+    }
+
+    #[test]
+    fn vgg16_has_roughly_138_million_weights_and_15_gmacs() {
+        let m = vgg16();
+        let w = in_millions(m.total_weights());
+        assert!((135.0..141.0).contains(&w), "VGG-16 weights {w}M");
+        let gmacs = m.total_forward_macs() as f64 / 1e9;
+        assert!((14.0..16.5).contains(&gmacs), "VGG-16 forward GMACs {gmacs}");
+    }
+
+    #[test]
+    fn resnet18_has_roughly_eleven_million_weights_and_1_8_gmacs() {
+        let m = resnet18();
+        let w = in_millions(m.total_weights());
+        assert!((10.5..12.5).contains(&w), "ResNet-18 weights {w}M");
+        let gmacs = m.total_forward_macs() as f64 / 1e9;
+        assert!((1.6..2.1).contains(&gmacs), "ResNet-18 forward GMACs {gmacs}");
+    }
+
+    #[test]
+    fn bayesian_variant_shares_geometry_and_changes_name() {
+        let b = vgg16().bayesian_variant();
+        assert_eq!(b.name, "B-VGG");
+        assert!(b.bayesian);
+        assert_eq!(b.total_weights(), vgg16().total_weights());
+        // Idempotent.
+        assert_eq!(b.bayesian_variant(), b);
+    }
+
+    #[test]
+    fn model_kind_enumerates_all_five_models() {
+        let kinds = ModelKind::all();
+        assert_eq!(kinds.len(), 5);
+        for kind in kinds {
+            let dnn = kind.dnn();
+            let bnn = kind.bnn();
+            assert!(bnn.bayesian);
+            assert!(!dnn.bayesian);
+            assert!(bnn.name.starts_with("B-"));
+            assert_eq!(kind.paper_name(), bnn.name);
+            assert!(dnn.total_weights() > 0);
+        }
+    }
+
+    #[test]
+    fn paper_observation_weights_dwarf_feature_maps() {
+        // Section 3: "on average the size of weights is 122x of the size of feature maps" across
+        // the five BNN models; we check the weighted dominance holds for the FC-heavy models and
+        // that the average ratio is far above 1.
+        let mut ratios = Vec::new();
+        for kind in ModelKind::all() {
+            let m = kind.bnn();
+            let ratio = m.total_weights() as f64 / m.total_feature_map_elements() as f64;
+            ratios.push(ratio);
+        }
+        let avg = ratios.iter().sum::<f64>() / ratios.len() as f64;
+        assert!(avg > 20.0, "weights should dominate feature maps on average, got {avg}");
+        // The MLP is the extreme case (no spatial reuse at all).
+        assert!(ratios[0] > 100.0, "MLP ratio {}", ratios[0]);
+    }
+}

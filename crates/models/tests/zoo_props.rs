@@ -1,0 +1,45 @@
+//! Property tests over the model zoo and workload accounting.
+
+use bnn_models::workload::ModelVolume;
+use bnn_models::zoo::ModelKind;
+use proptest::prelude::*;
+
+fn arb_kind() -> impl Strategy<Value = ModelKind> {
+    prop::sample::select(ModelKind::all().to_vec())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    /// ε volume is exactly S × weights and grows monotonically with S for every model.
+    #[test]
+    fn epsilon_volume_scaling(kind in arb_kind(), s1 in 1usize..64, s2 in 64usize..256) {
+        let bnn = kind.bnn();
+        let v1 = ModelVolume::for_model(&bnn, s1);
+        let v2 = ModelVolume::for_model(&bnn, s2);
+        prop_assert_eq!(v1.total_epsilon_values(), s1 as u64 * bnn.total_weights());
+        prop_assert!(v2.total_epsilon_values() > v1.total_epsilon_values());
+    }
+
+    /// Feature maps and MACs also scale linearly in S, so the ε *fraction* of all operands is
+    /// non-decreasing in S (the scalability argument behind Fig. 13).
+    #[test]
+    fn epsilon_fraction_grows_with_samples(kind in arb_kind(), s in 2usize..128) {
+        let bnn = kind.bnn();
+        let small = ModelVolume::for_model(&bnn, s);
+        let large = ModelVolume::for_model(&bnn, s * 2);
+        let (_, e_small, _) = small.operand_fractions();
+        let (_, e_large, _) = large.operand_fractions();
+        prop_assert!(e_large >= e_small - 1e-12);
+    }
+
+    /// DNN and BNN variants of the same family always share layer geometry.
+    #[test]
+    fn variants_share_geometry(kind in arb_kind()) {
+        let dnn = kind.dnn();
+        let bnn = kind.bnn();
+        prop_assert_eq!(dnn.layer_count(), bnn.layer_count());
+        prop_assert_eq!(dnn.total_weights(), bnn.total_weights());
+        prop_assert_eq!(dnn.total_forward_macs(), bnn.total_forward_macs());
+    }
+}

@@ -1,0 +1,89 @@
+//! Deterministic weight initializers.
+//!
+//! Initialization uses an explicit [`rand::Rng`] so experiments are reproducible end to end:
+//! every figure/table binary seeds its own generator and obtains the same parameters on every
+//! run.
+
+use crate::tensor::Tensor;
+use rand::Rng;
+
+/// Fills a tensor of the given shape with uniform values in `[-limit, limit]` where
+/// `limit = sqrt(6 / (fan_in + fan_out))` (Glorot/Xavier uniform initialization).
+pub fn xavier_uniform(shape: &[usize], fan_in: usize, fan_out: usize, rng: &mut impl Rng) -> Tensor {
+    let limit = (6.0 / (fan_in + fan_out) as f64).sqrt() as f32;
+    uniform(shape, -limit, limit, rng)
+}
+
+/// Fills a tensor with uniform values in `[low, high)`.
+///
+/// # Panics
+///
+/// Panics if `low >= high`.
+pub fn uniform(shape: &[usize], low: f32, high: f32, rng: &mut impl Rng) -> Tensor {
+    assert!(low < high, "uniform range must be non-empty");
+    let len: usize = shape.iter().product();
+    let data = (0..len).map(|_| rng.gen_range(low..high)).collect();
+    Tensor::from_vec(shape.to_vec(), data).expect("length matches shape by construction")
+}
+
+/// Fills a tensor with a constant, used for initializing the `ρ` (pre-softplus standard
+/// deviation) parameters of Bayesian layers.
+pub fn constant(shape: &[usize], value: f32) -> Tensor {
+    Tensor::filled(shape, value)
+}
+
+/// Conventional fan-in/fan-out computation for a `[M, N, K, K]` convolution weight or `[out, in]`
+/// linear weight shape.
+///
+/// # Panics
+///
+/// Panics if the shape is not 2-D or 4-D.
+pub fn fan_in_out(shape: &[usize]) -> (usize, usize) {
+    match shape.len() {
+        2 => (shape[1], shape[0]),
+        4 => (shape[1] * shape[2] * shape[3], shape[0] * shape[2] * shape[3]),
+        _ => panic!("fan computation expects a 2-D or 4-D weight shape, got {shape:?}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn xavier_values_are_within_limit() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let t = xavier_uniform(&[10, 10], 10, 10, &mut rng);
+        let limit = (6.0f32 / 20.0).sqrt();
+        assert!(t.data().iter().all(|&v| v.abs() <= limit));
+    }
+
+    #[test]
+    fn same_seed_same_init() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        let ta = uniform(&[4, 4], -1.0, 1.0, &mut a);
+        let tb = uniform(&[4, 4], -1.0, 1.0, &mut b);
+        assert_eq!(ta, tb);
+    }
+
+    #[test]
+    fn fan_in_out_for_linear_and_conv() {
+        assert_eq!(fan_in_out(&[32, 64]), (64, 32));
+        assert_eq!(fan_in_out(&[8, 4, 3, 3]), (4 * 9, 8 * 9));
+    }
+
+    #[test]
+    fn constant_fills_value() {
+        let t = constant(&[3], -5.0);
+        assert!(t.data().iter().all(|&v| v == -5.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "2-D or 4-D")]
+    fn fan_in_out_rejects_other_ranks() {
+        fan_in_out(&[3]);
+    }
+}

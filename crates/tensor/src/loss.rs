@@ -1,0 +1,141 @@
+//! Classification losses: softmax cross-entropy (the paper's log-likelihood term) and mean
+//! squared error.
+
+use crate::tensor::Tensor;
+
+/// Numerically stable softmax over a 1-D logit vector.
+///
+/// # Panics
+///
+/// Panics if `logits` is empty.
+pub fn softmax(logits: &Tensor) -> Tensor {
+    assert!(!logits.is_empty(), "softmax of empty logits");
+    let max = logits.data().iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+    let exps: Vec<f32> = logits.data().iter().map(|&x| (x - max).exp()).collect();
+    let sum: f32 = exps.iter().sum();
+    Tensor::from_vec(logits.shape().to_vec(), exps.into_iter().map(|e| e / sum).collect())
+        .expect("softmax preserves shape")
+}
+
+/// Softmax cross-entropy loss against an integer class label, returning the scalar loss and the
+/// gradient with respect to the logits (`softmax(x) − one_hot(label)`).
+///
+/// This is the negative log-likelihood term `−log P(y|x, w)` of the paper's Eq. 1.
+///
+/// # Panics
+///
+/// Panics if `label` is out of range for the logit vector.
+pub fn softmax_cross_entropy(logits: &Tensor, label: usize) -> (f32, Tensor) {
+    assert!(label < logits.len(), "label {label} out of range for {} classes", logits.len());
+    let probs = softmax(logits);
+    let p = probs.data()[label].max(1e-12);
+    let loss = -p.ln();
+    let mut grad = probs;
+    grad.data_mut()[label] -= 1.0;
+    (loss, grad)
+}
+
+/// Mean squared error between a prediction and a target of the same shape, with its gradient
+/// with respect to the prediction.
+///
+/// # Panics
+///
+/// Panics if the shapes differ.
+pub fn mse(prediction: &Tensor, target: &Tensor) -> (f32, Tensor) {
+    assert_eq!(prediction.shape(), target.shape(), "mse requires matching shapes");
+    let n = prediction.len() as f32;
+    let diff = prediction.sub(target).expect("shapes already checked");
+    let loss = diff.squared_norm() / n;
+    let grad = diff.scale(2.0 / n);
+    (loss, grad)
+}
+
+/// Classification accuracy of a batch of logit vectors against integer labels.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn accuracy(logits: &[Tensor], labels: &[usize]) -> f64 {
+    assert_eq!(logits.len(), labels.len(), "logits and labels must pair up");
+    if logits.is_empty() {
+        return 0.0;
+    }
+    let correct =
+        logits.iter().zip(labels).filter(|(l, &y)| l.argmax() == y).count();
+    correct as f64 / logits.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn softmax_sums_to_one_and_orders_correctly() {
+        let logits = Tensor::from_vec(vec![3], vec![1.0, 2.0, 3.0]).unwrap();
+        let p = softmax(&logits);
+        assert!((p.sum() - 1.0).abs() < 1e-6);
+        assert!(p.data()[2] > p.data()[1] && p.data()[1] > p.data()[0]);
+    }
+
+    #[test]
+    fn softmax_is_shift_invariant_and_stable() {
+        let a = softmax(&Tensor::from_vec(vec![3], vec![1.0, 2.0, 3.0]).unwrap());
+        let b = softmax(&Tensor::from_vec(vec![3], vec![1001.0, 1002.0, 1003.0]).unwrap());
+        for (x, y) in a.data().iter().zip(b.data()) {
+            assert!((x - y).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn cross_entropy_loss_decreases_with_confidence() {
+        let confident = Tensor::from_vec(vec![3], vec![0.0, 0.0, 10.0]).unwrap();
+        let unsure = Tensor::from_vec(vec![3], vec![0.0, 0.0, 0.1]).unwrap();
+        let (l_confident, _) = softmax_cross_entropy(&confident, 2);
+        let (l_unsure, _) = softmax_cross_entropy(&unsure, 2);
+        assert!(l_confident < l_unsure);
+    }
+
+    #[test]
+    fn cross_entropy_gradient_matches_finite_difference() {
+        let logits = Tensor::from_vec(vec![4], vec![0.3, -0.2, 0.9, 0.1]).unwrap();
+        let label = 1usize;
+        let (_, grad) = softmax_cross_entropy(&logits, label);
+        let eps = 1e-3f32;
+        for i in 0..4 {
+            let mut plus = logits.clone();
+            plus.data_mut()[i] += eps;
+            let mut minus = logits.clone();
+            minus.data_mut()[i] -= eps;
+            let (lp, _) = softmax_cross_entropy(&plus, label);
+            let (lm, _) = softmax_cross_entropy(&minus, label);
+            let numerical = (lp - lm) / (2.0 * eps);
+            assert!((numerical - grad.data()[i]).abs() < 1e-3, "logit {i}");
+        }
+    }
+
+    #[test]
+    fn mse_of_equal_tensors_is_zero() {
+        let t = Tensor::from_vec(vec![3], vec![1.0, 2.0, 3.0]).unwrap();
+        let (loss, grad) = mse(&t, &t);
+        assert_eq!(loss, 0.0);
+        assert!(grad.data().iter().all(|&g| g == 0.0));
+    }
+
+    #[test]
+    fn accuracy_counts_argmax_matches() {
+        let logits = vec![
+            Tensor::from_vec(vec![2], vec![0.9, 0.1]).unwrap(),
+            Tensor::from_vec(vec![2], vec![0.2, 0.8]).unwrap(),
+            Tensor::from_vec(vec![2], vec![0.6, 0.4]).unwrap(),
+        ];
+        let labels = vec![0, 1, 1];
+        assert!((accuracy(&logits, &labels) - 2.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn cross_entropy_rejects_bad_label() {
+        let logits = Tensor::from_vec(vec![2], vec![0.0, 1.0]).unwrap();
+        softmax_cross_entropy(&logits, 5);
+    }
+}

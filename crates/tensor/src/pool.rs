@@ -1,0 +1,134 @@
+//! Max pooling with argmax bookkeeping for the backward pass.
+
+use crate::tensor::{Tensor, TensorError};
+
+/// Result of a max-pooling forward pass: the pooled output plus the flat input index that won
+/// each pooling window (needed to route gradients back).
+#[derive(Debug, Clone, PartialEq)]
+pub struct PoolOutput {
+    /// Pooled feature map `[C, OH, OW]`.
+    pub output: Tensor,
+    /// For every output element, the flat index into the input tensor of the maximum element.
+    pub argmax: Vec<usize>,
+}
+
+/// 2-D max pooling over non-overlapping `window × window` regions with stride equal to the
+/// window size (the configuration used by LeNet/AlexNet/VGG style networks).
+///
+/// * `input` — `[C, H, W]`; `H` and `W` must be divisible by `window`.
+///
+/// # Errors
+///
+/// Returns [`TensorError::ShapeMismatch`] if the input is not 3-D or not divisible by the
+/// window.
+pub fn max_pool2d(input: &Tensor, window: usize) -> Result<PoolOutput, TensorError> {
+    let shape = input.shape();
+    if shape.len() != 3 || window == 0 || shape[1] % window != 0 || shape[2] % window != 0 {
+        return Err(TensorError::ShapeMismatch {
+            left: shape.to_vec(),
+            right: vec![shape.first().copied().unwrap_or(0), window, window],
+        });
+    }
+    let (c, h, w) = (shape[0], shape[1], shape[2]);
+    let (oh, ow) = (h / window, w / window);
+    let mut output = Tensor::zeros(&[c, oh, ow]);
+    let mut argmax = vec![0usize; c * oh * ow];
+    let in_d = input.data();
+    let out_d = output.data_mut();
+    for ch in 0..c {
+        for oy in 0..oh {
+            for ox in 0..ow {
+                let mut best = f32::NEG_INFINITY;
+                let mut best_idx = 0usize;
+                for dy in 0..window {
+                    for dx in 0..window {
+                        let iy = oy * window + dy;
+                        let ix = ox * window + dx;
+                        let idx = (ch * h + iy) * w + ix;
+                        if in_d[idx] > best {
+                            best = in_d[idx];
+                            best_idx = idx;
+                        }
+                    }
+                }
+                let oidx = (ch * oh + oy) * ow + ox;
+                out_d[oidx] = best;
+                argmax[oidx] = best_idx;
+            }
+        }
+    }
+    Ok(PoolOutput { output, argmax })
+}
+
+/// Routes the upstream gradient back through a max-pooling layer using the recorded argmax.
+///
+/// # Panics
+///
+/// Panics if `grad_output` and `argmax` disagree in length (an internal wiring error).
+pub fn max_pool2d_backward(
+    grad_output: &Tensor,
+    argmax: &[usize],
+    input_shape: &[usize],
+) -> Tensor {
+    assert_eq!(grad_output.len(), argmax.len(), "argmax record does not match gradient size");
+    let mut grad_in = Tensor::zeros(input_shape);
+    let gi = grad_in.data_mut();
+    for (g, &idx) in grad_output.data().iter().zip(argmax) {
+        gi[idx] += g;
+    }
+    grad_in
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pooling_picks_window_maxima() {
+        let input = Tensor::from_vec(
+            vec![1, 4, 4],
+            vec![
+                1., 2., 5., 6., //
+                3., 4., 7., 8., //
+                9., 10., 13., 14., //
+                11., 12., 15., 16.,
+            ],
+        )
+        .unwrap();
+        let pooled = max_pool2d(&input, 2).unwrap();
+        assert_eq!(pooled.output.shape(), &[1, 2, 2]);
+        assert_eq!(pooled.output.data(), &[4., 8., 12., 16.]);
+    }
+
+    #[test]
+    fn pooling_backward_routes_gradient_to_maxima_only() {
+        let input = Tensor::from_vec(
+            vec![1, 2, 2],
+            vec![1.0, 9.0, 3.0, 2.0],
+        )
+        .unwrap();
+        let pooled = max_pool2d(&input, 2).unwrap();
+        let grad_out = Tensor::filled(&[1, 1, 1], 5.0);
+        let grad_in = max_pool2d_backward(&grad_out, &pooled.argmax, input.shape());
+        assert_eq!(grad_in.data(), &[0.0, 5.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn pooling_rejects_indivisible_inputs() {
+        let input = Tensor::zeros(&[1, 5, 4]);
+        assert!(max_pool2d(&input, 2).is_err());
+        let input = Tensor::zeros(&[1, 4]);
+        assert!(max_pool2d(&input, 2).is_err());
+    }
+
+    #[test]
+    fn multi_channel_pooling_is_independent_per_channel() {
+        let input = Tensor::from_vec(
+            vec![2, 2, 2],
+            vec![1., 2., 3., 4., 40., 30., 20., 10.],
+        )
+        .unwrap();
+        let pooled = max_pool2d(&input, 2).unwrap();
+        assert_eq!(pooled.output.data(), &[4.0, 40.0]);
+    }
+}

@@ -1,0 +1,103 @@
+//! Property-based tests for the tensor substrate: algebraic identities of the elementwise ops,
+//! convolution linearity, and quantization invariants.
+
+use bnn_tensor::conv::{conv2d_backward_input, conv2d_forward, rotate_kernels_180, ConvGeometry};
+use bnn_tensor::{Precision, Tensor};
+use proptest::prelude::*;
+
+fn arb_tensor(len: usize) -> impl Strategy<Value = Vec<f32>> {
+    prop::collection::vec(-10.0f32..10.0, len..=len)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Elementwise addition commutes and the Hadamard product distributes over addition.
+    #[test]
+    fn elementwise_algebra(a in arb_tensor(24), b in arb_tensor(24), c in arb_tensor(24)) {
+        let ta = Tensor::from_vec(vec![4, 6], a).unwrap();
+        let tb = Tensor::from_vec(vec![4, 6], b).unwrap();
+        let tc = Tensor::from_vec(vec![4, 6], c).unwrap();
+        prop_assert_eq!(ta.add(&tb).unwrap(), tb.add(&ta).unwrap());
+        let lhs = ta.hadamard(&tb.add(&tc).unwrap()).unwrap();
+        let rhs = ta.hadamard(&tb).unwrap().add(&ta.hadamard(&tc).unwrap()).unwrap();
+        for (x, y) in lhs.data().iter().zip(rhs.data()) {
+            prop_assert!((x - y).abs() < 1e-3);
+        }
+    }
+
+    /// Matmul is associative with the identity and transpose reverses operand order.
+    #[test]
+    fn matmul_identities(a in arb_tensor(12)) {
+        let ta = Tensor::from_vec(vec![3, 4], a).unwrap();
+        let mut eye = Tensor::zeros(&[4, 4]);
+        for i in 0..4 {
+            eye.set(&[i, i], 1.0);
+        }
+        let prod = ta.matmul(&eye).unwrap();
+        prop_assert_eq!(&prod, &ta);
+        // (A B)^T = B^T A^T
+        let b = eye.scale(2.0);
+        let lhs = ta.matmul(&b).unwrap().transpose2();
+        let rhs = b.transpose2().matmul(&ta.transpose2()).unwrap();
+        prop_assert_eq!(lhs, rhs);
+    }
+
+    /// The convolution is linear in its input: conv(x + y) = conv(x) + conv(y) for zero bias.
+    #[test]
+    fn convolution_is_linear_in_input(x in arb_tensor(2 * 6 * 6), y in arb_tensor(2 * 6 * 6), w in arb_tensor(3 * 2 * 9)) {
+        let geom = ConvGeometry { in_channels: 2, out_channels: 3, kernel: 3, stride: 1, padding: 1 };
+        let tx = Tensor::from_vec(vec![2, 6, 6], x).unwrap();
+        let ty = Tensor::from_vec(vec![2, 6, 6], y).unwrap();
+        let tw = Tensor::from_vec(vec![3, 2, 3, 3], w).unwrap();
+        let bias = Tensor::zeros(&[3]);
+        let sum_then_conv = conv2d_forward(&geom, &tx.add(&ty).unwrap(), &tw, &bias).unwrap();
+        let conv_then_sum = conv2d_forward(&geom, &tx, &tw, &bias)
+            .unwrap()
+            .add(&conv2d_forward(&geom, &ty, &tw, &bias).unwrap())
+            .unwrap();
+        for (a, b) in sum_then_conv.data().iter().zip(conv_then_sum.data()) {
+            prop_assert!((a - b).abs() < 1e-2, "{a} vs {b}");
+        }
+    }
+
+    /// For stride 1, the input gradient equals a forward convolution of the (zero-padded) errors
+    /// with the 180°-rotated, channel-transposed kernels — the exact equivalence the backward
+    /// stage of the paper exploits (Fig. 5(a)).
+    #[test]
+    fn backward_input_equals_rotated_kernel_convolution(e in arb_tensor(3 * 5 * 5), w in arb_tensor(3 * 2 * 9)) {
+        let geom = ConvGeometry { in_channels: 2, out_channels: 3, kernel: 3, stride: 1, padding: 1 };
+        let grad_out = Tensor::from_vec(vec![3, 5, 5], e).unwrap();
+        let weights = Tensor::from_vec(vec![3, 2, 3, 3], w).unwrap();
+        let grad_in = conv2d_backward_input(&geom, &grad_out, &weights, 5, 5).unwrap();
+
+        // Build the transposed-and-rotated kernel tensor [N, M, K, K].
+        let rotated = rotate_kernels_180(&weights);
+        let mut swapped = Tensor::zeros(&[2, 3, 3, 3]);
+        for m in 0..3 {
+            for n in 0..2 {
+                for ky in 0..3 {
+                    for kx in 0..3 {
+                        swapped.set(&[n, m, ky, kx], rotated.at(&[m, n, ky, kx]));
+                    }
+                }
+            }
+        }
+        let geom_bw = ConvGeometry { in_channels: 3, out_channels: 2, kernel: 3, stride: 1, padding: 1 };
+        let bias = Tensor::zeros(&[2]);
+        let full = conv2d_forward(&geom_bw, &grad_out, &swapped, &bias).unwrap();
+        for (a, b) in grad_in.data().iter().zip(full.data()) {
+            prop_assert!((a - b).abs() < 1e-2, "{a} vs {b}");
+        }
+    }
+
+    /// Quantization is idempotent and never increases magnitude beyond the representable range.
+    #[test]
+    fn quantization_idempotent_and_bounded(v in -1000.0f32..1000.0, frac in 0u32..8) {
+        for p in [Precision::Fx16 { frac_bits: frac + 4 }, Precision::Fx8 { frac_bits: frac }] {
+            let q = p.quantize(v);
+            prop_assert_eq!(p.quantize(q), q);
+            prop_assert!(q.abs() <= p.max_value().abs() + 1.0 / (1 << frac) as f32);
+        }
+    }
+}

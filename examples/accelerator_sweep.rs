@@ -1,0 +1,50 @@
+//! Accelerator sweep: evaluate every paper model on every accelerator design across a range of
+//! Monte-Carlo sample counts and print energy, latency, DRAM traffic and efficiency — the
+//! exploration a system designer would run before choosing a deployment point.
+//!
+//! Run with: `cargo run --release --example accelerator_sweep`
+
+use bnn_models::ModelKind;
+use shift_bnn::compare::DesignComparison;
+use shift_bnn::designs::DesignKind;
+
+fn main() {
+    let sample_counts = [8usize, 16, 32];
+    println!(
+        "{:<12} {:>4} {:>12} {:>14} {:>14} {:>16} {:>14}",
+        "model", "S", "design", "energy (mJ)", "latency (ms)", "DRAM (MValues)", "GOPS/W"
+    );
+    for kind in ModelKind::all() {
+        let model = kind.bnn();
+        for &samples in &sample_counts {
+            let comparison = DesignComparison::run(&model, samples, &DesignKind::all());
+            for evaluation in &comparison.evaluations {
+                println!(
+                    "{:<12} {:>4} {:>12} {:>14.2} {:>14.3} {:>16.1} {:>14.1}",
+                    kind.paper_name(),
+                    samples,
+                    evaluation.design.name(),
+                    evaluation.energy_mj(),
+                    evaluation.latency_s() * 1e3,
+                    evaluation.dram_accesses() as f64 / 1e6,
+                    evaluation.gops_per_watt()
+                );
+            }
+        }
+        println!();
+    }
+
+    // Summarize the design-space takeaway the paper draws: RC + LFSR reversion is the sweet spot.
+    let model = ModelKind::LeNet.bnn();
+    let cmp = DesignComparison::run(&model, 16, &DesignKind::all());
+    let best = cmp
+        .evaluations
+        .iter()
+        .min_by(|a, b| a.energy_mj().partial_cmp(&b.energy_mj()).unwrap())
+        .unwrap();
+    println!(
+        "lowest-energy design for B-LeNet at S=16: {} ({:.1} mJ)",
+        best.design.name(),
+        best.energy_mj()
+    );
+}

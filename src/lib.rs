@@ -1,0 +1,32 @@
+//! Umbrella crate of the Shift-BNN reproduction: re-exports the workspace crates so the
+//! examples and integration tests can use a single dependency, and documents how the pieces fit
+//! together.
+//!
+//! * [`lfsr`] (`bnn-lfsr`) — reversible Fibonacci LFSRs and the CLT-based Gaussian RNG;
+//! * [`tensor`] (`bnn-tensor`) — the dense tensor / NN math substrate;
+//! * [`train`] (`bnn-train`) — Bayes-by-Backprop training with store-replay or LFSR-retrieved ε;
+//! * [`models`] (`bnn-models`) — the five paper model families and their workload volumes;
+//! * [`arch`] (`bnn-arch`) — the accelerator simulator (mappings, energy, latency, resources,
+//!   GPU roofline);
+//! * [`core`] (`shift-bnn`) — the four accelerator designs and the comparison/scalability APIs.
+//!
+//! See `README.md` for a walkthrough, `DESIGN.md` for the system inventory and
+//! `EXPERIMENTS.md` for the paper-vs-measured record of every table and figure.
+
+#![warn(missing_docs)]
+
+pub use bnn_arch as arch;
+pub use bnn_lfsr as lfsr;
+pub use bnn_models as models;
+pub use bnn_tensor as tensor;
+pub use bnn_train as train;
+pub use shift_bnn as core;
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn reexports_are_wired() {
+        assert_eq!(crate::core::DesignKind::ShiftBnn.name(), "Shift-BNN");
+        assert!(crate::models::ModelKind::all().len() == 5);
+    }
+}

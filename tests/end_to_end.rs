@@ -1,0 +1,125 @@
+//! End-to-end integration tests spanning the whole workspace: LFSR → GRNG → BNN training →
+//! workload → accelerator simulation, exercised through the public APIs only.
+
+use bnn_models::workload::ModelVolume;
+use bnn_models::ModelKind;
+use bnn_train::data::SyntheticDataset;
+use bnn_train::network::Network;
+use bnn_train::trainer::{EpsilonStrategy, Trainer, TrainerConfig};
+use bnn_train::variational::BayesConfig;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use shift_bnn::compare::DesignComparison;
+use shift_bnn::designs::DesignKind;
+use shift_bnn::evaluate::{evaluate, evaluate_gpu};
+use shift_bnn::scalability::{sweep_samples, FIG13_SAMPLE_COUNTS};
+
+/// The paper's headline claim chain, end to end: training with LFSR retrieval is bit-exact, and
+/// the accelerator built around it eliminates all ε traffic, which translates into energy,
+/// latency, efficiency and footprint wins on every model.
+#[test]
+fn headline_claims_hold_end_to_end() {
+    // Algorithmic side: bit-exact training on a small B-LeNet-style network.
+    let dataset = SyntheticDataset::generate(&[1, 8, 8], 3, 6, 0.2, 5);
+    let mut trainers: Vec<Trainer> = [EpsilonStrategy::StoreReplay, EpsilonStrategy::LfsrRetrieve]
+        .into_iter()
+        .map(|strategy| {
+            let mut rng = StdRng::seed_from_u64(17);
+            let network = Network::bayes_lenet(&[1, 8, 8], 3, BayesConfig::default(), &mut rng);
+            Trainer::new(
+                network,
+                TrainerConfig { samples: 2, learning_rate: 0.05, strategy, seed: 23 },
+            )
+            .unwrap()
+        })
+        .collect();
+    for _ in 0..3 {
+        let a = trainers[0].train_epoch(&dataset).unwrap();
+        let b = trainers[1].train_epoch(&dataset).unwrap();
+        assert_eq!(a, b);
+    }
+    assert_eq!(trainers[1].stored_epsilons(), 0);
+
+    // Architectural side: every model wins on every headline metric at S = 16.
+    for kind in ModelKind::all() {
+        let model = kind.bnn();
+        let cmp = DesignComparison::run(&model, 16, &DesignKind::all());
+        let rc = cmp.of(DesignKind::RcAcc);
+        let shift = cmp.of(DesignKind::ShiftBnn);
+        assert_eq!(shift.report.dram_traffic.epsilon, 0, "{}", kind.paper_name());
+        assert!(rc.report.dram_traffic.epsilon > 0);
+        assert!(shift.energy_mj() < rc.energy_mj());
+        assert!(shift.latency_s() <= rc.latency_s());
+        assert!(shift.gops_per_watt() > rc.gops_per_watt());
+        assert!(shift.footprint_bytes() < rc.footprint_bytes());
+    }
+}
+
+/// The simulator's ε traffic is consistent with the workload accounting: the baseline moves
+/// 3 × S × weights ε values (store + two fetches) and the Shift designs move none.
+#[test]
+fn epsilon_traffic_matches_workload_accounting() {
+    for kind in [ModelKind::Mlp, ModelKind::LeNet, ModelKind::Vgg16] {
+        let model = kind.bnn();
+        let samples = 16;
+        let volume = ModelVolume::for_model(&model, samples);
+        let baseline = evaluate(DesignKind::RcAcc, &model, samples);
+        assert_eq!(
+            baseline.report.dram_traffic.epsilon,
+            3 * volume.total_epsilon_values(),
+            "{}",
+            kind.paper_name()
+        );
+        let shift = evaluate(DesignKind::ShiftBnn, &model, samples);
+        assert_eq!(shift.report.dram_traffic.epsilon, 0);
+    }
+}
+
+/// Scalability: the benefit grows with the sample count, and at every point Shift-BNN is at
+/// least as efficient as MNShift-Acc (Fig. 13's two claims).
+#[test]
+fn scalability_trends_match_figure_13() {
+    let points = sweep_samples(&ModelKind::LeNet.bnn(), &FIG13_SAMPLE_COUNTS);
+    assert!(points.first().unwrap().shift_energy_reduction < points.last().unwrap().shift_energy_reduction);
+    for p in &points {
+        assert!(p.shift_efficiency >= p.mnshift_efficiency);
+    }
+}
+
+/// The GPU comparison point behaves like the paper describes: it can beat the baseline
+/// accelerator on the large models, but Shift-BNN still beats it on energy efficiency.
+#[test]
+fn gpu_comparison_matches_figure_12_shape() {
+    for kind in ModelKind::all() {
+        let model = kind.bnn();
+        let (gpu, gpu_report) = evaluate_gpu(&model, 16);
+        let shift = evaluate(DesignKind::ShiftBnn, &model, 16);
+        let gpu_eff = gpu_report.gops_per_watt(gpu.sustained_power_w);
+        assert!(
+            shift.gops_per_watt() > gpu_eff,
+            "{}: Shift-BNN {} vs GPU {}",
+            kind.paper_name(),
+            shift.gops_per_watt(),
+            gpu_eff
+        );
+    }
+}
+
+/// Full-model coverage: the four designs produce internally consistent reports (per-layer
+/// latencies sum to the total, traffic fractions sum to one) for every paper model.
+#[test]
+fn reports_are_internally_consistent_for_all_models_and_designs() {
+    for kind in ModelKind::all() {
+        let model = kind.bnn();
+        for design in DesignKind::all() {
+            let evaluation = evaluate(design, &model, 8);
+            let report = &evaluation.report;
+            let layer_sum: u64 = report.layers.iter().map(|l| l.latency_cycles()).sum();
+            assert_eq!(layer_sum, report.latency_cycles);
+            let (w, e, f) = report.dram_traffic.fractions();
+            assert!((w + e + f - 1.0).abs() < 1e-9);
+            assert_eq!(report.layers.len(), model.layer_count());
+            assert!(report.total_macs > 0);
+        }
+    }
+}

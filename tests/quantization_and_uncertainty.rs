@@ -1,0 +1,78 @@
+//! Integration tests for the training-quality experiments: the Table 1 precision trend and the
+//! predictive-uncertainty property that motivates BNNs.
+
+use bnn_tensor::Precision;
+use bnn_train::data::SyntheticDataset;
+use bnn_train::epsilon::{EpsilonSource, LfsrRetrieve};
+use bnn_train::network::Network;
+use bnn_train::trainer::{EpsilonStrategy, Trainer, TrainerConfig};
+use bnn_train::variational::BayesConfig;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn train_mlp(precision: Precision, epochs: usize) -> (Trainer, SyntheticDataset) {
+    let dataset = SyntheticDataset::generate(&[32], 3, 12, 0.2, 44);
+    let mut rng = StdRng::seed_from_u64(8);
+    let config = BayesConfig { kl_weight: 1e-3, ..BayesConfig::default() }.with_precision(precision);
+    let network = Network::bayes_mlp(32, &[24], 3, config, &mut rng);
+    let mut trainer = Trainer::new(
+        network,
+        TrainerConfig {
+            samples: 2,
+            learning_rate: 0.08,
+            strategy: EpsilonStrategy::LfsrRetrieve,
+            seed: 4,
+        },
+    )
+    .unwrap();
+    for _ in 0..epochs {
+        trainer.train_epoch(&dataset).unwrap();
+    }
+    (trainer, dataset)
+}
+
+#[test]
+fn sixteen_bit_training_tracks_fp32_within_a_few_points() {
+    let (mut t32, data) = train_mlp(Precision::Fp32, 10);
+    let (mut t16, _) = train_mlp(Precision::PAPER_16BIT, 10);
+    let a32 = t32.evaluate(&data).unwrap();
+    let a16 = t16.evaluate(&data).unwrap();
+    assert!(a32 > 0.7, "fp32 accuracy {a32}");
+    assert!((a32 - a16).abs() < 0.25, "16-bit should track fp32: {a16} vs {a32}");
+}
+
+#[test]
+fn eight_bit_training_never_beats_sixteen_bit() {
+    let (mut t16, data) = train_mlp(Precision::PAPER_16BIT, 10);
+    let (mut t8, _) = train_mlp(Precision::PAPER_8BIT, 10);
+    let a16 = t16.evaluate(&data).unwrap();
+    let a8 = t8.evaluate(&data).unwrap();
+    assert!(a8 <= a16 + 1e-9, "8-bit {a8} vs 16-bit {a16}");
+}
+
+#[test]
+fn predictive_entropy_is_higher_out_of_distribution() {
+    let (mut trainer, data) = train_mlp(Precision::Fp32, 12);
+    let sources = |seed: u64| -> Vec<Box<dyn EpsilonSource>> {
+        (0..8)
+            .map(|i| Box::new(LfsrRetrieve::new(seed + i).unwrap()) as Box<dyn EpsilonSource>)
+            .collect()
+    };
+    let (in_image, _) = data.example(0);
+    let mut s = sources(500);
+    let in_probs = trainer.network_mut().predict(in_image, &mut s).unwrap();
+    let in_entropy = Network::predictive_entropy(&in_probs);
+
+    let ood = SyntheticDataset::out_of_distribution(&[32], 5, 99);
+    let mut total_ood_entropy = 0.0f32;
+    for image in &ood {
+        let mut s = sources(900);
+        let probs = trainer.network_mut().predict(image, &mut s).unwrap();
+        total_ood_entropy += Network::predictive_entropy(&probs);
+    }
+    let ood_entropy = total_ood_entropy / ood.len() as f32;
+    assert!(
+        ood_entropy > in_entropy,
+        "expected higher uncertainty out of distribution: {ood_entropy} vs {in_entropy}"
+    );
+}
