@@ -109,7 +109,13 @@ mod tests {
 
     #[test]
     fn breakdown_totals_and_fractions() {
-        let b = EnergyBreakdown { dram_mj: 6.0, sram_mj: 2.0, compute_mj: 1.0, grng_mj: 0.5, static_mj: 0.5 };
+        let b = EnergyBreakdown {
+            dram_mj: 6.0,
+            sram_mj: 2.0,
+            compute_mj: 1.0,
+            grng_mj: 0.5,
+            static_mj: 0.5,
+        };
         assert!((b.total_mj() - 10.0).abs() < 1e-12);
         assert!((b.dram_fraction() - 0.6).abs() < 1e-12);
     }
@@ -131,7 +137,9 @@ mod tests {
     #[test]
     fn dram_scaling_for_sensitivity_studies() {
         let m = EnergyModel::default().with_dram_scale(0.5);
-        assert!((m.dram_pj_per_value - EnergyModel::default().dram_pj_per_value / 2.0).abs() < 1e-9);
+        assert!(
+            (m.dram_pj_per_value - EnergyModel::default().dram_pj_per_value / 2.0).abs() < 1e-9
+        );
     }
 
     #[test]

@@ -10,7 +10,7 @@
 //!   BM), their PE utilization on a layer, and the overheads each pays to support LFSR
 //!   reversion;
 //! * [`simulate`] — the per-layer, per-stage traffic/latency/energy model producing a
-//!   [`TrainingRunReport`](simulate::TrainingRunReport);
+//!   [`TrainingRunReport`];
 //! * [`traffic`] / [`energy`] — operand-class traffic, footprint and energy accounting;
 //! * [`microsim`] — a cycle-level model of one RC-mapped PE tile, validated against the
 //!   reference convolution and used to sanity-check the analytic cycle counts;

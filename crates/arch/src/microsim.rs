@@ -120,7 +120,8 @@ impl RcTileSimulator {
                                         let iy = oy as isize * stride + ky as isize - pad;
                                         let ix = ox as isize * stride + kx as isize - pad;
                                         macs += 1;
-                                        if iy < 0 || iy >= h as isize || ix < 0 || ix >= w as isize {
+                                        if iy < 0 || iy >= h as isize || ix < 0 || ix >= w as isize
+                                        {
                                             continue; // zero padding contributes nothing
                                         }
                                         neuron_reads += 1;
@@ -192,16 +193,15 @@ mod tests {
         let geom = geometry();
         let sim = RcTileSimulator::new(PeTile { rows: 4, cols: 4 });
         let (mu, sigma) = params(&geom);
-        let input = Tensor::from_vec(
-            vec![2, 6, 6],
-            (0..72).map(|i| ((i as f32) * 0.21).cos()).collect(),
-        )
-        .unwrap();
+        let input =
+            Tensor::from_vec(vec![2, 6, 6], (0..72).map(|i| ((i as f32) * 0.21).cos()).collect())
+                .unwrap();
         let mut grng = Grng::shift_bnn_default(55).unwrap();
         let result = sim.forward_conv(&geom, &input, &mu, &sigma, &mut grng);
 
         // Rebuild the weight tensor the simulator sampled and compare against bnn-tensor's conv.
-        let weights = Tensor::from_vec(mu.shape().to_vec(), result.sampled_weights.clone()).unwrap();
+        let weights =
+            Tensor::from_vec(mu.shape().to_vec(), result.sampled_weights.clone()).unwrap();
         let bias = Tensor::zeros(&[geom.out_channels]);
         let reference = conv2d_forward(&geom, &input, &weights, &bias).unwrap();
         for (a, b) in result.output.data().iter().zip(reference.data()) {

@@ -247,11 +247,8 @@ fn footprint(volume: &ModelVolume, config: &AcceleratorConfig) -> FootprintBreak
     let weights: u64 = volume.layers.iter().map(|l| l.weight_param_values).sum::<u64>();
     // Parameters plus their gradients must reside in DRAM.
     let weights_bytes = 2 * weights * bytes;
-    let epsilon_bytes = if config.lfsr_reversion {
-        0
-    } else {
-        volume.total_epsilon_values() * bytes
-    };
+    let epsilon_bytes =
+        if config.lfsr_reversion { 0 } else { volume.total_epsilon_values() * bytes };
     // Activations of every layer persist until the gradient stage; errors are transient per
     // layer pair, so the dominant persistent term is the activations (input side of each layer).
     let features_bytes: u64 =

@@ -53,7 +53,7 @@ fn bench_incremental_vs_recount(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!{
+criterion_group! {
     name = benches;
     config = quick_criterion();
     targets = bench_generation_and_retrieval, bench_incremental_vs_recount

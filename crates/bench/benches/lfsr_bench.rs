@@ -39,7 +39,7 @@ fn bench_round_trip(c: &mut Criterion) {
     });
 }
 
-criterion_group!{
+criterion_group! {
     name = benches;
     config = quick_criterion();
     targets = bench_lfsr_shifting, bench_round_trip

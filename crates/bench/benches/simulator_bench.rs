@@ -17,10 +17,14 @@ fn bench_analytic_model(c: &mut Criterion) {
     let mut group = c.benchmark_group("analytic_simulation");
     for kind in [ModelKind::Mlp, ModelKind::LeNet, ModelKind::Vgg16, ModelKind::ResNet18] {
         let model = kind.bnn();
-        group.bench_with_input(BenchmarkId::new("shift_bnn_s16", kind.paper_name()), &model, |b, m| {
-            let cfg = DesignKind::ShiftBnn.config();
-            b.iter(|| black_box(simulate_training(&cfg, m, 16, &energy)));
-        });
+        group.bench_with_input(
+            BenchmarkId::new("shift_bnn_s16", kind.paper_name()),
+            &model,
+            |b, m| {
+                let cfg = DesignKind::ShiftBnn.config();
+                b.iter(|| black_box(simulate_training(&cfg, m, 16, &energy)));
+            },
+        );
     }
     group.finish();
 }
@@ -53,7 +57,7 @@ fn bench_microsim(c: &mut Criterion) {
     });
 }
 
-criterion_group!{
+criterion_group! {
     name = benches;
     config = quick_criterion();
     targets = bench_analytic_model, bench_design_space_sweep, bench_microsim

@@ -19,20 +19,19 @@ fn trainer(strategy: EpsilonStrategy, conv: bool) -> (Trainer, Tensor) {
     } else {
         (Network::bayes_mlp(128, &[96], 4, config, &mut rng), Tensor::filled(&[128], 0.3))
     };
-    let t = Trainer::new(
-        network,
-        TrainerConfig { samples: 4, learning_rate: 0.05, strategy, seed: 9 },
-    )
-    .unwrap();
+    let t =
+        Trainer::new(network, TrainerConfig { samples: 4, learning_rate: 0.05, strategy, seed: 9 })
+            .unwrap();
     (t, input)
 }
 
 fn bench_train_step(c: &mut Criterion) {
     let mut group = c.benchmark_group("train_step_s4");
     for (name, conv) in [("b_mlp", false), ("b_lenet", true)] {
-        for (strategy_name, strategy) in
-            [("store_replay", EpsilonStrategy::StoreReplay), ("lfsr_retrieve", EpsilonStrategy::LfsrRetrieve)]
-        {
+        for (strategy_name, strategy) in [
+            ("store_replay", EpsilonStrategy::StoreReplay),
+            ("lfsr_retrieve", EpsilonStrategy::LfsrRetrieve),
+        ] {
             group.bench_with_input(
                 BenchmarkId::new(name, strategy_name),
                 &strategy,
@@ -54,7 +53,7 @@ fn bench_epoch(c: &mut Criterion) {
     });
 }
 
-criterion_group!{
+criterion_group! {
     name = benches;
     config = quick_criterion();
     targets = bench_train_step, bench_epoch

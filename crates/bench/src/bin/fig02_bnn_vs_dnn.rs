@@ -42,6 +42,9 @@ fn main() {
             ratios.push(bnn.report.dram_bytes as f64 / dnn.report.dram_bytes as f64);
         }
         let avg = ratios.iter().sum::<f64>() / ratios.len() as f64;
-        println!("average data-transfer increase at S={s}: {avg:.1}x (paper: {})", if s == 8 { "9.1x" } else { "35.3x" });
+        println!(
+            "average data-transfer increase at S={s}: {avg:.1}x (paper: {})",
+            if s == 8 { "9.1x" } else { "35.3x" }
+        );
     }
 }

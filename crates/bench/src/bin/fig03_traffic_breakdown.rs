@@ -16,12 +16,7 @@ fn main() {
         let report = evaluate_with(DesignKind::MnAcc, &kind.bnn(), samples, &energy).report;
         let (w, e, f) = report.dram_traffic.fractions();
         epsilon_fractions.push(e);
-        rows.push(vec![
-            kind.paper_name().to_string(),
-            percent(w),
-            percent(e),
-            percent(f),
-        ]);
+        rows.push(vec![kind.paper_name().to_string(), percent(w), percent(e), percent(f)]);
     }
     print_table(
         "Figure 3: off-chip data transfer breakdown (MN-Acc, S=16)",

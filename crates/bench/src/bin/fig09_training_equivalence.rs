@@ -20,11 +20,8 @@ fn build(strategy: EpsilonStrategy) -> Trainer {
     let config = BayesConfig { kl_weight: 1e-4, ..BayesConfig::default() }
         .with_precision(Precision::PAPER_16BIT);
     let network = Network::bayes_lenet(&[3, 16, 16], 4, config, &mut rng);
-    Trainer::new(
-        network,
-        TrainerConfig { samples: 4, learning_rate: 0.05, strategy, seed: 7 },
-    )
-    .expect("trainer construction")
+    Trainer::new(network, TrainerConfig { samples: 4, learning_rate: 0.05, strategy, seed: 7 })
+        .expect("trainer construction")
 }
 
 fn main() {

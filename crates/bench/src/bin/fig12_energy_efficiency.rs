@@ -42,8 +42,5 @@ fn main() {
         "Shift-BNN vs MN-Acc: avg {} (paper: 10.3x avg, up to 26.1x)",
         ratio(geometric_mean(&shift_vs_mn))
     );
-    println!(
-        "Shift-BNN vs GPU: avg {} (paper: 4.7x avg)",
-        ratio(geometric_mean(&shift_vs_gpu))
-    );
+    println!("Shift-BNN vs GPU: avg {} (paper: 4.7x avg)", ratio(geometric_mean(&shift_vs_gpu)));
 }

@@ -26,25 +26,60 @@ struct Family {
 
 fn families() -> Vec<Family> {
     vec![
-        Family { name: "B-MLP", dataset_name: "MNIST (synthetic)", conv: false, input: vec![64], classes: 4, epochs: 14 },
-        Family { name: "B-LeNet", dataset_name: "CIFAR-10 (synthetic)", conv: true, input: vec![3, 12, 12], classes: 3, epochs: 12 },
-        Family { name: "B-AlexNet (reduced)", dataset_name: "ImageNet (synthetic)", conv: true, input: vec![3, 12, 12], classes: 3, epochs: 12 },
-        Family { name: "B-VGG (reduced)", dataset_name: "ImageNet (synthetic)", conv: true, input: vec![3, 12, 12], classes: 3, epochs: 12 },
-        Family { name: "B-ResNet (reduced)", dataset_name: "ImageNet (synthetic)", conv: true, input: vec![3, 12, 12], classes: 3, epochs: 12 },
+        Family {
+            name: "B-MLP",
+            dataset_name: "MNIST (synthetic)",
+            conv: false,
+            input: vec![64],
+            classes: 4,
+            epochs: 14,
+        },
+        Family {
+            name: "B-LeNet",
+            dataset_name: "CIFAR-10 (synthetic)",
+            conv: true,
+            input: vec![3, 12, 12],
+            classes: 3,
+            epochs: 12,
+        },
+        Family {
+            name: "B-AlexNet (reduced)",
+            dataset_name: "ImageNet (synthetic)",
+            conv: true,
+            input: vec![3, 12, 12],
+            classes: 3,
+            epochs: 12,
+        },
+        Family {
+            name: "B-VGG (reduced)",
+            dataset_name: "ImageNet (synthetic)",
+            conv: true,
+            input: vec![3, 12, 12],
+            classes: 3,
+            epochs: 12,
+        },
+        Family {
+            name: "B-ResNet (reduced)",
+            dataset_name: "ImageNet (synthetic)",
+            conv: true,
+            input: vec![3, 12, 12],
+            classes: 3,
+            epochs: 12,
+        },
     ]
 }
 
 fn train_accuracy(family: &Family, precision: Precision, seed: u64) -> Option<f64> {
     let mut rng = StdRng::seed_from_u64(seed);
-    let config = BayesConfig { kl_weight: 5e-4, ..BayesConfig::default() }.with_precision(precision);
+    let config =
+        BayesConfig { kl_weight: 5e-4, ..BayesConfig::default() }.with_precision(precision);
     let network = if family.conv {
         let shape = [family.input[0], family.input[1], family.input[2]];
         Network::bayes_lenet(&shape, family.classes, config, &mut rng)
     } else {
         Network::bayes_mlp(family.input[0], &[48, 32], family.classes, config, &mut rng)
     };
-    let dataset =
-        SyntheticDataset::generate(&family.input, family.classes, 20, 1.1, seed ^ 0xD00D);
+    let dataset = SyntheticDataset::generate(&family.input, family.classes, 20, 1.1, seed ^ 0xD00D);
     let (train, val) = dataset.split(0.8);
     let mut trainer = Trainer::new(
         network,

@@ -61,17 +61,14 @@ impl SyntheticDataset {
         let normal = StandardNormalBoxMuller;
         let len: usize = shape.iter().product();
         // One well-separated template per class.
-        let templates: Vec<Vec<f32>> = (0..classes)
-            .map(|_| (0..len).map(|_| normal.sample(&mut rng)).collect())
-            .collect();
+        let templates: Vec<Vec<f32>> =
+            (0..classes).map(|_| (0..len).map(|_| normal.sample(&mut rng)).collect()).collect();
         let mut images = Vec::with_capacity(classes * per_class);
         let mut labels = Vec::with_capacity(classes * per_class);
         for class in 0..classes {
             for _ in 0..per_class {
-                let data: Vec<f32> = templates[class]
-                    .iter()
-                    .map(|&t| t + noise * normal.sample(&mut rng))
-                    .collect();
+                let data: Vec<f32> =
+                    templates[class].iter().map(|&t| t + noise * normal.sample(&mut rng)).collect();
                 images.push(Tensor::from_vec(shape.to_vec(), data).expect("length matches shape"));
                 labels.push(class);
             }
@@ -184,11 +181,8 @@ mod tests {
     fn noise_zero_reproduces_templates_exactly_within_class() {
         let d = SyntheticDataset::generate(&[4], 2, 3, 0.0, 9);
         let (img_a, label_a) = d.example(0);
-        let same_class: Vec<&Tensor> = d
-            .iter()
-            .filter(|(_, l)| *l == label_a)
-            .map(|(img, _)| img)
-            .collect();
+        let same_class: Vec<&Tensor> =
+            d.iter().filter(|(_, l)| *l == label_a).map(|(img, _)| img).collect();
         for img in same_class {
             assert_eq!(img, img_a);
         }

@@ -139,8 +139,8 @@ impl Layer for BayesLinear {
         let input = input.reshape(&[self.in_features])?;
         let epsilon = eps.generate_block(self.weights.len());
         let w = self.weights.sample(&epsilon, self.config.precision);
-        self.accumulated_complexity +=
-            self.config.kl_weight * self.weights.complexity_loss(&w, &epsilon, self.config.prior_sigma);
+        self.accumulated_complexity += self.config.kl_weight
+            * self.weights.complexity_loss(&w, &epsilon, self.config.prior_sigma);
         let x = input.reshape(&[self.in_features, 1])?;
         let mut out = w.matmul(&x)?.reshape(&[self.out_features])?;
         out = out.add(&self.bias)?;
@@ -254,8 +254,8 @@ impl Layer for BayesConv2d {
     ) -> Result<Tensor, TensorError> {
         let epsilon = eps.generate_block(self.weights.len());
         let w = self.weights.sample(&epsilon, self.config.precision);
-        self.accumulated_complexity +=
-            self.config.kl_weight * self.weights.complexity_loss(&w, &epsilon, self.config.prior_sigma);
+        self.accumulated_complexity += self.config.kl_weight
+            * self.weights.complexity_loss(&w, &epsilon, self.config.prior_sigma);
         let out = conv2d_forward(&self.geometry, input, &w, &self.bias)?;
         let out = self.config.precision.quantize_tensor(&out);
         self.cached_inputs[sample] = Some(input.clone());
@@ -491,7 +491,8 @@ mod tests {
     #[test]
     fn conv_forward_backward_shapes() {
         let mut rng = StdRng::seed_from_u64(2);
-        let geom = ConvGeometry { in_channels: 1, out_channels: 2, kernel: 3, stride: 1, padding: 1 };
+        let geom =
+            ConvGeometry { in_channels: 1, out_channels: 2, kernel: 3, stride: 1, padding: 1 };
         let mut layer = BayesConv2d::new(geom, BayesConfig::default(), &mut rng);
         let mut eps = eps_source();
         layer.begin_iteration(2);
@@ -537,7 +538,8 @@ mod tests {
         let mut eps = eps_source();
         relu_layer.begin_iteration(1);
         flatten.begin_iteration(1);
-        let input = Tensor::from_vec(vec![2, 2, 2], vec![-1., 2., -3., 4., 5., -6., 7., -8.]).unwrap();
+        let input =
+            Tensor::from_vec(vec![2, 2, 2], vec![-1., 2., -3., 4., 5., -6., 7., -8.]).unwrap();
         let activated = relu_layer.forward(0, &input, &mut eps).unwrap();
         let flat = flatten.forward(0, &activated, &mut eps).unwrap();
         assert_eq!(flat.shape(), &[8]);

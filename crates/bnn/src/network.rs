@@ -146,12 +146,7 @@ impl Network {
     /// Predictive entropy (in nats) of a probability vector — the paper's motivating
     /// uncertainty measure.
     pub fn predictive_entropy(probabilities: &Tensor) -> f32 {
-        -probabilities
-            .data()
-            .iter()
-            .filter(|&&p| p > 0.0)
-            .map(|&p| p * p.ln())
-            .sum::<f32>()
+        -probabilities.data().iter().filter(|&&p| p > 0.0).map(|&p| p * p.ln()).sum::<f32>()
     }
 
     /// Builds a Bayesian multi-layer perceptron: `input_dim → hidden… → classes` with ReLU
@@ -190,8 +185,10 @@ impl Network {
     ) -> Self {
         let [c, h, w] = *input_shape;
         assert!(h % 4 == 0 && w % 4 == 0, "LeNet-style builder needs spatial size divisible by 4");
-        let conv1 = ConvGeometry { in_channels: c, out_channels: 6, kernel: 3, stride: 1, padding: 1 };
-        let conv2 = ConvGeometry { in_channels: 6, out_channels: 16, kernel: 3, stride: 1, padding: 1 };
+        let conv1 =
+            ConvGeometry { in_channels: c, out_channels: 6, kernel: 3, stride: 1, padding: 1 };
+        let conv2 =
+            ConvGeometry { in_channels: 6, out_channels: 16, kernel: 3, stride: 1, padding: 1 };
         let flat = 16 * (h / 4) * (w / 4);
         let mut net = Network::new(config);
         net.push(Box::new(BayesConv2d::new(conv1, config, rng)));
@@ -232,9 +229,7 @@ mod tests {
         let mut net = Network::bayes_lenet(&[1, 8, 8], 4, BayesConfig::default(), &mut rng);
         let mut eps = LfsrRetrieve::new(3).unwrap();
         net.begin_iteration(1);
-        let out = net
-            .forward_sample(0, &Tensor::filled(&[1, 8, 8], 0.5), &mut eps)
-            .unwrap();
+        let out = net.forward_sample(0, &Tensor::filled(&[1, 8, 8], 0.5), &mut eps).unwrap();
         assert_eq!(out.shape(), &[4]);
     }
 

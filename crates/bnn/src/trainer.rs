@@ -116,7 +116,8 @@ impl std::fmt::Debug for Trainer {
 fn build_sources(config: &TrainerConfig) -> Result<Vec<Box<dyn EpsilonSource>>, LfsrError> {
     (0..config.samples.max(1))
         .map(|s| {
-            let seed = config.seed.wrapping_add(0x9E37_79B9_7F4A_7C15u64.wrapping_mul(s as u64 + 1));
+            let seed =
+                config.seed.wrapping_add(0x9E37_79B9_7F4A_7C15u64.wrapping_mul(s as u64 + 1));
             Ok(match config.strategy {
                 EpsilonStrategy::StoreReplay => {
                     Box::new(StoreReplay::new(seed)?) as Box<dyn EpsilonSource>
@@ -165,7 +166,11 @@ impl Trainer {
     /// # Errors
     ///
     /// Returns a [`TrainError`] if the input shape does not match the network.
-    pub fn train_example(&mut self, image: &Tensor, label: usize) -> Result<StepMetrics, TrainError> {
+    pub fn train_example(
+        &mut self,
+        image: &Tensor,
+        label: usize,
+    ) -> Result<StepMetrics, TrainError> {
         let samples = self.config.samples.max(1);
         self.network.begin_iteration(samples);
 
@@ -224,8 +229,7 @@ impl Trainer {
         if dataset.is_empty() {
             return Ok(0.0);
         }
-        let eval_config =
-            TrainerConfig { seed: self.config.seed ^ 0x5EED_5EED, ..self.config };
+        let eval_config = TrainerConfig { seed: self.config.seed ^ 0x5EED_5EED, ..self.config };
         let mut correct = 0usize;
         for (image, label) in dataset.iter() {
             let mut sources = build_sources(&eval_config)?;
@@ -252,8 +256,8 @@ mod tests {
 
     fn mlp(seed: u64, precision: Precision) -> Network {
         let mut rng = StdRng::seed_from_u64(seed);
-        let config = BayesConfig { kl_weight: 1e-3, ..BayesConfig::default() }
-            .with_precision(precision);
+        let config =
+            BayesConfig { kl_weight: 1e-3, ..BayesConfig::default() }.with_precision(precision);
         Network::bayes_mlp(6, &[12], 2, config, &mut rng)
     }
 
@@ -284,7 +288,8 @@ mod tests {
     fn store_replay_and_lfsr_retrieve_train_bit_identically() {
         // The paper's central accuracy claim: LFSR reversal changes nothing about training.
         let dataset = tiny_dataset();
-        let base = TrainerConfig { samples: 3, learning_rate: 0.05, seed: 42, ..TrainerConfig::default() };
+        let base =
+            TrainerConfig { samples: 3, learning_rate: 0.05, seed: 42, ..TrainerConfig::default() };
         let mut baseline = Trainer::new(
             mlp(7, Precision::Fp32),
             TrainerConfig { strategy: EpsilonStrategy::StoreReplay, ..base },

@@ -60,12 +60,7 @@ impl VariationalParams {
         let (fan_in, fan_out) = fan_in_out(shape);
         let mu = xavier_uniform(shape, fan_in, fan_out, rng);
         let rho = Tensor::filled(shape, config.init_rho);
-        Self {
-            grad_mu: Tensor::zeros(shape),
-            grad_rho: Tensor::zeros(shape),
-            mu,
-            rho,
-        }
+        Self { grad_mu: Tensor::zeros(shape), grad_rho: Tensor::zeros(shape), mu, rho }
     }
 
     /// Creates parameters from explicit μ and σ tensors (σ is converted to ρ).
@@ -131,8 +126,8 @@ impl VariationalParams {
         let mut total = 0.0f64;
         for ((&w, &e), &s) in weights.data().iter().zip(epsilon).zip(sigma.data()) {
             let log_q = -(s as f64).ln() - 0.5 * (e as f64) * (e as f64);
-            let log_p =
-                -(prior_sigma as f64).ln() - 0.5 * (w as f64) * (w as f64) / (prior_sigma as f64).powi(2);
+            let log_p = -(prior_sigma as f64).ln()
+                - 0.5 * (w as f64) * (w as f64) / (prior_sigma as f64).powi(2);
             total += log_q - log_p;
         }
         total as f32

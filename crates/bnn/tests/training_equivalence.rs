@@ -1,11 +1,11 @@
 //! Cross-module integration and property tests: the LFSR-retrieval training path is bit-exact
 //! against the store-and-replay baseline across network shapes, sample counts and precisions.
 
+use bnn_tensor::Precision;
 use bnn_train::data::SyntheticDataset;
 use bnn_train::network::Network;
 use bnn_train::trainer::{EpsilonStrategy, Trainer, TrainerConfig};
 use bnn_train::variational::BayesConfig;
-use bnn_tensor::Precision;
 use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -18,7 +18,8 @@ fn build_trainer(
     conv: bool,
 ) -> Trainer {
     let mut rng = StdRng::seed_from_u64(seed);
-    let config = BayesConfig { kl_weight: 1e-3, ..BayesConfig::default() }.with_precision(precision);
+    let config =
+        BayesConfig { kl_weight: 1e-3, ..BayesConfig::default() }.with_precision(precision);
     let network = if conv {
         Network::bayes_lenet(&[1, 8, 8], 3, config, &mut rng)
     } else {

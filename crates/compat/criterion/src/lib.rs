@@ -1,0 +1,371 @@
+//! Offline, API-compatible subset of the [`criterion`](https://docs.rs/criterion/0.5) crate.
+//!
+//! This container has no access to a crates.io registry, so the workspace vendors the slice of
+//! the criterion API its benches use: [`Criterion`] with builder-style configuration,
+//! [`BenchmarkGroup`]s, [`BenchmarkId`], [`Bencher::iter`], [`black_box`], and the
+//! [`criterion_group!`] / [`criterion_main!`] macros.
+//!
+//! Instead of criterion's statistical machinery this harness times a warm-up, then measures
+//! `sample_size` samples (bounded by `measurement_time`) and reports the per-iteration mean,
+//! minimum and maximum as one line per benchmark. That is deliberately simple but honest enough
+//! to compare the orders of magnitude EXPERIMENTS.md records. If registry access ever becomes
+//! available, delete `crates/compat/criterion` and point the `criterion` entry of
+//! `[workspace.dependencies]` at crates.io — no call site changes.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// The benchmark driver, mirroring upstream `criterion::Criterion`.
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+    /// Substring filter from the command line (`cargo bench -- <filter>`).
+    filter: Option<String>,
+    /// True when invoked with `--test` (as `cargo test` does for bench targets): run every
+    /// benchmark body exactly once and skip timing.
+    test_mode: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self {
+            sample_size: 100,
+            warm_up_time: Duration::from_secs(3),
+            measurement_time: Duration::from_secs(5),
+            filter: None,
+            test_mode: false,
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n > 0, "sample size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    /// Sets the warm-up duration run before timing starts.
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Sets the time budget for the timed samples of one benchmark.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Applies command-line arguments (`--test`, `--bench`, a positional name filter, and the
+    /// value-carrying upstream flags), as the expansion of [`criterion_group!`] does.
+    pub fn configure_from_args(mut self) -> Self {
+        let mut args = std::env::args().skip(1);
+        while let Some(arg) = args.next() {
+            match arg.as_str() {
+                "--test" => self.test_mode = true,
+                // Value-carrying flags this harness honors.
+                "--sample-size" => {
+                    if let Some(n) = args.next().and_then(|v| v.parse().ok()) {
+                        self.sample_size = n;
+                    }
+                }
+                "--warm-up-time" => {
+                    if let Some(secs) = args.next().and_then(|v| v.parse().ok()) {
+                        self.warm_up_time = Duration::from_secs_f64(secs);
+                    }
+                }
+                "--measurement-time" => {
+                    if let Some(secs) = args.next().and_then(|v| v.parse().ok()) {
+                        self.measurement_time = Duration::from_secs_f64(secs);
+                    }
+                }
+                // Value-carrying upstream flags this harness ignores: consume the value so it
+                // is not mistaken for a name filter.
+                "--save-baseline"
+                | "--baseline"
+                | "--load-baseline"
+                | "--color"
+                | "--output-format"
+                | "--profile-time"
+                | "--significance-level"
+                | "--confidence-level"
+                | "--noise-threshold"
+                | "--nresamples" => {
+                    args.next();
+                }
+                // Valueless harness flags that change nothing here.
+                "--bench" | "--nocapture" | "-q" | "--quiet" | "--verbose" | "--exact"
+                | "--list" => {}
+                other => {
+                    if !other.starts_with('-') {
+                        self.filter = Some(other.to_string());
+                    }
+                }
+            }
+        }
+        self
+    }
+
+    /// Runs a single benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        self.run_one(name, f);
+        self
+    }
+
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { criterion: self, name: name.to_string() }
+    }
+
+    fn run_one<F>(&self, name: &str, mut f: F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        if let Some(filter) = &self.filter {
+            if !name.contains(filter.as_str()) {
+                return;
+            }
+        }
+        let mut bencher = Bencher {
+            warm_up_time: self.warm_up_time,
+            measurement_time: self.measurement_time,
+            sample_size: self.sample_size,
+            test_mode: self.test_mode,
+            samples: Vec::new(),
+        };
+        f(&mut bencher);
+        if self.test_mode {
+            println!("test {name} ... ok");
+        } else {
+            bencher.report(name);
+        }
+    }
+}
+
+/// A named collection of benchmarks sharing the parent [`Criterion`] configuration, mirroring
+/// upstream `BenchmarkGroup`.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Runs a benchmark inside this group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id.into());
+        self.criterion.run_one(&full, f);
+        self
+    }
+
+    /// Runs a benchmark parameterized by `input` inside this group.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        I: ?Sized,
+        F: FnMut(&mut Bencher, &I),
+    {
+        let full = format!("{}/{}", self.name, id);
+        self.criterion.run_one(&full, |b| f(b, input));
+        self
+    }
+
+    /// Ends the group. (Upstream emits summary reports here; this harness reports per
+    /// benchmark, so it is a no-op kept for API compatibility.)
+    pub fn finish(self) {}
+}
+
+/// A benchmark identifier made of a function name and a parameter, mirroring upstream
+/// `BenchmarkId`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An identifier rendered as `function_name/parameter`.
+    pub fn new(function_name: impl Display, parameter: impl Display) -> Self {
+        Self { id: format!("{function_name}/{parameter}") }
+    }
+
+    /// An identifier carrying only a parameter value.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        Self { id: parameter.to_string() }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.id)
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(name: &str) -> Self {
+        Self { id: name.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(name: String) -> Self {
+        Self { id: name }
+    }
+}
+
+/// Times closures for one benchmark, mirroring upstream `criterion::Bencher`.
+#[derive(Debug)]
+pub struct Bencher {
+    warm_up_time: Duration,
+    measurement_time: Duration,
+    sample_size: usize,
+    test_mode: bool,
+    samples: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Times `routine`, running it repeatedly.
+    pub fn iter<O, F>(&mut self, mut routine: F)
+    where
+        F: FnMut() -> O,
+    {
+        if self.test_mode {
+            black_box(routine());
+            return;
+        }
+        // Warm up for the configured duration (at least one call) and estimate per-call cost.
+        let warm_up_end = Instant::now() + self.warm_up_time;
+        let warm_up_start = Instant::now();
+        let mut warm_up_calls: u32 = 0;
+        loop {
+            black_box(routine());
+            warm_up_calls = warm_up_calls.saturating_add(1);
+            if Instant::now() >= warm_up_end {
+                break;
+            }
+        }
+        let per_call = warm_up_start.elapsed() / warm_up_calls.max(1);
+        // Batch enough calls per sample that the two clock reads are amortized; without this,
+        // sub-microsecond routines would mostly measure timer overhead.
+        const TARGET_SAMPLE: Duration = Duration::from_micros(50);
+        let iters_per_sample: u32 =
+            (TARGET_SAMPLE.as_nanos() / per_call.as_nanos().max(1)).clamp(1, 1_000_000) as u32;
+        // Measure `sample_size` samples, stopping early if the time budget runs out.
+        let measurement_end = Instant::now() + self.measurement_time;
+        self.samples.clear();
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            for _ in 0..iters_per_sample {
+                black_box(routine());
+            }
+            self.samples.push(start.elapsed() / iters_per_sample);
+            if Instant::now() >= measurement_end {
+                break;
+            }
+        }
+    }
+
+    fn report(&self, name: &str) {
+        if self.samples.is_empty() {
+            println!("{name:<50} (no samples collected)");
+            return;
+        }
+        let total: Duration = self.samples.iter().sum();
+        let mean = total / self.samples.len() as u32;
+        let min = self.samples.iter().min().expect("non-empty");
+        let max = self.samples.iter().max().expect("non-empty");
+        println!(
+            "{name:<50} time: [{} {} {}]  ({} samples)",
+            format_duration(*min),
+            format_duration(mean),
+            format_duration(*max),
+            self.samples.len(),
+        );
+    }
+}
+
+fn format_duration(d: Duration) -> String {
+    let nanos = d.as_nanos();
+    if nanos < 1_000 {
+        format!("{nanos} ns")
+    } else if nanos < 1_000_000 {
+        format!("{:.3} µs", nanos as f64 / 1_000.0)
+    } else if nanos < 1_000_000_000 {
+        format!("{:.3} ms", nanos as f64 / 1_000_000.0)
+    } else {
+        format!("{:.3} s", nanos as f64 / 1_000_000_000.0)
+    }
+}
+
+/// Declares a benchmark group function, mirroring upstream `criterion_group!`. Supports both
+/// the `name = ..; config = ..; targets = ..` form and the positional form.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config.configure_from_args();
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Declares the `main` function running the given benchmark groups, mirroring upstream
+/// `criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_and_reports() {
+        let mut c = Criterion::default()
+            .sample_size(3)
+            .warm_up_time(Duration::from_millis(1))
+            .measurement_time(Duration::from_millis(5));
+        let mut calls = 0u32;
+        c.bench_function("smoke", |b| b.iter(|| calls = black_box(calls.wrapping_add(1))));
+        assert!(calls > 0);
+    }
+
+    #[test]
+    fn groups_and_ids_compose() {
+        let mut c = Criterion::default()
+            .sample_size(2)
+            .warm_up_time(Duration::from_millis(1))
+            .measurement_time(Duration::from_millis(2));
+        let mut group = c.benchmark_group("g");
+        group.bench_with_input(BenchmarkId::new("f", 8), &8usize, |b, &n| {
+            b.iter(|| black_box(n * 2));
+        });
+        group.finish();
+        assert_eq!(format!("{}", BenchmarkId::new("forward", 256)), "forward/256");
+    }
+}

@@ -1,0 +1,20 @@
+//! Boolean strategies, mirroring upstream `proptest::bool`.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+use rand::Rng;
+
+/// Generates `true` and `false` with equal probability, mirroring upstream `prop::bool::ANY`.
+pub const ANY: Any = Any;
+
+/// The type of [`ANY`].
+#[derive(Debug, Clone, Copy)]
+pub struct Any;
+
+impl Strategy for Any {
+    type Value = bool;
+
+    fn generate(&self, rng: &mut TestRng) -> bool {
+        rng.rng().gen_range(0u32..2) == 1
+    }
+}

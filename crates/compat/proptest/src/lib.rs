@@ -1,0 +1,150 @@
+//! Offline, API-compatible subset of the [`proptest`](https://docs.rs/proptest/1) crate.
+//!
+//! This container has no access to a crates.io registry, so the workspace vendors the slice of
+//! the proptest API its property tests use: the [`proptest!`] macro (with
+//! `#![proptest_config(..)]`), the [`strategy::Strategy`] trait with `prop_map`, range / tuple /
+//! boolean / collection / sample strategies, and the [`prop_assert!`] / [`prop_assert_eq!`]
+//! assertion forms.
+//!
+//! Semantics differ from upstream in one deliberate way: there is **no shrinking**. A failing
+//! case panics immediately with the generated inputs printed, which is enough to reproduce it
+//! (generation is fully deterministic per test name). If registry access ever becomes
+//! available, delete `crates/compat/proptest` and point the `proptest` entry of
+//! `[workspace.dependencies]` at crates.io — no call site changes.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod bool;
+pub mod collection;
+pub mod sample;
+pub mod strategy;
+pub mod test_runner;
+
+/// Namespace mirror of upstream's `proptest::prop` re-export module, so call sites can write
+/// `prop::sample::select`, `prop::collection::vec` and `prop::bool::ANY` after importing the
+/// [`prelude`].
+pub mod prop {
+    pub use crate::bool;
+    pub use crate::collection;
+    pub use crate::sample;
+    pub use crate::strategy;
+}
+
+/// The glob-import surface, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::prop;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError, TestCaseResult};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+/// Defines a block of property tests, mirroring upstream's `proptest!` macro.
+///
+/// Supports the optional `#![proptest_config(expr)]` header and any number of
+/// `fn name(arg in strategy, ...) { body }` items carrying outer attributes (including the
+/// `#[test]` attribute itself and doc comments, both of which are re-emitted verbatim).
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_tests!($config; $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_tests!($crate::test_runner::ProptestConfig::default(); $($rest)*);
+    };
+}
+
+/// Implementation detail of [`proptest!`]; do not invoke directly.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_tests {
+    ($config:expr; $(
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::test_runner::ProptestConfig = $config;
+            let mut rng = $crate::test_runner::TestRng::deterministic(stringify!($name));
+            // A tuple of strategies is itself a strategy, which lets the failure path below
+            // regenerate the exact inputs from a pre-generation RNG snapshot instead of
+            // Debug-formatting every passing case eagerly.
+            let strategies = ($(&($strat),)+);
+            for case in 0..config.cases {
+                let rng_before = rng.clone();
+                let ($($arg,)+) = $crate::strategy::Strategy::generate(&strategies, &mut rng);
+                let outcome: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                    (move || {
+                        $body
+                        ::std::result::Result::Ok(())
+                    })();
+                if let ::std::result::Result::Err(err) = outcome {
+                    let mut replay = rng_before;
+                    let inputs =
+                        $crate::strategy::Strategy::generate(&strategies, &mut replay);
+                    panic!(
+                        "proptest case {}/{} failed: {}\n  inputs ({}): {:?}",
+                        case + 1,
+                        config.cases,
+                        err,
+                        stringify!($($arg),+),
+                        inputs,
+                    );
+                }
+            }
+        }
+    )*};
+}
+
+/// Fails the enclosing property test if the condition is false, mirroring upstream
+/// `prop_assert!`. Accepts an optional trailing format message.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)));
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!($($fmt)*),
+            ));
+        }
+    };
+}
+
+/// Fails the enclosing property test if the two expressions are unequal, mirroring upstream
+/// `prop_assert_eq!`.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let left = $left;
+        let right = $right;
+        $crate::prop_assert!(
+            left == right,
+            "assertion failed: `(left == right)`\n  left: `{:?}`\n right: `{:?}`",
+            left,
+            right
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let left = $left;
+        let right = $right;
+        $crate::prop_assert!(left == right, $($fmt)*);
+    }};
+}
+
+/// Fails the enclosing property test if the two expressions are equal, mirroring upstream
+/// `prop_assert_ne!`.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let left = $left;
+        let right = $right;
+        $crate::prop_assert!(
+            left != right,
+            "assertion failed: `(left != right)`\n  left: `{:?}`\n right: `{:?}`",
+            left,
+            right
+        );
+    }};
+}

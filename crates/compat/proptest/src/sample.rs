@@ -1,0 +1,38 @@
+//! Strategies that sample from explicit value lists, mirroring upstream `proptest::sample`.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+use rand::Rng;
+use std::fmt::Debug;
+
+/// Returns a strategy choosing uniformly among the given values, mirroring upstream
+/// `proptest::sample::select`. Accepts anything convertible to a `Vec` (a `Vec` itself, or a
+/// slice of `Clone` items).
+///
+/// # Panics
+///
+/// Panics if `values` is empty.
+pub fn select<T, I>(values: I) -> Select<T>
+where
+    T: Clone + Debug,
+    I: Into<Vec<T>>,
+{
+    let values = values.into();
+    assert!(!values.is_empty(), "cannot select from an empty list");
+    Select { values }
+}
+
+/// The result of [`select`].
+#[derive(Debug, Clone)]
+pub struct Select<T: Clone + Debug> {
+    values: Vec<T>,
+}
+
+impl<T: Clone + Debug> Strategy for Select<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let index = rng.rng().gen_range(0..self.values.len());
+        self.values[index].clone()
+    }
+}

@@ -1,0 +1,176 @@
+//! The [`Strategy`] trait and the primitive strategies: ranges, tuples, constants, mapping.
+
+use crate::test_runner::TestRng;
+use rand::Rng;
+use std::fmt::Debug;
+use std::ops::{Range, RangeInclusive};
+
+/// A recipe for generating values of one type, mirroring upstream `proptest::strategy::Strategy`.
+///
+/// Unlike upstream there is no shrinking: a strategy simply draws a fresh value from the test
+/// RNG for every case.
+pub trait Strategy {
+    /// The type of value this strategy generates.
+    type Value: Debug;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Returns a strategy producing `f(v)` for every value `v` this strategy produces,
+    /// mirroring upstream `prop_map`.
+    fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        U: Debug,
+        F: Fn(Self::Value) -> U,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// A [`Strategy`] is generated through a shared reference, so `&S` is a strategy too.
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        (**self).generate(rng)
+    }
+}
+
+/// The result of [`Strategy::prop_map`].
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, F, U> Strategy for Map<S, F>
+where
+    S: Strategy,
+    U: Debug,
+    F: Fn(S::Value) -> U,
+{
+    type Value = U;
+
+    fn generate(&self, rng: &mut TestRng) -> U {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// A strategy that always produces the same value, mirroring upstream `Just`.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone + Debug>(pub T);
+
+impl<T: Clone + Debug> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.rng().gen_range(self.clone())
+            }
+        }
+
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "cannot sample from empty range");
+                // Inclusive width in [1, 2^64]; multiply-shift keeps the endpoints reachable
+                // even for full-domain ranges like `0..=T::MAX`.
+                let width = ((end as i128).wrapping_sub(start as i128) as u128) + 1;
+                let offset = ((rand::RngCore::next_u64(rng.rng()) as u128)
+                    .wrapping_mul(width)
+                    >> 64) as i128;
+                ((start as i128) + offset) as $t
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_float_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.rng().gen_range(self.clone())
+            }
+        }
+    )*};
+}
+
+impl_float_range_strategy!(f32, f64);
+
+macro_rules! impl_tuple_strategy {
+    ($(($($s:ident, $idx:tt);+))*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    )*};
+}
+
+impl_tuple_strategy! {
+    (A, 0)
+    (A, 0; B, 1)
+    (A, 0; B, 1; C, 2)
+    (A, 0; B, 1; C, 2; D, 3)
+    (A, 0; B, 1; C, 2; D, 3; E, 4)
+    (A, 0; B, 1; C, 2; D, 3; E, 4; F, 5)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn inclusive_range_reaches_both_endpoints_at_type_max() {
+        let mut rng = TestRng::deterministic("inclusive_range_reaches_both_endpoints");
+        let strat = 0u8..=u8::MAX;
+        let mut seen_min = false;
+        let mut seen_max = false;
+        for _ in 0..10_000 {
+            let v = strat.generate(&mut rng);
+            seen_min |= v == 0;
+            seen_max |= v == u8::MAX;
+        }
+        assert!(seen_min && seen_max, "min {seen_min}, max {seen_max}");
+    }
+
+    #[test]
+    fn inclusive_range_respects_signed_bounds() {
+        let mut rng = TestRng::deterministic("inclusive_range_respects_signed_bounds");
+        let strat = -3i64..=3;
+        let mut seen = [false; 7];
+        for _ in 0..1_000 {
+            let v = strat.generate(&mut rng);
+            assert!((-3..=3).contains(&v), "{v}");
+            seen[(v + 3) as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "{seen:?}");
+    }
+
+    #[test]
+    fn prop_map_and_tuples_compose() {
+        let mut rng = TestRng::deterministic("prop_map_and_tuples_compose");
+        let strat = (0usize..10, 0u32..5).prop_map(|(a, b)| a + b as usize);
+        for _ in 0..100 {
+            assert!(strat.generate(&mut rng) < 14);
+        }
+    }
+}

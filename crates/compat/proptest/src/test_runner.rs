@@ -1,0 +1,78 @@
+//! Test configuration, the deterministic per-test RNG, and the failure type returned by the
+//! `prop_assert*` macros.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::fmt;
+
+/// Per-test-block configuration, mirroring upstream `ProptestConfig`.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// How many random cases to run per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A configuration running `cases` random cases per property.
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        Self { cases: 256 }
+    }
+}
+
+/// The RNG strategies draw from. Seeded deterministically from the test's name so every run
+/// (and every failure report) is reproducible without a persistence file.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    rng: StdRng,
+}
+
+impl TestRng {
+    /// Creates the RNG for the named test, deterministically.
+    pub fn deterministic(test_name: &str) -> Self {
+        // FNV-1a over the test name gives a stable, well-spread 64-bit seed.
+        let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+        for byte in test_name.bytes() {
+            hash ^= u64::from(byte);
+            hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        Self { rng: StdRng::seed_from_u64(hash) }
+    }
+
+    /// The underlying generator.
+    pub fn rng(&mut self) -> &mut StdRng {
+        &mut self.rng
+    }
+}
+
+/// Why a single test case failed, mirroring upstream `TestCaseError`.
+#[derive(Debug, Clone)]
+pub enum TestCaseError {
+    /// The case failed an assertion.
+    Fail(String),
+}
+
+impl TestCaseError {
+    /// Creates a failure carrying the given message.
+    pub fn fail(message: impl Into<String>) -> Self {
+        Self::Fail(message.into())
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Fail(message) => write!(f, "{message}"),
+        }
+    }
+}
+
+impl std::error::Error for TestCaseError {}
+
+/// The result type the bodies of `proptest!` cases are evaluated as.
+pub type TestCaseResult = Result<(), TestCaseError>;

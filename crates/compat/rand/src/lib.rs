@@ -1,0 +1,219 @@
+//! Offline, API-compatible subset of the [`rand`](https://docs.rs/rand/0.8) crate.
+//!
+//! This container has no access to a crates.io registry, so the workspace vendors the small
+//! slice of the `rand 0.8` API the reproduction actually uses as a local path dependency:
+//!
+//! * [`SeedableRng::seed_from_u64`] to build deterministic generators from a `u64` seed;
+//! * [`rngs::StdRng`], here backed by **xoshiro256++** (Blackman & Vigna, public domain) seeded
+//!   through SplitMix64 — a different stream than upstream `StdRng` (ChaCha12), which is fine
+//!   because upstream makes no cross-version stream guarantee and the reproduction only relies
+//!   on determinism, not on specific values;
+//! * [`Rng::gen_range`] over half-open ranges of the primitive numeric types.
+//!
+//! If registry access ever becomes available, delete `crates/compat/rand` and point the
+//! `rand` entry of `[workspace.dependencies]` at crates.io — no call site changes.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+use std::ops::Range;
+
+/// A random number generator: the two raw-output methods everything else builds on.
+pub trait RngCore {
+    /// Returns the next 32 random bits.
+    fn next_u32(&mut self) -> u32;
+    /// Returns the next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// A seedable random number generator.
+pub trait SeedableRng: Sized {
+    /// Creates a generator from a `u64` seed, deterministically.
+    fn seed_from_u64(state: u64) -> Self;
+}
+
+/// User-facing extension methods over any [`RngCore`], mirroring `rand::Rng`.
+pub trait Rng: RngCore {
+    /// Samples a value uniformly from the given half-open range.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        R: SampleRange<T>,
+    {
+        range.sample_single(self)
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// A range that [`Rng::gen_range`] can sample from, mirroring `rand::distributions::uniform`.
+pub trait SampleRange<T> {
+    /// Draws one value uniformly from `self`.
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+impl SampleRange<f32> for Range<f32> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> f32 {
+        assert!(self.start < self.end, "cannot sample from empty range");
+        // 24 bits of precision, uniform in [0, 1); widen to f64 so the range width cannot
+        // overflow to infinity even for `-f32::MAX..f32::MAX`.
+        let x = (rng.next_u32() >> 8) as f64 * (1.0 / (1u32 << 24) as f64);
+        let v = (self.start as f64 + (self.end as f64 - self.start as f64) * x) as f32;
+        // Rounding in the multiply-add (or the narrowing cast) can land exactly on `end`;
+        // clamp to the nearest representable value below it, as upstream does.
+        if v < self.end {
+            v.max(self.start)
+        } else {
+            self.end.next_down().max(self.start)
+        }
+    }
+}
+
+impl SampleRange<f64> for Range<f64> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> f64 {
+        assert!(self.start < self.end, "cannot sample from empty range");
+        // 53 bits of precision, uniform in [0, 1).
+        let x = (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        // Halved arithmetic keeps the width finite even for `-f64::MAX..f64::MAX`.
+        let half_width = self.end / 2.0 - self.start / 2.0;
+        let v = self.start + half_width * x + half_width * x;
+        if v < self.end {
+            v.max(self.start)
+        } else {
+            self.end.next_down().max(self.start)
+        }
+    }
+}
+
+macro_rules! impl_int_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "cannot sample from empty range");
+                let width = (self.end as u128).wrapping_sub(self.start as u128);
+                // Rejection-free multiply-shift (Lemire); the bias over a u128 scaled draw is
+                // far below anything a test could observe.
+                let draw = rng.next_u64() as u128;
+                self.start.wrapping_add(((draw * width) >> 64) as $t)
+            }
+        }
+    )*};
+}
+
+impl_int_range!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// The standard generators, mirroring `rand::rngs`.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// The workspace's standard deterministic generator: **xoshiro256++**.
+    ///
+    /// Upstream `rand`'s `StdRng` is ChaCha12; this produces a different (still deterministic,
+    /// still high-quality) stream, which is all the reproduction depends on.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl StdRng {
+        #[inline]
+        fn rotl(x: u64, k: u32) -> u64 {
+            x.rotate_left(k)
+        }
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(state: u64) -> Self {
+            // SplitMix64 expansion of the seed, as recommended by the xoshiro authors.
+            let mut sm = state;
+            let mut next = || {
+                sm = sm.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                let mut z = sm;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                z ^ (z >> 31)
+            };
+            Self { s: [next(), next(), next(), next()] }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u32(&mut self) -> u32 {
+            (self.next_u64() >> 32) as u32
+        }
+
+        fn next_u64(&mut self) -> u64 {
+            let result = Self::rotl(self.s[0].wrapping_add(self.s[3]), 23).wrapping_add(self.s[0]);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = Self::rotl(self.s[3], 45);
+            result
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.gen_range(0u64..u64::MAX), b.gen_range(0u64..u64::MAX));
+        }
+    }
+
+    #[test]
+    fn float_range_respects_bounds() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..10_000 {
+            let v = rng.gen_range(f32::EPSILON..1.0);
+            assert!(v >= f32::EPSILON && v < 1.0, "{v}");
+            let w = rng.gen_range(-10.0f32..10.0);
+            assert!((-10.0..10.0).contains(&w), "{w}");
+        }
+    }
+
+    #[test]
+    fn int_range_covers_and_respects_bounds() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut seen = [false; 8];
+        for _ in 0..1_000 {
+            let v = rng.gen_range(0usize..8);
+            seen[v] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all buckets hit: {seen:?}");
+    }
+
+    #[test]
+    fn extreme_float_ranges_stay_finite_and_vary() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut distinct = std::collections::BTreeSet::new();
+        for _ in 0..100 {
+            let v32 = rng.gen_range(-f32::MAX..f32::MAX);
+            assert!(v32.is_finite() && v32 >= -f32::MAX && v32 < f32::MAX);
+            let v64 = rng.gen_range(-f64::MAX..f64::MAX);
+            assert!(v64.is_finite() && v64 >= -f64::MAX && v64 < f64::MAX);
+            distinct.insert(v64.to_bits());
+        }
+        assert!(distinct.len() > 90, "draws should vary, got {} distinct", distinct.len());
+    }
+
+    #[test]
+    fn floats_are_roughly_uniform() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let n = 100_000;
+        let mean: f64 = (0..n).map(|_| rng.gen_range(0.0f64..1.0)).sum::<f64>() / n as f64;
+        assert!((mean - 0.5).abs() < 0.01, "mean {mean}");
+    }
+}

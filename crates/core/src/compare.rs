@@ -68,19 +68,13 @@ impl DesignComparison {
     /// Fig. 14's metric.
     pub fn normalized_dram_accesses(&self, baseline: DesignKind) -> Vec<(DesignKind, f64)> {
         let base = self.of(baseline).dram_accesses() as f64;
-        self.evaluations
-            .iter()
-            .map(|e| (e.design, e.dram_accesses() as f64 / base))
-            .collect()
+        self.evaluations.iter().map(|e| (e.design, e.dram_accesses() as f64 / base)).collect()
     }
 
     /// Memory footprint of every design normalized to `baseline`.
     pub fn normalized_footprint(&self, baseline: DesignKind) -> Vec<(DesignKind, f64)> {
         let base = self.of(baseline).footprint_bytes() as f64;
-        self.evaluations
-            .iter()
-            .map(|e| (e.design, e.footprint_bytes() as f64 / base))
-            .collect()
+        self.evaluations.iter().map(|e| (e.design, e.footprint_bytes() as f64 / base)).collect()
     }
 
     /// The GPU's energy efficiency normalized to `baseline`'s (the extra bar in Fig. 12).

@@ -87,7 +87,8 @@ mod tests {
 
     #[test]
     fn all_designs_share_fair_comparison_resources() {
-        let configs: Vec<AcceleratorConfig> = DesignKind::all().iter().map(|d| d.config()).collect();
+        let configs: Vec<AcceleratorConfig> =
+            DesignKind::all().iter().map(|d| d.config()).collect();
         for cfg in &configs {
             assert_eq!(cfg.spus, 16);
             assert_eq!(cfg.pe_tile.count(), 16);

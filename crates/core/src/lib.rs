@@ -14,7 +14,7 @@
 //!
 //! * [`designs`] — the four comparison designs (MN-Acc, RC-Acc, MNShift-Acc, Shift-BNN);
 //! * [`spu`] — a functional Sample Processing Unit (PE tile + GRNG bank + DPU/updater math);
-//! * [`evaluate`] — run a model's training workload through a design (or the GPU model);
+//! * [`mod@evaluate`] — run a model's training workload through a design (or the GPU model);
 //! * [`compare`] — multi-design comparisons (energy, speedup, GOPS/W, DRAM accesses, footprint);
 //! * [`scalability`] — sample-count sweeps.
 //!

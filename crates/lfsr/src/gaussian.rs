@@ -41,11 +41,8 @@ impl SampleStats {
         }
         let variance = m2 / (n - 1.0);
         let sd = (m2 / n).sqrt();
-        let (skewness, excess_kurtosis) = if sd > 0.0 {
-            (m3 / n / sd.powi(3), m4 / n / sd.powi(4) - 3.0)
-        } else {
-            (0.0, 0.0)
-        };
+        let (skewness, excess_kurtosis) =
+            if sd > 0.0 { (m3 / n / sd.powi(3), m4 / n / sd.powi(4) - 3.0) } else { (0.0, 0.0) };
         Self { count: samples.len(), mean, variance, skewness, excess_kurtosis }
     }
 }
@@ -64,7 +61,8 @@ fn erf(x: f64) -> f64 {
     let t = 1.0 / (1.0 + 0.327_591_1 * x);
     let poly = t
         * (0.254_829_592
-            + t * (-0.284_496_736 + t * (1.421_413_741 + t * (-1.453_152_027 + t * 1.061_405_429))));
+            + t * (-0.284_496_736
+                + t * (1.421_413_741 + t * (-1.453_152_027 + t * 1.061_405_429))));
     sign * (1.0 - poly * (-x * x).exp())
 }
 
@@ -154,8 +152,7 @@ pub fn autocorrelation(samples: &[f64], lag: usize) -> f64 {
     if denom == 0.0 {
         return 0.0;
     }
-    let num: f64 =
-        (0..n - lag).map(|i| (samples[i] - mean) * (samples[i + lag] - mean)).sum();
+    let num: f64 = (0..n - lag).map(|i| (samples[i] - mean) * (samples[i + lag] - mean)).sum();
     num / denom
 }
 

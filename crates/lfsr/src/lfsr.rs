@@ -270,10 +270,7 @@ mod tests {
     #[test]
     fn construction_validates_width_taps_and_seed() {
         assert!(matches!(Lfsr::new(1, &[1], &[1]), Err(LfsrError::InvalidWidth { .. })));
-        assert!(matches!(
-            Lfsr::new(8, &[3, 5], &[1]),
-            Err(LfsrError::InvalidTaps { .. })
-        ));
+        assert!(matches!(Lfsr::new(8, &[3, 5], &[1]), Err(LfsrError::InvalidTaps { .. })));
         assert!(matches!(Lfsr::new(8, &[4, 5, 6, 8], &[0]), Err(LfsrError::ZeroSeed)));
         assert!(Lfsr::new(8, &[4, 5, 6, 8], &[0xF0]).is_ok());
     }

@@ -138,10 +138,7 @@ mod tests {
     fn training_macs_cover_three_stages_and_all_samples() {
         let bnn = ModelKind::Mlp.bnn();
         let vol = ModelVolume::for_model(&bnn, 4);
-        assert_eq!(
-            vol.total_training_macs(),
-            3 * 4 * bnn.total_forward_macs()
-        );
+        assert_eq!(vol.total_training_macs(), 3 * 4 * bnn.total_forward_macs());
     }
 
     #[test]

@@ -72,7 +72,13 @@ pub enum ModelKind {
 impl ModelKind {
     /// All five families in the order the paper's figures list them.
     pub fn all() -> [ModelKind; 5] {
-        [ModelKind::Mlp, ModelKind::LeNet, ModelKind::AlexNet, ModelKind::Vgg16, ModelKind::ResNet18]
+        [
+            ModelKind::Mlp,
+            ModelKind::LeNet,
+            ModelKind::AlexNet,
+            ModelKind::Vgg16,
+            ModelKind::ResNet18,
+        ]
     }
 
     /// The DNN (non-Bayesian) variant.
@@ -111,7 +117,13 @@ pub fn mlp() -> ModelConfig {
         LayerDims::fc("fc3", 400, 400),
         LayerDims::fc("fc4", 400, 10),
     ];
-    ModelConfig { name: "MLP".into(), dataset: "MNIST", input_shape: (1, 28, 28), layers, bayesian: false }
+    ModelConfig {
+        name: "MLP".into(),
+        dataset: "MNIST",
+        input_shape: (1, 28, 28),
+        layers,
+        bayesian: false,
+    }
 }
 
 /// LeNet-5 adapted to 32×32×3 CIFAR-10 inputs.
@@ -125,7 +137,13 @@ pub fn lenet5() -> ModelConfig {
         LayerDims::fc("fc2", 120, 84),
         LayerDims::fc("fc3", 84, 10),
     ];
-    ModelConfig { name: "LeNet".into(), dataset: "CIFAR-10", input_shape: (3, 32, 32), layers, bayesian: false }
+    ModelConfig {
+        name: "LeNet".into(),
+        dataset: "CIFAR-10",
+        input_shape: (3, 32, 32),
+        layers,
+        bayesian: false,
+    }
 }
 
 /// AlexNet on 227×227×3 ImageNet inputs.
@@ -143,7 +161,13 @@ pub fn alexnet() -> ModelConfig {
         LayerDims::fc("fc7", 4096, 4096),
         LayerDims::fc("fc8", 4096, 1000),
     ];
-    ModelConfig { name: "AlexNet".into(), dataset: "ImageNet", input_shape: (3, 227, 227), layers, bayesian: false }
+    ModelConfig {
+        name: "AlexNet".into(),
+        dataset: "ImageNet",
+        input_shape: (3, 227, 227),
+        layers,
+        bayesian: false,
+    }
 }
 
 /// VGG-16 on 224×224×3 ImageNet inputs.
@@ -160,13 +184,28 @@ pub fn vgg16() -> ModelConfig {
     for (block, repeats, in_c, out_c, size) in blocks {
         for rep in 1..=repeats {
             let n = if rep == 1 { in_c } else { out_c };
-            layers.push(LayerDims::conv(format!("conv{block}_{rep}"), n, out_c, 3, size, size, 1, 1));
+            layers.push(LayerDims::conv(
+                format!("conv{block}_{rep}"),
+                n,
+                out_c,
+                3,
+                size,
+                size,
+                1,
+                1,
+            ));
         }
     }
     layers.push(LayerDims::fc("fc1", 512 * 7 * 7, 4096));
     layers.push(LayerDims::fc("fc2", 4096, 4096));
     layers.push(LayerDims::fc("fc3", 4096, 1000));
-    ModelConfig { name: "VGG".into(), dataset: "ImageNet", input_shape: (3, 224, 224), layers, bayesian: false }
+    ModelConfig {
+        name: "VGG".into(),
+        dataset: "ImageNet",
+        input_shape: (3, 224, 224),
+        layers,
+        bayesian: false,
+    }
 }
 
 /// ResNet-18 on 224×224×3 ImageNet inputs (shortcut 1×1 convolutions included).
@@ -193,7 +232,16 @@ pub fn resnet18() -> ModelConfig {
             stride,
             1,
         ));
-        layers.push(LayerDims::conv(format!("conv{stage}_1b"), out_c, out_c, 3, out_size, out_size, 1, 1));
+        layers.push(LayerDims::conv(
+            format!("conv{stage}_1b"),
+            out_c,
+            out_c,
+            3,
+            out_size,
+            out_size,
+            1,
+            1,
+        ));
         if downsample {
             layers.push(LayerDims::conv(
                 format!("shortcut{stage}"),
@@ -207,11 +255,35 @@ pub fn resnet18() -> ModelConfig {
             ));
         }
         // Second basic block.
-        layers.push(LayerDims::conv(format!("conv{stage}_2a"), out_c, out_c, 3, out_size, out_size, 1, 1));
-        layers.push(LayerDims::conv(format!("conv{stage}_2b"), out_c, out_c, 3, out_size, out_size, 1, 1));
+        layers.push(LayerDims::conv(
+            format!("conv{stage}_2a"),
+            out_c,
+            out_c,
+            3,
+            out_size,
+            out_size,
+            1,
+            1,
+        ));
+        layers.push(LayerDims::conv(
+            format!("conv{stage}_2b"),
+            out_c,
+            out_c,
+            3,
+            out_size,
+            out_size,
+            1,
+            1,
+        ));
     }
     layers.push(LayerDims::fc("fc", 512, 1000));
-    ModelConfig { name: "ResNet".into(), dataset: "ImageNet", input_shape: (3, 224, 224), layers, bayesian: false }
+    ModelConfig {
+        name: "ResNet".into(),
+        dataset: "ImageNet",
+        input_shape: (3, 224, 224),
+        layers,
+        bayesian: false,
+    }
 }
 
 #[cfg(test)]

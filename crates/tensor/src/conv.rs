@@ -388,10 +388,7 @@ mod tests {
             let f_plus = conv2d_forward(&g, &input, &plus, &bias).unwrap().sum();
             let f_minus = conv2d_forward(&g, &input, &minus, &bias).unwrap().sum();
             let numerical = (f_plus - f_minus) / (2.0 * eps);
-            assert!(
-                (numerical - grad_w.data()[probe]).abs() < 1e-2,
-                "weight probe {probe}"
-            );
+            assert!((numerical - grad_w.data()[probe]).abs() < 1e-2, "weight probe {probe}");
         }
         // Bias gradient is the number of output pixels per channel for an all-ones upstream.
         let (oh, ow) = g.output_size(h, w);
@@ -400,11 +397,8 @@ mod tests {
 
     #[test]
     fn rotate_kernels_180_flips_both_spatial_axes() {
-        let w = Tensor::from_vec(
-            vec![1, 1, 3, 3],
-            vec![1., 2., 3., 4., 5., 6., 7., 8., 9.],
-        )
-        .unwrap();
+        let w =
+            Tensor::from_vec(vec![1, 1, 3, 3], vec![1., 2., 3., 4., 5., 6., 7., 8., 9.]).unwrap();
         let r = rotate_kernels_180(&w);
         assert_eq!(r.data(), &[9., 8., 7., 6., 5., 4., 3., 2., 1.]);
         // Rotating twice restores the original (Fig. 5(a) reversibility).

@@ -9,7 +9,12 @@ use rand::Rng;
 
 /// Fills a tensor of the given shape with uniform values in `[-limit, limit]` where
 /// `limit = sqrt(6 / (fan_in + fan_out))` (Glorot/Xavier uniform initialization).
-pub fn xavier_uniform(shape: &[usize], fan_in: usize, fan_out: usize, rng: &mut impl Rng) -> Tensor {
+pub fn xavier_uniform(
+    shape: &[usize],
+    fan_in: usize,
+    fan_out: usize,
+    rng: &mut impl Rng,
+) -> Tensor {
     let limit = (6.0 / (fan_in + fan_out) as f64).sqrt() as f32;
     uniform(shape, -limit, limit, rng)
 }

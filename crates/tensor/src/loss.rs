@@ -60,8 +60,7 @@ pub fn accuracy(logits: &[Tensor], labels: &[usize]) -> f64 {
     if logits.is_empty() {
         return 0.0;
     }
-    let correct =
-        logits.iter().zip(labels).filter(|(l, &y)| l.argmax() == y).count();
+    let correct = logits.iter().zip(labels).filter(|(l, &y)| l.argmax() == y).count();
     correct as f64 / logits.len() as f64
 }
 

@@ -102,11 +102,7 @@ mod tests {
 
     #[test]
     fn pooling_backward_routes_gradient_to_maxima_only() {
-        let input = Tensor::from_vec(
-            vec![1, 2, 2],
-            vec![1.0, 9.0, 3.0, 2.0],
-        )
-        .unwrap();
+        let input = Tensor::from_vec(vec![1, 2, 2], vec![1.0, 9.0, 3.0, 2.0]).unwrap();
         let pooled = max_pool2d(&input, 2).unwrap();
         let grad_out = Tensor::filled(&[1, 1, 1], 5.0);
         let grad_in = max_pool2d_backward(&grad_out, &pooled.argmax, input.shape());
@@ -123,11 +119,8 @@ mod tests {
 
     #[test]
     fn multi_channel_pooling_is_independent_per_channel() {
-        let input = Tensor::from_vec(
-            vec![2, 2, 2],
-            vec![1., 2., 3., 4., 40., 30., 20., 10.],
-        )
-        .unwrap();
+        let input =
+            Tensor::from_vec(vec![2, 2, 2], vec![1., 2., 3., 4., 40., 30., 20., 10.]).unwrap();
         let pooled = max_pool2d(&input, 2).unwrap();
         assert_eq!(pooled.output.data(), &[4.0, 40.0]);
     }

@@ -80,9 +80,7 @@ impl Precision {
     pub fn max_value(&self) -> f32 {
         match *self {
             Precision::Fp32 => f32::INFINITY,
-            Precision::Fx16 { frac_bits } => {
-                ((1i64 << 15) - 1) as f32 / (1u32 << frac_bits) as f32
-            }
+            Precision::Fx16 { frac_bits } => ((1i64 << 15) - 1) as f32 / (1u32 << frac_bits) as f32,
             Precision::Fx8 { frac_bits } => ((1i64 << 7) - 1) as f32 / (1u32 << frac_bits) as f32,
         }
     }

@@ -20,11 +20,8 @@ fn build_trainer(strategy: EpsilonStrategy) -> Trainer {
     let config = BayesConfig { kl_weight: 5e-4, ..BayesConfig::default() }
         .with_precision(Precision::PAPER_16BIT);
     let network = Network::bayes_lenet(&[3, 16, 16], 4, config, &mut rng);
-    Trainer::new(
-        network,
-        TrainerConfig { samples: 4, learning_rate: 0.05, strategy, seed: 9 },
-    )
-    .expect("trainer")
+    Trainer::new(network, TrainerConfig { samples: 4, learning_rate: 0.05, strategy, seed: 9 })
+        .expect("trainer")
 }
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -41,7 +38,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let mb = baseline.train_epoch(&train)?;
         assert_eq!(ms, mb, "LFSR retrieval must not change the training trajectory");
         let acc = shift.evaluate(&val)?;
-        println!("{epoch:>5}  {:>15.4}  {:>14.4}  {:>17.1}%", ms.mean_loss, mb.mean_loss, acc * 100.0);
+        println!(
+            "{epoch:>5}  {:>15.4}  {:>14.4}  {:>17.1}%",
+            ms.mean_loss,
+            mb.mean_loss,
+            acc * 100.0
+        );
     }
     println!(
         "ε values the baseline stored: {}; Shift-BNN stored: {}",

@@ -74,7 +74,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("mean predictive entropy, out-of-distribution: {ood_entropy:.3} nats");
     println!(
         "the BNN is {} on data it was never trained on",
-        if ood_entropy > in_dist_entropy { "appropriately less confident" } else { "NOT less confident (unexpected)" }
+        if ood_entropy > in_dist_entropy {
+            "appropriately less confident"
+        } else {
+            "NOT less confident (unexpected)"
+        }
     );
     Ok(())
 }

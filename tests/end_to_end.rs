@@ -80,7 +80,10 @@ fn epsilon_traffic_matches_workload_accounting() {
 #[test]
 fn scalability_trends_match_figure_13() {
     let points = sweep_samples(&ModelKind::LeNet.bnn(), &FIG13_SAMPLE_COUNTS);
-    assert!(points.first().unwrap().shift_energy_reduction < points.last().unwrap().shift_energy_reduction);
+    assert!(
+        points.first().unwrap().shift_energy_reduction
+            < points.last().unwrap().shift_energy_reduction
+    );
     for p in &points {
         assert!(p.shift_efficiency >= p.mnshift_efficiency);
     }

@@ -13,7 +13,8 @@ use rand::SeedableRng;
 fn train_mlp(precision: Precision, epochs: usize) -> (Trainer, SyntheticDataset) {
     let dataset = SyntheticDataset::generate(&[32], 3, 12, 0.2, 44);
     let mut rng = StdRng::seed_from_u64(8);
-    let config = BayesConfig { kl_weight: 1e-3, ..BayesConfig::default() }.with_precision(precision);
+    let config =
+        BayesConfig { kl_weight: 1e-3, ..BayesConfig::default() }.with_precision(precision);
     let network = Network::bayes_mlp(32, &[24], 3, config, &mut rng);
     let mut trainer = Trainer::new(
         network,
