@@ -140,6 +140,26 @@ fn ceil_div(a: u64, b: u64) -> u64 {
     }
 }
 
+/// Analytic compute cycles of one stage of `volume` on `config`: the MAC count spread over the
+/// PE tile at the mapping's utilization, with Monte-Carlo samples parallelized across SPUs.
+///
+/// Exposed so the cycle-level micro-simulator (and its cross-validation property tests) can
+/// check the formula against actually-executed tile schedules; `simulate_training` uses it for
+/// every stage report.
+pub fn analytic_compute_cycles(
+    config: &AcceleratorConfig,
+    volume: &LayerVolume,
+    bayesian: bool,
+) -> u64 {
+    let tile = &config.pe_tile;
+    let util = config.mapping.utilization(&volume.dims, tile).max(1e-3);
+    let samples = volume.epsilon_values.checked_div(volume.dims.weights()).unwrap_or(0).max(1);
+    let samples = if bayesian { samples } else { 1 };
+    let per_sample_macs = volume.stage_macs / samples;
+    let per_sample_cycles = (per_sample_macs as f64 / (tile.count() as f64 * util)).ceil() as u64;
+    per_sample_cycles * ceil_div(samples, config.spus as u64)
+}
+
 fn stage_dram_traffic(
     stage: Stage,
     volume: &LayerVolume,
@@ -178,17 +198,9 @@ fn stage_report(
     energy_model: &EnergyModel,
     bayesian: bool,
 ) -> StageReport {
-    let tile = &config.pe_tile;
-    let util = config.mapping.utilization(&volume.dims, tile).max(1e-3);
-    let samples = volume.epsilon_values.checked_div(volume.dims.weights()).unwrap_or(0).max(1);
-    let samples = if bayesian { samples } else { 1 };
-
     // Compute cycles: samples are spread over the SPUs; each SPU processes one sampled model
     // with `tile` PEs at the mapping's utilization.
-    let per_sample_macs = volume.stage_macs / samples;
-    let per_sample_cycles = (per_sample_macs as f64 / (tile.count() as f64 * util)).ceil() as u64;
-    let spu_rounds = ceil_div(samples, config.spus as u64);
-    let compute_cycles = per_sample_cycles * spu_rounds;
+    let compute_cycles = analytic_compute_cycles(config, volume, bayesian);
 
     // DRAM traffic and the resulting memory cycles.
     let dram_traffic = stage_dram_traffic(stage, volume, config, bayesian);
@@ -307,6 +319,19 @@ pub fn simulate_training(
         footprint: footprint(&volume, config),
         total_macs,
     }
+}
+
+/// The sweep engine executes simulations on worker threads and aggregates their reports, so
+/// every report type must stay `Send + Clone`; this compile-time assertion pins the contract.
+#[allow(dead_code)]
+fn _reports_are_send_and_clone() {
+    fn assert_send_clone<T: Send + Clone>() {}
+    assert_send_clone::<StageReport>();
+    assert_send_clone::<LayerReport>();
+    assert_send_clone::<TrainingRunReport>();
+    assert_send_clone::<TrafficByOperand>();
+    assert_send_clone::<FootprintBreakdown>();
+    assert_send_clone::<EnergyBreakdown>();
 }
 
 #[cfg(test)]

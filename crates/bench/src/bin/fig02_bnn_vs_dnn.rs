@@ -2,31 +2,27 @@
 //!
 //! For every model family and sample count S ∈ {1, 8, 16, 24, 32}, prints the BNN's off-chip
 //! data transfer, energy consumption and latency normalized to the corresponding DNN model
-//! (trained with a single model, no sampling).
+//! (trained with a single model, no sampling). A thin view over the shared design-space sweep.
 
-use bnn_arch::EnergyModel;
-use bnn_models::ModelKind;
-use shift_bnn::designs::DesignKind;
-use shift_bnn::evaluate::evaluate_with;
+use shift_bnn::sweep::paper_sweep;
+use shift_bnn_bench::views::fig02;
 use shift_bnn_bench::{num, print_table};
 
 fn main() {
-    let energy = EnergyModel::default();
-    let samples = [1usize, 8, 16, 24, 32];
-    let mut rows = Vec::new();
-    for kind in ModelKind::all() {
-        let dnn = evaluate_with(DesignKind::MnAcc, &kind.dnn(), 1, &energy);
-        for &s in &samples {
-            let bnn = evaluate_with(DesignKind::MnAcc, &kind.bnn(), s, &energy);
-            rows.push(vec![
-                format!("{} / {}", kind.dnn().name, kind.paper_name()),
-                format!("S={s}"),
-                num(bnn.report.dram_bytes as f64 / dnn.report.dram_bytes as f64, 1),
-                num(bnn.energy_mj() / dnn.energy_mj(), 1),
-                num(bnn.latency_s() / dnn.latency_s(), 1),
-            ]);
-        }
-    }
+    let view = fig02(&paper_sweep());
+    let rows: Vec<Vec<String>> = view
+        .rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.label.clone(),
+                format!("S={}", r.samples),
+                num(r.transfer, 1),
+                num(r.energy, 1),
+                num(r.latency, 1),
+            ]
+        })
+        .collect();
     print_table(
         "Figure 2: BNN cost normalized to the corresponding DNN (MN-Acc baseline)",
         &["model", "samples", "data transfer", "energy", "latency"],
@@ -34,14 +30,7 @@ fn main() {
     );
 
     // The paper's headline averages: ~9.1x more traffic at S=8 and ~35.3x at S=32.
-    for &s in &[8usize, 32] {
-        let mut ratios = Vec::new();
-        for kind in ModelKind::all() {
-            let dnn = evaluate_with(DesignKind::MnAcc, &kind.dnn(), 1, &energy);
-            let bnn = evaluate_with(DesignKind::MnAcc, &kind.bnn(), s, &energy);
-            ratios.push(bnn.report.dram_bytes as f64 / dnn.report.dram_bytes as f64);
-        }
-        let avg = ratios.iter().sum::<f64>() / ratios.len() as f64;
+    for &(s, avg) in &view.average_transfer {
         println!(
             "average data-transfer increase at S={s}: {avg:.1}x (paper: {})",
             if s == 8 { "9.1x" } else { "35.3x" }

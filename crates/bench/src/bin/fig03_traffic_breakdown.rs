@@ -1,28 +1,22 @@
 //! Figure 3: breakdown of total off-chip data transfer by operand class (weights (μ,σ),
 //! Gaussian random variables ε, input/output feature maps) on the baseline accelerator.
+//! A thin view over the shared design-space sweep.
 
-use bnn_arch::EnergyModel;
-use bnn_models::ModelKind;
-use shift_bnn::designs::DesignKind;
-use shift_bnn::evaluate::evaluate_with;
+use shift_bnn::sweep::paper_sweep;
+use shift_bnn_bench::views::fig03;
 use shift_bnn_bench::{percent, print_table};
 
 fn main() {
-    let energy = EnergyModel::default();
-    let samples = 16;
-    let mut rows = Vec::new();
-    let mut epsilon_fractions = Vec::new();
-    for kind in ModelKind::all() {
-        let report = evaluate_with(DesignKind::MnAcc, &kind.bnn(), samples, &energy).report;
-        let (w, e, f) = report.dram_traffic.fractions();
-        epsilon_fractions.push(e);
-        rows.push(vec![kind.paper_name().to_string(), percent(w), percent(e), percent(f)]);
-    }
+    let view = fig03(&paper_sweep());
+    let rows: Vec<Vec<String>> = view
+        .rows
+        .iter()
+        .map(|(model, w, e, f)| vec![model.clone(), percent(*w), percent(*e), percent(*f)])
+        .collect();
     print_table(
         "Figure 3: off-chip data transfer breakdown (MN-Acc, S=16)",
         &["model", "weights (mu,sigma)", "epsilon", "input/output"],
         &rows,
     );
-    let avg = epsilon_fractions.iter().sum::<f64>() / epsilon_fractions.len() as f64;
-    println!("average epsilon share: {} (paper: ~71% on average)", percent(avg));
+    println!("average epsilon share: {} (paper: ~71% on average)", percent(view.average_epsilon));
 }

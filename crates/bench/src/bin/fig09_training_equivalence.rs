@@ -4,51 +4,27 @@
 //!
 //! The paper's CIFAR-10 is replaced by a deterministic synthetic dataset of the same tensor
 //! shape (see DESIGN.md); the claim under test — that LFSR reversion leaves the training
-//! trajectory bit-identical — does not depend on the dataset.
+//! trajectory bit-identical — does not depend on the dataset. The two training arms run in
+//! parallel on the sweep engine's worker pool; see [`shift_bnn_bench::views::fig09`].
 
-use bnn_tensor::Precision;
-use bnn_train::data::SyntheticDataset;
-use bnn_train::network::Network;
-use bnn_train::trainer::{EpsilonStrategy, Trainer, TrainerConfig};
-use bnn_train::variational::BayesConfig;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use shift_bnn_bench::views::fig09;
 use shift_bnn_bench::{num, percent, print_table};
 
-fn build(strategy: EpsilonStrategy) -> Trainer {
-    let mut rng = StdRng::seed_from_u64(2021);
-    let config = BayesConfig { kl_weight: 1e-4, ..BayesConfig::default() }
-        .with_precision(Precision::PAPER_16BIT);
-    let network = Network::bayes_lenet(&[3, 16, 16], 4, config, &mut rng);
-    Trainer::new(network, TrainerConfig { samples: 4, learning_rate: 0.05, strategy, seed: 7 })
-        .expect("trainer construction")
-}
-
 fn main() {
-    // High per-example noise keeps the task from being trivially separable, so the curve has a
-    // visible learning phase like the paper's Fig. 9.
-    let dataset = SyntheticDataset::generate(&[3, 16, 16], 4, 20, 1.6, 31);
-    let (train, val) = dataset.split(0.75);
-    let mut baseline = build(EpsilonStrategy::StoreReplay);
-    let mut shift = build(EpsilonStrategy::LfsrRetrieve);
-
-    let epochs = 12;
-    let mut rows = Vec::new();
-    let mut identical = true;
-    for epoch in 1..=epochs {
-        let mb = baseline.train_epoch(&train).expect("baseline epoch");
-        let ms = shift.train_epoch(&train).expect("shift epoch");
-        let ab = baseline.evaluate(&val).expect("baseline eval");
-        let asft = shift.evaluate(&val).expect("shift eval");
-        identical &= mb == ms && (ab - asft).abs() < f64::EPSILON;
-        rows.push(vec![
-            epoch.to_string(),
-            num(mb.mean_loss as f64, 4),
-            num(ms.mean_loss as f64, 4),
-            percent(ab),
-            percent(asft),
-        ]);
-    }
+    let view = fig09(12);
+    let rows: Vec<Vec<String>> = view
+        .rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.epoch.to_string(),
+                num(r.loss_baseline as f64, 4),
+                num(r.loss_shift as f64, 4),
+                percent(r.acc_baseline),
+                percent(r.acc_shift),
+            ]
+        })
+        .collect();
     print_table(
         "Figure 9: training curve, vanilla BNN training vs Shift-BNN (B-LeNet, synthetic CIFAR-10 stand-in)",
         &["epoch", "loss (baseline)", "loss (Shift-BNN)", "val acc (baseline)", "val acc (Shift-BNN)"],
@@ -56,10 +32,10 @@ fn main() {
     );
     println!(
         "baseline stored epsilons: {}, Shift-BNN stored epsilons: {}",
-        baseline.stored_epsilons(),
-        shift.stored_epsilons()
+        view.baseline_stored, view.shift_stored
     );
     println!(
-        "curves bit-identical: {identical} (paper: Shift-BNN does not affect convergence or final accuracy)"
+        "curves bit-identical: {} (paper: Shift-BNN does not affect convergence or final accuracy)",
+        view.identical
     );
 }

@@ -1,31 +1,19 @@
 //! Figure 10: training energy of the four accelerator designs, normalized to MN-Acc.
+//! A thin view over the shared design-space sweep.
 
-use bnn_models::ModelKind;
-use shift_bnn::compare::{geometric_mean, DesignComparison};
-use shift_bnn::designs::DesignKind;
+use shift_bnn::sweep::paper_sweep;
+use shift_bnn_bench::views::fig10;
 use shift_bnn_bench::{num, percent, print_table};
 
 fn main() {
-    let samples = 16;
-    let mut rows = Vec::new();
-    let mut shift_vs_rc = Vec::new();
-    let mut shift_vs_mn = Vec::new();
-    let mut shift_vs_mnshift = Vec::new();
-    for kind in ModelKind::all() {
-        let cmp = DesignComparison::run(&kind.bnn(), samples, &DesignKind::all());
-        let normalized = cmp.normalized_energy(DesignKind::MnAcc);
-        let value = |d: DesignKind| normalized.iter().find(|(k, _)| *k == d).unwrap().1;
-        rows.push(vec![
-            kind.paper_name().to_string(),
-            num(value(DesignKind::MnAcc), 3),
-            num(value(DesignKind::MnShiftAcc), 3),
-            num(value(DesignKind::RcAcc), 3),
-            num(value(DesignKind::ShiftBnn), 3),
-        ]);
-        shift_vs_rc.push(value(DesignKind::ShiftBnn) / value(DesignKind::RcAcc));
-        shift_vs_mn.push(value(DesignKind::ShiftBnn) / value(DesignKind::MnAcc));
-        shift_vs_mnshift.push(value(DesignKind::ShiftBnn) / value(DesignKind::MnShiftAcc));
-    }
+    let view = fig10(&paper_sweep());
+    let rows: Vec<Vec<String>> = view
+        .rows
+        .iter()
+        .map(|r| {
+            vec![r.model.clone(), num(r.mn, 3), num(r.mnshift, 3), num(r.rc, 3), num(r.shift, 3)]
+        })
+        .collect();
     print_table(
         "Figure 10: normalized energy consumption (S=16, MN-Acc = 1.0)",
         &["model", "MN-Acc", "MNShift-Acc", "RC-Acc", "Shift-BNN"],
@@ -33,14 +21,14 @@ fn main() {
     );
     println!(
         "Shift-BNN energy reduction vs RC-Acc: avg {} (paper: 62% avg, up to 76%)",
-        percent(1.0 - geometric_mean(&shift_vs_rc))
+        percent(view.reduction_vs_rc)
     );
     println!(
         "Shift-BNN energy reduction vs MN-Acc: avg {} (paper: 70% avg, up to 82%)",
-        percent(1.0 - geometric_mean(&shift_vs_mn))
+        percent(view.reduction_vs_mn)
     );
     println!(
         "Shift-BNN energy reduction vs MNShift-Acc: avg {} (paper: 39% avg, up to 44%)",
-        percent(1.0 - geometric_mean(&shift_vs_mnshift))
+        percent(view.reduction_vs_mnshift)
     );
 }

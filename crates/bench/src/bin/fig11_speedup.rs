@@ -1,27 +1,17 @@
 //! Figure 11: speedup of the four accelerator designs over the MN-Acc baseline.
+//! A thin view over the shared design-space sweep.
 
-use bnn_models::ModelKind;
-use shift_bnn::compare::{geometric_mean, DesignComparison};
-use shift_bnn::designs::DesignKind;
+use shift_bnn::sweep::paper_sweep;
+use shift_bnn_bench::views::fig11;
 use shift_bnn_bench::{print_table, ratio};
 
 fn main() {
-    let samples = 16;
-    let mut rows = Vec::new();
-    let mut shift_over_rc = Vec::new();
-    for kind in ModelKind::all() {
-        let cmp = DesignComparison::run(&kind.bnn(), samples, &DesignKind::all());
-        let speedups = cmp.speedup_over(DesignKind::MnAcc);
-        let value = |d: DesignKind| speedups.iter().find(|(k, _)| *k == d).unwrap().1;
-        rows.push(vec![
-            kind.paper_name().to_string(),
-            ratio(value(DesignKind::MnAcc)),
-            ratio(value(DesignKind::MnShiftAcc)),
-            ratio(value(DesignKind::RcAcc)),
-            ratio(value(DesignKind::ShiftBnn)),
-        ]);
-        shift_over_rc.push(value(DesignKind::ShiftBnn) / value(DesignKind::RcAcc));
-    }
+    let view = fig11(&paper_sweep());
+    let rows: Vec<Vec<String>> = view
+        .rows
+        .iter()
+        .map(|r| vec![r.model.clone(), ratio(r.mn), ratio(r.mnshift), ratio(r.rc), ratio(r.shift)])
+        .collect();
     print_table(
         "Figure 11: speedup over MN-Acc (S=16)",
         &["model", "MN-Acc", "MNShift-Acc", "RC-Acc", "Shift-BNN"],
@@ -29,6 +19,6 @@ fn main() {
     );
     println!(
         "Shift-BNN speedup over RC-Acc: avg {} (paper: 1.6x avg, up to 2.8x; FC-dominated models gain the most)",
-        ratio(geometric_mean(&shift_over_rc))
+        ratio(view.shift_over_rc)
     );
 }

@@ -1,46 +1,35 @@
 //! Figure 12: energy efficiency (GOPS/W) of the four designs and the GPU, normalized to MN-Acc.
+//! A thin view over the shared design-space sweep (the GPU roofline point is evaluated on top).
 
-use bnn_models::ModelKind;
-use shift_bnn::compare::{geometric_mean, DesignComparison};
-use shift_bnn::designs::DesignKind;
+use shift_bnn::sweep::paper_sweep;
+use shift_bnn_bench::views::fig12;
 use shift_bnn_bench::{num, print_table, ratio};
 
 fn main() {
-    let samples = 16;
-    let mut rows = Vec::new();
-    let mut shift_vs_rc = Vec::new();
-    let mut shift_vs_mn = Vec::new();
-    let mut shift_vs_gpu = Vec::new();
-    for kind in ModelKind::all() {
-        let model = kind.bnn();
-        let cmp = DesignComparison::run(&model, samples, &DesignKind::all());
-        let eff = cmp.normalized_efficiency(DesignKind::MnAcc);
-        let value = |d: DesignKind| eff.iter().find(|(k, _)| *k == d).unwrap().1;
-        let gpu = cmp.gpu_normalized_efficiency(&model, DesignKind::MnAcc);
-        rows.push(vec![
-            kind.paper_name().to_string(),
-            num(value(DesignKind::MnAcc), 2),
-            num(value(DesignKind::MnShiftAcc), 2),
-            num(value(DesignKind::RcAcc), 2),
-            num(value(DesignKind::ShiftBnn), 2),
-            num(gpu, 2),
-        ]);
-        shift_vs_rc.push(value(DesignKind::ShiftBnn) / value(DesignKind::RcAcc));
-        shift_vs_mn.push(value(DesignKind::ShiftBnn) / value(DesignKind::MnAcc));
-        shift_vs_gpu.push(value(DesignKind::ShiftBnn) / gpu);
-    }
+    let view = fig12(&paper_sweep());
+    let rows: Vec<Vec<String>> = view
+        .rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.designs.model.clone(),
+                num(r.designs.mn, 2),
+                num(r.designs.mnshift, 2),
+                num(r.designs.rc, 2),
+                num(r.designs.shift, 2),
+                num(r.gpu, 2),
+            ]
+        })
+        .collect();
     print_table(
         "Figure 12: normalized energy efficiency (GOPS/W, S=16, MN-Acc = 1.0)",
         &["model", "MN-Acc", "MNShift-Acc", "RC-Acc", "Shift-BNN", "GPU (P100)"],
         &rows,
     );
-    println!(
-        "Shift-BNN vs RC-Acc: avg {} (paper: 4.9x avg, up to 10.8x)",
-        ratio(geometric_mean(&shift_vs_rc))
-    );
+    println!("Shift-BNN vs RC-Acc: avg {} (paper: 4.9x avg, up to 10.8x)", ratio(view.shift_vs_rc));
     println!(
         "Shift-BNN vs MN-Acc: avg {} (paper: 10.3x avg, up to 26.1x)",
-        ratio(geometric_mean(&shift_vs_mn))
+        ratio(view.shift_vs_mn)
     );
-    println!("Shift-BNN vs GPU: avg {} (paper: 4.7x avg)", ratio(geometric_mean(&shift_vs_gpu)));
+    println!("Shift-BNN vs GPU: avg {} (paper: 4.7x avg)", ratio(view.shift_vs_gpu));
 }

@@ -1,14 +1,15 @@
 //! Figure 13: scalability with the Monte-Carlo sample count — energy reduction of Shift-BNN
 //! over RC-Acc (and MNShift-Acc over MN-Acc) plus the energy efficiency of both reversion
 //! designs, for B-MLP, B-LeNet and B-VGG at S ∈ {4, 8, 16, 32, 64, 128}.
+//! A thin view over the shared design-space sweep.
 
-use bnn_models::ModelKind;
-use shift_bnn::scalability::{sweep_samples, FIG13_SAMPLE_COUNTS};
+use shift_bnn::sweep::paper_sweep;
+use shift_bnn_bench::views::fig13;
 use shift_bnn_bench::{num, percent, print_table};
 
 fn main() {
-    for kind in [ModelKind::Mlp, ModelKind::LeNet, ModelKind::Vgg16] {
-        let points = sweep_samples(&kind.bnn(), &FIG13_SAMPLE_COUNTS);
+    let view = fig13(&paper_sweep());
+    for (kind, points) in &view.models {
         let rows: Vec<Vec<String>> = points
             .iter()
             .map(|p| {

@@ -1,41 +1,34 @@
 //! Figure 14: number of DRAM accesses (with per-operand breakdown) and memory footprint of the
-//! four designs at S = 16, normalized to MN-Acc.
+//! four designs at S = 16, normalized to MN-Acc. A thin view over the shared design-space sweep.
 
-use bnn_models::ModelKind;
-use shift_bnn::compare::DesignComparison;
-use shift_bnn::designs::DesignKind;
+use shift_bnn::sweep::paper_sweep;
+use shift_bnn_bench::views::fig14;
 use shift_bnn_bench::{num, percent, print_table};
 
 fn main() {
-    let samples = 16;
-    let mut access_rows = Vec::new();
-    let mut footprint_rows = Vec::new();
-    let mut footprint_savings = Vec::new();
-    for kind in ModelKind::all() {
-        let cmp = DesignComparison::run(&kind.bnn(), samples, &DesignKind::all());
-        let accesses = cmp.normalized_dram_accesses(DesignKind::MnAcc);
-        let footprints = cmp.normalized_footprint(DesignKind::MnAcc);
-        let access = |d: DesignKind| accesses.iter().find(|(k, _)| *k == d).unwrap().1;
-        let footprint = |d: DesignKind| footprints.iter().find(|(k, _)| *k == d).unwrap().1;
-        let baseline_report = &cmp.of(DesignKind::MnAcc).report;
-        let (w, e, f) = baseline_report.dram_traffic.fractions();
-        access_rows.push(vec![
-            format!("{}-16", kind.paper_name()),
-            num(access(DesignKind::MnAcc), 2),
-            num(access(DesignKind::RcAcc), 2),
-            num(access(DesignKind::MnShiftAcc), 2),
-            num(access(DesignKind::ShiftBnn), 2),
-            format!("w {} / eps {} / io {}", percent(w), percent(e), percent(f)),
-        ]);
-        footprint_rows.push(vec![
-            format!("{}-16", kind.paper_name()),
-            num(footprint(DesignKind::MnAcc), 2),
-            num(footprint(DesignKind::RcAcc), 2),
-            num(footprint(DesignKind::MnShiftAcc), 2),
-            num(footprint(DesignKind::ShiftBnn), 2),
-        ]);
-        footprint_savings.push(1.0 - footprint(DesignKind::ShiftBnn));
-    }
+    let view = fig14(&paper_sweep());
+    let access_rows: Vec<Vec<String>> = view
+        .access_rows
+        .iter()
+        .map(|r| {
+            let (w, e, f) = r.baseline_fractions;
+            vec![
+                r.designs.model.clone(),
+                num(r.designs.mn, 2),
+                num(r.designs.rc, 2),
+                num(r.designs.mnshift, 2),
+                num(r.designs.shift, 2),
+                format!("w {} / eps {} / io {}", percent(w), percent(e), percent(f)),
+            ]
+        })
+        .collect();
+    let footprint_rows: Vec<Vec<String>> = view
+        .footprint_rows
+        .iter()
+        .map(|r| {
+            vec![r.model.clone(), num(r.mn, 2), num(r.rc, 2), num(r.mnshift, 2), num(r.shift, 2)]
+        })
+        .collect();
     print_table(
         "Figure 14 (top): DRAM accesses normalized to MN-Acc (S=16), with the baseline's operand breakdown",
         &["model", "MN", "RC", "MNShift", "Shift-BNN", "MN-Acc operand breakdown"],
@@ -46,9 +39,8 @@ fn main() {
         &["model", "MN", "RC", "MNShift", "Shift-BNN"],
         &footprint_rows,
     );
-    let avg = footprint_savings.iter().sum::<f64>() / footprint_savings.len() as f64;
     println!(
         "average footprint reduction with LFSR reversion: {} (paper: 76.1%; the ε footprint is eliminated entirely)",
-        percent(avg)
+        percent(view.average_footprint_reduction)
     );
 }

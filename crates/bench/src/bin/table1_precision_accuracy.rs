@@ -5,126 +5,29 @@
 //! deterministic synthetic dataset of matching input shape (see DESIGN.md for the substitution
 //! rationale). The reproduced trend is the paper's: 16-bit tracks 32-bit closely while 8-bit
 //! training degrades badly (the paper reports divergence/NaN on the larger models).
+//!
+//! The 15 independent (family × precision) training cells run in parallel on the sweep
+//! engine's work-stealing pool; see [`shift_bnn_bench::views::table1`].
 
-use bnn_tensor::Precision;
-use bnn_train::data::SyntheticDataset;
-use bnn_train::network::Network;
-use bnn_train::trainer::{EpsilonStrategy, Trainer, TrainerConfig};
-use bnn_train::variational::BayesConfig;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use shift_bnn_bench::views::table1;
 use shift_bnn_bench::{percent, print_table};
 
-struct Family {
-    name: &'static str,
-    dataset_name: &'static str,
-    conv: bool,
-    input: Vec<usize>,
-    classes: usize,
-    epochs: usize,
-}
-
-fn families() -> Vec<Family> {
-    vec![
-        Family {
-            name: "B-MLP",
-            dataset_name: "MNIST (synthetic)",
-            conv: false,
-            input: vec![64],
-            classes: 4,
-            epochs: 14,
-        },
-        Family {
-            name: "B-LeNet",
-            dataset_name: "CIFAR-10 (synthetic)",
-            conv: true,
-            input: vec![3, 12, 12],
-            classes: 3,
-            epochs: 12,
-        },
-        Family {
-            name: "B-AlexNet (reduced)",
-            dataset_name: "ImageNet (synthetic)",
-            conv: true,
-            input: vec![3, 12, 12],
-            classes: 3,
-            epochs: 12,
-        },
-        Family {
-            name: "B-VGG (reduced)",
-            dataset_name: "ImageNet (synthetic)",
-            conv: true,
-            input: vec![3, 12, 12],
-            classes: 3,
-            epochs: 12,
-        },
-        Family {
-            name: "B-ResNet (reduced)",
-            dataset_name: "ImageNet (synthetic)",
-            conv: true,
-            input: vec![3, 12, 12],
-            classes: 3,
-            epochs: 12,
-        },
-    ]
-}
-
-fn train_accuracy(family: &Family, precision: Precision, seed: u64) -> Option<f64> {
-    let mut rng = StdRng::seed_from_u64(seed);
-    let config =
-        BayesConfig { kl_weight: 5e-4, ..BayesConfig::default() }.with_precision(precision);
-    let network = if family.conv {
-        let shape = [family.input[0], family.input[1], family.input[2]];
-        Network::bayes_lenet(&shape, family.classes, config, &mut rng)
-    } else {
-        Network::bayes_mlp(family.input[0], &[48, 32], family.classes, config, &mut rng)
-    };
-    let dataset = SyntheticDataset::generate(&family.input, family.classes, 20, 1.1, seed ^ 0xD00D);
-    let (train, val) = dataset.split(0.8);
-    let mut trainer = Trainer::new(
-        network,
-        TrainerConfig {
-            samples: 2,
-            learning_rate: 0.06,
-            strategy: EpsilonStrategy::LfsrRetrieve,
-            seed,
-        },
-    )
-    .ok()?;
-    let mut diverged = false;
-    for _ in 0..family.epochs {
-        match trainer.train_epoch(&train) {
-            Ok(metrics) if metrics.mean_loss.is_finite() => {}
-            _ => {
-                diverged = true;
-                break;
-            }
-        }
-    }
-    if diverged {
-        return None;
-    }
-    trainer.evaluate(&val).ok().filter(|a| a.is_finite())
-}
-
 fn main() {
-    let precisions = [
-        ("8-bit", Precision::PAPER_8BIT),
-        ("16-bit", Precision::PAPER_16BIT),
-        ("32-bit", Precision::Fp32),
-    ];
-    let mut rows = Vec::new();
-    for (idx, family) in families().iter().enumerate() {
-        let mut row = vec![family.name.to_string(), family.dataset_name.to_string()];
-        for (_, precision) in &precisions {
-            let acc = train_accuracy(family, *precision, 100 + idx as u64);
-            row.push(match acc {
-                Some(a) => percent(a),
-                None => "NaN".to_string(),
-            });
-        }
-        rows.push(row);
-    }
+    let view = table1();
+    let rows: Vec<Vec<String>> = view
+        .rows
+        .iter()
+        .map(|r| {
+            let mut row = vec![r.network.clone(), r.dataset.clone()];
+            for acc in &r.accuracies {
+                row.push(match acc {
+                    Some(a) => percent(*a),
+                    None => "NaN".to_string(),
+                });
+            }
+            row
+        })
+        .collect();
     print_table(
         "Table 1: validation accuracy vs training data type (Shift-BNN training path)",
         &["network", "dataset", "val-acc (8b)", "val-acc (16b)", "val-acc (32b)"],

@@ -1,41 +1,27 @@
 //! Table 2: FPGA resource usage and average power of the components in one Shift-BNN SPU.
+//! Rendered from the shared [`shift_bnn_bench::views::table2`] view.
 
-use bnn_arch::resource::{accelerator_usage, component_usage, spu_usage, SpuComponent};
-use shift_bnn::designs::DesignKind;
+use bnn_arch::resource::ResourceUsage;
+use shift_bnn_bench::views::table2;
 use shift_bnn_bench::{num, print_table};
 
+fn usage_row(label: &str, usage: &ResourceUsage) -> Vec<String> {
+    vec![
+        label.to_string(),
+        usage.lut.to_string(),
+        usage.ff.to_string(),
+        usage.dsp.to_string(),
+        usage.bram.to_string(),
+        num(usage.avg_power_w, 3),
+    ]
+}
+
 fn main() {
-    let config = DesignKind::ShiftBnn.config();
-    let mut rows = Vec::new();
-    for component in SpuComponent::all() {
-        let usage = component_usage(component, &config);
-        rows.push(vec![
-            component.name().to_string(),
-            usage.lut.to_string(),
-            usage.ff.to_string(),
-            usage.dsp.to_string(),
-            usage.bram.to_string(),
-            num(usage.avg_power_w, 3),
-        ]);
-    }
-    let spu = spu_usage(&config);
-    rows.push(vec![
-        "total (1 SPU)".to_string(),
-        spu.lut.to_string(),
-        spu.ff.to_string(),
-        spu.dsp.to_string(),
-        spu.bram.to_string(),
-        num(spu.avg_power_w, 3),
-    ]);
-    let total = accelerator_usage(&config);
-    rows.push(vec![
-        "total (16 SPUs + ctrl)".to_string(),
-        total.lut.to_string(),
-        total.ff.to_string(),
-        total.dsp.to_string(),
-        total.bram.to_string(),
-        num(total.avg_power_w, 3),
-    ]);
+    let view = table2();
+    let mut rows: Vec<Vec<String>> =
+        view.components.iter().map(|(name, usage)| usage_row(name, usage)).collect();
+    rows.push(usage_row("total (1 SPU)", &view.spu));
+    rows.push(usage_row("total (16 SPUs + ctrl)", &view.accelerator));
     print_table(
         "Table 2: resource usage of Shift-BNN components (per SPU)",
         &["component", "LUT", "FF", "DSP", "BRAM", "Pavg (W)"],

@@ -3,6 +3,12 @@
 //! Every binary in `src/bin/` regenerates one table or figure of the paper's evaluation section
 //! and prints it as an aligned text table; `EXPERIMENTS.md` records the paper-reported values
 //! next to the values these binaries produce.
+//!
+//! The figure *computations* live in [`views`] as pure functions over one shared design-space
+//! sweep ([`shift_bnn::sweep`]); the binaries render those views, and `tests/golden_figures.rs`
+//! pins their key scalars against checked-in golden values.
+
+pub mod views;
 
 /// Prints an aligned text table with a title, a header row and data rows.
 ///

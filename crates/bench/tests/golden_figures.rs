@@ -1,0 +1,276 @@
+//! Golden-output conformance suite: every figure/table computation runs through the sweep
+//! engine and its key scalar outcomes are asserted against the checked-in golden values of
+//! `EXPERIMENTS.md`, with explicit tolerances — so the recorded numbers can no longer drift
+//! silently when the simulator, the models or the sweep engine change.
+//!
+//! This file is a custom harness (`harness = false` in `Cargo.toml`):
+//!
+//! * the simulator-grid goldens (Figs. 2, 3, 10–14, Table 2) are milliseconds of analytic
+//!   simulation and run on every plain `cargo test`;
+//! * the training-based goldens (Fig. 9, Table 1) train real networks for many epochs and run
+//!   only when the literal flag `-- --include-golden` is passed (CI's sweep job does).
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::OnceLock;
+
+use bnn_models::ModelKind;
+use shift_bnn::designs::DesignKind;
+use shift_bnn::sweep::{paper_sweep, SweepPrecision, SweepReport};
+use shift_bnn_bench::views;
+
+fn sweep() -> &'static SweepReport {
+    static SWEEP: OnceLock<SweepReport> = OnceLock::new();
+    SWEEP.get_or_init(paper_sweep)
+}
+
+#[track_caller]
+fn assert_close(what: &str, actual: f64, golden: f64, tol: f64) {
+    assert!(
+        (actual - golden).abs() <= tol,
+        "{what}: measured {actual} drifted from golden {golden} (tolerance {tol})"
+    );
+}
+
+// ---------------------------------------------------------------------------------------------
+// Sweep-based goldens (fast; always run)
+// ---------------------------------------------------------------------------------------------
+
+fn golden_fig02_transfer_ratios() {
+    let view = views::fig02(sweep());
+    let avg = |s: usize| {
+        view.average_transfer.iter().find(|(c, _)| *c == s).expect("headline sample count").1
+    };
+    assert_close("Fig. 2 avg transfer at S=8", avg(8), 8.0, 0.05);
+    assert_close("Fig. 2 avg transfer at S=32", avg(32), 27.2, 0.05);
+    let row = view
+        .rows
+        .iter()
+        .find(|r| r.label == "MLP / B-MLP" && r.samples == 16)
+        .expect("B-MLP S=16 row");
+    assert_close("Fig. 2 B-MLP S=16 transfer", row.transfer, 14.0, 0.05);
+    assert_close("Fig. 2 B-MLP S=16 energy", row.energy, 13.8, 0.05);
+    assert_close("Fig. 2 B-MLP S=16 latency", row.latency, 8.8, 0.05);
+}
+
+fn golden_fig03_epsilon_shares() {
+    let view = views::fig03(sweep());
+    let golden = [0.848, 0.615, 0.827, 0.634, 0.462];
+    for ((model, _, eps, _), golden) in view.rows.iter().zip(golden) {
+        assert_close(&format!("Fig. 3 {model} epsilon share"), *eps, golden, 0.001);
+    }
+    assert_close("Fig. 3 average epsilon share", view.average_epsilon, 0.677, 0.001);
+}
+
+fn golden_fig10_energy_reductions() {
+    let view = views::fig10(sweep());
+    let golden_rows = [
+        ("B-MLP", [1.000, 0.153, 0.994, 0.146]),
+        ("B-LeNet", [1.000, 0.405, 0.830, 0.235]),
+        ("B-AlexNet", [1.000, 0.223, 0.993, 0.214]),
+        ("B-VGG", [1.000, 0.515, 0.887, 0.396]),
+        ("B-ResNet", [1.000, 0.656, 0.814, 0.463]),
+    ];
+    for (row, (model, [mn, mnshift, rc, shift])) in view.rows.iter().zip(golden_rows) {
+        assert_eq!(row.model, model);
+        assert_close(&format!("Fig. 10 {model} MN-Acc"), row.mn, mn, 0.0005);
+        assert_close(&format!("Fig. 10 {model} MNShift-Acc"), row.mnshift, mnshift, 0.0005);
+        assert_close(&format!("Fig. 10 {model} RC-Acc"), row.rc, rc, 0.0005);
+        assert_close(&format!("Fig. 10 {model} Shift-BNN"), row.shift, shift, 0.0005);
+    }
+    assert_close("Fig. 10 reduction vs RC-Acc", view.reduction_vs_rc, 0.704, 0.001);
+    assert_close("Fig. 10 reduction vs MN-Acc", view.reduction_vs_mn, 0.733, 0.001);
+    assert_close("Fig. 10 reduction vs MNShift-Acc", view.reduction_vs_mnshift, 0.220, 0.001);
+}
+
+fn golden_fig11_speedups() {
+    let view = views::fig11(sweep());
+    assert_close("Fig. 11 Shift-BNN avg speedup over RC-Acc", view.shift_over_rc, 1.70, 0.01);
+    let bmlp = &view.rows[0];
+    assert_close("Fig. 11 B-MLP Shift-BNN speedup", bmlp.shift, 6.74, 0.01);
+    assert_close("Fig. 11 B-LeNet Shift-BNN speedup", view.rows[1].shift, 1.89, 0.01);
+}
+
+fn golden_fig12_efficiency_ratios() {
+    let view = views::fig12(sweep());
+    assert_close("Fig. 12 Shift-BNN vs RC-Acc", view.shift_vs_rc, 3.38, 0.01);
+    assert_close("Fig. 12 Shift-BNN vs MN-Acc", view.shift_vs_mn, 3.75, 0.01);
+    assert_close("Fig. 12 Shift-BNN vs GPU", view.shift_vs_gpu, 3.66, 0.01);
+    let blenet = &view.rows[1];
+    assert_close("Fig. 12 B-LeNet GPU point", blenet.gpu, 2.78, 0.01);
+}
+
+fn golden_fig13_scalability_endpoints() {
+    let view = views::fig13(sweep());
+    let points =
+        |kind: ModelKind| &view.models.iter().find(|(k, _)| *k == kind).expect("Fig. 13 model").1;
+    let blenet = points(ModelKind::LeNet);
+    assert_close(
+        "Fig. 13 B-LeNet reduction at S=4",
+        blenet.first().unwrap().shift_energy_reduction,
+        0.494,
+        0.001,
+    );
+    assert_close(
+        "Fig. 13 B-LeNet reduction at S=128",
+        blenet.last().unwrap().shift_energy_reduction,
+        0.799,
+        0.001,
+    );
+    let bmlp = points(ModelKind::Mlp);
+    assert_close(
+        "Fig. 13 B-MLP reduction at S=16",
+        bmlp.iter().find(|p| p.samples == 16).unwrap().shift_energy_reduction,
+        0.853,
+        0.001,
+    );
+    for (kind, points) in &view.models {
+        for pair in points.windows(2) {
+            assert!(
+                pair[1].shift_energy_reduction >= pair[0].shift_energy_reduction - 5e-3,
+                "Fig. 13 {}: reduction must grow with S",
+                kind.paper_name()
+            );
+        }
+    }
+}
+
+fn golden_fig14_footprint_ratios() {
+    let view = views::fig14(sweep());
+    let golden_shift_footprint = [0.20, 0.25, 0.21, 0.25, 0.31];
+    for (row, golden) in view.footprint_rows.iter().zip(golden_shift_footprint) {
+        assert_close(
+            &format!("Fig. 14 {} Shift-BNN footprint", row.model),
+            row.shift,
+            golden,
+            0.005,
+        );
+    }
+    assert_close(
+        "Fig. 14 average footprint reduction",
+        view.average_footprint_reduction,
+        0.756,
+        0.001,
+    );
+    // The mechanism behind the ratios, pinned exactly: reversion designs move and store zero ε.
+    for kind in ModelKind::all() {
+        for design in [DesignKind::MnShiftAcc, DesignKind::ShiftBnn] {
+            let record = sweep()
+                .record(design, kind.paper_name(), 16, SweepPrecision::Bits16)
+                .expect("grid point");
+            assert_eq!(record.report.dram_traffic.epsilon, 0, "{}", kind.paper_name());
+            assert_eq!(record.report.footprint.epsilon_bytes, 0, "{}", kind.paper_name());
+        }
+    }
+}
+
+fn golden_table2_resource_totals() {
+    let view = views::table2();
+    let golden = [
+        ("PE tile", 985, 478, 16, 0, 0.076),
+        ("Shift array", 222, 464, 0, 0, 0.016),
+        ("Function units", 785, 399, 32, 0, 0.008),
+        ("GRNGs", 2277, 4224, 0, 0, 0.005),
+        ("NBin/NBout", 0, 0, 0, 48, 0.112),
+    ];
+    for ((name, usage), (g_name, lut, ff, dsp, bram, power)) in view.components.iter().zip(golden) {
+        assert_eq!(name, g_name);
+        assert_eq!((usage.lut, usage.ff, usage.dsp, usage.bram), (lut, ff, dsp, bram), "{name}");
+        assert_close(&format!("Table 2 {name} power"), usage.avg_power_w, power, 0.0005);
+    }
+    assert_eq!((view.spu.lut, view.spu.ff, view.spu.dsp, view.spu.bram), (4269, 5565, 48, 48));
+    assert_close("Table 2 SPU power", view.spu.avg_power_w, 0.217, 0.0005);
+    let a = &view.accelerator;
+    assert_eq!((a.lut, a.ff, a.dsp, a.bram), (72504, 92140, 768, 882));
+    assert_close("Table 2 accelerator power", a.avg_power_w, 3.822, 0.0005);
+}
+
+// ---------------------------------------------------------------------------------------------
+// Training-based goldens (slow; only with `-- --include-golden`)
+// ---------------------------------------------------------------------------------------------
+
+fn golden_fig09_bit_identical_training() {
+    let view = views::fig09(12);
+    assert!(view.identical, "Fig. 9: the two training curves must be bit-identical");
+    assert_eq!(view.baseline_stored, 50_878_080, "Fig. 9 baseline stored epsilons");
+    assert_eq!(view.shift_stored, 0, "Fig. 9 Shift-BNN stored epsilons");
+    assert_close("Fig. 9 epoch-1 loss", view.rows[0].loss_baseline as f64, 6.8850, 5e-4);
+    assert_close("Fig. 9 epoch-12 loss", view.rows[11].loss_baseline as f64, 6.4339, 5e-4);
+}
+
+fn golden_table1_precision_accuracies() {
+    let view = views::table1();
+    let golden: [(&str, [Option<f64>; 3]); 5] = [
+        ("B-MLP", [Some(1.0), Some(1.0), Some(1.0)]),
+        ("B-LeNet", [Some(0.917), Some(1.0), Some(1.0)]),
+        ("B-AlexNet (reduced)", [Some(0.500), Some(1.0), Some(0.917)]),
+        ("B-VGG (reduced)", [Some(0.917), Some(0.917), Some(1.0)]),
+        ("B-ResNet (reduced)", [Some(1.0), Some(1.0), Some(0.917)]),
+    ];
+    for (row, (name, accs)) in view.rows.iter().zip(golden) {
+        assert_eq!(row.network, name);
+        for (i, (measured, golden)) in row.accuracies.iter().zip(accs).enumerate() {
+            match (measured, golden) {
+                (Some(m), Some(g)) => {
+                    assert_close(&format!("Table 1 {name} precision column {i}"), *m, g, 0.002)
+                }
+                (None, None) => {}
+                other => panic!("Table 1 {name} column {i}: divergence mismatch {other:?}"),
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------------------------
+// Harness
+// ---------------------------------------------------------------------------------------------
+
+fn main() {
+    let include_golden = std::env::args().any(|a| a == "--include-golden");
+    let fast: &[(&str, fn())] = &[
+        ("fig02_transfer_ratios", golden_fig02_transfer_ratios),
+        ("fig03_epsilon_shares", golden_fig03_epsilon_shares),
+        ("fig10_energy_reductions", golden_fig10_energy_reductions),
+        ("fig11_speedups", golden_fig11_speedups),
+        ("fig12_efficiency_ratios", golden_fig12_efficiency_ratios),
+        ("fig13_scalability_endpoints", golden_fig13_scalability_endpoints),
+        ("fig14_footprint_ratios", golden_fig14_footprint_ratios),
+        ("table2_resource_totals", golden_table2_resource_totals),
+    ];
+    let heavy: &[(&str, fn())] = &[
+        ("fig09_bit_identical_training", golden_fig09_bit_identical_training),
+        ("table1_precision_accuracies", golden_table1_precision_accuracies),
+    ];
+
+    let mut failures = 0usize;
+    let mut run = |name: &str, test: fn()| match catch_unwind(AssertUnwindSafe(test)) {
+        Ok(()) => println!("golden {name} ... ok"),
+        Err(err) => {
+            failures += 1;
+            let msg = err
+                .downcast_ref::<String>()
+                .map(String::as_str)
+                .or_else(|| err.downcast_ref::<&str>().copied())
+                .unwrap_or("<non-string panic>");
+            println!("golden {name} ... FAILED\n    {msg}");
+        }
+    };
+
+    for &(name, test) in fast {
+        run(name, test);
+    }
+    if include_golden {
+        for &(name, test) in heavy {
+            run(name, test);
+        }
+    } else {
+        for (name, _) in heavy {
+            println!("golden {name} ... skipped (pass `-- --include-golden` to run)");
+        }
+    }
+
+    let executed = fast.len() + if include_golden { heavy.len() } else { 0 };
+    println!("\ngolden conformance: {} executed, {failures} failed", executed);
+    if failures > 0 {
+        std::process::exit(1);
+    }
+}

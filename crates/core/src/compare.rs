@@ -2,6 +2,8 @@
 
 use crate::designs::DesignKind;
 use crate::evaluate::{evaluate_gpu, evaluate_with, DesignEvaluation};
+use crate::sweep::pool::default_workers;
+use crate::sweep::{run_sweep, SweepGrid, SweepPrecision};
 use bnn_arch::EnergyModel;
 use bnn_models::ModelConfig;
 
@@ -86,8 +88,19 @@ impl DesignComparison {
 
 /// Convenience: compares all four designs on a list of models and returns one comparison per
 /// model.
+///
+/// Runs the (model × design) grid through the sweep engine, so the evaluations execute on the
+/// work-stealing pool instead of serially; results are identical to per-model
+/// [`DesignComparison::run`] calls (the sweep orders records by grid index, not completion).
 pub fn compare_all_designs(models: &[ModelConfig], samples: usize) -> Vec<DesignComparison> {
-    models.iter().map(|m| DesignComparison::run(m, samples, &DesignKind::all())).collect()
+    let grid = SweepGrid {
+        designs: DesignKind::all().to_vec(),
+        models: models.to_vec(),
+        sample_counts: vec![samples],
+        precisions: vec![SweepPrecision::Bits16],
+    };
+    let report = run_sweep(&grid, default_workers(), &EnergyModel::default());
+    models.iter().map(|m| report.comparison(&m.name, samples)).collect()
 }
 
 /// Geometric-mean helper used for "average across models" statements.

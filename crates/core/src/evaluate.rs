@@ -59,6 +59,22 @@ pub fn evaluate_with(
     DesignEvaluation { design, report }
 }
 
+/// Evaluates `model` on `design` with the datapath widened or narrowed to `precision_bytes`
+/// per value — the precision axis of the design-space sweep grid. All other parameters keep
+/// the design's fair-comparison defaults.
+pub fn evaluate_with_precision(
+    design: DesignKind,
+    model: &ModelConfig,
+    samples: usize,
+    precision_bytes: usize,
+    energy: &EnergyModel,
+) -> DesignEvaluation {
+    let mut config = design.config();
+    config.precision_bytes = precision_bytes;
+    let report = simulate_training(&config, model, samples, energy);
+    DesignEvaluation { design, report }
+}
+
 /// Evaluates the GPU comparison point (Tesla P100) on the same workload.
 pub fn evaluate_gpu(model: &ModelConfig, samples: usize) -> (GpuModel, GpuReport) {
     let gpu = GpuModel::tesla_p100();
@@ -101,6 +117,17 @@ mod tests {
         let rc_saving = 1.0 - shift.energy_mj() / rc.energy_mj();
         assert!(mn_saving > 0.0);
         assert!(rc_saving > mn_saving, "RC saving {rc_saving} vs MN saving {mn_saving}");
+    }
+
+    #[test]
+    fn precision_override_scales_traffic_bytes_only() {
+        let model = ModelKind::LeNet.bnn();
+        let energy = bnn_arch::EnergyModel::default();
+        let b16 = evaluate_with_precision(DesignKind::RcAcc, &model, 8, 2, &energy);
+        let b32 = evaluate_with_precision(DesignKind::RcAcc, &model, 8, 4, &energy);
+        assert_eq!(b16.report, evaluate(DesignKind::RcAcc, &model, 8).report);
+        assert_eq!(2 * b16.report.dram_bytes, b32.report.dram_bytes);
+        assert_eq!(b16.dram_accesses(), b32.dram_accesses(), "value counts are width-independent");
     }
 
     #[test]

@@ -16,7 +16,10 @@
 //! * [`spu`] — a functional Sample Processing Unit (PE tile + GRNG bank + DPU/updater math);
 //! * [`mod@evaluate`] — run a model's training workload through a design (or the GPU model);
 //! * [`compare`] — multi-design comparisons (energy, speedup, GOPS/W, DRAM accesses, footprint);
-//! * [`scalability`] — sample-count sweeps.
+//! * [`scalability`] — sample-count sweeps;
+//! * [`sweep`] — the design-space sweep engine: the (design × model × samples × precision)
+//!   grid as independent jobs on a work-stealing thread pool, aggregated into one
+//!   deterministically-serialized [`sweep::SweepReport`] that every figure is a view of.
 //!
 //! The algorithmic side (actual Bayes-by-Backprop training with LFSR-retrieved ε) lives in the
 //! companion crate `bnn-train`; the reversible generators themselves in `bnn-lfsr`.
@@ -42,9 +45,11 @@ pub mod designs;
 pub mod evaluate;
 pub mod scalability;
 pub mod spu;
+pub mod sweep;
 
 pub use compare::{compare_all_designs, DesignComparison};
 pub use designs::DesignKind;
 pub use evaluate::{evaluate, evaluate_gpu, DesignEvaluation};
 pub use scalability::{sweep_samples, ScalabilityPoint, FIG13_SAMPLE_COUNTS};
 pub use spu::SampleProcessingUnit;
+pub use sweep::{paper_sweep, run_sweep, SweepGrid, SweepPoint, SweepPrecision, SweepReport};

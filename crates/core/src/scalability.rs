@@ -1,7 +1,9 @@
 //! Sample-size scalability sweeps — the data behind Fig. 13.
 
 use crate::designs::DesignKind;
-use crate::evaluate::evaluate;
+use crate::sweep::pool::default_workers;
+use crate::sweep::{run_sweep, SweepGrid, SweepPrecision};
+use bnn_arch::EnergyModel;
 use bnn_models::ModelConfig;
 
 /// Metrics at one sample count of a scalability sweep.
@@ -20,23 +22,18 @@ pub struct ScalabilityPoint {
 }
 
 /// Sweeps the sample counts of Fig. 13 (4…128) for one model.
+///
+/// The (design × samples) grid runs on the sweep engine's work-stealing pool; the derived
+/// points are identical to evaluating each (design, S) pair serially.
 pub fn sweep_samples(model: &ModelConfig, sample_counts: &[usize]) -> Vec<ScalabilityPoint> {
-    sample_counts
-        .iter()
-        .map(|&samples| {
-            let rc = evaluate(DesignKind::RcAcc, model, samples);
-            let shift = evaluate(DesignKind::ShiftBnn, model, samples);
-            let mn = evaluate(DesignKind::MnAcc, model, samples);
-            let mnshift = evaluate(DesignKind::MnShiftAcc, model, samples);
-            ScalabilityPoint {
-                samples,
-                shift_energy_reduction: 1.0 - shift.energy_mj() / rc.energy_mj(),
-                mnshift_energy_reduction: 1.0 - mnshift.energy_mj() / mn.energy_mj(),
-                shift_efficiency: shift.gops_per_watt(),
-                mnshift_efficiency: mnshift.gops_per_watt(),
-            }
-        })
-        .collect()
+    let grid = SweepGrid {
+        designs: DesignKind::all().to_vec(),
+        models: vec![model.clone()],
+        sample_counts: sample_counts.to_vec(),
+        precisions: vec![SweepPrecision::Bits16],
+    };
+    let report = run_sweep(&grid, default_workers(), &EnergyModel::default());
+    report.scalability(&model.name, sample_counts)
 }
 
 /// The sample counts used by the paper's Fig. 13.

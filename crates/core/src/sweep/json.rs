@@ -1,0 +1,283 @@
+//! Hand-rolled JSON serialization for sweep reports.
+//!
+//! The container this workspace builds in has no crates.io access, so `serde`/`serde_json` are
+//! unavailable; this module provides the small, deterministic subset the sweep engine needs:
+//! a [`Json`] value tree, compact and pretty writers, and the [`ToJson`] conversion trait.
+//!
+//! Determinism is the design constraint — the sweep engine's acceptance test compares the JSON
+//! of a 1-worker run against an N-worker run *byte for byte*:
+//!
+//! * objects keep their insertion order (no hash maps anywhere);
+//! * floats are written with Rust's shortest-round-trip `Display`, which is a pure function of
+//!   the `f64` bits; non-finite floats become `null` (JSON has no NaN/Infinity);
+//! * integers are kept as integers rather than routed through `f64`, so `u64` counts above
+//!   2^53 (DRAM traffic of a VGG sweep, for instance) never lose precision.
+
+use std::fmt::Write as _;
+
+/// A JSON value with deterministic serialization.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// An unsigned integer (serialized without a decimal point).
+    UInt(u64),
+    /// A signed integer (serialized without a decimal point).
+    Int(i64),
+    /// A finite float (non-finite values serialize as `null`).
+    Float(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Array(Vec<Json>),
+    /// An object; pairs keep insertion order.
+    Object(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Builds an object from `(key, value)` pairs, preserving order.
+    pub fn obj<K: Into<String>>(pairs: impl IntoIterator<Item = (K, Json)>) -> Json {
+        Json::Object(pairs.into_iter().map(|(k, v)| (k.into(), v)).collect())
+    }
+
+    /// Builds an array by converting every item with [`ToJson`].
+    pub fn array_of<T: ToJson>(items: impl IntoIterator<Item = T>) -> Json {
+        Json::Array(items.into_iter().map(|i| i.to_json()).collect())
+    }
+
+    /// Serializes compactly (no whitespace).
+    pub fn to_compact(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, None, 0);
+        out
+    }
+
+    /// Serializes with 2-space indentation, trailing newline omitted.
+    pub fn to_pretty(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, Some(2), 0);
+        out
+    }
+
+    fn write(&self, out: &mut String, indent: Option<usize>, depth: usize) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::UInt(v) => {
+                let _ = write!(out, "{v}");
+            }
+            Json::Int(v) => {
+                let _ = write!(out, "{v}");
+            }
+            Json::Float(v) => write_f64(out, *v),
+            Json::Str(s) => write_escaped(out, s),
+            Json::Array(items) => {
+                write_seq(out, indent, depth, '[', ']', items.len(), |out, i, d| {
+                    items[i].write(out, indent, d);
+                });
+            }
+            Json::Object(pairs) => {
+                write_seq(out, indent, depth, '{', '}', pairs.len(), |out, i, d| {
+                    write_escaped(out, &pairs[i].0);
+                    out.push(':');
+                    if indent.is_some() {
+                        out.push(' ');
+                    }
+                    pairs[i].1.write(out, indent, d);
+                });
+            }
+        }
+    }
+}
+
+/// Shared open/separate/close logic for arrays and objects.
+fn write_seq(
+    out: &mut String,
+    indent: Option<usize>,
+    depth: usize,
+    open: char,
+    close: char,
+    len: usize,
+    mut item: impl FnMut(&mut String, usize, usize),
+) {
+    out.push(open);
+    if len == 0 {
+        out.push(close);
+        return;
+    }
+    for i in 0..len {
+        if i > 0 {
+            out.push(',');
+        }
+        if let Some(step) = indent {
+            out.push('\n');
+            out.push_str(&" ".repeat(step * (depth + 1)));
+        }
+        item(out, i, depth + 1);
+    }
+    if let Some(step) = indent {
+        out.push('\n');
+        out.push_str(&" ".repeat(step * depth));
+    }
+    out.push(close);
+}
+
+/// Writes a float using the shortest representation that round-trips (Rust's `Display` for
+/// `f64`), which is deterministic for identical bit patterns. Non-finite values become `null`.
+fn write_f64(out: &mut String, v: f64) {
+    if v.is_finite() {
+        let _ = write!(out, "{v}");
+    } else {
+        out.push_str("null");
+    }
+}
+
+/// Writes a string with the JSON escapes required by RFC 8259 (quotes, backslash, control
+/// characters); everything else passes through as UTF-8.
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Conversion into a [`Json`] value.
+///
+/// Implemented here (rather than in `bnn-arch`) for the report types of the simulator, so the
+/// simulator crate stays serialization-agnostic while every report stays JSON-emittable.
+pub trait ToJson {
+    /// Converts `self` into a JSON value.
+    fn to_json(&self) -> Json;
+}
+
+impl ToJson for bnn_arch::EnergyBreakdown {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("dram_mj", Json::Float(self.dram_mj)),
+            ("sram_mj", Json::Float(self.sram_mj)),
+            ("compute_mj", Json::Float(self.compute_mj)),
+            ("grng_mj", Json::Float(self.grng_mj)),
+            ("static_mj", Json::Float(self.static_mj)),
+            ("total_mj", Json::Float(self.total_mj())),
+        ])
+    }
+}
+
+impl ToJson for bnn_arch::TrafficByOperand {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("weights", Json::UInt(self.weights)),
+            ("epsilon", Json::UInt(self.epsilon)),
+            ("features", Json::UInt(self.features)),
+            ("total", Json::UInt(self.total())),
+        ])
+    }
+}
+
+impl ToJson for bnn_arch::FootprintBreakdown {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("weights_bytes", Json::UInt(self.weights_bytes)),
+            ("epsilon_bytes", Json::UInt(self.epsilon_bytes)),
+            ("features_bytes", Json::UInt(self.features_bytes)),
+            ("total_bytes", Json::UInt(self.total_bytes())),
+        ])
+    }
+}
+
+impl ToJson for bnn_arch::simulate::TrainingRunReport {
+    /// Run-level summary of a training-run report (per-layer detail is deliberately omitted —
+    /// a full paper sweep holds hundreds of reports and the figures consume only run totals).
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("design", Json::Str(self.design.clone())),
+            ("model", Json::Str(self.model.clone())),
+            ("samples", Json::UInt(self.samples as u64)),
+            ("latency_cycles", Json::UInt(self.latency_cycles)),
+            ("latency_s", Json::Float(self.latency_s)),
+            ("total_macs", Json::UInt(self.total_macs)),
+            ("gops", Json::Float(self.gops())),
+            ("average_power_w", Json::Float(self.average_power_w())),
+            ("gops_per_watt", Json::Float(self.gops_per_watt())),
+            ("energy", self.energy.to_json()),
+            ("dram_traffic", self.dram_traffic.to_json()),
+            ("dram_bytes", Json::UInt(self.dram_bytes)),
+            ("footprint", self.footprint.to_json()),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalars_serialize_canonically() {
+        assert_eq!(Json::Null.to_compact(), "null");
+        assert_eq!(Json::Bool(true).to_compact(), "true");
+        assert_eq!(Json::UInt(u64::MAX).to_compact(), "18446744073709551615");
+        assert_eq!(Json::Int(-7).to_compact(), "-7");
+        assert_eq!(Json::Float(0.1).to_compact(), "0.1");
+        assert_eq!(Json::Float(1.0).to_compact(), "1");
+        assert_eq!(Json::Float(f64::NAN).to_compact(), "null");
+        assert_eq!(Json::Float(f64::INFINITY).to_compact(), "null");
+    }
+
+    #[test]
+    fn strings_are_escaped() {
+        assert_eq!(Json::Str("a\"b\\c\n\u{1}".into()).to_compact(), "\"a\\\"b\\\\c\\n\\u0001\"");
+        assert_eq!(Json::Str("tab\there".into()).to_compact(), r#""tab\there""#);
+    }
+
+    #[test]
+    fn objects_preserve_insertion_order() {
+        let j = Json::obj([("z", Json::UInt(1)), ("a", Json::UInt(2))]);
+        assert_eq!(j.to_compact(), r#"{"z":1,"a":2}"#);
+    }
+
+    #[test]
+    fn pretty_printing_indents_nested_structures() {
+        let j = Json::obj([("xs", Json::Array(vec![Json::UInt(1), Json::UInt(2)]))]);
+        assert_eq!(j.to_pretty(), "{\n  \"xs\": [\n    1,\n    2\n  ]\n}");
+        assert_eq!(Json::Array(vec![]).to_pretty(), "[]");
+    }
+
+    #[test]
+    fn u64_counts_above_2_pow_53_round_trip_exactly() {
+        let big = (1u64 << 53) + 1;
+        assert_eq!(Json::UInt(big).to_compact(), big.to_string());
+    }
+
+    #[test]
+    fn training_run_report_emits_run_level_fields() {
+        use bnn_arch::simulate::simulate_training;
+        use bnn_arch::{AcceleratorConfig, EnergyModel};
+        use bnn_models::ModelKind;
+
+        let report = simulate_training(
+            &AcceleratorConfig::default(),
+            &ModelKind::Mlp.bnn(),
+            4,
+            &EnergyModel::default(),
+        );
+        let json = report.to_json().to_compact();
+        assert!(json.contains(r#""model":"B-MLP""#));
+        assert!(json.contains(r#""samples":4"#));
+        assert!(json.contains(r#""dram_traffic":{"weights":"#));
+        // Serialization is a pure function of the report.
+        assert_eq!(json, report.to_json().to_compact());
+    }
+}

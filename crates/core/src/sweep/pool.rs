@@ -1,0 +1,204 @@
+//! A small work-stealing pool of scoped `std::thread` workers.
+//!
+//! The container this workspace builds in has no crates.io access (no `rayon`, no
+//! `crossbeam`), so the sweep engine brings its own scheduler. It is deliberately tiny:
+//!
+//! * jobs are the indices `0..jobs` of a known-size batch — exactly what a design-space grid
+//!   enumeration produces;
+//! * every worker owns a deque seeded with a contiguous slice of the index space and pops work
+//!   from its front; an idle worker *steals* the back half of the fullest victim's deque, so an
+//!   unlucky worker stuck with the expensive B-VGG points sheds load to the ones that drew
+//!   B-MLP;
+//! * results are collected per worker as `(index, value)` pairs and merged by index, so the
+//!   output order is the *grid* order regardless of which worker finished what when — the
+//!   property the sweep determinism test pins down.
+//!
+//! Workers are `std::thread::scope` threads: they may borrow the job closure (and everything it
+//! captures) from the caller's stack, and a panicking job propagates to the caller on join.
+
+use std::collections::VecDeque;
+use std::sync::Mutex;
+
+/// Runs `job(i)` for every `i in 0..jobs` on `workers` threads and returns the results in
+/// index order.
+///
+/// `workers` is clamped to `1..=jobs` (a single worker runs the batch inline on the calling
+/// thread). The output at position `i` is `job(i)` — completion order never leaks into the
+/// result, which is what makes sweep reports byte-identical across worker counts.
+///
+/// # Panics
+///
+/// Propagates the first panic raised by any job.
+pub fn run_indexed<T, F>(jobs: usize, workers: usize, job: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    if jobs == 0 {
+        return Vec::new();
+    }
+    let workers = workers.clamp(1, jobs);
+    if workers == 1 {
+        return (0..jobs).map(job).collect();
+    }
+
+    // Seed each worker's deque with a contiguous slice of the index space; stealing rebalances
+    // from there. Striding (round-robin) would balance statically but destroy the locality of
+    // neighbouring grid points, and stealing makes static balance unnecessary anyway.
+    let queues: Vec<Mutex<VecDeque<usize>>> = (0..workers)
+        .map(|w| {
+            let lo = jobs * w / workers;
+            let hi = jobs * (w + 1) / workers;
+            Mutex::new((lo..hi).collect())
+        })
+        .collect();
+
+    let mut results: Vec<Option<T>> = Vec::with_capacity(jobs);
+    results.resize_with(jobs, || None);
+    let slots = Mutex::new(&mut results);
+
+    std::thread::scope(|scope| {
+        for w in 0..workers {
+            let queues = &queues;
+            let job = &job;
+            let slots = &slots;
+            scope.spawn(move || {
+                let mut local: Vec<(usize, T)> = Vec::new();
+                while let Some(index) = next_job(queues, w) {
+                    local.push((index, job(index)));
+                }
+                let mut slots = slots.lock().unwrap();
+                for (index, value) in local {
+                    slots[index] = Some(value);
+                }
+            });
+        }
+    });
+
+    results.into_iter().map(|v| v.expect("every job index produced a result")).collect()
+}
+
+/// Pops the next index for worker `w`: front of its own deque, else steal from a victim.
+fn next_job(queues: &[Mutex<VecDeque<usize>>], w: usize) -> Option<usize> {
+    if let Some(index) = queues[w].lock().unwrap().pop_front() {
+        return Some(index);
+    }
+    steal_into(queues, w)
+}
+
+/// Steals the back half of the fullest other deque into worker `w`'s deque and returns the
+/// first stolen index, or `None` when every deque is empty (the batch is done).
+fn steal_into(queues: &[Mutex<VecDeque<usize>>], w: usize) -> Option<usize> {
+    loop {
+        // Pick the victim with the most queued work. Lengths are read without holding more
+        // than one lock at a time; a stale read just means another stealing round.
+        let victim = (0..queues.len())
+            .filter(|&v| v != w)
+            .map(|v| (v, queues[v].lock().unwrap().len()))
+            .max_by_key(|&(_, len)| len)
+            .filter(|&(_, len)| len > 0);
+        let Some((victim, _)) = victim else {
+            return None;
+        };
+        let stolen: Vec<usize> = {
+            let mut q = queues[victim].lock().unwrap();
+            let keep = q.len() / 2;
+            q.split_off(keep).into()
+        };
+        // The victim may have drained between the length read and the lock; try again.
+        if stolen.is_empty() {
+            continue;
+        }
+        let mut own = queues[w].lock().unwrap();
+        own.extend(stolen);
+        return own.pop_front();
+    }
+}
+
+/// The worker count the sweep engine uses by default: the machine's available parallelism,
+/// capped at 8 (the paper grid has few hundred points; more threads only add contention).
+pub fn default_workers() -> usize {
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1).min(8)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn results_come_back_in_index_order() {
+        for workers in [1, 2, 3, 8] {
+            let out = run_indexed(23, workers, |i| i * i);
+            assert_eq!(out, (0..23).map(|i| i * i).collect::<Vec<_>>(), "workers {workers}");
+        }
+    }
+
+    #[test]
+    fn every_job_runs_exactly_once() {
+        let runs: Vec<AtomicUsize> = (0..100).map(|_| AtomicUsize::new(0)).collect();
+        run_indexed(100, 4, |i| runs[i].fetch_add(1, Ordering::SeqCst));
+        assert!(runs.iter().all(|r| r.load(Ordering::SeqCst) == 1));
+    }
+
+    #[test]
+    fn uneven_job_costs_still_complete_in_order() {
+        // The first worker's contiguous slice is artificially expensive; stealing redistributes
+        // it, and the merged output must still be in index order.
+        let out = run_indexed(64, 4, |i| {
+            if i < 16 {
+                std::thread::sleep(std::time::Duration::from_millis(1));
+            }
+            i
+        });
+        assert_eq!(out, (0..64).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn steal_takes_the_back_half_of_the_fullest_victim() {
+        let queues: Vec<Mutex<VecDeque<usize>>> = vec![
+            Mutex::new(VecDeque::new()),
+            Mutex::new((0..4).collect()),
+            Mutex::new((10..20).collect()),
+        ];
+        // Worker 0 is empty; the fullest victim is queue 2, whose back half (15..20) moves over.
+        let got = steal_into(&queues, 0).unwrap();
+        assert_eq!(got, 15);
+        assert_eq!(
+            queues[0].lock().unwrap().iter().copied().collect::<Vec<_>>(),
+            vec![16, 17, 18, 19]
+        );
+        assert_eq!(queues[2].lock().unwrap().len(), 5);
+        assert_eq!(queues[1].lock().unwrap().len(), 4, "the smaller victim is untouched");
+    }
+
+    #[test]
+    fn steal_returns_none_when_all_queues_are_empty() {
+        let queues: Vec<Mutex<VecDeque<usize>>> =
+            vec![Mutex::new(VecDeque::new()), Mutex::new(VecDeque::new())];
+        assert!(steal_into(&queues, 0).is_none());
+    }
+
+    #[test]
+    fn more_workers_than_jobs_is_fine() {
+        assert_eq!(run_indexed(3, 16, |i| i + 1), vec![1, 2, 3]);
+        assert_eq!(run_indexed(0, 4, |i| i), Vec::<usize>::new());
+        assert_eq!(run_indexed(5, 0, |i| i), vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn single_worker_runs_inline_without_spawning() {
+        let main_thread = std::thread::current().id();
+        let out = run_indexed(4, 1, |i| {
+            assert_eq!(std::thread::current().id(), main_thread);
+            i
+        });
+        assert_eq!(out, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn default_workers_is_at_least_one() {
+        let w = default_workers();
+        assert!((1..=8).contains(&w));
+    }
+}

@@ -1,0 +1,68 @@
+//! Determinism contract of the sweep engine: the same grid run with 1 worker and with N
+//! workers must produce **byte-identical** `SweepReport` JSON. Record order is fixed by grid
+//! index, never by completion order, and the hand-rolled serializer is a pure function of the
+//! report — so scheduling noise cannot leak into the artifact.
+
+use bnn_arch::EnergyModel;
+use bnn_models::ModelKind;
+use shift_bnn::designs::DesignKind;
+use shift_bnn::sweep::{run_sweep, SweepGrid, SweepPrecision};
+
+fn small_grid() -> SweepGrid {
+    SweepGrid {
+        designs: DesignKind::all().to_vec(),
+        models: vec![ModelKind::Mlp.bnn(), ModelKind::LeNet.bnn(), ModelKind::LeNet.dnn()],
+        sample_counts: vec![4, 16, 32],
+        precisions: vec![SweepPrecision::Bits16, SweepPrecision::Bits32],
+    }
+}
+
+#[test]
+fn one_worker_and_many_workers_serialize_byte_identically() {
+    let grid = small_grid();
+    let energy = EnergyModel::default();
+    let baseline = run_sweep(&grid, 1, &energy).to_json_string();
+    for workers in [2, 3, 7, 16] {
+        let parallel = run_sweep(&grid, workers, &energy).to_json_string();
+        assert_eq!(baseline, parallel, "JSON diverged at {workers} workers");
+    }
+}
+
+#[test]
+fn full_figure_grid_is_deterministic_across_worker_counts() {
+    let grid = SweepGrid::paper_figures();
+    let energy = EnergyModel::default();
+    let serial = run_sweep(&grid, 1, &energy);
+    let parallel = run_sweep(&grid, 6, &energy);
+    // Structural equality first (cheaper diagnostics than a giant string diff)...
+    assert_eq!(serial.records.len(), parallel.records.len());
+    for (a, b) in serial.records.iter().zip(&parallel.records) {
+        assert_eq!(a, b, "record {} diverged", a.point.index);
+    }
+    // ...then the byte-level contract the artifact depends on.
+    assert_eq!(serial.to_json_string(), parallel.to_json_string());
+}
+
+#[test]
+fn repeated_runs_are_reproducible() {
+    let grid = small_grid();
+    let energy = EnergyModel::default();
+    let first = run_sweep(&grid, 4, &energy).to_json_string();
+    let second = run_sweep(&grid, 4, &energy).to_json_string();
+    assert_eq!(first, second);
+}
+
+#[test]
+fn records_follow_grid_enumeration_order() {
+    let grid = small_grid();
+    let report = run_sweep(&grid, 5, &EnergyModel::default());
+    let points = grid.points();
+    assert_eq!(report.records.len(), points.len());
+    for (record, point) in report.records.iter().zip(&points) {
+        assert_eq!(&record.point, point);
+        // The report inside must describe the same point.
+        assert_eq!(record.report.design, point.design.name());
+        assert_eq!(record.report.model, point.model.name);
+        assert_eq!(record.report.samples, point.samples);
+    }
+}

@@ -28,4 +28,4 @@ pub mod zoo;
 
 pub use layer::{LayerDims, LayerKind};
 pub use workload::{LayerVolume, ModelVolume};
-pub use zoo::{ModelConfig, ModelKind};
+pub use zoo::{paper_bnns, paper_dnns, paper_variants, ModelConfig, ModelKind};

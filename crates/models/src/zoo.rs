@@ -107,6 +107,37 @@ impl ModelKind {
             ModelKind::ResNet18 => "B-ResNet",
         }
     }
+
+    /// The requested variant: Bayesian (`B-` prefix) or the DNN counterpart.
+    pub fn variant(&self, bayesian: bool) -> ModelConfig {
+        if bayesian {
+            self.bnn()
+        } else {
+            self.dnn()
+        }
+    }
+
+    /// Looks a family up by either of its two variant names (`"B-VGG"` or `"VGG"`).
+    pub fn by_name(name: &str) -> Option<ModelKind> {
+        ModelKind::all().into_iter().find(|k| k.paper_name() == name || k.dnn().name == name)
+    }
+}
+
+/// The five Bayesian paper models, in figure order — one axis of the design-space sweep grid.
+pub fn paper_bnns() -> Vec<ModelConfig> {
+    ModelKind::all().iter().map(ModelKind::bnn).collect()
+}
+
+/// The five DNN counterparts, in figure order (the Fig. 2 baseline points).
+pub fn paper_dnns() -> Vec<ModelConfig> {
+    ModelKind::all().iter().map(ModelKind::dnn).collect()
+}
+
+/// All ten model variants a full figure sweep touches: the five BNNs, then the five DNNs.
+pub fn paper_variants() -> Vec<ModelConfig> {
+    let mut models = paper_bnns();
+    models.extend(paper_dnns());
+    models
 }
 
 /// The 3-hidden-layer MLP (784-400-400-400-10) trained on MNIST.
@@ -354,6 +385,30 @@ mod tests {
             assert_eq!(kind.paper_name(), bnn.name);
             assert!(dnn.total_weights() > 0);
         }
+    }
+
+    #[test]
+    fn variant_and_lookup_round_trip() {
+        for kind in ModelKind::all() {
+            assert_eq!(kind.variant(true), kind.bnn());
+            assert_eq!(kind.variant(false), kind.dnn());
+            assert_eq!(ModelKind::by_name(kind.paper_name()), Some(kind));
+            assert_eq!(ModelKind::by_name(&kind.dnn().name), Some(kind));
+        }
+        assert_eq!(ModelKind::by_name("B-GPT"), None);
+    }
+
+    #[test]
+    fn grid_enumeration_helpers_cover_both_variants() {
+        assert_eq!(paper_bnns().len(), 5);
+        assert_eq!(paper_dnns().len(), 5);
+        let variants = paper_variants();
+        assert_eq!(variants.len(), 10);
+        assert!(variants[..5].iter().all(|m| m.bayesian));
+        assert!(variants[5..].iter().all(|m| !m.bayesian));
+        // Figure order is preserved within each half.
+        assert_eq!(variants[0].name, "B-MLP");
+        assert_eq!(variants[5].name, "MLP");
     }
 
     #[test]
