@@ -72,7 +72,7 @@ fn analytic_agreement_holds_across_the_entire_domain() {
 }
 
 proptest! {
-    #![proptest_config(ProptestConfig { cases: 32, ..ProptestConfig::default() })]
+    #![proptest_config(ProptestConfig::with_cases(32))]
 
     /// The executed tile schedule and the analytic utilization formula must count the same
     /// forward-stage cycles (±1 for the analytic path's float rounding) on any geometry.

@@ -1,0 +1,83 @@
+//! `bench_regression`: the CI drift gate. Compares a freshly produced benchmark summary
+//! against the committed baseline and fails (exit 1) when any headline scalar drifts beyond
+//! tolerance — so a simulator, model or engine change can no longer shift the recorded
+//! numbers without the diff saying so.
+//!
+//! Both inputs are JSON documents produced by this repo's own deterministic serializer
+//! (`BENCH_sweep_summary.json` from `sweep_all`, `BENCH_serve_summary.json` from
+//! `serve_bench`). Structure must match exactly; numeric leaves may differ by the relative
+//! tolerance (default 1e-9 — the summaries are deterministic, so the default is effectively
+//! "identical up to float printing").
+//!
+//! Usage: `cargo run --release -p shift-bnn-bench --bin bench_regression -- \
+//!   --baseline BENCH_sweep_summary.json --fresh out/BENCH_sweep_summary.json \
+//!   [--tolerance 1e-9]`
+
+use shift_bnn::sweep::json::Json;
+use shift_bnn_bench::regression::compare;
+
+struct Args {
+    baseline: String,
+    fresh: String,
+    tolerance: f64,
+}
+
+fn parse_args() -> Args {
+    let mut baseline = None;
+    let mut fresh = None;
+    let mut tolerance = 1e-9;
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--baseline" => baseline = Some(it.next().expect("--baseline needs a path")),
+            "--fresh" => fresh = Some(it.next().expect("--fresh needs a path")),
+            "--tolerance" => {
+                let v = it.next().expect("--tolerance needs a value");
+                tolerance = v.parse().expect("--tolerance must be a float");
+                assert!(tolerance >= 0.0, "--tolerance must be non-negative");
+            }
+            other => panic!(
+                "unknown argument {other} (expected --baseline PATH, --fresh PATH, --tolerance X)"
+            ),
+        }
+    }
+    Args {
+        baseline: baseline.expect("--baseline is required"),
+        fresh: fresh.expect("--fresh is required"),
+        tolerance,
+    }
+}
+
+fn load(path: &str) -> Json {
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| panic!("cannot read {path}: {e}"));
+    Json::parse(&text).unwrap_or_else(|e| panic!("cannot parse {path}: {e}"))
+}
+
+fn main() {
+    let args = parse_args();
+    let baseline = load(&args.baseline);
+    let fresh = load(&args.fresh);
+    let mismatches = compare(&baseline, &fresh, args.tolerance);
+    if mismatches.is_empty() {
+        println!(
+            "bench_regression: {} matches {} within tolerance {:e}",
+            args.fresh, args.baseline, args.tolerance
+        );
+        return;
+    }
+    eprintln!(
+        "bench_regression: {} drifted from {} ({} mismatch(es), tolerance {:e}):",
+        args.fresh,
+        args.baseline,
+        mismatches.len(),
+        args.tolerance
+    );
+    for mismatch in &mismatches {
+        eprintln!("  {mismatch}");
+    }
+    eprintln!(
+        "\nIf the drift is intentional, regenerate the committed baseline (run sweep_all / \
+         serve_bench without --reduced at the repo root) and commit the updated summary."
+    );
+    std::process::exit(1);
+}

@@ -1,17 +1,23 @@
 //! `sweep_all`: executes the full paper design-space grid — designs × models × sample counts ×
 //! precisions — through the sweep engine, once on a single worker and once on the full
-//! work-stealing pool, verifies the two reports serialize byte-identically, and emits
-//! `BENCH_sweep.json` with both wall-clock timings plus every point's latency / energy /
-//! traffic. That file is the machine-readable perf trajectory future scaling PRs compare
-//! against (CI uploads it as an artifact from a reduced grid).
+//! work-stealing pool, verifies the two reports serialize byte-identically, and emits two
+//! files:
+//!
+//! * `BENCH_sweep.json` — the full record (every point's latency / energy / traffic plus both
+//!   wall clocks). ~14k lines; uploaded as a CI artifact, **not** committed;
+//! * `BENCH_sweep_summary.json` — the compact deterministic reference-slice summary
+//!   ([`shift_bnn::sweep::summary`]), which *is* committed and regression-checked by
+//!   `bench_regression` and the golden suite. Because the summary only reads the shared
+//!   S = 16 / 16-bit slice, a `--reduced` CI run reproduces the committed bytes exactly.
 //!
 //! Usage: `cargo run --release -p shift-bnn-bench --bin sweep_all -- [--reduced]
-//! [--workers N] [--out PATH]`
+//! [--workers N] [--out PATH] [--summary PATH]`
 
 use std::time::Instant;
 
 use bnn_arch::EnergyModel;
 use shift_bnn::sweep::json::Json;
+use shift_bnn::sweep::summary::SweepSummary;
 use shift_bnn::sweep::{pool, run_sweep, SweepGrid, SweepReport};
 use shift_bnn_bench::{num, print_table};
 
@@ -19,6 +25,7 @@ struct Args {
     reduced: bool,
     workers: usize,
     out: String,
+    summary: String,
 }
 
 fn parse_args() -> Args {
@@ -29,6 +36,7 @@ fn parse_args() -> Args {
         reduced: false,
         workers: pool::default_workers().max(2),
         out: "BENCH_sweep.json".to_string(),
+        summary: "BENCH_sweep_summary.json".to_string(),
     };
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
@@ -40,8 +48,11 @@ fn parse_args() -> Args {
                 assert!(args.workers >= 1, "--workers must be >= 1");
             }
             "--out" => args.out = it.next().expect("--out needs a path"),
+            "--summary" => args.summary = it.next().expect("--summary needs a path"),
             other => {
-                panic!("unknown argument {other} (expected --reduced, --workers N, --out PATH)")
+                panic!(
+                    "unknown argument {other} (expected --reduced, --workers N, --out PATH, --summary PATH)"
+                )
             }
         }
     }
@@ -151,5 +162,14 @@ fn main() {
         ("sweep", serial_report.to_json()),
     ]);
     std::fs::write(&args.out, bench.to_pretty() + "\n").expect("write BENCH_sweep.json");
-    println!("wrote {} ({} grid points)", args.out, serial_report.records.len());
+    let summary = SweepSummary::from_report(&serial_report);
+    std::fs::write(&args.summary, summary.to_json_string())
+        .expect("write BENCH_sweep_summary.json");
+    println!(
+        "wrote {} ({} grid points) and {} ({} reference-slice records)",
+        args.out,
+        serial_report.records.len(),
+        args.summary,
+        summary.records.len()
+    );
 }

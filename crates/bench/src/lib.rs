@@ -6,8 +6,12 @@
 //!
 //! The figure *computations* live in [`views`] as pure functions over one shared design-space
 //! sweep ([`shift_bnn::sweep`]); the binaries render those views, and `tests/golden_figures.rs`
-//! pins their key scalars against checked-in golden values.
+//! pins their key scalars against checked-in golden values. The serving benchmark's grid and
+//! deterministic summary live in [`serve_views`], and the numeric-tree comparison behind the
+//! CI bench-regression gate in [`regression`].
 
+pub mod regression;
+pub mod serve_views;
 pub mod views;
 
 /// Prints an aligned text table with a title, a header row and data rows.
@@ -71,7 +75,7 @@ mod tests {
     fn formatting_helpers() {
         assert_eq!(ratio(1.5), "1.50x");
         assert_eq!(percent(0.756), "75.6%");
-        assert_eq!(num(3.14159, 3), "3.142");
+        assert_eq!(num(1.23456, 3), "1.235");
     }
 
     #[test]

@@ -11,11 +11,16 @@
 //!   only when the literal flag `-- --include-golden` is passed (CI's sweep job does).
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
 use std::sync::OnceLock;
 
 use bnn_models::ModelKind;
 use shift_bnn::designs::DesignKind;
+use shift_bnn::sweep::json::Json;
+use shift_bnn::sweep::summary::SweepSummary;
 use shift_bnn::sweep::{paper_sweep, SweepPrecision, SweepReport};
+use shift_bnn_bench::regression;
+use shift_bnn_bench::serve_views::{run_serve_grid, serve_summary_json};
 use shift_bnn_bench::views;
 
 fn sweep() -> &'static SweepReport {
@@ -185,6 +190,52 @@ fn golden_table2_resource_totals() {
 }
 
 // ---------------------------------------------------------------------------------------------
+// Committed regression baselines: the compact summaries in the repo root must match a fresh
+// recomputation exactly. These are the same comparisons the CI `bench_regression` gate runs
+// against nightly full-grid artifacts; here they run on every `cargo test`, so a simulator or
+// engine change cannot shift the committed numbers without updating the baseline in the diff.
+// ---------------------------------------------------------------------------------------------
+
+fn repo_root_file(name: &str) -> Json {
+    let path = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../..").join(name);
+    let text = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("cannot read committed baseline {}: {e}", path.display()));
+    Json::parse(&text).unwrap_or_else(|e| panic!("cannot parse {name}: {e}"))
+}
+
+fn assert_matches_baseline(name: &str, fresh: &Json) {
+    let baseline = repo_root_file(name);
+    let mismatches = regression::compare(&baseline, fresh, 1e-12);
+    assert!(
+        mismatches.is_empty(),
+        "{name} drifted from a fresh recomputation ({} mismatch(es)):\n  {}\n\
+         regenerate it with the sweep_all / serve_bench binary and commit the update",
+        mismatches.len(),
+        mismatches.iter().map(ToString::to_string).collect::<Vec<_>>().join("\n  ")
+    );
+}
+
+fn golden_sweep_summary_matches_committed() {
+    // The committed baseline was produced by a full-grid `sweep_all` run, but the summary only
+    // reads the S = 16 / 16-bit reference slice — which the reduced CI grid shares, so a
+    // 40-point sweep reproduces the committed bytes exactly.
+    let report = shift_bnn::sweep::run_sweep(
+        &shift_bnn::sweep::SweepGrid::reduced(),
+        2,
+        &bnn_arch::EnergyModel::default(),
+    );
+    let fresh = SweepSummary::from_report(&report).to_json();
+    assert_matches_baseline("BENCH_sweep_summary.json", &fresh);
+}
+
+fn golden_serve_summary_matches_committed() {
+    // Recompute the full (non-reduced) serving grid; every scalar in the summary is
+    // tick-domain or a response digest, so worker count and machine cannot perturb it.
+    let fresh = serve_summary_json(&run_serve_grid(false, 2), false);
+    assert_matches_baseline("BENCH_serve_summary.json", &fresh);
+}
+
+// ---------------------------------------------------------------------------------------------
 // Training-based goldens (slow; only with `-- --include-golden`)
 // ---------------------------------------------------------------------------------------------
 
@@ -235,6 +286,8 @@ fn main() {
         ("fig13_scalability_endpoints", golden_fig13_scalability_endpoints),
         ("fig14_footprint_ratios", golden_fig14_footprint_ratios),
         ("table2_resource_totals", golden_table2_resource_totals),
+        ("sweep_summary_matches_committed", golden_sweep_summary_matches_committed),
+        ("serve_summary_matches_committed", golden_serve_summary_matches_committed),
     ];
     let heavy: &[(&str, fn())] = &[
         ("fig09_bit_identical_training", golden_fig09_bit_identical_training),

@@ -65,10 +65,10 @@ impl SyntheticDataset {
             (0..classes).map(|_| (0..len).map(|_| normal.sample(&mut rng)).collect()).collect();
         let mut images = Vec::with_capacity(classes * per_class);
         let mut labels = Vec::with_capacity(classes * per_class);
-        for class in 0..classes {
+        for (class, template) in templates.iter().enumerate() {
             for _ in 0..per_class {
                 let data: Vec<f32> =
-                    templates[class].iter().map(|&t| t + noise * normal.sample(&mut rng)).collect();
+                    template.iter().map(|&t| t + noise * normal.sample(&mut rng)).collect();
                 images.push(Tensor::from_vec(shape.to_vec(), data).expect("length matches shape"));
                 labels.push(class);
             }

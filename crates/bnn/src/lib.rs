@@ -9,7 +9,11 @@
 //! around is exactly what distinguishes the baseline from Shift-BNN:
 //!
 //! * [`epsilon::StoreReplay`] stores every ε (the baseline's DRAM round trip);
-//! * [`epsilon::LfsrRetrieve`] regenerates every ε locally by shifting the LFSR backwards.
+//! * [`epsilon::LfsrRetrieve`] regenerates every ε locally by shifting the LFSR backwards;
+//! * [`epsilon::LfsrForward`] is the inference-only sibling — a pure forward stream whose
+//!   whole ε ensemble is reproducible from a 64-bit seed, which is what the serving engine
+//!   (`bnn-serve`) relies on for storage-free, bit-deterministic Monte-Carlo inference
+//!   (see [`network::Network::predictive`]).
 //!
 //! Both produce bit-identical training, which this crate's tests and the `fig09` benchmark
 //! binary demonstrate.
@@ -54,7 +58,7 @@ pub mod network;
 pub mod trainer;
 pub mod variational;
 
-pub use epsilon::{EpsilonSource, LfsrRetrieve, StoreReplay};
-pub use network::Network;
+pub use epsilon::{EpsilonSource, LfsrForward, LfsrRetrieve, StoreReplay};
+pub use network::{Network, Predictive};
 pub use trainer::{EpsilonStrategy, Trainer, TrainerConfig};
 pub use variational::BayesConfig;

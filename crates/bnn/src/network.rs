@@ -8,6 +8,20 @@ use bnn_tensor::loss::softmax;
 use bnn_tensor::{Tensor, TensorError};
 use rand::Rng;
 
+/// The Monte-Carlo predictive summary of one input under a frozen posterior: what a serving
+/// engine returns per inference request.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Predictive {
+    /// Predictive class probabilities, averaged over the sampled models.
+    pub mean: Tensor,
+    /// Per-class variance across the sampled models' probabilities (epistemic spread).
+    pub variance: Tensor,
+    /// Predictive entropy of the mean, in nats.
+    pub entropy: f32,
+    /// Number of Monte-Carlo samples aggregated.
+    pub samples: usize,
+}
+
 /// A sequential stack of [`Layer`]s trained with Bayes-by-Backprop.
 pub struct Network {
     layers: Vec<Box<dyn Layer>>,
@@ -149,6 +163,57 @@ impl Network {
         -probabilities.data().iter().filter(|&&p| p > 0.0).map(|&p| p * p.ln()).sum::<f32>()
     }
 
+    /// Monte-Carlo predictive summary for `input`: one forward pass per provided ε source,
+    /// aggregated into predictive mean, per-class variance and predictive entropy.
+    ///
+    /// This is the inference-only path the serving engine (`bnn-serve`) drives: no backward
+    /// pass runs, no ε is retrieved (forward-only sources like
+    /// [`LfsrForward`](crate::epsilon::LfsrForward) suffice), and the result is a pure
+    /// function of the frozen `(μ, ρ)` posterior, the input and the sources' seeds — which is
+    /// what lets any worker replica produce bit-identical responses.
+    ///
+    /// The variance is the population variance over the `S` sampled probability vectors
+    /// (`E[p²] − E[p]²`, clamped at zero against rounding), accumulated in the sources' order.
+    ///
+    /// # Errors
+    ///
+    /// Propagates shape errors from the layers.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `sources` is empty.
+    pub fn predictive(
+        &mut self,
+        input: &Tensor,
+        sources: &mut [Box<dyn EpsilonSource>],
+    ) -> Result<Predictive, TensorError> {
+        assert!(!sources.is_empty(), "predictive inference needs at least one ε source");
+        self.begin_iteration(sources.len());
+        let mut sum: Option<Tensor> = None;
+        let mut sum_sq: Option<Tensor> = None;
+        for (s, src) in sources.iter_mut().enumerate() {
+            let logits = self.forward_sample(s, input, src.as_mut())?;
+            let probs = softmax(&logits);
+            let sq = probs.hadamard(&probs)?;
+            sum = Some(match sum {
+                None => probs,
+                Some(acc) => acc.add(&probs)?,
+            });
+            sum_sq = Some(match sum_sq {
+                None => sq,
+                Some(acc) => acc.add(&sq)?,
+            });
+        }
+        let inv_s = 1.0 / sources.len() as f32;
+        let mean = sum.expect("at least one source").scale(inv_s);
+        let variance = sum_sq
+            .expect("at least one source")
+            .scale(inv_s)
+            .zip_map(&mean, |m2, m| (m2 - m * m).max(0.0))?;
+        let entropy = Self::predictive_entropy(&mean);
+        Ok(Predictive { mean, variance, entropy, samples: sources.len() })
+    }
+
     /// Builds a Bayesian multi-layer perceptron: `input_dim → hidden… → classes` with ReLU
     /// between layers (the B-MLP family).
     pub fn bayes_mlp(
@@ -260,6 +325,47 @@ mod tests {
         assert!((probs.sum() - 1.0).abs() < 1e-5);
         let entropy = Network::predictive_entropy(&probs);
         assert!(entropy >= 0.0 && entropy <= (3.0f32).ln() + 1e-5);
+    }
+
+    #[test]
+    fn predictive_summary_is_consistent_with_predict() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let mut net = Network::bayes_mlp(4, &[6], 3, BayesConfig::default(), &mut rng);
+        let make_sources = || -> Vec<Box<dyn EpsilonSource>> {
+            (0..5)
+                .map(|i| {
+                    Box::new(crate::epsilon::LfsrForward::new(200 + i).unwrap())
+                        as Box<dyn EpsilonSource>
+                })
+                .collect()
+        };
+        let input = Tensor::filled(&[4], 0.3);
+        let mut sources = make_sources();
+        let summary = net.predictive(&input, &mut sources).unwrap();
+        assert_eq!(summary.samples, 5);
+        assert_eq!(summary.mean.shape(), &[3]);
+        assert_eq!(summary.variance.shape(), &[3]);
+        assert!((summary.mean.sum() - 1.0).abs() < 1e-5);
+        assert!(summary.variance.data().iter().all(|&v| v >= 0.0));
+        assert!(summary.entropy >= 0.0);
+        // The mean must agree with `predict` given identically seeded sources.
+        let mut sources = make_sources();
+        let probs = net.predict(&input, &mut sources).unwrap();
+        assert_eq!(summary.mean, probs);
+        assert_eq!(summary.entropy, Network::predictive_entropy(&probs));
+        // And the whole summary is reproducible from the seeds alone.
+        let mut sources = make_sources();
+        assert_eq!(net.predictive(&input, &mut sources).unwrap(), summary);
+    }
+
+    #[test]
+    fn single_sample_predictive_has_zero_variance() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut net = Network::bayes_mlp(3, &[4], 2, BayesConfig::default(), &mut rng);
+        let mut sources: Vec<Box<dyn EpsilonSource>> =
+            vec![Box::new(crate::epsilon::LfsrForward::new(9).unwrap())];
+        let summary = net.predictive(&Tensor::filled(&[3], 1.0), &mut sources).unwrap();
+        assert!(summary.variance.data().iter().all(|&v| v == 0.0));
     }
 
     #[test]

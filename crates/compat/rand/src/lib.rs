@@ -178,7 +178,7 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(1);
         for _ in 0..10_000 {
             let v = rng.gen_range(f32::EPSILON..1.0);
-            assert!(v >= f32::EPSILON && v < 1.0, "{v}");
+            assert!((f32::EPSILON..1.0).contains(&v), "{v}");
             let w = rng.gen_range(-10.0f32..10.0);
             assert!((-10.0..10.0).contains(&w), "{w}");
         }
@@ -201,9 +201,9 @@ mod tests {
         let mut distinct = std::collections::BTreeSet::new();
         for _ in 0..100 {
             let v32 = rng.gen_range(-f32::MAX..f32::MAX);
-            assert!(v32.is_finite() && v32 >= -f32::MAX && v32 < f32::MAX);
+            assert!(v32.is_finite() && (-f32::MAX..f32::MAX).contains(&v32));
             let v64 = rng.gen_range(-f64::MAX..f64::MAX);
-            assert!(v64.is_finite() && v64 >= -f64::MAX && v64 < f64::MAX);
+            assert!(v64.is_finite() && (-f64::MAX..f64::MAX).contains(&v64));
             distinct.insert(v64.to_bits());
         }
         assert!(distinct.len() > 90, "draws should vary, got {} distinct", distinct.len());

@@ -1,17 +1,24 @@
 //! A small work-stealing pool of scoped `std::thread` workers.
 //!
 //! The container this workspace builds in has no crates.io access (no `rayon`, no
-//! `crossbeam`), so the sweep engine brings its own scheduler. It is deliberately tiny:
+//! `crossbeam`), so the workspace brings its own scheduler. It began life inside the
+//! design-space sweep engine ([`crate::sweep`], which keeps a `sweep::pool` re-export) and is
+//! now a top-level module because the serving engine (`bnn-serve`) runs its batched
+//! Monte-Carlo inference jobs on the same pool. It is deliberately tiny:
 //!
 //! * jobs are the indices `0..jobs` of a known-size batch — exactly what a design-space grid
-//!   enumeration produces;
+//!   enumeration or a coalesced inference workload produces;
 //! * every worker owns a deque seeded with a contiguous slice of the index space and pops work
 //!   from its front; an idle worker *steals* the back half of the fullest victim's deque, so an
 //!   unlucky worker stuck with the expensive B-VGG points sheds load to the ones that drew
 //!   B-MLP;
 //! * results are collected per worker as `(index, value)` pairs and merged by index, so the
 //!   output order is the *grid* order regardless of which worker finished what when — the
-//!   property the sweep determinism test pins down.
+//!   property both the sweep and serving determinism tests pin down;
+//! * [`run_indexed_with`] additionally gives every worker a private state value built once per
+//!   worker (an inference engine's model replica, for instance), so jobs that need an expensive
+//!   mutable context don't rebuild it per job — and because results still merge by index, the
+//!   state must never let one job's outcome depend on which worker ran it.
 //!
 //! Workers are `std::thread::scope` threads: they may borrow the job closure (and everything it
 //! captures) from the caller's stack, and a panicking job propagates to the caller on join.
@@ -34,12 +41,38 @@ where
     T: Send,
     F: Fn(usize) -> T + Sync,
 {
+    run_indexed_with(jobs, workers, |_| (), move |(), i| job(i))
+}
+
+/// Like [`run_indexed`], but every worker first builds a private state value with `init(w)`
+/// (called on the worker's own thread) and each job receives `&mut` access to the state of
+/// whichever worker runs it.
+///
+/// This is how the serving engine gives each worker its own replica of a frozen model
+/// posterior: replicas are built once per worker, not once per request. Because work stealing
+/// makes the job→worker assignment nondeterministic, `job(state, i)`'s *result* must be a pure
+/// function of `i` — worker state may cache and scratch, but it must not change outcomes. The
+/// determinism tests (sweep and serving) exist to catch violations.
+///
+/// The state type `S` needs neither `Send` nor `Sync`: each state is created, used and dropped
+/// entirely on one worker thread.
+///
+/// # Panics
+///
+/// Propagates the first panic raised by `init` or any job.
+pub fn run_indexed_with<S, T, I, F>(jobs: usize, workers: usize, init: I, job: F) -> Vec<T>
+where
+    T: Send,
+    I: Fn(usize) -> S + Sync,
+    F: Fn(&mut S, usize) -> T + Sync,
+{
     if jobs == 0 {
         return Vec::new();
     }
     let workers = workers.clamp(1, jobs);
     if workers == 1 {
-        return (0..jobs).map(job).collect();
+        let mut state = init(0);
+        return (0..jobs).map(|i| job(&mut state, i)).collect();
     }
 
     // Seed each worker's deque with a contiguous slice of the index space; stealing rebalances
@@ -60,12 +93,14 @@ where
     std::thread::scope(|scope| {
         for w in 0..workers {
             let queues = &queues;
+            let init = &init;
             let job = &job;
             let slots = &slots;
             scope.spawn(move || {
+                let mut state = init(w);
                 let mut local: Vec<(usize, T)> = Vec::new();
                 while let Some(index) = next_job(queues, w) {
-                    local.push((index, job(index)));
+                    local.push((index, job(&mut state, index)));
                 }
                 let mut slots = slots.lock().unwrap();
                 for (index, value) in local {
@@ -97,9 +132,7 @@ fn steal_into(queues: &[Mutex<VecDeque<usize>>], w: usize) -> Option<usize> {
             .map(|v| (v, queues[v].lock().unwrap().len()))
             .max_by_key(|&(_, len)| len)
             .filter(|&(_, len)| len > 0);
-        let Some((victim, _)) = victim else {
-            return None;
-        };
+        let (victim, _) = victim?;
         let stolen: Vec<usize> = {
             let mut q = queues[victim].lock().unwrap();
             let keep = q.len() / 2;
@@ -200,5 +233,57 @@ mod tests {
     fn default_workers_is_at_least_one() {
         let w = default_workers();
         assert!((1..=8).contains(&w));
+    }
+
+    #[test]
+    fn worker_state_is_built_once_per_worker_and_reused() {
+        let inits = AtomicUsize::new(0);
+        let workers = 4;
+        let out = run_indexed_with(
+            64,
+            workers,
+            |w| {
+                inits.fetch_add(1, Ordering::SeqCst);
+                (w, 0usize) // (worker id, jobs served by this state)
+            },
+            |state, i| {
+                state.1 += 1;
+                i * 2
+            },
+        );
+        assert_eq!(out, (0..64).map(|i| i * 2).collect::<Vec<_>>());
+        // One init per spawned worker — never one per job.
+        let built = inits.load(Ordering::SeqCst);
+        assert!(built <= workers, "built {built} states for {workers} workers");
+        assert!(built >= 1);
+    }
+
+    #[test]
+    fn single_worker_state_runs_inline() {
+        let main_thread = std::thread::current().id();
+        let out = run_indexed_with(
+            5,
+            1,
+            |w| {
+                assert_eq!(w, 0);
+                assert_eq!(std::thread::current().id(), main_thread);
+                Vec::<usize>::new()
+            },
+            |scratch, i| {
+                scratch.push(i);
+                scratch.len()
+            },
+        );
+        // A single worker serves all jobs in order with one accumulating state.
+        assert_eq!(out, vec![1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn stateful_results_are_deterministic_across_worker_counts() {
+        let baseline = run_indexed_with(40, 1, |_| (), |(), i| i * i + 1);
+        for workers in [2, 3, 8] {
+            let got = run_indexed_with(40, workers, |_| (), |(), i| i * i + 1);
+            assert_eq!(got, baseline, "workers {workers}");
+        }
     }
 }

@@ -1,8 +1,10 @@
-//! Hand-rolled JSON serialization for sweep reports.
+//! Hand-rolled JSON serialization (and parsing) for sweep and serving reports.
 //!
 //! The container this workspace builds in has no crates.io access, so `serde`/`serde_json` are
 //! unavailable; this module provides the small, deterministic subset the sweep engine needs:
-//! a [`Json`] value tree, compact and pretty writers, and the [`ToJson`] conversion trait.
+//! a [`Json`] value tree, compact and pretty writers, the [`ToJson`] conversion trait, and —
+//! since the CI bench-regression checker has to *read* committed baseline artifacts — a
+//! recursive-descent parser ([`Json::parse`]) with path accessors.
 //!
 //! Determinism is the design constraint — the sweep engine's acceptance test compares the JSON
 //! of a 1-worker run against an N-worker run *byte for byte*:
@@ -59,6 +61,91 @@ impl Json {
         let mut out = String::new();
         self.write(&mut out, Some(2), 0);
         out
+    }
+
+    /// Parses a JSON document (one value with optional surrounding whitespace).
+    ///
+    /// The grammar is RFC 8259 minus the corners this repo never produces: numbers parse into
+    /// [`Json::UInt`] / [`Json::Int`] when they are integral and fit (preserving exactness
+    /// above 2^53), and into [`Json::Float`] otherwise; strings accept every standard escape
+    /// including `\uXXXX` surrogate pairs.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`JsonParseError`] with a byte offset on malformed input or trailing garbage.
+    pub fn parse(text: &str) -> Result<Json, JsonParseError> {
+        let mut parser = Parser { bytes: text.as_bytes(), pos: 0 };
+        parser.skip_whitespace();
+        let value = parser.parse_value()?;
+        parser.skip_whitespace();
+        if parser.pos != parser.bytes.len() {
+            return Err(parser.error("trailing characters after the document"));
+        }
+        Ok(value)
+    }
+
+    /// Looks a key up in an object (`None` for missing keys and non-objects).
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Object(pairs) => pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// Walks a `/`-separated path of object keys and array indices, e.g. `"records/3/model"`.
+    pub fn pointer(&self, path: &str) -> Option<&Json> {
+        let mut current = self;
+        for segment in path.split('/').filter(|s| !s.is_empty()) {
+            current = match current {
+                Json::Object(_) => current.get(segment)?,
+                Json::Array(items) => items.get(segment.parse::<usize>().ok()?)?,
+                _ => return None,
+            };
+        }
+        Some(current)
+    }
+
+    /// The numeric value of a `UInt`/`Int`/`Float` node.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::UInt(v) => Some(*v as f64),
+            Json::Int(v) => Some(*v as f64),
+            Json::Float(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// The exact value of a non-negative integer node.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Json::UInt(v) => Some(*v),
+            Json::Int(v) => u64::try_from(*v).ok(),
+            _ => None,
+        }
+    }
+
+    /// The string value of a `Str` node.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The items of an `Array` node.
+    pub fn as_array(&self) -> Option<&[Json]> {
+        match self {
+            Json::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// The pairs of an `Object` node.
+    pub fn as_object(&self) -> Option<&[(String, Json)]> {
+        match self {
+            Json::Object(pairs) => Some(pairs),
+            _ => None,
+        }
     }
 
     fn write(&self, out: &mut String, indent: Option<usize>, depth: usize) {
@@ -125,12 +212,17 @@ fn write_seq(
 }
 
 /// Writes a float using the shortest representation that round-trips (Rust's `Display` for
-/// `f64`), which is deterministic for identical bit patterns. Non-finite values become `null`.
+/// `f64`), which is deterministic for identical bit patterns. Integral values keep a `.0`
+/// suffix so the parser can tell a `Float` from an integer — without it, `parse(write(x))`
+/// would silently reclassify e.g. a speedup of exactly 1.0 as `UInt(1)`. Non-finite values
+/// become `null` (JSON has no NaN/Infinity).
 fn write_f64(out: &mut String, v: f64) {
-    if v.is_finite() {
-        let _ = write!(out, "{v}");
-    } else {
+    if !v.is_finite() {
         out.push_str("null");
+    } else if v == v.trunc() {
+        let _ = write!(out, "{v:.1}");
+    } else {
+        let _ = write!(out, "{v}");
     }
 }
 
@@ -152,6 +244,248 @@ fn write_escaped(out: &mut String, s: &str) {
         }
     }
     out.push('"');
+}
+
+/// A parse failure: what went wrong and the byte offset it went wrong at.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JsonParseError {
+    /// Human-readable description of the failure.
+    pub message: String,
+    /// Byte offset into the input where the failure was detected.
+    pub offset: usize,
+}
+
+impl std::fmt::Display for JsonParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "JSON parse error at byte {}: {}", self.offset, self.message)
+    }
+}
+
+impl std::error::Error for JsonParseError {}
+
+/// Recursive-descent parser state over the input bytes.
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn error(&self, message: &str) -> JsonParseError {
+        JsonParseError { message: message.to_string(), offset: self.pos }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_whitespace(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, byte: u8) -> Result<(), JsonParseError> {
+        if self.peek() == Some(byte) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.error(&format!("expected '{}'", byte as char)))
+        }
+    }
+
+    fn consume_literal(&mut self, literal: &str, value: Json) -> Result<Json, JsonParseError> {
+        if self.bytes[self.pos..].starts_with(literal.as_bytes()) {
+            self.pos += literal.len();
+            Ok(value)
+        } else {
+            Err(self.error(&format!("expected '{literal}'")))
+        }
+    }
+
+    fn parse_value(&mut self) -> Result<Json, JsonParseError> {
+        match self.peek() {
+            Some(b'n') => self.consume_literal("null", Json::Null),
+            Some(b't') => self.consume_literal("true", Json::Bool(true)),
+            Some(b'f') => self.consume_literal("false", Json::Bool(false)),
+            Some(b'"') => self.parse_string().map(Json::Str),
+            Some(b'[') => self.parse_array(),
+            Some(b'{') => self.parse_object(),
+            Some(b'-' | b'0'..=b'9') => self.parse_number(),
+            Some(_) => Err(self.error("unexpected character")),
+            None => Err(self.error("unexpected end of input")),
+        }
+    }
+
+    fn parse_array(&mut self) -> Result<Json, JsonParseError> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_whitespace();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Array(items));
+        }
+        loop {
+            self.skip_whitespace();
+            items.push(self.parse_value()?);
+            self.skip_whitespace();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Array(items));
+                }
+                _ => return Err(self.error("expected ',' or ']' in array")),
+            }
+        }
+    }
+
+    fn parse_object(&mut self) -> Result<Json, JsonParseError> {
+        self.expect(b'{')?;
+        let mut pairs = Vec::new();
+        self.skip_whitespace();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Object(pairs));
+        }
+        loop {
+            self.skip_whitespace();
+            let key = self.parse_string()?;
+            self.skip_whitespace();
+            self.expect(b':')?;
+            self.skip_whitespace();
+            let value = self.parse_value()?;
+            pairs.push((key, value));
+            self.skip_whitespace();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Object(pairs));
+                }
+                _ => return Err(self.error("expected ',' or '}' in object")),
+            }
+        }
+    }
+
+    fn parse_string(&mut self) -> Result<String, JsonParseError> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(self.error("unterminated string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    let escape = self.peek().ok_or_else(|| self.error("unterminated escape"))?;
+                    self.pos += 1;
+                    match escape {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'u' => {
+                            let unit = self.parse_hex4()?;
+                            let c = if (0xD800..0xDC00).contains(&unit) {
+                                // High surrogate: a \uXXXX low surrogate must follow.
+                                if self.peek() != Some(b'\\') {
+                                    return Err(self.error("lone high surrogate"));
+                                }
+                                self.pos += 1;
+                                self.expect(b'u')?;
+                                let low = self.parse_hex4()?;
+                                if !(0xDC00..0xE000).contains(&low) {
+                                    return Err(self.error("invalid low surrogate"));
+                                }
+                                let code = 0x10000 + ((unit - 0xD800) << 10) + (low - 0xDC00);
+                                char::from_u32(code)
+                                    .ok_or_else(|| self.error("invalid surrogate pair"))?
+                            } else {
+                                char::from_u32(unit)
+                                    .ok_or_else(|| self.error("invalid \\u escape"))?
+                            };
+                            out.push(c);
+                        }
+                        _ => return Err(self.error("unknown escape")),
+                    }
+                }
+                Some(_) => {
+                    // Consume one UTF-8 scalar (the input is a &str, so boundaries are valid).
+                    let rest = &self.bytes[self.pos..];
+                    let text = std::str::from_utf8(rest)
+                        .map_err(|_| self.error("invalid UTF-8 in string"))?;
+                    let c = text.chars().next().expect("peeked a byte");
+                    if (c as u32) < 0x20 {
+                        return Err(self.error("unescaped control character"));
+                    }
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn parse_hex4(&mut self) -> Result<u32, JsonParseError> {
+        let end = self.pos + 4;
+        if end > self.bytes.len() {
+            return Err(self.error("truncated \\u escape"));
+        }
+        let hex = std::str::from_utf8(&self.bytes[self.pos..end])
+            .map_err(|_| self.error("invalid \\u escape"))?;
+        let unit = u32::from_str_radix(hex, 16).map_err(|_| self.error("invalid \\u escape"))?;
+        self.pos = end;
+        Ok(unit)
+    }
+
+    fn parse_number(&mut self) -> Result<Json, JsonParseError> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while matches!(self.peek(), Some(b'0'..=b'9')) {
+            self.pos += 1;
+        }
+        let mut integral = true;
+        if self.peek() == Some(b'.') {
+            integral = false;
+            self.pos += 1;
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            integral = false;
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        let text =
+            std::str::from_utf8(&self.bytes[start..self.pos]).expect("number bytes are ASCII");
+        if integral {
+            // Keep integers exact (the serializer writes u64 counts above 2^53); fall back to
+            // f64 only when the literal overflows both integer types.
+            if let Ok(v) = text.parse::<u64>() {
+                return Ok(Json::UInt(v));
+            }
+            if let Ok(v) = text.parse::<i64>() {
+                return Ok(Json::Int(v));
+            }
+        }
+        match text.parse::<f64>() {
+            Ok(v) => Ok(Json::Float(v)),
+            Err(_) => Err(JsonParseError { message: "malformed number".into(), offset: start }),
+        }
+    }
 }
 
 /// Conversion into a [`Json`] value.
@@ -231,7 +565,8 @@ mod tests {
         assert_eq!(Json::UInt(u64::MAX).to_compact(), "18446744073709551615");
         assert_eq!(Json::Int(-7).to_compact(), "-7");
         assert_eq!(Json::Float(0.1).to_compact(), "0.1");
-        assert_eq!(Json::Float(1.0).to_compact(), "1");
+        assert_eq!(Json::Float(1.0).to_compact(), "1.0");
+        assert_eq!(Json::Float(-3.0).to_compact(), "-3.0");
         assert_eq!(Json::Float(f64::NAN).to_compact(), "null");
         assert_eq!(Json::Float(f64::INFINITY).to_compact(), "null");
     }
@@ -259,6 +594,81 @@ mod tests {
     fn u64_counts_above_2_pow_53_round_trip_exactly() {
         let big = (1u64 << 53) + 1;
         assert_eq!(Json::UInt(big).to_compact(), big.to_string());
+    }
+
+    #[test]
+    fn parse_round_trips_scalars_and_containers() {
+        let value = Json::obj([
+            ("uint", Json::UInt(u64::MAX)),
+            ("int", Json::Int(-42)),
+            ("float", Json::Float(0.125)),
+            ("integral_float", Json::Float(2.0)),
+            ("str", Json::Str("a\"b\\c\nd\te".into())),
+            ("null", Json::Null),
+            ("flags", Json::Array(vec![Json::Bool(true), Json::Bool(false)])),
+            ("empty_obj", Json::obj::<String>([])),
+            ("empty_arr", Json::Array(vec![])),
+        ]);
+        for text in [value.to_compact(), value.to_pretty()] {
+            assert_eq!(Json::parse(&text).unwrap(), value);
+        }
+    }
+
+    #[test]
+    fn parse_keeps_big_integers_exact_and_classifies_numbers() {
+        assert_eq!(Json::parse("18446744073709551615").unwrap(), Json::UInt(u64::MAX));
+        assert_eq!(Json::parse("-7").unwrap(), Json::Int(-7));
+        assert_eq!(Json::parse("1e3").unwrap(), Json::Float(1000.0));
+        assert_eq!(Json::parse("-0.5").unwrap(), Json::Float(-0.5));
+        // Integral but beyond u64/i64: falls back to float rather than failing.
+        assert!(matches!(Json::parse("99999999999999999999999").unwrap(), Json::Float(_)));
+    }
+
+    #[test]
+    fn parse_handles_unicode_escapes() {
+        assert_eq!(Json::parse(r#""Aé""#).unwrap(), Json::Str("Aé".into()));
+        // Surrogate pair for U+1F600.
+        assert_eq!(Json::parse(r#""😀""#).unwrap(), Json::Str("😀".into()));
+        assert!(Json::parse(r#""\ud83d""#).is_err(), "lone surrogate must be rejected");
+    }
+
+    #[test]
+    fn parse_rejects_malformed_documents_with_offsets() {
+        for bad in ["", "{", "[1,]", "{\"a\":}", "tru", "\"unterminated", "1 2", "{\"a\" 1}"] {
+            let err = Json::parse(bad).unwrap_err();
+            assert!(err.offset <= bad.len(), "offset in range for {bad:?}");
+            assert!(!err.to_string().is_empty());
+        }
+    }
+
+    #[test]
+    fn accessors_navigate_parsed_documents() {
+        let doc = Json::parse(r#"{"grid":{"points":360},"records":[{"model":"B-MLP","v":1.5}]}"#)
+            .unwrap();
+        assert_eq!(doc.pointer("grid/points").and_then(Json::as_u64), Some(360));
+        assert_eq!(doc.pointer("records/0/model").and_then(Json::as_str), Some("B-MLP"));
+        assert_eq!(doc.pointer("records/0/v").and_then(Json::as_f64), Some(1.5));
+        assert_eq!(doc.pointer("records/1/model"), None);
+        assert_eq!(doc.pointer("missing"), None);
+        assert_eq!(doc.get("records").and_then(Json::as_array).map(<[Json]>::len), Some(1));
+        assert!(doc.as_object().is_some());
+    }
+
+    #[test]
+    fn serializer_output_always_reparses_identically() {
+        // The contract bench_regression relies on: parse(write(x)) == x for every value the
+        // repo emits (non-finite floats are written as null, so they are excluded by design).
+        use bnn_arch::simulate::simulate_training;
+        use bnn_arch::{AcceleratorConfig, EnergyModel};
+        use bnn_models::ModelKind;
+        let report = simulate_training(
+            &AcceleratorConfig::default(),
+            &ModelKind::LeNet.bnn(),
+            8,
+            &EnergyModel::default(),
+        );
+        let json = report.to_json();
+        assert_eq!(Json::parse(&json.to_pretty()).unwrap(), json);
     }
 
     #[test]

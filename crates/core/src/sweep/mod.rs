@@ -10,8 +10,11 @@
 //!   ([`pool`]) and aggregates the simulator's [`TrainingRunReport`]s into a [`SweepReport`],
 //!   ordered by grid index — *never* by completion order, so a 1-worker run and an N-worker run
 //!   serialize to byte-identical JSON;
-//! * [`json`] provides the deterministic hand-rolled serializer (`serde` is unavailable in
-//!   this offline workspace).
+//! * [`json`] provides the deterministic hand-rolled serializer and parser (`serde` is
+//!   unavailable in this offline workspace);
+//! * [`summary`] extracts the compact reference-slice baseline (`BENCH_sweep_summary.json`)
+//!   that is committed to the repo and regression-checked by CI, in place of the full ~14k-line
+//!   report (which stays a CI artifact).
 //!
 //! The figure/table binaries of `shift-bnn-bench` are thin views over one shared
 //! [`SweepReport`] (see [`SweepGrid::paper_figures`]), and `sweep_all` emits the whole grid —
@@ -31,7 +34,11 @@
 //! ```
 
 pub mod json;
-pub mod pool;
+pub mod summary;
+
+// The work-stealing pool started here and moved to the crate root when the serving engine
+// (`bnn-serve`) became its second client; the old `sweep::pool` path stays valid.
+pub use crate::pool;
 
 use crate::compare::DesignComparison;
 use crate::designs::DesignKind;

@@ -1,0 +1,163 @@
+//! Compact, fully deterministic headline summary of a [`SweepReport`].
+//!
+//! The full sweep report is a ~14k-line JSON artifact that used to be committed to the repo
+//! and churned on every sweep-adjacent change. What actually needs to live in git is the
+//! *regression baseline*: a small set of headline scalars that (a) are a pure function of the
+//! simulator — no wall clocks, no worker counts — and (b) pin every figure's inputs, because
+//! each figure normalizes records of the same reference slice against each other.
+//!
+//! [`SweepSummary`] is that baseline: for every (design × model) pair of the grid, the
+//! run-level scalars at the reference point S = [`REFERENCE_SAMPLES`], 16-bit — the slice all
+//! headline figures (3, 10, 11, 12, 14) are computed from, and one both the full paper grid
+//! and the reduced CI grid contain. Because the summary only reads that shared slice, a
+//! reduced CI run and a nightly full-grid run produce **byte-identical** summaries, so the
+//! `bench_regression` checker can compare either against the committed
+//! `BENCH_sweep_summary.json`. The full report remains available as a CI artifact.
+
+use super::json::{Json, ToJson};
+use super::{SweepPrecision, SweepReport};
+
+/// The Monte-Carlo sample count of the summary's reference slice (the figures' headline S).
+pub const REFERENCE_SAMPLES: usize = 16;
+
+/// The datapath precision of the summary's reference slice (the paper's evaluated 16-bit).
+pub const REFERENCE_PRECISION: SweepPrecision = SweepPrecision::Bits16;
+
+/// The headline scalars of one (design, model) pair at the reference slice.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SummaryRecord {
+    /// Design name (e.g. `"Shift-BNN"`).
+    pub design: String,
+    /// Model name (e.g. `"B-LeNet"`).
+    pub model: String,
+    /// Training-iteration latency in seconds.
+    pub latency_s: f64,
+    /// Total energy in millijoules.
+    pub energy_mj: f64,
+    /// Off-chip traffic in bytes.
+    pub dram_bytes: u64,
+    /// Energy efficiency in GOPS/W.
+    pub gops_per_watt: f64,
+}
+
+impl ToJson for &SummaryRecord {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("design", Json::Str(self.design.clone())),
+            ("model", Json::Str(self.model.clone())),
+            ("latency_s", Json::Float(self.latency_s)),
+            ("energy_mj", Json::Float(self.energy_mj)),
+            ("dram_bytes", Json::UInt(self.dram_bytes)),
+            ("gops_per_watt", Json::Float(self.gops_per_watt)),
+        ])
+    }
+}
+
+/// The committed regression baseline: every (design × model) pair's headline scalars at the
+/// reference slice, in grid order.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepSummary {
+    /// One record per (model × design) pair, model-major in grid order.
+    pub records: Vec<SummaryRecord>,
+}
+
+impl SweepSummary {
+    /// Extracts the reference-slice summary from a sweep report.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the report's grid does not cover the reference point
+    /// (S = [`REFERENCE_SAMPLES`] at [`REFERENCE_PRECISION`]) for some (design, model) pair —
+    /// every grid the repo sweeps (paper full, figure union, reduced CI) covers it.
+    pub fn from_report(report: &SweepReport) -> SweepSummary {
+        let mut records = Vec::new();
+        for model in &report.grid.models {
+            for &design in &report.grid.designs {
+                let record = report
+                    .record(design, &model.name, REFERENCE_SAMPLES, REFERENCE_PRECISION)
+                    .unwrap_or_else(|| {
+                        panic!(
+                            "sweep grid lacks the summary reference point {} / {} / S={} / 16-bit",
+                            design.name(),
+                            model.name,
+                            REFERENCE_SAMPLES
+                        )
+                    });
+                records.push(SummaryRecord {
+                    design: design.name().to_string(),
+                    model: model.name.clone(),
+                    latency_s: record.report.latency_s,
+                    energy_mj: record.report.energy.total_mj(),
+                    dram_bytes: record.report.dram_bytes,
+                    gops_per_watt: record.report.gops_per_watt(),
+                });
+            }
+        }
+        SweepSummary { records }
+    }
+
+    /// Serializes the summary. The output is a pure function of the simulator's reference
+    /// slice — identical across worker counts, grid reductions, and machines.
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("schema", Json::Str("shift-bnn-sweep-summary/v1".into())),
+            (
+                "reference",
+                Json::obj([
+                    ("samples", Json::UInt(REFERENCE_SAMPLES as u64)),
+                    ("precision_bits", Json::UInt(REFERENCE_PRECISION.bits())),
+                ]),
+            ),
+            ("records", Json::array_of(self.records.iter())),
+        ])
+    }
+
+    /// Pretty-printed [`SweepSummary::to_json`] with a trailing newline (the committed form).
+    pub fn to_json_string(&self) -> String {
+        self.to_json().to_pretty() + "\n"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::designs::DesignKind;
+    use crate::sweep::{run_sweep, SweepGrid};
+    use bnn_arch::EnergyModel;
+
+    #[test]
+    fn reduced_and_full_grids_summarize_identically() {
+        let energy = EnergyModel::default();
+        let reduced = run_sweep(&SweepGrid::reduced(), 2, &energy);
+        let full = run_sweep(&SweepGrid::paper_full(), 3, &energy);
+        let a = SweepSummary::from_report(&reduced).to_json_string();
+        let b = SweepSummary::from_report(&full).to_json_string();
+        assert_eq!(a, b, "the summary must only read the shared reference slice");
+        assert!(a.ends_with('\n'));
+    }
+
+    #[test]
+    fn summary_covers_every_design_model_pair_in_grid_order() {
+        let report = run_sweep(&SweepGrid::reduced(), 1, &EnergyModel::default());
+        let summary = SweepSummary::from_report(&report);
+        assert_eq!(summary.records.len(), 4 * 5);
+        assert_eq!(summary.records[0].model, "B-MLP");
+        assert_eq!(summary.records[0].design, "MN-Acc");
+        assert_eq!(summary.records[4].model, "B-LeNet");
+        for record in &summary.records {
+            assert!(record.energy_mj > 0.0 && record.latency_s > 0.0);
+        }
+    }
+
+    #[test]
+    fn missing_reference_point_panics_with_context() {
+        let grid = SweepGrid {
+            designs: DesignKind::all().to_vec(),
+            sample_counts: vec![4], // no S = 16
+            ..SweepGrid::reduced()
+        };
+        let report = run_sweep(&grid, 1, &EnergyModel::default());
+        let err = std::panic::catch_unwind(|| SweepSummary::from_report(&report));
+        assert!(err.is_err());
+    }
+}

@@ -63,7 +63,7 @@ impl Lfsr {
     ///   [`validate_taps`](crate::taps::validate_taps)).
     /// * [`LfsrError::ZeroSeed`] if the resulting seed is all zeroes.
     pub fn new(width: usize, taps: &[usize], seed_words: &[u64]) -> Result<Self, LfsrError> {
-        if width < 2 || width > MAX_WIDTH {
+        if !(2..=MAX_WIDTH).contains(&width) {
             return Err(LfsrError::InvalidWidth { width });
         }
         validate_taps(width, taps)?;

@@ -123,6 +123,59 @@ impl ModelKind {
     }
 }
 
+/// The scaled-down *trainable* stand-in of a model family.
+///
+/// The full published architectures exist in this repo as [`ModelConfig`] geometries for
+/// workload accounting, but actually training or serving them on synthetic data uses reduced
+/// proxies (no ImageNet downloads, single-CPU containers). This struct is the single source of
+/// those proxy shapes, shared by the Table 1 precision study and the `bnn-serve` inference
+/// engine so the two sides exercise the same networks.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TrainableProxy {
+    /// The family this proxy stands in for.
+    pub kind: ModelKind,
+    /// Whether the proxy is the convolutional (LeNet-style) network; `false` builds an MLP.
+    pub conv: bool,
+    /// Input shape: `[features]` for the MLP, `[channels, height, width]` for conv proxies.
+    pub input: Vec<usize>,
+    /// Hidden widths of the MLP proxy (unused by conv proxies).
+    pub hidden: Vec<usize>,
+    /// Output class count.
+    pub classes: usize,
+}
+
+impl TrainableProxy {
+    /// Number of input scalars one example carries.
+    pub fn input_len(&self) -> usize {
+        self.input.iter().product()
+    }
+}
+
+impl ModelKind {
+    /// The family's scaled-down trainable proxy (see [`TrainableProxy`]).
+    ///
+    /// The MLP family keeps an MLP shape; every convolutional family reduces to a
+    /// LeNet-style network on 12×12×3 inputs — the same reductions the Table 1 study trains.
+    pub fn trainable_proxy(&self) -> TrainableProxy {
+        match self {
+            ModelKind::Mlp => TrainableProxy {
+                kind: *self,
+                conv: false,
+                input: vec![64],
+                hidden: vec![48, 32],
+                classes: 4,
+            },
+            _ => TrainableProxy {
+                kind: *self,
+                conv: true,
+                input: vec![3, 12, 12],
+                hidden: Vec::new(),
+                classes: 3,
+            },
+        }
+    }
+}
+
 /// The five Bayesian paper models, in figure order — one axis of the design-space sweep grid.
 pub fn paper_bnns() -> Vec<ModelConfig> {
     ModelKind::all().iter().map(ModelKind::bnn).collect()
@@ -409,6 +462,25 @@ mod tests {
         // Figure order is preserved within each half.
         assert_eq!(variants[0].name, "B-MLP");
         assert_eq!(variants[5].name, "MLP");
+    }
+
+    #[test]
+    fn trainable_proxies_have_valid_shapes() {
+        for kind in ModelKind::all() {
+            let proxy = kind.trainable_proxy();
+            assert_eq!(proxy.kind, kind);
+            assert!(proxy.classes >= 2);
+            assert!(proxy.input_len() > 0);
+            if proxy.conv {
+                assert_eq!(proxy.input.len(), 3, "{kind:?} conv proxy needs [C, H, W]");
+                // The LeNet-style builder pools twice, so spatial dims must divide by 4.
+                assert!(proxy.input[1].is_multiple_of(4));
+                assert!(proxy.input[2].is_multiple_of(4));
+            } else {
+                assert_eq!(proxy.input.len(), 1);
+                assert!(!proxy.hidden.is_empty());
+            }
+        }
     }
 
     #[test]

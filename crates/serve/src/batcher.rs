@@ -1,0 +1,186 @@
+//! The dynamic batcher: deterministic request coalescing in a simulated tick domain.
+//!
+//! Production batchers trade latency for throughput with two knobs — close a batch when it is
+//! *full* or when its oldest request has *waited long enough*. Both knobs here operate on
+//! simulated **ticks** carried by the requests themselves; the batcher never reads a wall
+//! clock, so the same trace always coalesces into the same batches, on any machine, at any
+//! worker count. That determinism is what lets the serving tests compare batch-size-1 against
+//! coalesced execution and 1 worker against N workers byte-for-byte.
+
+use crate::request::InferRequest;
+
+/// The two-knob coalescing policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BatchPolicy {
+    /// A batch closes the moment it holds this many requests.
+    pub max_batch: usize,
+    /// A batch closes `max_wait_ticks` after its first request arrived, full or not.
+    pub max_wait_ticks: u64,
+}
+
+impl BatchPolicy {
+    /// The degenerate policy that never coalesces: every request is its own batch, closed on
+    /// arrival. The baseline the batched-vs-unbatched speedup is measured against.
+    pub fn unbatched() -> BatchPolicy {
+        BatchPolicy { max_batch: 1, max_wait_ticks: 0 }
+    }
+
+    /// A short machine-readable label, e.g. `"b8w32"`.
+    pub fn label(&self) -> String {
+        format!("b{}w{}", self.max_batch, self.max_wait_ticks)
+    }
+}
+
+/// One planned batch: which requests it coalesced and the tick it closed at.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BatchPlan {
+    /// Tick at which the batch closed (became eligible to execute).
+    pub close_tick: u64,
+    /// Indices into the planned request slice, in arrival order.
+    pub requests: Vec<usize>,
+}
+
+/// Coalesces an arrival-ordered request trace into batches under `policy`.
+///
+/// Semantics, in arrival order:
+///
+/// * a batch *opens* when its first request arrives, setting its deadline to
+///   `arrival + max_wait_ticks`;
+/// * a request arriving at or before the open batch's deadline joins it; one arriving after
+///   the deadline closes the open batch at the deadline and opens a new one;
+/// * a batch also closes — immediately, at the joining request's arrival tick — when it
+///   reaches `max_batch` requests;
+/// * the trailing batch closes at its deadline (the engine has no "end of input" oracle a
+///   real open-loop arrival process wouldn't have).
+///
+/// # Panics
+///
+/// Panics when `policy.max_batch` is zero or the trace is not sorted by `arrival_tick`.
+pub fn plan_batches(requests: &[InferRequest], policy: BatchPolicy) -> Vec<BatchPlan> {
+    assert!(policy.max_batch >= 1, "max_batch must be at least 1");
+    let mut plans: Vec<BatchPlan> = Vec::new();
+    let mut open: Vec<usize> = Vec::new();
+    let mut deadline: u64 = 0;
+    let mut previous_arrival: u64 = 0;
+    for (i, request) in requests.iter().enumerate() {
+        assert!(
+            request.arrival_tick >= previous_arrival,
+            "request trace must be sorted by arrival_tick (index {i})"
+        );
+        previous_arrival = request.arrival_tick;
+        if !open.is_empty() && request.arrival_tick > deadline {
+            plans.push(BatchPlan { close_tick: deadline, requests: std::mem::take(&mut open) });
+        }
+        if open.is_empty() {
+            deadline = request.arrival_tick + policy.max_wait_ticks;
+        }
+        open.push(i);
+        if open.len() == policy.max_batch {
+            plans.push(BatchPlan {
+                close_tick: request.arrival_tick,
+                requests: std::mem::take(&mut open),
+            });
+        }
+    }
+    if !open.is_empty() {
+        plans.push(BatchPlan { close_tick: deadline, requests: open });
+    }
+    plans
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bnn_tensor::Tensor;
+
+    fn trace(arrivals: &[u64]) -> Vec<InferRequest> {
+        arrivals
+            .iter()
+            .enumerate()
+            .map(|(i, &arrival_tick)| InferRequest {
+                id: i as u64,
+                arrival_tick,
+                input: Tensor::filled(&[2], 0.0),
+                samples: 1,
+                seed: i as u64,
+            })
+            .collect()
+    }
+
+    fn shape(plans: &[BatchPlan]) -> Vec<(u64, Vec<usize>)> {
+        plans.iter().map(|p| (p.close_tick, p.requests.clone())).collect()
+    }
+
+    #[test]
+    fn unbatched_policy_closes_every_request_on_arrival() {
+        let plans = plan_batches(&trace(&[0, 3, 9]), BatchPolicy::unbatched());
+        assert_eq!(shape(&plans), vec![(0, vec![0]), (3, vec![1]), (9, vec![2])]);
+    }
+
+    #[test]
+    fn size_trigger_closes_at_the_filling_requests_arrival() {
+        let policy = BatchPolicy { max_batch: 2, max_wait_ticks: 100 };
+        let plans = plan_batches(&trace(&[0, 4, 5, 7]), policy);
+        assert_eq!(shape(&plans), vec![(4, vec![0, 1]), (7, vec![2, 3])]);
+    }
+
+    #[test]
+    fn wait_trigger_closes_at_the_deadline() {
+        let policy = BatchPolicy { max_batch: 8, max_wait_ticks: 5 };
+        // Request at t=6 is past the first batch's deadline (0 + 5); request at t=5 is not.
+        let plans = plan_batches(&trace(&[0, 5, 6]), policy);
+        assert_eq!(shape(&plans), vec![(5, vec![0, 1]), (11, vec![2])]);
+    }
+
+    #[test]
+    fn arrival_exactly_at_the_deadline_still_joins() {
+        let policy = BatchPolicy { max_batch: 8, max_wait_ticks: 10 };
+        let plans = plan_batches(&trace(&[2, 12]), policy);
+        assert_eq!(shape(&plans), vec![(12, vec![0, 1])]);
+    }
+
+    #[test]
+    fn trailing_batch_closes_at_its_deadline() {
+        let policy = BatchPolicy { max_batch: 8, max_wait_ticks: 7 };
+        let plans = plan_batches(&trace(&[40]), policy);
+        assert_eq!(shape(&plans), vec![(47, vec![0])]);
+    }
+
+    #[test]
+    fn every_request_lands_in_exactly_one_batch() {
+        let arrivals: Vec<u64> = (0..37).map(|i| i * 3).collect();
+        for policy in [
+            BatchPolicy::unbatched(),
+            BatchPolicy { max_batch: 4, max_wait_ticks: 2 },
+            BatchPolicy { max_batch: 5, max_wait_ticks: 50 },
+        ] {
+            let plans = plan_batches(&trace(&arrivals), policy);
+            let mut seen: Vec<usize> = plans.iter().flat_map(|p| p.requests.clone()).collect();
+            let in_order = seen.clone();
+            seen.sort_unstable();
+            seen.dedup();
+            assert_eq!(seen, (0..37).collect::<Vec<_>>(), "{}", policy.label());
+            assert_eq!(in_order, (0..37).collect::<Vec<_>>(), "batches preserve arrival order");
+            for plan in &plans {
+                assert!(plan.requests.len() <= policy.max_batch);
+            }
+        }
+    }
+
+    #[test]
+    fn empty_trace_plans_no_batches() {
+        assert!(plan_batches(&[], BatchPolicy::unbatched()).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "sorted by arrival_tick")]
+    fn unsorted_trace_is_rejected() {
+        plan_batches(&trace(&[5, 3]), BatchPolicy::unbatched());
+    }
+
+    #[test]
+    fn policy_labels_are_stable() {
+        assert_eq!(BatchPolicy::unbatched().label(), "b1w0");
+        assert_eq!(BatchPolicy { max_batch: 16, max_wait_ticks: 64 }.label(), "b16w64");
+    }
+}

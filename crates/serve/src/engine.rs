@@ -1,0 +1,389 @@
+//! The inference engine: batched Monte-Carlo execution on the shared work-stealing pool.
+//!
+//! Two clocks run through an engine, deliberately kept apart:
+//!
+//! * the **tick clock** is simulated. Batch formation ([`crate::batcher`]), service cost and
+//!   every latency statistic live here, modelled after the Shift-BNN accelerator (a batch pays
+//!   a fixed dispatch/weight-load overhead of [`BATCH_OVERHEAD_TICKS`], then each request pays
+//!   one tick per [`EPSILON_LANES`] ε drawn — the paper's 16 SPUs × 64 GRNG lanes). Nothing on
+//!   this path reads a wall clock, so reports are bit-reproducible;
+//! * the **wall clock** exists only outside the engine: `serve_bench` times whole runs to
+//!   measure real software throughput, and those numbers are explicitly excluded from the
+//!   committed regression baselines.
+//!
+//! Execution itself fans the requests out over [`shift_bnn::pool::run_indexed_with`]: each
+//! worker builds one frozen-posterior replica ([`ModelSpec::build`]) and serves whatever
+//! requests it steals. A response depends only on the request (input, `S`, seed) and the
+//! frozen posterior — never on the worker, the batch it rode in, or the completion order — so
+//! 1-worker and N-worker runs, and batch-size-1 and coalesced runs, produce byte-identical
+//! responses. `tests/serve_determinism.rs` pins all three equalities.
+
+use crate::batcher::{plan_batches, BatchPolicy};
+use crate::request::{mix_seed, InferRequest, InferResponse};
+use crate::spec::ModelSpec;
+use bnn_train::{EpsilonSource, LfsrForward, Network};
+use shift_bnn::pool;
+use shift_bnn::sweep::json::Json;
+
+/// Ticks a batch pays once, regardless of size: dispatch plus streaming the `(μ, σ)` weights
+/// into the SPU array. Amortizing this over coalesced requests is what batching buys.
+pub const BATCH_OVERHEAD_TICKS: u64 = 64;
+
+/// ε values generated per tick: 16 Sample Processing Units × 64 GRNG lanes each.
+pub const EPSILON_LANES: u64 = 1024;
+
+/// Timing of one executed batch in the simulated tick domain.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BatchStat {
+    /// Tick the batcher closed the batch at.
+    pub close_tick: u64,
+    /// Tick service began (the device serializes batches: `max(close, previous end)`).
+    pub start_tick: u64,
+    /// Tick the batch completed; every member request's response is ready here.
+    pub end_tick: u64,
+    /// Number of coalesced requests.
+    pub size: usize,
+}
+
+/// The result of one engine run over a request trace.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServeRunReport {
+    /// Name of the served model family.
+    pub model: String,
+    /// The batching policy the run used.
+    pub policy: BatchPolicy,
+    /// Worker threads the responses were computed on (does not affect any value in here).
+    pub workers: usize,
+    /// One response per request, in request order.
+    pub responses: Vec<InferResponse>,
+    /// Per-request latency in ticks (batch end − arrival), in request order.
+    pub latencies: Vec<u64>,
+    /// Per-batch timing, in execution order.
+    pub batches: Vec<BatchStat>,
+    /// Tick the last batch completed at (0 for an empty trace).
+    pub makespan_ticks: u64,
+}
+
+impl ServeRunReport {
+    /// Nearest-rank latency percentile in ticks (`q` in `0.0..=1.0`).
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty report.
+    pub fn latency_percentile(&self, q: f64) -> u64 {
+        assert!(!self.latencies.is_empty(), "no requests were served");
+        let mut sorted = self.latencies.clone();
+        sorted.sort_unstable();
+        let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+        sorted[rank - 1]
+    }
+
+    /// Requests completed per thousand simulated ticks.
+    pub fn throughput_per_kilotick(&self) -> f64 {
+        if self.makespan_ticks == 0 {
+            return 0.0;
+        }
+        self.responses.len() as f64 * 1000.0 / self.makespan_ticks as f64
+    }
+
+    /// Mean coalesced batch size.
+    pub fn mean_batch_size(&self) -> f64 {
+        if self.batches.is_empty() {
+            return 0.0;
+        }
+        self.responses.len() as f64 / self.batches.len() as f64
+    }
+
+    /// The canonical response bytes: what the determinism contract compares across worker
+    /// counts and batch policies.
+    pub fn responses_json(&self) -> String {
+        Json::array_of(self.responses.iter()).to_compact()
+    }
+
+    /// FNV-1a digest of [`responses_json`](Self::responses_json), as 16 hex characters — the
+    /// compact fingerprint the committed serve baseline pins the numerical outputs with.
+    pub fn responses_digest(&self) -> String {
+        let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+        for byte in self.responses_json().bytes() {
+            hash ^= u64::from(byte);
+            hash = hash.wrapping_mul(0x100_0000_01b3);
+        }
+        format!("{hash:016x}")
+    }
+
+    /// Serializes the full run report. Every field is tick-domain or response data — a pure
+    /// function of (trace, model spec, policy) — so two runs of the same inputs serialize
+    /// byte-identically whatever the worker count. An empty run serializes the latency
+    /// percentiles as `null`.
+    pub fn to_json(&self) -> Json {
+        let percentile = |q| {
+            if self.latencies.is_empty() {
+                Json::Null
+            } else {
+                Json::UInt(self.latency_percentile(q))
+            }
+        };
+        Json::obj([
+            ("model", Json::Str(self.model.clone())),
+            (
+                "policy",
+                Json::obj([
+                    ("label", Json::Str(self.policy.label())),
+                    ("max_batch", Json::UInt(self.policy.max_batch as u64)),
+                    ("max_wait_ticks", Json::UInt(self.policy.max_wait_ticks)),
+                ]),
+            ),
+            ("requests", Json::UInt(self.responses.len() as u64)),
+            ("batches", Json::UInt(self.batches.len() as u64)),
+            ("mean_batch_size", Json::Float(self.mean_batch_size())),
+            ("makespan_ticks", Json::UInt(self.makespan_ticks)),
+            ("throughput_per_kilotick", Json::Float(self.throughput_per_kilotick())),
+            (
+                "latency_ticks",
+                Json::obj([
+                    ("p50", percentile(0.50)),
+                    ("p95", percentile(0.95)),
+                    ("p99", percentile(0.99)),
+                ]),
+            ),
+            ("responses", Json::array_of(self.responses.iter())),
+        ])
+    }
+}
+
+/// A batched Monte-Carlo inference engine over one frozen posterior.
+#[derive(Debug, Clone)]
+pub struct InferenceEngine {
+    spec: ModelSpec,
+    policy: BatchPolicy,
+    workers: usize,
+    epsilon_per_sample: usize,
+}
+
+impl InferenceEngine {
+    /// Creates an engine serving `spec` under `policy` on `workers` pool threads.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `workers` is zero or the policy's `max_batch` is zero.
+    pub fn new(spec: ModelSpec, policy: BatchPolicy, workers: usize) -> InferenceEngine {
+        assert!(workers >= 1, "an engine needs at least one worker");
+        assert!(policy.max_batch >= 1, "max_batch must be at least 1");
+        // One throwaway replica up front: its ε-per-sample count drives the tick cost model.
+        let epsilon_per_sample = spec.build().epsilon_count();
+        InferenceEngine { spec, policy, workers, epsilon_per_sample }
+    }
+
+    /// The served model's spec.
+    pub fn spec(&self) -> &ModelSpec {
+        &self.spec
+    }
+
+    /// The engine's batching policy.
+    pub fn policy(&self) -> BatchPolicy {
+        self.policy
+    }
+
+    /// The engine's worker count.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// ε values one Monte-Carlo sample draws (one per Bayesian weight).
+    pub fn epsilon_per_sample(&self) -> usize {
+        self.epsilon_per_sample
+    }
+
+    /// Simulated service cost of one request: one setup tick plus the GRNG-bound ε
+    /// generation time of its `S` sampled forward passes.
+    pub fn service_cost_ticks(&self, samples: usize) -> u64 {
+        1 + (samples as u64 * self.epsilon_per_sample as u64).div_ceil(EPSILON_LANES)
+    }
+
+    /// Serves a request trace: plans batches, computes tick-domain timing, and executes every
+    /// request's `S` sampled forward passes on the pool (one posterior replica per worker).
+    ///
+    /// # Panics
+    ///
+    /// Panics when the trace is not sorted by arrival tick, a request's input shape does not
+    /// match the model, or a request asks for zero samples.
+    pub fn run(&self, requests: &[InferRequest]) -> ServeRunReport {
+        let plans = plan_batches(requests, self.policy);
+
+        // Tick-domain timing: the simulated device serves batches in close order, one at a
+        // time — queueing delay emerges when arrivals outpace service.
+        let mut batches = Vec::with_capacity(plans.len());
+        let mut latencies = vec![0u64; requests.len()];
+        let mut device_free: u64 = 0;
+        for plan in &plans {
+            let service: u64 = BATCH_OVERHEAD_TICKS
+                + plan
+                    .requests
+                    .iter()
+                    .map(|&i| self.service_cost_ticks(requests[i].samples))
+                    .sum::<u64>();
+            let start_tick = plan.close_tick.max(device_free);
+            let end_tick = start_tick + service;
+            device_free = end_tick;
+            for &i in &plan.requests {
+                latencies[i] = end_tick - requests[i].arrival_tick;
+            }
+            batches.push(BatchStat {
+                close_tick: plan.close_tick,
+                start_tick,
+                end_tick,
+                size: plan.requests.len(),
+            });
+        }
+
+        // Execution: requests fan out over the pool; worker replicas are built once each and
+        // results merge by request index (completion order cannot leak into the report).
+        let spec = &self.spec;
+        let responses = pool::run_indexed_with(
+            requests.len(),
+            self.workers,
+            |_worker| spec.build(),
+            |replica, i| answer(replica, &requests[i]),
+        );
+
+        ServeRunReport {
+            model: self.spec.name().to_string(),
+            policy: self.policy,
+            workers: self.workers,
+            responses,
+            latencies,
+            batches,
+            makespan_ticks: device_free,
+        }
+    }
+}
+
+/// Computes one response on a worker's replica: `S` forward passes with seed-regenerated ε,
+/// aggregated into mean / variance / entropy. Pure in (replica parameters, request).
+fn answer(replica: &mut Network, request: &InferRequest) -> InferResponse {
+    assert!(request.samples >= 1, "request {} asks for zero samples", request.id);
+    let mut sources: Vec<Box<dyn EpsilonSource>> = (0..request.samples)
+        .map(|s| {
+            Box::new(
+                LfsrForward::new(mix_seed(request.seed, s as u64))
+                    .expect("Shift-BNN default GRNG construction cannot fail"),
+            ) as Box<dyn EpsilonSource>
+        })
+        .collect();
+    let predictive = replica
+        .predictive(&request.input, &mut sources)
+        .expect("request input shape matches the served model");
+    InferResponse {
+        id: request.id,
+        samples: request.samples,
+        mean: predictive.mean.into_data(),
+        variance: predictive.variance.into_data(),
+        entropy: predictive.entropy,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workload::WorkloadSpec;
+
+    fn small_trace(spec: &ModelSpec) -> Vec<InferRequest> {
+        WorkloadSpec { requests: 10, interarrival_ticks: 2, samples: 3, seed: 99 }.generate(spec)
+    }
+
+    #[test]
+    fn run_produces_one_response_per_request_in_order() {
+        let spec = ModelSpec::mlp(5);
+        let engine = InferenceEngine::new(spec.clone(), BatchPolicy::unbatched(), 1);
+        let trace = small_trace(&spec);
+        let report = engine.run(&trace);
+        assert_eq!(report.responses.len(), trace.len());
+        for (request, response) in trace.iter().zip(&report.responses) {
+            assert_eq!(request.id, response.id);
+            assert_eq!(request.samples, response.samples);
+            let total: f32 = response.mean.iter().sum();
+            assert!((total - 1.0).abs() < 1e-5, "mean must be a distribution");
+        }
+    }
+
+    #[test]
+    fn tick_model_amortizes_batch_overhead() {
+        let spec = ModelSpec::mlp(5);
+        let trace = small_trace(&spec);
+        let unbatched = InferenceEngine::new(spec.clone(), BatchPolicy::unbatched(), 1);
+        let coalesced = InferenceEngine::new(
+            spec.clone(),
+            BatchPolicy { max_batch: 10, max_wait_ticks: 64 },
+            1,
+        );
+        let a = unbatched.run(&trace);
+        let b = coalesced.run(&trace);
+        // Same total work, fewer overhead payments: the coalesced makespan must be smaller.
+        assert!(b.makespan_ticks < a.makespan_ticks);
+        assert!(b.throughput_per_kilotick() > a.throughput_per_kilotick());
+        assert!(b.mean_batch_size() > a.mean_batch_size());
+    }
+
+    #[test]
+    fn batch_timing_respects_device_serialization() {
+        let spec = ModelSpec::mlp(5);
+        let engine =
+            InferenceEngine::new(spec.clone(), BatchPolicy { max_batch: 2, max_wait_ticks: 4 }, 1);
+        let report = engine.run(&small_trace(&spec));
+        for pair in report.batches.windows(2) {
+            assert!(pair[1].start_tick >= pair[0].end_tick, "batches overlap on the device");
+            assert!(pair[1].start_tick >= pair[1].close_tick, "service before close");
+        }
+        assert_eq!(report.makespan_ticks, report.batches.last().unwrap().end_tick);
+    }
+
+    #[test]
+    fn latency_percentiles_are_ordered() {
+        let spec = ModelSpec::mlp(5);
+        let engine =
+            InferenceEngine::new(spec.clone(), BatchPolicy { max_batch: 4, max_wait_ticks: 8 }, 2);
+        let report = engine.run(&small_trace(&spec));
+        let (p50, p95, p99) = (
+            report.latency_percentile(0.50),
+            report.latency_percentile(0.95),
+            report.latency_percentile(0.99),
+        );
+        assert!(p50 <= p95 && p95 <= p99);
+        assert!(p50 > 0, "every latency includes at least the service time");
+    }
+
+    #[test]
+    fn service_cost_scales_with_samples() {
+        let engine = InferenceEngine::new(ModelSpec::lenet(5), BatchPolicy::unbatched(), 1);
+        assert!(engine.epsilon_per_sample() > 0);
+        let one = engine.service_cost_ticks(1);
+        let many = engine.service_cost_ticks(64);
+        assert!(many > one);
+    }
+
+    #[test]
+    fn responses_digest_tracks_response_content() {
+        let spec = ModelSpec::mlp(5);
+        let engine = InferenceEngine::new(spec.clone(), BatchPolicy::unbatched(), 1);
+        let trace_a = small_trace(&spec);
+        let a = engine.run(&trace_a);
+        assert_eq!(a.responses_digest().len(), 16);
+        assert_eq!(a.responses_digest(), engine.run(&trace_a).responses_digest());
+        let mut trace_b = trace_a.clone();
+        trace_b[0].seed ^= 1;
+        assert_ne!(a.responses_digest(), engine.run(&trace_b).responses_digest());
+    }
+
+    #[test]
+    fn empty_trace_yields_an_empty_report() {
+        let engine = InferenceEngine::new(ModelSpec::mlp(5), BatchPolicy::unbatched(), 2);
+        let report = engine.run(&[]);
+        assert!(report.responses.is_empty());
+        assert_eq!(report.makespan_ticks, 0);
+        assert_eq!(report.throughput_per_kilotick(), 0.0);
+        assert_eq!(report.mean_batch_size(), 0.0);
+        // Serialization must not trip the percentile assert on an empty run.
+        let json = report.to_json().to_compact();
+        assert!(json.contains("\"p50\":null"));
+    }
+}

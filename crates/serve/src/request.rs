@@ -1,0 +1,90 @@
+//! Inference requests and responses.
+
+use bnn_tensor::Tensor;
+use shift_bnn::sweep::json::{Json, ToJson};
+
+/// One inference request: an input, a Monte-Carlo sample count and the 64-bit seed that
+/// deterministically regenerates the request's entire ε ensemble on any worker replica.
+#[derive(Debug, Clone, PartialEq)]
+pub struct InferRequest {
+    /// Caller-chosen request identifier, echoed in the response.
+    pub id: u64,
+    /// Arrival time in the simulated tick domain (the batcher's clock).
+    pub arrival_tick: u64,
+    /// The input example.
+    pub input: Tensor,
+    /// Monte-Carlo sample count `S`: how many posterior draws to aggregate.
+    pub samples: usize,
+    /// Base seed of the request's ε streams (sample `s` uses [`mix_seed`]`(seed, s)`).
+    pub seed: u64,
+}
+
+/// The aggregated answer to one request: predictive mean, per-class variance and predictive
+/// entropy over the `S` sampled forward passes.
+#[derive(Debug, Clone, PartialEq)]
+pub struct InferResponse {
+    /// The request's identifier.
+    pub id: u64,
+    /// Monte-Carlo samples aggregated.
+    pub samples: usize,
+    /// Predictive class probabilities (mean over the sampled models).
+    pub mean: Vec<f32>,
+    /// Per-class variance across the sampled models (epistemic spread).
+    pub variance: Vec<f32>,
+    /// Predictive entropy of the mean, in nats.
+    pub entropy: f32,
+}
+
+impl ToJson for &InferResponse {
+    fn to_json(&self) -> Json {
+        let floats =
+            |xs: &[f32]| Json::Array(xs.iter().map(|&x| Json::Float(f64::from(x))).collect());
+        Json::obj([
+            ("id", Json::UInt(self.id)),
+            ("samples", Json::UInt(self.samples as u64)),
+            ("mean", floats(&self.mean)),
+            ("variance", floats(&self.variance)),
+            ("entropy", Json::Float(f64::from(self.entropy))),
+        ])
+    }
+}
+
+/// Derives the per-sample (or per-request) seed `index` from a base seed — a SplitMix64 step,
+/// so neighbouring indices land in unrelated LFSR states.
+pub fn mix_seed(base: u64, index: u64) -> u64 {
+    let mut z = base ^ index.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mixed_seeds_are_distinct_and_deterministic() {
+        let seeds: Vec<u64> = (0..64).map(|i| mix_seed(42, i)).collect();
+        let mut unique = seeds.clone();
+        unique.sort_unstable();
+        unique.dedup();
+        assert_eq!(unique.len(), seeds.len(), "seed collisions");
+        assert_eq!(mix_seed(42, 7), seeds[7]);
+        assert_ne!(mix_seed(42, 7), mix_seed(43, 7));
+    }
+
+    #[test]
+    fn response_serializes_deterministically() {
+        let response = InferResponse {
+            id: 3,
+            samples: 8,
+            mean: vec![0.25, 0.75],
+            variance: vec![0.0, 0.125],
+            entropy: 0.5623,
+        };
+        let a = (&response).to_json().to_compact();
+        assert_eq!(a, (&response).to_json().to_compact());
+        assert!(a.contains("\"id\":3"));
+        assert!(a.contains("\"mean\":[0.25,0.75]"));
+    }
+}

@@ -1,0 +1,104 @@
+//! Frozen-posterior model specifications.
+//!
+//! A serving engine must be able to *replicate* its model: every pool worker holds a private
+//! copy of the frozen posterior (layer state is `&mut` during a forward pass, so replicas
+//! cannot be shared). Rather than cloning a trained network across threads, a [`ModelSpec`]
+//! describes how to **rebuild** it deterministically — the same geometry and the same weight
+//! seed produce bit-identical `(μ, ρ)` parameters on every worker, the replica-side analogue
+//! of regenerating ε from a seed instead of shipping it.
+
+use bnn_models::zoo::TrainableProxy;
+use bnn_models::ModelKind;
+use bnn_train::variational::BayesConfig;
+use bnn_train::Network;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// A deterministic recipe for one frozen posterior: a scaled-down family proxy plus the seed
+/// its variational parameters were initialized from.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ModelSpec {
+    /// The family proxy geometry (shared with the Table 1 study via `bnn-models`).
+    pub proxy: TrainableProxy,
+    /// Seed of the `(μ, ρ)` initialization; replicas built from the same seed are identical.
+    pub weight_seed: u64,
+    /// Bayesian hyper-parameters of the posterior.
+    pub config: BayesConfig,
+}
+
+impl ModelSpec {
+    /// The B-MLP serving proxy.
+    pub fn mlp(weight_seed: u64) -> ModelSpec {
+        ModelSpec::for_kind(ModelKind::Mlp, weight_seed)
+    }
+
+    /// The B-LeNet serving proxy.
+    pub fn lenet(weight_seed: u64) -> ModelSpec {
+        ModelSpec::for_kind(ModelKind::LeNet, weight_seed)
+    }
+
+    /// The serving proxy of any paper family.
+    pub fn for_kind(kind: ModelKind, weight_seed: u64) -> ModelSpec {
+        ModelSpec { proxy: kind.trainable_proxy(), weight_seed, config: BayesConfig::default() }
+    }
+
+    /// The paper name of the family this spec serves (e.g. `"B-LeNet"`).
+    pub fn name(&self) -> &'static str {
+        self.proxy.kind.paper_name()
+    }
+
+    /// The input shape a request's tensor must have.
+    pub fn input_shape(&self) -> &[usize] {
+        &self.proxy.input
+    }
+
+    /// Builds one frozen-posterior replica. Pure in `(proxy, weight_seed, config)`: every
+    /// call, on every thread, yields bit-identical parameters.
+    pub fn build(&self) -> Network {
+        let mut rng = StdRng::seed_from_u64(self.weight_seed);
+        if self.proxy.conv {
+            let shape = [self.proxy.input[0], self.proxy.input[1], self.proxy.input[2]];
+            Network::bayes_lenet(&shape, self.proxy.classes, self.config, &mut rng)
+        } else {
+            Network::bayes_mlp(
+                self.proxy.input[0],
+                &self.proxy.hidden,
+                self.proxy.classes,
+                self.config,
+                &mut rng,
+            )
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bnn_tensor::Tensor;
+    use bnn_train::{EpsilonSource, LfsrForward};
+
+    #[test]
+    fn replicas_built_from_the_same_spec_are_bit_identical() {
+        for spec in [ModelSpec::mlp(11), ModelSpec::lenet(11)] {
+            let mut a = spec.build();
+            let mut b = spec.build();
+            let input = Tensor::filled(spec.input_shape(), 0.4);
+            let run = |net: &mut Network| {
+                let mut src: Vec<Box<dyn EpsilonSource>> =
+                    vec![Box::new(LfsrForward::new(5).unwrap())];
+                net.predictive(&input, &mut src).unwrap()
+            };
+            assert_eq!(run(&mut a), run(&mut b), "{} replicas diverged", spec.name());
+        }
+    }
+
+    #[test]
+    fn specs_cover_all_five_families() {
+        for kind in ModelKind::all() {
+            let spec = ModelSpec::for_kind(kind, 3);
+            let net = spec.build();
+            assert!(net.epsilon_count() > 0, "{} has no Bayesian weights", spec.name());
+            assert_eq!(spec.name(), kind.paper_name());
+        }
+    }
+}

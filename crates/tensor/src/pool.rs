@@ -23,7 +23,11 @@ pub struct PoolOutput {
 /// window.
 pub fn max_pool2d(input: &Tensor, window: usize) -> Result<PoolOutput, TensorError> {
     let shape = input.shape();
-    if shape.len() != 3 || window == 0 || shape[1] % window != 0 || shape[2] % window != 0 {
+    if shape.len() != 3
+        || window == 0
+        || !shape[1].is_multiple_of(window)
+        || !shape[2].is_multiple_of(window)
+    {
         return Err(TensorError::ShapeMismatch {
             left: shape.to_vec(),
             right: vec![shape.first().copied().unwrap_or(0), window, window],

@@ -106,7 +106,7 @@ mod tests {
     #[test]
     fn fp32_is_identity() {
         let p = Precision::Fp32;
-        assert_eq!(p.quantize(0.123_456_789), 0.123_456_789);
+        assert_eq!(p.quantize(0.123_456_79), 0.123_456_79);
         assert_eq!(p.bits(), 32);
         assert_eq!(p.bytes(), 4);
     }

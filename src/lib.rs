@@ -8,7 +8,9 @@
 //! * [`models`] (`bnn-models`) — the five paper model families and their workload volumes;
 //! * [`arch`] (`bnn-arch`) — the accelerator simulator (mappings, energy, latency, resources,
 //!   GPU roofline);
-//! * [`core`] (`shift-bnn`) — the four accelerator designs and the comparison/scalability APIs.
+//! * [`core`] (`shift-bnn`) — the four accelerator designs and the comparison/scalability APIs;
+//! * [`serve`] (`bnn-serve`) — the batched Monte-Carlo uncertainty-serving engine over frozen
+//!   posteriors.
 //!
 //! See `README.md` for a walkthrough, `DESIGN.md` for the system inventory and
 //! `EXPERIMENTS.md` for the paper-vs-measured record of every table and figure.
@@ -18,6 +20,7 @@
 pub use bnn_arch as arch;
 pub use bnn_lfsr as lfsr;
 pub use bnn_models as models;
+pub use bnn_serve as serve;
 pub use bnn_tensor as tensor;
 pub use bnn_train as train;
 pub use shift_bnn as core;
