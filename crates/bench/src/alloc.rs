@@ -1,0 +1,71 @@
+//! A swappable [`GlobalAlloc`] wrapper that counts heap activity.
+//!
+//! The scratch-arena rewrite's contract is that steady-state training iterations and served
+//! requests perform **zero** heap allocations after warmup. That claim is only enforceable if
+//! it is measured at the allocator, not inferred from code review — so test and benchmark
+//! binaries install a [`CountingAlloc`] as their `#[global_allocator]`:
+//!
+//! ```ignore
+//! #[global_allocator]
+//! static ALLOC: CountingAlloc = CountingAlloc::system();
+//!
+//! // ... warm up ...
+//! let before = ALLOC.allocations();
+//! // ... steady-state work ...
+//! assert_eq!(ALLOC.allocations() - before, 0);
+//! ```
+//!
+//! The counter wraps [`System`] and adds two relaxed atomic increments per call — cheap enough
+//! to leave on for whole benchmark binaries, and exact (no sampling).
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A [`System`]-backed allocator that counts allocations and deallocations.
+#[derive(Debug)]
+pub struct CountingAlloc {
+    allocations: AtomicU64,
+    deallocations: AtomicU64,
+}
+
+impl CountingAlloc {
+    /// Creates the counter (const, so it can be a `static`).
+    pub const fn system() -> Self {
+        Self { allocations: AtomicU64::new(0), deallocations: AtomicU64::new(0) }
+    }
+
+    /// Number of allocation calls (`alloc`, `alloc_zeroed`, and growth-`realloc`s) so far.
+    pub fn allocations(&self) -> u64 {
+        self.allocations.load(Ordering::Relaxed)
+    }
+
+    /// Number of deallocation calls so far.
+    pub fn deallocations(&self) -> u64 {
+        self.deallocations.load(Ordering::Relaxed)
+    }
+}
+
+// SAFETY: defers every operation to `System`, only adding atomic counters.
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        self.allocations.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        self.deallocations.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        self.allocations.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc_zeroed(layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        // A realloc moves or resizes an existing block: count it as an allocation event —
+        // the steady-state contract forbids those too.
+        self.allocations.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}

@@ -10,6 +10,11 @@
 //! deterministic summary live in [`serve_views`], and the numeric-tree comparison behind the
 //! CI bench-regression gate in [`regression`].
 
+//! The hot-path kernel microbenchmarks (`hot_bench`) live in [`hot`], and the allocation
+//! counter enforcing the zero-allocation steady state in [`alloc`].
+
+pub mod alloc;
+pub mod hot;
 pub mod regression;
 pub mod serve_views;
 pub mod views;

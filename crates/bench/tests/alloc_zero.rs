@@ -1,0 +1,59 @@
+//! Enforces the scratch-arena rewrite's core contract at the allocator: after warmup, a
+//! steady-state training iteration and a steady-state served request perform **zero** heap
+//! allocations (and zero deallocations — churn would mean buffers were dropped instead of
+//! recycled).
+//!
+//! The whole test binary runs under a counting `#[global_allocator]`. The counter is
+//! process-global, so each test holds one mutex for its *entire* body — construction and
+//! warmup included — ensuring no other test thread's (heavily allocating) setup can land
+//! inside a measured zero-allocation window.
+
+use shift_bnn_bench::alloc::CountingAlloc;
+use shift_bnn_bench::hot::{ServeProbe, TrainingProbe};
+use std::sync::Mutex;
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc::system();
+
+/// Serializes whole test bodies so parallel test threads cannot pollute each other's
+/// counter windows.
+static COUNTER_LOCK: Mutex<()> = Mutex::new(());
+
+fn measure(mut work: impl FnMut()) -> (u64, u64) {
+    let (a0, d0) = (ALLOC.allocations(), ALLOC.deallocations());
+    work();
+    (ALLOC.allocations() - a0, ALLOC.deallocations() - d0)
+}
+
+#[test]
+fn steady_state_training_iteration_allocates_nothing() {
+    let _guard = COUNTER_LOCK.lock().unwrap();
+    let mut probe = TrainingProbe::new();
+    // Warmup: grows the scratch arenas, caches and Vec capacities.
+    probe.run(2);
+    let (allocs, deallocs) = measure(|| probe.run(3));
+    assert_eq!(allocs, 0, "training iterations allocated in the steady state");
+    assert_eq!(deallocs, 0, "training iterations freed buffers instead of recycling them");
+}
+
+#[test]
+fn steady_state_served_request_allocates_nothing() {
+    let _guard = COUNTER_LOCK.lock().unwrap();
+    let mut probe = ServeProbe::new();
+    probe.run(2);
+    let (allocs, deallocs) = measure(|| probe.run(5));
+    assert_eq!(allocs, 0, "served requests allocated in the steady state");
+    assert_eq!(deallocs, 0, "served requests freed buffers instead of recycling them");
+    assert!(probe.last_entropy() >= 0.0);
+}
+
+#[test]
+fn the_counter_itself_counts() {
+    let _guard = COUNTER_LOCK.lock().unwrap();
+    // Sanity: the instrument is live (a plain Vec allocation registers).
+    let (allocs, _) = measure(|| {
+        let v: Vec<u64> = Vec::with_capacity(32);
+        std::hint::black_box(&v);
+    });
+    assert!(allocs >= 1, "counting allocator is not installed");
+}

@@ -5,15 +5,24 @@
 //! and *reconstruct* the same weights during the backward stage by asking the source for the same
 //! ε block again — exactly the paper's process ② — rather than caching the sampled weights.
 //! Auxiliary layers (ReLU, max-pooling, flatten) carry no parameters.
+//!
+//! Layers move tensors **by value** and draw every temporary from the per-worker
+//! [`Scratch`] arena: activations flow down the stack without cloning, consumed inputs are
+//! cached for the backward stage (replacing — and recycling — whatever the previous iteration
+//! left), and gradients travel back the same way. After a warmup iteration has grown the
+//! arena, a steady-state forward+backward pass performs **zero heap allocations** (asserted by
+//! the allocation-counting test in `crates/bench`).
 
 use crate::epsilon::EpsilonSource;
 use crate::variational::{BayesConfig, VariationalParams};
-use bnn_tensor::activation::{relu, relu_backward};
-use bnn_tensor::conv::{
-    conv2d_backward_input, conv2d_backward_weights, conv2d_forward, ConvGeometry,
+use bnn_tensor::activation::{relu_backward_into, relu_into};
+use bnn_tensor::conv::ConvGeometry;
+use bnn_tensor::kernels::{
+    conv2d_backward_input_into, conv2d_backward_weights_into, conv2d_forward_into,
+    gemm_at_accumulate,
 };
-use bnn_tensor::pool::{max_pool2d, max_pool2d_backward};
-use bnn_tensor::{Tensor, TensorError};
+use bnn_tensor::pool::{max_pool2d_backward_into, max_pool2d_into};
+use bnn_tensor::{Scratch, Tensor, TensorError};
 use rand::Rng;
 
 /// A network layer processing one sampled model at a time.
@@ -24,8 +33,11 @@ use rand::Rng;
 /// 2. for each sample `s`: [`forward`](Layer::forward) through all layers, then
 ///    [`backward`](Layer::backward) through all layers in reverse;
 /// 3. [`apply_update`](Layer::apply_update) once.
+///
+/// Inputs and upstream gradients are consumed by value; every intermediate buffer comes from
+/// (and returns to) the caller's [`Scratch`] arena.
 pub trait Layer {
-    /// Forward pass for sample `s`.
+    /// Forward pass for sample `s`, consuming the input activation.
     ///
     /// # Errors
     ///
@@ -33,8 +45,9 @@ pub trait Layer {
     fn forward(
         &mut self,
         sample: usize,
-        input: &Tensor,
+        input: Tensor,
         eps: &mut dyn EpsilonSource,
+        scratch: &mut Scratch,
     ) -> Result<Tensor, TensorError>;
 
     /// Backward pass for sample `s`, consuming the gradient w.r.t. this layer's output and
@@ -46,12 +59,16 @@ pub trait Layer {
     fn backward(
         &mut self,
         sample: usize,
-        grad_output: &Tensor,
+        grad_output: Tensor,
         eps: &mut dyn EpsilonSource,
+        scratch: &mut Scratch,
     ) -> Result<Tensor, TensorError>;
 
-    /// Prepares per-sample caches for an iteration of `samples` Monte-Carlo samples.
-    fn begin_iteration(&mut self, samples: usize);
+    /// Prepares per-sample caches for an iteration of `samples` Monte-Carlo samples,
+    /// recycling whatever the previous iteration left cached (so forward-only iterations
+    /// return their activations to the arena, and a backward pass without a matching forward
+    /// still fails loudly instead of consuming stale state).
+    fn begin_iteration(&mut self, samples: usize, scratch: &mut Scratch);
 
     /// Applies the accumulated parameter updates (averaged over the iteration's samples).
     fn apply_update(&mut self, learning_rate: f32);
@@ -74,6 +91,32 @@ pub trait Layer {
 
     /// A short human-readable layer name for reports.
     fn name(&self) -> &'static str;
+}
+
+/// Empties a per-sample tensor cache, returning every cached buffer to the arena (what
+/// `begin_iteration` does with the previous iteration's leftovers).
+fn recycle_tensor_cache(slots: &mut [Option<Tensor>], scratch: &mut Scratch) {
+    for slot in slots {
+        if let Some(stale) = slot.take() {
+            scratch.put_tensor(stale);
+        }
+    }
+}
+
+/// Caches `value` for `sample`, recycling whatever a previous iteration left in the slot.
+fn cache_tensor(slots: &mut [Option<Tensor>], sample: usize, value: Tensor, scratch: &mut Scratch) {
+    if let Some(old) = slots[sample].replace(value) {
+        scratch.put_tensor(old);
+    }
+}
+
+/// Grows a per-sample cache without reallocating in the steady state (never shrinks, so an
+/// oscillating sample count cannot thrash the `Vec`; callers empty the slots — recycling
+/// their buffers — before resizing).
+fn resize_cache<T>(slots: &mut Vec<Option<T>>, samples: usize) {
+    if slots.len() < samples {
+        slots.resize_with(samples, || None);
+    }
 }
 
 /// A Bayesian fully-connected layer: `output = W·input + b` with `W` sampled per Monte-Carlo
@@ -127,56 +170,116 @@ impl BayesLinear {
     pub fn out_features(&self) -> usize {
         self.out_features
     }
+
+    /// Samples this layer's weights for the current ε block into a scratch tensor.
+    fn sample_weights(&self, epsilon: &[f32], scratch: &mut Scratch) -> Tensor {
+        let mut w = scratch.take_tensor(self.weights.shape());
+        self.weights.sample_into(epsilon, self.config.precision, &mut w);
+        w
+    }
 }
 
 impl Layer for BayesLinear {
     fn forward(
         &mut self,
         sample: usize,
-        input: &Tensor,
+        input: Tensor,
         eps: &mut dyn EpsilonSource,
+        scratch: &mut Scratch,
     ) -> Result<Tensor, TensorError> {
-        let input = input.reshape(&[self.in_features])?;
-        let epsilon = eps.generate_block(self.weights.len());
-        let w = self.weights.sample(&epsilon, self.config.precision);
+        if input.len() != self.in_features {
+            return Err(TensorError::InvalidReshape {
+                len: input.len(),
+                shape: vec![self.in_features],
+            });
+        }
+        let mut epsilon = scratch.take_f32(self.weights.len());
+        eps.generate_block_into(&mut epsilon);
+        let w = self.sample_weights(&epsilon, scratch);
         self.accumulated_complexity += self.config.kl_weight
             * self.weights.complexity_loss(&w, &epsilon, self.config.prior_sigma);
-        let x = input.reshape(&[self.in_features, 1])?;
-        let mut out = w.matmul(&x)?.reshape(&[self.out_features])?;
-        out = out.add(&self.bias)?;
-        out = self.config.precision.quantize_tensor(&out);
-        self.cached_inputs[sample] = Some(input);
+
+        // out = W·x + b, quantized — dot products accumulate the weights in ascending input
+        // order, matching the matmul the layer used to perform.
+        let mut out = scratch.take_tensor(&[self.out_features]);
+        let (x, wd) = (input.data(), w.data());
+        for (i, o) in out.data_mut().iter_mut().enumerate() {
+            let mut acc = 0.0f32;
+            for (&wv, &xv) in wd[i * self.in_features..(i + 1) * self.in_features].iter().zip(x) {
+                acc += wv * xv;
+            }
+            *o = self.config.precision.quantize(acc + self.bias.data()[i]);
+        }
+
+        scratch.put_tensor(w);
+        scratch.put_f32(epsilon);
+        cache_tensor(&mut self.cached_inputs, sample, input, scratch);
         Ok(out)
     }
 
     fn backward(
         &mut self,
         sample: usize,
-        grad_output: &Tensor,
+        grad_output: Tensor,
         eps: &mut dyn EpsilonSource,
+        scratch: &mut Scratch,
     ) -> Result<Tensor, TensorError> {
-        let grad_output = grad_output.reshape(&[self.out_features])?;
+        if grad_output.len() != self.out_features {
+            return Err(TensorError::InvalidReshape {
+                len: grad_output.len(),
+                shape: vec![self.out_features],
+            });
+        }
         let input = self.cached_inputs[sample]
             .take()
             .expect("backward called for a sample without a cached forward");
         // Reconstruct the sampled weights from the retrieved ε (process ② of the paper).
-        let epsilon = eps.retrieve_block(self.weights.len());
-        let w = self.weights.sample(&epsilon, self.config.precision);
+        let mut epsilon = scratch.take_f32(self.weights.len());
+        eps.retrieve_block_into(&mut epsilon);
+        let w = self.sample_weights(&epsilon, scratch);
 
-        // Gradient w.r.t. the input: W^T · grad_output.
-        let g_col = grad_output.reshape(&[self.out_features, 1])?;
-        let grad_input = w.transpose2().matmul(&g_col)?.reshape(&[self.in_features])?;
+        // Gradient w.r.t. the input: Wᵀ · grad_output, without materializing Wᵀ.
+        let mut grad_input = scratch.take_tensor(&[self.in_features]);
+        gemm_at_accumulate(
+            grad_input.data_mut(),
+            w.data(),
+            grad_output.data(),
+            self.in_features,
+            self.out_features,
+            1,
+        );
 
         // Likelihood gradient w.r.t. the weights: grad_output ⊗ input.
-        let grad_w = g_col.matmul(&input.reshape(&[1, self.in_features])?)?;
+        let mut grad_w = scratch.take_tensor(self.weights.shape());
+        {
+            let gw = grad_w.data_mut();
+            for (i, &g) in grad_output.data().iter().enumerate() {
+                if g == 0.0 {
+                    continue; // row stays zero, as in the sparse outer product
+                }
+                let row = &mut gw[i * self.in_features..(i + 1) * self.in_features];
+                for (r, &xv) in row.iter_mut().zip(input.data()) {
+                    *r = g * xv;
+                }
+            }
+        }
         self.weights.accumulate_gradients(&grad_w, &w, &epsilon, &self.config);
-        self.grad_bias.axpy(1.0, &grad_output)?;
+        for (gb, &g) in self.grad_bias.data_mut().iter_mut().zip(grad_output.data()) {
+            *gb += g;
+        }
+
+        scratch.put_tensor(grad_w);
+        scratch.put_tensor(w);
+        scratch.put_f32(epsilon);
+        scratch.put_tensor(input);
+        scratch.put_tensor(grad_output);
         Ok(grad_input)
     }
 
-    fn begin_iteration(&mut self, samples: usize) {
+    fn begin_iteration(&mut self, samples: usize, scratch: &mut Scratch) {
         self.samples = samples.max(1);
-        self.cached_inputs = (0..self.samples).map(|_| None).collect();
+        recycle_tensor_cache(&mut self.cached_inputs, scratch);
+        resize_cache(&mut self.cached_inputs, self.samples);
         self.accumulated_complexity = 0.0;
     }
 
@@ -204,7 +307,8 @@ impl Layer for BayesLinear {
     }
 }
 
-/// A Bayesian 2-D convolution layer with per-sample weight sampling.
+/// A Bayesian 2-D convolution layer with per-sample weight sampling, running on the packed
+/// im2col+GEMM kernels of [`bnn_tensor::kernels`].
 #[derive(Debug)]
 pub struct BayesConv2d {
     geometry: ConvGeometry,
@@ -243,47 +347,101 @@ impl BayesConv2d {
     pub fn weights(&self) -> &VariationalParams {
         &self.weights
     }
+
+    fn sample_weights(&self, epsilon: &[f32], scratch: &mut Scratch) -> Tensor {
+        let mut w = scratch.take_tensor(self.weights.shape());
+        self.weights.sample_into(epsilon, self.config.precision, &mut w);
+        w
+    }
 }
 
 impl Layer for BayesConv2d {
     fn forward(
         &mut self,
         sample: usize,
-        input: &Tensor,
+        input: Tensor,
         eps: &mut dyn EpsilonSource,
+        scratch: &mut Scratch,
     ) -> Result<Tensor, TensorError> {
-        let epsilon = eps.generate_block(self.weights.len());
-        let w = self.weights.sample(&epsilon, self.config.precision);
+        let in_shape = input.shape();
+        if in_shape.len() != 3 || in_shape[0] != self.geometry.in_channels {
+            return Err(TensorError::ShapeMismatch {
+                left: in_shape.to_vec(),
+                right: vec![self.geometry.in_channels, 0, 0],
+            });
+        }
+        let (oh, ow) = self.geometry.output_size(in_shape[1], in_shape[2]);
+
+        let mut epsilon = scratch.take_f32(self.weights.len());
+        eps.generate_block_into(&mut epsilon);
+        let w = self.sample_weights(&epsilon, scratch);
         self.accumulated_complexity += self.config.kl_weight
             * self.weights.complexity_loss(&w, &epsilon, self.config.prior_sigma);
-        let out = conv2d_forward(&self.geometry, input, &w, &self.bias)?;
-        let out = self.config.precision.quantize_tensor(&out);
-        self.cached_inputs[sample] = Some(input.clone());
+
+        let mut out = scratch.take_tensor(&[self.geometry.out_channels, oh, ow]);
+        conv2d_forward_into(&self.geometry, &input, &w, &self.bias, &mut out, scratch)?;
+        self.config.precision.quantize_tensor_inplace(&mut out);
+
+        scratch.put_tensor(w);
+        scratch.put_f32(epsilon);
+        cache_tensor(&mut self.cached_inputs, sample, input, scratch);
         Ok(out)
     }
 
     fn backward(
         &mut self,
         sample: usize,
-        grad_output: &Tensor,
+        grad_output: Tensor,
         eps: &mut dyn EpsilonSource,
+        scratch: &mut Scratch,
     ) -> Result<Tensor, TensorError> {
         let input = self.cached_inputs[sample]
             .take()
             .expect("backward called for a sample without a cached forward");
-        let epsilon = eps.retrieve_block(self.weights.len());
-        let w = self.weights.sample(&epsilon, self.config.precision);
+        let mut epsilon = scratch.take_f32(self.weights.len());
+        eps.retrieve_block_into(&mut epsilon);
+        let w = self.sample_weights(&epsilon, scratch);
+
         let (h, wd) = (input.shape()[1], input.shape()[2]);
-        let grad_input = conv2d_backward_input(&self.geometry, grad_output, &w, h, wd)?;
-        let (grad_w, grad_b) = conv2d_backward_weights(&self.geometry, &input, grad_output)?;
+        let mut grad_input = scratch.take_tensor(&[self.geometry.in_channels, h, wd]);
+        conv2d_backward_input_into(
+            &self.geometry,
+            &grad_output,
+            &w,
+            h,
+            wd,
+            &mut grad_input,
+            scratch,
+        )?;
+
+        let mut grad_w = scratch.take_tensor(self.weights.shape());
+        let mut grad_b = scratch.take_tensor(&[self.geometry.out_channels]);
+        conv2d_backward_weights_into(
+            &self.geometry,
+            &input,
+            &grad_output,
+            &mut grad_w,
+            &mut grad_b,
+            scratch,
+        )?;
         self.weights.accumulate_gradients(&grad_w, &w, &epsilon, &self.config);
-        self.grad_bias.axpy(1.0, &grad_b)?;
+        for (gb, &g) in self.grad_bias.data_mut().iter_mut().zip(grad_b.data()) {
+            *gb += g;
+        }
+
+        scratch.put_tensor(grad_b);
+        scratch.put_tensor(grad_w);
+        scratch.put_tensor(w);
+        scratch.put_f32(epsilon);
+        scratch.put_tensor(input);
+        scratch.put_tensor(grad_output);
         Ok(grad_input)
     }
 
-    fn begin_iteration(&mut self, samples: usize) {
+    fn begin_iteration(&mut self, samples: usize, scratch: &mut Scratch) {
         self.samples = samples.max(1);
-        self.cached_inputs = (0..self.samples).map(|_| None).collect();
+        recycle_tensor_cache(&mut self.cached_inputs, scratch);
+        resize_cache(&mut self.cached_inputs, self.samples);
         self.accumulated_complexity = 0.0;
     }
 
@@ -328,27 +486,36 @@ impl Layer for ReluLayer {
     fn forward(
         &mut self,
         sample: usize,
-        input: &Tensor,
+        input: Tensor,
         _eps: &mut dyn EpsilonSource,
+        scratch: &mut Scratch,
     ) -> Result<Tensor, TensorError> {
-        self.cached_inputs[sample] = Some(input.clone());
-        Ok(relu(input))
+        let mut out = scratch.take_tensor(input.shape());
+        relu_into(&input, &mut out);
+        cache_tensor(&mut self.cached_inputs, sample, input, scratch);
+        Ok(out)
     }
 
     fn backward(
         &mut self,
         sample: usize,
-        grad_output: &Tensor,
+        grad_output: Tensor,
         _eps: &mut dyn EpsilonSource,
+        scratch: &mut Scratch,
     ) -> Result<Tensor, TensorError> {
         let input = self.cached_inputs[sample]
             .take()
             .expect("backward called for a sample without a cached forward");
-        Ok(relu_backward(&input, grad_output))
+        let mut grad_input = scratch.take_tensor(input.shape());
+        relu_backward_into(&input, &grad_output, &mut grad_input);
+        scratch.put_tensor(input);
+        scratch.put_tensor(grad_output);
+        Ok(grad_input)
     }
 
-    fn begin_iteration(&mut self, samples: usize) {
-        self.cached_inputs = (0..samples.max(1)).map(|_| None).collect();
+    fn begin_iteration(&mut self, samples: usize, scratch: &mut Scratch) {
+        recycle_tensor_cache(&mut self.cached_inputs, scratch);
+        resize_cache(&mut self.cached_inputs, samples.max(1));
     }
 
     fn apply_update(&mut self, _learning_rate: f32) {}
@@ -362,6 +529,7 @@ impl Layer for ReluLayer {
 #[derive(Debug)]
 pub struct MaxPoolLayer {
     window: usize,
+    /// Per-sample `(input shape, argmax record)`, both in recycled scratch buffers.
     cached: Vec<Option<(Vec<usize>, Vec<usize>)>>,
 }
 
@@ -381,28 +549,60 @@ impl Layer for MaxPoolLayer {
     fn forward(
         &mut self,
         sample: usize,
-        input: &Tensor,
+        input: Tensor,
         _eps: &mut dyn EpsilonSource,
+        scratch: &mut Scratch,
     ) -> Result<Tensor, TensorError> {
-        let pooled = max_pool2d(input, self.window)?;
-        self.cached[sample] = Some((input.shape().to_vec(), pooled.argmax.clone()));
-        Ok(pooled.output)
+        let shape = input.shape();
+        if shape.len() != 3
+            || !shape[1].is_multiple_of(self.window)
+            || !shape[2].is_multiple_of(self.window)
+        {
+            return Err(TensorError::ShapeMismatch {
+                left: shape.to_vec(),
+                right: vec![shape.first().copied().unwrap_or(0), self.window, self.window],
+            });
+        }
+        let (c, oh, ow) = (shape[0], shape[1] / self.window, shape[2] / self.window);
+        let mut out = scratch.take_tensor(&[c, oh, ow]);
+        let mut argmax = scratch.take_usize(c * oh * ow);
+        max_pool2d_into(&input, self.window, &mut out, &mut argmax)?;
+        let mut cached_shape = scratch.take_usize(3);
+        cached_shape.copy_from_slice(input.shape());
+        if let Some((old_shape, old_argmax)) = self.cached[sample].replace((cached_shape, argmax)) {
+            scratch.put_usize(old_shape);
+            scratch.put_usize(old_argmax);
+        }
+        scratch.put_tensor(input);
+        Ok(out)
     }
 
     fn backward(
         &mut self,
         sample: usize,
-        grad_output: &Tensor,
+        grad_output: Tensor,
         _eps: &mut dyn EpsilonSource,
+        scratch: &mut Scratch,
     ) -> Result<Tensor, TensorError> {
         let (shape, argmax) = self.cached[sample]
             .take()
             .expect("backward called for a sample without a cached forward");
-        Ok(max_pool2d_backward(grad_output, &argmax, &shape))
+        let mut grad_input = scratch.take_tensor(&shape);
+        max_pool2d_backward_into(&grad_output, &argmax, &mut grad_input);
+        scratch.put_usize(shape);
+        scratch.put_usize(argmax);
+        scratch.put_tensor(grad_output);
+        Ok(grad_input)
     }
 
-    fn begin_iteration(&mut self, samples: usize) {
-        self.cached = (0..samples.max(1)).map(|_| None).collect();
+    fn begin_iteration(&mut self, samples: usize, scratch: &mut Scratch) {
+        for slot in &mut self.cached {
+            if let Some((shape, argmax)) = slot.take() {
+                scratch.put_usize(shape);
+                scratch.put_usize(argmax);
+            }
+        }
+        resize_cache(&mut self.cached, samples.max(1));
     }
 
     fn apply_update(&mut self, _learning_rate: f32) {}
@@ -413,7 +613,7 @@ impl Layer for MaxPoolLayer {
 }
 
 /// Flattens a `[C, H, W]` feature map into a `[C·H·W]` vector (and restores the shape on the way
-/// back).
+/// back) — a pure reshape of the owned tensor, no data movement at all.
 #[derive(Debug, Default)]
 pub struct FlattenLayer {
     cached_shapes: Vec<Option<Vec<usize>>>,
@@ -430,27 +630,41 @@ impl Layer for FlattenLayer {
     fn forward(
         &mut self,
         sample: usize,
-        input: &Tensor,
+        mut input: Tensor,
         _eps: &mut dyn EpsilonSource,
+        scratch: &mut Scratch,
     ) -> Result<Tensor, TensorError> {
-        self.cached_shapes[sample] = Some(input.shape().to_vec());
-        input.reshape(&[input.len()])
+        let mut cached_shape = scratch.take_usize(input.shape().len());
+        cached_shape.copy_from_slice(input.shape());
+        if let Some(old) = self.cached_shapes[sample].replace(cached_shape) {
+            scratch.put_usize(old);
+        }
+        input.reshape_in_place(&[input.len()])?;
+        Ok(input)
     }
 
     fn backward(
         &mut self,
         sample: usize,
-        grad_output: &Tensor,
+        mut grad_output: Tensor,
         _eps: &mut dyn EpsilonSource,
+        scratch: &mut Scratch,
     ) -> Result<Tensor, TensorError> {
         let shape = self.cached_shapes[sample]
             .take()
             .expect("backward called for a sample without a cached forward");
-        grad_output.reshape(&shape)
+        grad_output.reshape_in_place(&shape)?;
+        scratch.put_usize(shape);
+        Ok(grad_output)
     }
 
-    fn begin_iteration(&mut self, samples: usize) {
-        self.cached_shapes = (0..samples.max(1)).map(|_| None).collect();
+    fn begin_iteration(&mut self, samples: usize, scratch: &mut Scratch) {
+        for slot in &mut self.cached_shapes {
+            if let Some(stale) = slot.take() {
+                scratch.put_usize(stale);
+            }
+        }
+        resize_cache(&mut self.cached_shapes, samples.max(1));
     }
 
     fn apply_update(&mut self, _learning_rate: f32) {}
@@ -476,12 +690,13 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(1);
         let mut layer = BayesLinear::new(6, 4, BayesConfig::default(), &mut rng);
         let mut eps = eps_source();
-        layer.begin_iteration(1);
+        let mut scratch = Scratch::new();
+        layer.begin_iteration(1, &mut scratch);
         let input = Tensor::filled(&[6], 0.5);
-        let out = layer.forward(0, &input, &mut eps).unwrap();
+        let out = layer.forward(0, input, &mut eps, &mut scratch).unwrap();
         assert_eq!(out.shape(), &[4]);
         let grad = Tensor::filled(&[4], 1.0);
-        let grad_in = layer.backward(0, &grad, &mut eps).unwrap();
+        let grad_in = layer.backward(0, grad, &mut eps, &mut scratch).unwrap();
         assert_eq!(grad_in.shape(), &[6]);
         assert_eq!(layer.epsilon_count(), 24);
         assert_eq!(layer.parameter_count(), 2 * 24 + 4);
@@ -495,11 +710,13 @@ mod tests {
             ConvGeometry { in_channels: 1, out_channels: 2, kernel: 3, stride: 1, padding: 1 };
         let mut layer = BayesConv2d::new(geom, BayesConfig::default(), &mut rng);
         let mut eps = eps_source();
-        layer.begin_iteration(2);
+        let mut scratch = Scratch::new();
+        layer.begin_iteration(2, &mut scratch);
         let input = Tensor::filled(&[1, 6, 6], 1.0);
-        let out = layer.forward(0, &input, &mut eps).unwrap();
+        let out = layer.forward(0, input, &mut eps, &mut scratch).unwrap();
         assert_eq!(out.shape(), &[2, 6, 6]);
-        let grad_in = layer.backward(0, &Tensor::filled(&[2, 6, 6], 0.1), &mut eps).unwrap();
+        let grad_in =
+            layer.backward(0, Tensor::filled(&[2, 6, 6], 0.1), &mut eps, &mut scratch).unwrap();
         assert_eq!(grad_in.shape(), &[1, 6, 6]);
         assert_eq!(layer.epsilon_count(), 2 * 9);
     }
@@ -518,13 +735,14 @@ mod tests {
         let mut eps_b = crate::epsilon::StoreReplay::new(7).unwrap();
         let input = Tensor::from_vec(vec![5], vec![0.1, -0.2, 0.3, 0.4, -0.5]).unwrap();
         let grad = Tensor::from_vec(vec![3], vec![1.0, -1.0, 0.5]).unwrap();
+        let mut scratch = Scratch::new();
         for (layer, eps) in [
             (&mut layer_a, &mut eps_a as &mut dyn EpsilonSource),
             (&mut layer_b, &mut eps_b as &mut dyn EpsilonSource),
         ] {
-            layer.begin_iteration(1);
-            layer.forward(0, &input, eps).unwrap();
-            layer.backward(0, &grad, eps).unwrap();
+            layer.begin_iteration(1, &mut scratch);
+            layer.forward(0, input.clone(), eps, &mut scratch).unwrap();
+            layer.backward(0, grad.clone(), eps, &mut scratch).unwrap();
             layer.apply_update(0.05);
         }
         assert_eq!(layer_a.weights().mu(), layer_b.weights().mu());
@@ -536,16 +754,17 @@ mod tests {
         let mut relu_layer = ReluLayer::new();
         let mut flatten = FlattenLayer::new();
         let mut eps = eps_source();
-        relu_layer.begin_iteration(1);
-        flatten.begin_iteration(1);
+        let mut scratch = Scratch::new();
+        relu_layer.begin_iteration(1, &mut scratch);
+        flatten.begin_iteration(1, &mut scratch);
         let input =
             Tensor::from_vec(vec![2, 2, 2], vec![-1., 2., -3., 4., 5., -6., 7., -8.]).unwrap();
-        let activated = relu_layer.forward(0, &input, &mut eps).unwrap();
-        let flat = flatten.forward(0, &activated, &mut eps).unwrap();
+        let activated = relu_layer.forward(0, input, &mut eps, &mut scratch).unwrap();
+        let flat = flatten.forward(0, activated, &mut eps, &mut scratch).unwrap();
         assert_eq!(flat.shape(), &[8]);
-        let back = flatten.backward(0, &Tensor::filled(&[8], 1.0), &mut eps).unwrap();
+        let back = flatten.backward(0, Tensor::filled(&[8], 1.0), &mut eps, &mut scratch).unwrap();
         assert_eq!(back.shape(), &[2, 2, 2]);
-        let grad_in = relu_layer.backward(0, &back, &mut eps).unwrap();
+        let grad_in = relu_layer.backward(0, back, &mut eps, &mut scratch).unwrap();
         // Gradient passes only where the input was positive.
         assert_eq!(grad_in.data(), &[0., 1., 0., 1., 1., 0., 1., 0.]);
     }
@@ -554,11 +773,13 @@ mod tests {
     fn max_pool_layer_reduces_and_restores() {
         let mut pool = MaxPoolLayer::new(2);
         let mut eps = eps_source();
-        pool.begin_iteration(1);
+        let mut scratch = Scratch::new();
+        pool.begin_iteration(1, &mut scratch);
         let input = Tensor::from_vec(vec![1, 2, 2], vec![1., 5., 2., 3.]).unwrap();
-        let out = pool.forward(0, &input, &mut eps).unwrap();
+        let out = pool.forward(0, input, &mut eps, &mut scratch).unwrap();
         assert_eq!(out.data(), &[5.0]);
-        let grad_in = pool.backward(0, &Tensor::filled(&[1, 1, 1], 2.0), &mut eps).unwrap();
+        let grad_in =
+            pool.backward(0, Tensor::filled(&[1, 1, 1], 2.0), &mut eps, &mut scratch).unwrap();
         assert_eq!(grad_in.data(), &[0.0, 2.0, 0.0, 0.0]);
     }
 
@@ -567,10 +788,38 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(4);
         let mut layer = BayesLinear::new(4, 2, BayesConfig::default(), &mut rng);
         let mut eps = eps_source();
-        layer.begin_iteration(1);
-        layer.forward(0, &Tensor::filled(&[4], 1.0), &mut eps).unwrap();
+        let mut scratch = Scratch::new();
+        layer.begin_iteration(1, &mut scratch);
+        layer.forward(0, Tensor::filled(&[4], 1.0), &mut eps, &mut scratch).unwrap();
         assert_ne!(layer.complexity_loss(), 0.0);
         let relu_layer = ReluLayer::new();
         assert_eq!(relu_layer.complexity_loss(), 0.0);
+    }
+
+    #[test]
+    fn steady_state_layer_round_trips_do_not_grow_the_arena() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let geom =
+            ConvGeometry { in_channels: 2, out_channels: 3, kernel: 3, stride: 1, padding: 1 };
+        let mut layer = BayesConv2d::new(geom, BayesConfig::default(), &mut rng);
+        let mut eps = eps_source();
+        let mut scratch = Scratch::new();
+        let mut pooled_after_warmup = 0;
+        for iter in 0..4 {
+            layer.begin_iteration(1, &mut scratch);
+            // Inputs come from the arena, as `Network::forward_sample` provides them.
+            let mut input = scratch.take_tensor(&[2, 8, 8]);
+            input.data_mut().fill(0.3);
+            let out = layer.forward(0, input, &mut eps, &mut scratch).unwrap();
+            let grad_in = layer.backward(0, out, &mut eps, &mut scratch).unwrap();
+            scratch.put_tensor(grad_in);
+            eps.reset_iteration();
+            layer.apply_update(0.01);
+            if iter == 1 {
+                pooled_after_warmup = scratch.pooled_buffers();
+            } else if iter > 1 {
+                assert_eq!(scratch.pooled_buffers(), pooled_after_warmup, "arena grew");
+            }
+        }
     }
 }

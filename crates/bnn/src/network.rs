@@ -4,8 +4,8 @@ use crate::epsilon::EpsilonSource;
 use crate::layers::{BayesConv2d, BayesLinear, FlattenLayer, Layer, MaxPoolLayer, ReluLayer};
 use crate::variational::BayesConfig;
 use bnn_tensor::conv::ConvGeometry;
-use bnn_tensor::loss::softmax;
-use bnn_tensor::{Tensor, TensorError};
+use bnn_tensor::loss::softmax_inplace;
+use bnn_tensor::{Scratch, Tensor, TensorError};
 use rand::Rng;
 
 /// The Monte-Carlo predictive summary of one input under a frozen posterior: what a serving
@@ -22,10 +22,21 @@ pub struct Predictive {
     pub samples: usize,
 }
 
+/// Reshapes a reusable output tensor only when its shape actually changed, so steady-state
+/// calls that keep producing the same geometry never reallocate.
+fn reuse_buffer(t: &mut Tensor, shape: &[usize]) {
+    if t.shape() != shape {
+        *t = Tensor::zeros(shape);
+    }
+}
+
 /// A sequential stack of [`Layer`]s trained with Bayes-by-Backprop.
 pub struct Network {
     layers: Vec<Box<dyn Layer>>,
     config: BayesConfig,
+    /// The per-replica scratch arena threaded through every layer call; owning it here keeps
+    /// one arena per worker replica without widening the public API.
+    scratch: Scratch,
 }
 
 impl std::fmt::Debug for Network {
@@ -38,7 +49,7 @@ impl std::fmt::Debug for Network {
 impl Network {
     /// Creates an empty network with the given Bayesian hyper-parameters.
     pub fn new(config: BayesConfig) -> Self {
-        Self { layers: Vec::new(), config }
+        Self { layers: Vec::new(), config, scratch: Scratch::new() }
     }
 
     /// The network's Bayesian hyper-parameters.
@@ -82,10 +93,11 @@ impl Network {
         self.layers.iter().map(|l| l.complexity_loss()).sum()
     }
 
-    /// Prepares every layer for an iteration over `samples` Monte-Carlo samples.
+    /// Prepares every layer for an iteration over `samples` Monte-Carlo samples, recycling
+    /// any state a previous iteration left cached.
     pub fn begin_iteration(&mut self, samples: usize) {
         for layer in &mut self.layers {
-            layer.begin_iteration(samples);
+            layer.begin_iteration(samples, &mut self.scratch);
         }
     }
 
@@ -100,9 +112,9 @@ impl Network {
         input: &Tensor,
         eps: &mut dyn EpsilonSource,
     ) -> Result<Tensor, TensorError> {
-        let mut x = input.clone();
+        let mut x = self.scratch.take_tensor_copy(input);
         for layer in &mut self.layers {
-            x = layer.forward(sample, &x, eps)?;
+            x = layer.forward(sample, x, eps, &mut self.scratch)?;
         }
         Ok(x)
     }
@@ -118,11 +130,17 @@ impl Network {
         grad_output: &Tensor,
         eps: &mut dyn EpsilonSource,
     ) -> Result<Tensor, TensorError> {
-        let mut g = grad_output.clone();
+        let mut g = self.scratch.take_tensor_copy(grad_output);
         for layer in self.layers.iter_mut().rev() {
-            g = layer.backward(sample, &g, eps)?;
+            g = layer.backward(sample, g, eps, &mut self.scratch)?;
         }
         Ok(g)
+    }
+
+    /// Returns a tensor that escaped the network (a forward output, a final gradient) to the
+    /// internal scratch arena for reuse — how the trainer closes the zero-allocation loop.
+    pub fn recycle(&mut self, tensor: Tensor) {
+        self.scratch.put_tensor(tensor);
     }
 
     /// Applies accumulated updates on every layer.
@@ -147,14 +165,25 @@ impl Network {
         self.begin_iteration(sources.len());
         let mut mean: Option<Tensor> = None;
         for (s, src) in sources.iter_mut().enumerate() {
-            let logits = self.forward_sample(s, input, src.as_mut())?;
-            let probs = softmax(&logits);
+            let mut probs = self.forward_sample(s, input, src.as_mut())?;
+            softmax_inplace(&mut probs);
             mean = Some(match mean {
                 None => probs,
-                Some(acc) => acc.add(&probs)?,
+                Some(mut acc) => {
+                    for (a, &p) in acc.data_mut().iter_mut().zip(probs.data()) {
+                        *a += p;
+                    }
+                    self.scratch.put_tensor(probs);
+                    acc
+                }
             });
         }
-        Ok(mean.expect("at least one source").scale(1.0 / sources.len() as f32))
+        let inv_s = 1.0 / sources.len() as f32;
+        let mut mean = mean.expect("at least one source");
+        for v in mean.data_mut() {
+            *v *= inv_s;
+        }
+        Ok(mean)
     }
 
     /// Predictive entropy (in nats) of a probability vector — the paper's motivating
@@ -187,31 +216,73 @@ impl Network {
         input: &Tensor,
         sources: &mut [Box<dyn EpsilonSource>],
     ) -> Result<Predictive, TensorError> {
+        let mut out = Predictive {
+            mean: Tensor::zeros(&[0]),
+            variance: Tensor::zeros(&[0]),
+            entropy: 0.0,
+            samples: 0,
+        };
+        self.predictive_into(input, sources, &mut out)?;
+        Ok(out)
+    }
+
+    /// [`Network::predictive`] into a caller-provided summary, reusing its buffers: the
+    /// zero-allocation form the serving engine drives per request (bit-identical results).
+    ///
+    /// # Errors
+    ///
+    /// Propagates shape errors from the layers.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `sources` is empty.
+    pub fn predictive_into(
+        &mut self,
+        input: &Tensor,
+        sources: &mut [Box<dyn EpsilonSource>],
+        out: &mut Predictive,
+    ) -> Result<(), TensorError> {
         assert!(!sources.is_empty(), "predictive inference needs at least one ε source");
         self.begin_iteration(sources.len());
         let mut sum: Option<Tensor> = None;
         let mut sum_sq: Option<Tensor> = None;
         for (s, src) in sources.iter_mut().enumerate() {
-            let logits = self.forward_sample(s, input, src.as_mut())?;
-            let probs = softmax(&logits);
-            let sq = probs.hadamard(&probs)?;
-            sum = Some(match sum {
-                None => probs,
-                Some(acc) => acc.add(&probs)?,
-            });
-            sum_sq = Some(match sum_sq {
-                None => sq,
-                Some(acc) => acc.add(&sq)?,
-            });
+            let mut probs = self.forward_sample(s, input, src.as_mut())?;
+            softmax_inplace(&mut probs);
+            // Zero-initialized accumulators added to in source order reproduce the old
+            // fold exactly: probabilities are never −0.0, so `0.0 + p` has `p`'s bits.
+            let (sum, sum_sq) = match (&mut sum, &mut sum_sq) {
+                (Some(a), Some(b)) => (a, b),
+                _ => {
+                    sum = Some(self.scratch.take_tensor(probs.shape()));
+                    sum_sq = Some(self.scratch.take_tensor(probs.shape()));
+                    (sum.as_mut().unwrap(), sum_sq.as_mut().unwrap())
+                }
+            };
+            for ((a, b), &p) in sum.data_mut().iter_mut().zip(sum_sq.data_mut()).zip(probs.data()) {
+                *a += p;
+                *b += p * p;
+            }
+            self.scratch.put_tensor(probs);
         }
+        let sum = sum.expect("at least one source");
+        let sum_sq = sum_sq.expect("at least one source");
         let inv_s = 1.0 / sources.len() as f32;
-        let mean = sum.expect("at least one source").scale(inv_s);
-        let variance = sum_sq
-            .expect("at least one source")
-            .scale(inv_s)
-            .zip_map(&mean, |m2, m| (m2 - m * m).max(0.0))?;
-        let entropy = Self::predictive_entropy(&mean);
-        Ok(Predictive { mean, variance, entropy, samples: sources.len() })
+        reuse_buffer(&mut out.mean, sum.shape());
+        reuse_buffer(&mut out.variance, sum.shape());
+        for (m, &s) in out.mean.data_mut().iter_mut().zip(sum.data()) {
+            *m = s * inv_s;
+        }
+        for ((v, &sq), &m) in
+            out.variance.data_mut().iter_mut().zip(sum_sq.data()).zip(out.mean.data())
+        {
+            *v = (sq * inv_s - m * m).max(0.0);
+        }
+        out.entropy = Self::predictive_entropy(&out.mean);
+        out.samples = sources.len();
+        self.scratch.put_tensor(sum);
+        self.scratch.put_tensor(sum_sq);
+        Ok(())
     }
 
     /// Builds a Bayesian multi-layer perceptron: `input_dim → hidden… → classes` with ReLU
@@ -366,6 +437,21 @@ mod tests {
             vec![Box::new(crate::epsilon::LfsrForward::new(9).unwrap())];
         let summary = net.predictive(&Tensor::filled(&[3], 1.0), &mut sources).unwrap();
         assert!(summary.variance.data().iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "without a cached forward")]
+    fn backward_without_forward_panics_even_after_an_inference_pass() {
+        // begin_iteration recycles forward-only caches, so a stray backward cannot silently
+        // consume a previous iteration's activations.
+        let mut rng = StdRng::seed_from_u64(8);
+        let mut net = Network::bayes_mlp(3, &[4], 2, BayesConfig::default(), &mut rng);
+        let mut sources: Vec<Box<dyn EpsilonSource>> =
+            vec![Box::new(crate::epsilon::LfsrForward::new(5).unwrap())];
+        net.predictive(&Tensor::filled(&[3], 0.5), &mut sources).unwrap();
+        net.begin_iteration(1);
+        let mut eps = LfsrRetrieve::new(6).unwrap();
+        let _ = net.backward_sample(0, &Tensor::filled(&[2], 1.0), &mut eps);
     }
 
     #[test]

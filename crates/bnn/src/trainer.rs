@@ -10,7 +10,7 @@ use crate::data::SyntheticDataset;
 use crate::epsilon::{EpsilonSource, LfsrRetrieve, StoreReplay};
 use crate::network::Network;
 use bnn_lfsr::LfsrError;
-use bnn_tensor::loss::softmax_cross_entropy;
+use bnn_tensor::loss::softmax_cross_entropy_owned;
 use bnn_tensor::{Tensor, TensorError};
 
 /// How the forward-stage ε are made available to the backward stage.
@@ -101,6 +101,9 @@ pub struct Trainer {
     network: Network,
     sources: Vec<Box<dyn EpsilonSource>>,
     config: TrainerConfig,
+    /// Per-sample loss gradients held between the forward and backward stages; the tensors
+    /// cycle through the network's scratch arena, so the steady state allocates nothing.
+    grad_store: Vec<Tensor>,
 }
 
 impl std::fmt::Debug for Trainer {
@@ -138,7 +141,7 @@ impl Trainer {
     /// Returns an error if GRNG construction fails.
     pub fn new(network: Network, config: TrainerConfig) -> Result<Self, TrainError> {
         let sources = build_sources(&config)?;
-        Ok(Self { network, sources, config })
+        Ok(Self { network, sources, config, grad_store: Vec::new() })
     }
 
     /// The trainer's configuration.
@@ -174,19 +177,27 @@ impl Trainer {
         let samples = self.config.samples.max(1);
         self.network.begin_iteration(samples);
 
-        // Forward stage for every sampled model, recording the per-sample loss gradient.
-        let mut grads = Vec::with_capacity(samples);
+        // Forward stage for every sampled model, recording the per-sample loss gradient
+        // (computed in place in the logits buffer — no per-sample allocation). The store is
+        // normally drained by the backward loop; clearing defends against a previous call
+        // that errored mid-iteration and left stale gradients behind.
+        self.grad_store.clear();
         let mut nll_sum = 0.0f32;
         for (s, source) in self.sources.iter_mut().enumerate() {
             let logits = self.network.forward_sample(s, image, source.as_mut())?;
-            let (nll, grad) = softmax_cross_entropy(&logits, label);
+            let (nll, grad) = softmax_cross_entropy_owned(logits, label);
             nll_sum += nll;
-            grads.push(grad);
+            self.grad_store.push(grad);
         }
 
-        // Backward + gradient-calculation stages, sample by sample, retrieving ε.
-        for (s, (source, grad)) in self.sources.iter_mut().zip(grads).enumerate() {
-            self.network.backward_sample(s, &grad, source.as_mut())?;
+        // Backward + gradient-calculation stages, sample by sample, retrieving ε. The loss
+        // gradients and the returned input gradients both recycle into the network's arena.
+        for (s, (source, grad)) in
+            self.sources.iter_mut().zip(self.grad_store.drain(..)).enumerate()
+        {
+            let grad_image = self.network.backward_sample(s, &grad, source.as_mut())?;
+            self.network.recycle(grad_image);
+            self.network.recycle(grad);
             source.reset_iteration();
         }
 

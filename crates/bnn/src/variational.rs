@@ -105,26 +105,41 @@ impl VariationalParams {
         self.mu.shape()
     }
 
-    /// Samples a weight tensor `w = μ + ε∘σ`, quantizing the result to the configured precision.
+    /// Samples a weight tensor `w = μ + ε∘σ` into a caller-provided tensor, quantizing to the
+    /// configured precision — the zero-allocation sampling primitive of the hot path (σ is
+    /// computed per element instead of materializing a σ tensor; `softplus` is deterministic,
+    /// so the values are bit-identical to the allocating form).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `epsilon.len()` or `out.len()` differs from the parameter count.
+    pub fn sample_into(&self, epsilon: &[f32], precision: Precision, out: &mut Tensor) {
+        assert_eq!(epsilon.len(), self.len(), "epsilon block size must match weight count");
+        assert_eq!(out.len(), self.len(), "output tensor must match weight count");
+        for (((wv, &m), &e), &rho) in
+            out.data_mut().iter_mut().zip(self.mu.data()).zip(epsilon).zip(self.rho.data())
+        {
+            *wv = precision.quantize(m + e * softplus(rho));
+        }
+    }
+
+    /// Samples a weight tensor `w = μ + ε∘σ`, quantizing the result to the configured precision
+    /// (allocating wrapper over [`VariationalParams::sample_into`]).
     ///
     /// # Panics
     ///
     /// Panics if `epsilon.len()` differs from the parameter count.
     pub fn sample(&self, epsilon: &[f32], precision: Precision) -> Tensor {
-        assert_eq!(epsilon.len(), self.len(), "epsilon block size must match weight count");
-        let sigma = self.sigma();
-        let mut w = self.mu.clone();
-        for ((wv, &e), &s) in w.data_mut().iter_mut().zip(epsilon).zip(sigma.data()) {
-            *wv = precision.quantize(*wv + e * s);
-        }
+        let mut w = Tensor::zeros(self.shape());
+        self.sample_into(epsilon, precision, &mut w);
         w
     }
 
     /// Complexity contribution `Σ_i [log q(w_i|θ) − log P(w_i)]` for a sampled weight tensor.
     pub fn complexity_loss(&self, weights: &Tensor, epsilon: &[f32], prior_sigma: f32) -> f32 {
-        let sigma = self.sigma();
         let mut total = 0.0f64;
-        for ((&w, &e), &s) in weights.data().iter().zip(epsilon).zip(sigma.data()) {
+        for ((&w, &e), &rho) in weights.data().iter().zip(epsilon).zip(self.rho.data()) {
+            let s = softplus(rho);
             let log_q = -(s as f64).ln() - 0.5 * (e as f64) * (e as f64);
             let log_p = -(prior_sigma as f64).ln()
                 - 0.5 * (w as f64) * (w as f64) / (prior_sigma as f64).powi(2);
@@ -150,15 +165,14 @@ impl VariationalParams {
         assert_eq!(weights.len(), self.len());
         assert_eq!(epsilon.len(), self.len());
         let inv_prior_var = 1.0 / (config.prior_sigma * config.prior_sigma);
-        let sigma = self.sigma();
         let gm = self.grad_mu.data_mut();
         let gr = self.grad_rho.data_mut();
         for i in 0..gm.len() {
             let gw = grad_w_likelihood.data()[i];
             let w = weights.data()[i];
             let e = epsilon[i];
-            let s = sigma.data()[i];
             let rho = self.rho.data()[i];
+            let s = softplus(rho);
             let total_w_grad = gw + config.kl_weight * w * inv_prior_var;
             gm[i] += total_w_grad;
             let dsigma = e * total_w_grad - config.kl_weight / s;

@@ -172,14 +172,131 @@ impl Grng {
         epsilon
     }
 
-    /// Generates `count` forward ε values.
+    /// The word-parallel forward core: produces `count` ε values through `emit(index, ε)`,
+    /// stepping the LFSR in 64-bit batches wherever the register supports it
+    /// ([`crate::Lfsr::supports_batch64`]) and bit-serially otherwise. The emitted stream is
+    /// bit-identical to `count` calls of [`Grng::next_epsilon`] — the batch only changes *how*
+    /// the register advances, never which patterns it visits (pinned by
+    /// `tests/word_parallel.rs`).
+    fn fill_forward_with(&mut self, count: usize, mut emit: impl FnMut(usize, f64)) {
+        assert_eq!(self.mode, GrngMode::Forward, "ε generation requires forward mode");
+        let mut i = 0;
+        if self.lfsr.supports_batch64() {
+            while count - i >= 64 {
+                let (entering, leaving) = self.lfsr.step_forward64();
+                let mut sum = self.current_sum;
+                for j in 0..64 {
+                    let bit = 63 - j;
+                    sum = sum + (((entering >> bit) & 1) as u32) - (((leaving >> bit) & 1) as u32);
+                    emit(i + j, self.epsilon_from_sum(sum));
+                }
+                self.current_sum = sum;
+                debug_assert_eq!(self.current_sum, self.lfsr.popcount());
+                self.outstanding += 64;
+                i += 64;
+            }
+        }
+        while i < count {
+            emit(i, self.next_epsilon());
+            i += 1;
+        }
+    }
+
+    /// Fills `out` with the next forward ε values as `f32` — the word-parallel,
+    /// zero-allocation variant of [`Grng::generate`] that the training/serving hot path uses
+    /// (each value is the `f64` ε narrowed with `as f32`, exactly as the call sites used to).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless the GRNG is in [`GrngMode::Forward`].
+    pub fn fill_epsilon(&mut self, out: &mut [f32]) {
+        self.fill_forward_with(out.len(), |i, e| out[i] = e as f32);
+    }
+
+    /// Fills `out` with retrieved ε values **in generation order** (the backward LFSR walk
+    /// visits them last-first; this writes back-to-front so callers get the block exactly as
+    /// it was generated) — the zero-allocation variant of reversing [`Grng::retrieve`].
+    ///
+    /// # Panics
+    ///
+    /// Panics unless the GRNG is in [`GrngMode::Backward`].
+    pub fn fill_retrieved(&mut self, out: &mut [f32]) {
+        for i in (0..out.len()).rev() {
+            out[i] = self.retrieve_epsilon() as f32;
+        }
+    }
+
+    /// Advances the generator past `count` forward ε values without emitting them — ending in
+    /// exactly the state `count` calls of [`Grng::next_epsilon`] would leave (register,
+    /// pop-count and outstanding balance), but using word-parallel batches where supported.
+    /// This is how Shift-BNN's retrieval source fast-forwards at iteration end so the next
+    /// iteration draws fresh noise.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless the GRNG is in [`GrngMode::Forward`].
+    pub fn skip_forward(&mut self, count: usize) {
+        assert_eq!(self.mode, GrngMode::Forward, "skip_forward requires forward mode");
+        let mut remaining = count;
+        if self.lfsr.supports_batch64() {
+            while remaining >= 64 {
+                self.lfsr.step_forward64();
+                self.outstanding += 64;
+                remaining -= 64;
+            }
+            self.current_sum = self.lfsr.popcount();
+        }
+        for _ in 0..remaining {
+            self.next_epsilon();
+        }
+    }
+
+    /// Generates `count` forward ε values (delegates to the word-parallel fill core).
     pub fn generate(&mut self, count: usize) -> Vec<f64> {
-        (0..count).map(|_| self.next_epsilon()).collect()
+        let mut out = vec![0.0f64; count];
+        let out_ref = &mut out;
+        self.fill_forward_with(count, |i, e| out_ref[i] = e);
+        out
     }
 
     /// Retrieves `count` ε values in reverse generation order.
     pub fn retrieve(&mut self, count: usize) -> Vec<f64> {
         (0..count).map(|_| self.retrieve_epsilon()).collect()
+    }
+
+    /// Re-seeds the GRNG in place as if freshly built by [`Grng::shift_bnn_default`] with
+    /// `seed`, without allocating: the serving engine's way of reusing one GRNG per replica
+    /// across requests.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the underlying register is not the 256-bit Shift-BNN default width (callers
+    /// of other widths use [`Grng::reseed_plain`]).
+    pub fn reseed_shift_bnn(&mut self, seed: u64) {
+        assert_eq!(self.width(), 256, "reseed_shift_bnn requires the 256-bit default register");
+        let words = crate::lfsr::shift_bnn_seed_words(seed);
+        self.lfsr.reseed_words(&words).expect("splitmix seed expansion is never all zero");
+        self.reset_counters();
+    }
+
+    /// Re-seeds the GRNG in place as if freshly built by [`Grng::new`] with this width and
+    /// `seed`, without allocating.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LfsrError::ZeroSeed`] (leaving the state untouched) if `seed` masks to zero.
+    pub fn reseed_plain(&mut self, seed: u64) -> Result<(), LfsrError> {
+        self.lfsr.reseed_words(&[seed])?;
+        self.reset_counters();
+        Ok(())
+    }
+
+    fn reset_counters(&mut self) {
+        let sum = self.lfsr.popcount();
+        self.initial_sum = sum;
+        self.current_sum = sum;
+        self.mode = GrngMode::Forward;
+        self.outstanding = 0;
     }
 
     /// Full recount of the current pattern's ones using the LFSR state, bypassing the

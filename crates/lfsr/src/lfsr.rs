@@ -16,6 +16,22 @@ use crate::taps::{maximal_taps, validate_taps};
 /// Maximum supported register width, in bits.
 pub const MAX_WIDTH: usize = 4096;
 
+/// The 4-word splitmix64 expansion [`Lfsr::shift_bnn_default`] seeds a 256-bit register from
+/// (exposed so in-place reseeding can reproduce the construction exactly).
+pub fn shift_bnn_seed_words(seed: u64) -> [u64; 4] {
+    let mut words = [0u64; 4];
+    let mut x = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    for w in &mut words {
+        // splitmix64 step: deterministic, well-mixed, never all zero across 4 words.
+        let mut z = x;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        *w = z ^ (z >> 31);
+        x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    }
+    words
+}
+
 /// A reversible Fibonacci LFSR with an arbitrary register width.
 ///
 /// Bits are stored packed into `u64` words; bit `i` of the packed state holds register
@@ -104,16 +120,7 @@ impl Lfsr {
     /// Returns an error only if `seed`'s expansion happens to be all zeroes, which the splitmix
     /// expansion cannot produce for any input.
     pub fn shift_bnn_default(seed: u64) -> Result<Self, LfsrError> {
-        let mut words = [0u64; 4];
-        let mut x = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
-        for w in &mut words {
-            // splitmix64 step: deterministic, well-mixed, never all zero across 4 words.
-            let mut z = x;
-            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-            *w = z ^ (z >> 31);
-            x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
-        }
+        let words = shift_bnn_seed_words(seed);
         let taps = maximal_taps(256)?;
         Self::new(256, &taps, &words)
     }
@@ -208,6 +215,89 @@ impl Lfsr {
         self.set_register(self.width, recovered);
         self.position -= 1;
         dropped_head
+    }
+
+    /// Whether this register supports the word-parallel 64-step batch
+    /// ([`Lfsr::step_forward64`]): the width must be a whole number of 64-bit words and every
+    /// tap must sit at position ≥ 64, so that none of the 64 feedback bits of a batch depends
+    /// on a bit produced *within* the batch. The Shift-BNN default (width 256, taps
+    /// `{246, 251, 254, 256}`) qualifies; narrow ablation widths fall back to bit-serial
+    /// stepping.
+    pub fn supports_batch64(&self) -> bool {
+        self.width >= 64 && self.width.is_multiple_of(64) && self.taps.iter().all(|&t| t >= 64)
+    }
+
+    /// Reads 64 consecutive registers starting at 0-based bit position `pos` as one `u64`
+    /// (bit `i` of the result is register `R_{pos+i+1}`).
+    fn extract64(&self, pos: usize) -> u64 {
+        debug_assert!(pos + 64 <= self.width);
+        let (wi, sh) = (pos / 64, pos % 64);
+        if sh == 0 {
+            self.state[wi]
+        } else {
+            (self.state[wi] >> sh) | (self.state[wi + 1] << (64 - sh))
+        }
+    }
+
+    /// Advances the register by exactly 64 forward steps in one word-parallel operation —
+    /// bit-identical to 64 calls of [`Lfsr::step_forward`], but costing a handful of word
+    /// XOR/shift operations instead of 64 full-register shifts.
+    ///
+    /// Because every tap position `t` satisfies `t ≥ 64`, feedback bit `f_j` of the batch
+    /// (`j = 0..64`) is `⊕_t b_{t−1−j}` over *pre-batch* register bits only, so all 64 bits
+    /// are computed at once: `⊕_t extract64(t − 64)` holds `f_j` at bit `63 − j` — which is
+    /// exactly the value the low word holds after 64 single steps. The remaining words just
+    /// move up one slot.
+    ///
+    /// Returns `(entering, leaving)`: bit `63 − j` of `entering` is the feedback bit inserted
+    /// at step `j`, bit `63 − j` of `leaving` is the tail bit dropped at step `j` — the two
+    /// streams a GRNG needs to maintain its incremental pop-count through the batch.
+    ///
+    /// # Panics
+    ///
+    /// Debug-asserts [`Lfsr::supports_batch64`].
+    pub fn step_forward64(&mut self) -> (u64, u64) {
+        debug_assert!(self.supports_batch64(), "step_forward64 requires word-aligned taps");
+        let mut entering = 0u64;
+        for &t in &self.taps {
+            entering ^= self.extract64(t - 64);
+        }
+        let leaving = self.extract64(self.width - 64);
+        for i in (1..self.state.len()).rev() {
+            self.state[i] = self.state[i - 1];
+        }
+        self.state[0] = entering;
+        self.position += 64;
+        (entering, leaving)
+    }
+
+    /// Re-seeds the register in place from little-endian `seed_words` (the same convention as
+    /// [`Lfsr::new`]), resetting [`Lfsr::position`] to zero without reallocating — the
+    /// primitive that lets a serving worker reuse one register per replica across requests.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LfsrError::ZeroSeed`] (leaving the current state untouched) if the masked
+    /// seed would be all zeroes.
+    pub fn reseed_words(&mut self, seed_words: &[u64]) -> Result<(), LfsrError> {
+        let rem = self.width % 64;
+        let last = self.state.len() - 1;
+        let masked = |i: usize| {
+            let w = seed_words.get(i).copied().unwrap_or(0);
+            if i == last && rem != 0 {
+                w & ((1u64 << rem) - 1)
+            } else {
+                w
+            }
+        };
+        if (0..self.state.len()).all(|i| masked(i) == 0) {
+            return Err(LfsrError::ZeroSeed);
+        }
+        for i in 0..self.state.len() {
+            self.state[i] = masked(i);
+        }
+        self.position = 0;
+        Ok(())
     }
 
     /// Advances the register by `n` forward steps.

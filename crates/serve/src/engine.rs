@@ -21,6 +21,8 @@
 use crate::batcher::{plan_batches, BatchPolicy};
 use crate::request::{mix_seed, InferRequest, InferResponse};
 use crate::spec::ModelSpec;
+use bnn_tensor::Tensor;
+use bnn_train::network::Predictive;
 use bnn_train::{EpsilonSource, LfsrForward, Network};
 use shift_bnn::pool;
 use shift_bnn::sweep::json::Json;
@@ -238,12 +240,24 @@ impl InferenceEngine {
 
         // Execution: requests fan out over the pool; worker replicas are built once each and
         // results merge by request index (completion order cannot leak into the report).
+        // Materializing the owned per-request responses necessarily allocates their vectors;
+        // the zero-allocation contract covers the compute path (`answer_into`) itself.
         let spec = &self.spec;
         let responses = pool::run_indexed_with(
             requests.len(),
             self.workers,
-            |_worker| spec.build(),
-            |replica, i| answer(replica, &requests[i]),
+            |_worker| ServeReplica::new(spec),
+            |replica, i| {
+                let mut response = InferResponse {
+                    id: 0,
+                    samples: 0,
+                    mean: Vec::new(),
+                    variance: Vec::new(),
+                    entropy: 0.0,
+                };
+                replica.answer_into(&requests[i], &mut response);
+                response
+            },
         );
 
         ServeRunReport {
@@ -258,27 +272,72 @@ impl InferenceEngine {
     }
 }
 
-/// Computes one response on a worker's replica: `S` forward passes with seed-regenerated ε,
-/// aggregated into mean / variance / entropy. Pure in (replica parameters, request).
-fn answer(replica: &mut Network, request: &InferRequest) -> InferResponse {
-    assert!(request.samples >= 1, "request {} asks for zero samples", request.id);
-    let mut sources: Vec<Box<dyn EpsilonSource>> = (0..request.samples)
-        .map(|s| {
-            Box::new(
-                LfsrForward::new(mix_seed(request.seed, s as u64))
-                    .expect("Shift-BNN default GRNG construction cannot fail"),
-            ) as Box<dyn EpsilonSource>
-        })
-        .collect();
-    let predictive = replica
-        .predictive(&request.input, &mut sources)
-        .expect("request input shape matches the served model");
-    InferResponse {
-        id: request.id,
-        samples: request.samples,
-        mean: predictive.mean.into_data(),
-        variance: predictive.variance.into_data(),
-        entropy: predictive.entropy,
+/// One worker's serving state: a frozen-posterior network replica plus the reusable ε sources
+/// and predictive buffer that let the steady-state request path run without heap allocation —
+/// sources are *reseeded* per request instead of rebuilt, mirroring how the accelerator's
+/// GRNGs are re-loaded rather than re-fabricated.
+pub struct ServeReplica {
+    network: Network,
+    /// One forward-only source per Monte-Carlo sample, grown to the largest `S` seen and
+    /// reseeded in place for every request.
+    sources: Vec<Box<dyn EpsilonSource>>,
+    predictive: Predictive,
+}
+
+impl std::fmt::Debug for ServeReplica {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ServeReplica")
+            .field("network", &self.network)
+            .field("sources", &self.sources.len())
+            .finish()
+    }
+}
+
+impl ServeReplica {
+    /// Builds a replica for `spec` (deterministic in the spec, like [`ModelSpec::build`]).
+    pub fn new(spec: &ModelSpec) -> ServeReplica {
+        ServeReplica {
+            network: spec.build(),
+            sources: Vec::new(),
+            predictive: Predictive {
+                mean: Tensor::zeros(&[0]),
+                variance: Tensor::zeros(&[0]),
+                entropy: 0.0,
+                samples: 0,
+            },
+        }
+    }
+
+    /// Computes one response into `response`, reusing its buffers: `S` forward passes with
+    /// seed-regenerated ε, aggregated into mean / variance / entropy. Pure in (replica
+    /// parameters, request) — bit-identical on every worker, whatever was served before.
+    /// After the replica has warmed up (largest `S` seen, buffer shapes), this performs zero
+    /// heap allocations per request (asserted by `crates/bench`'s allocation test).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the request asks for zero samples or its input shape mismatches the model.
+    pub fn answer_into(&mut self, request: &InferRequest, response: &mut InferResponse) {
+        assert!(request.samples >= 1, "request {} asks for zero samples", request.id);
+        while self.sources.len() < request.samples {
+            self.sources.push(Box::new(
+                LfsrForward::new(0).expect("Shift-BNN default GRNG construction cannot fail"),
+            ));
+        }
+        let sources = &mut self.sources[..request.samples];
+        for (s, source) in sources.iter_mut().enumerate() {
+            source.reseed(mix_seed(request.seed, s as u64));
+        }
+        self.network
+            .predictive_into(&request.input, sources, &mut self.predictive)
+            .expect("request input shape matches the served model");
+        response.id = request.id;
+        response.samples = request.samples;
+        response.mean.clear();
+        response.mean.extend_from_slice(self.predictive.mean.data());
+        response.variance.clear();
+        response.variance.extend_from_slice(self.predictive.variance.data());
+        response.entropy = self.predictive.entropy;
     }
 }
 

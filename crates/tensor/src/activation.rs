@@ -15,6 +15,19 @@ pub fn relu(x: &Tensor) -> Tensor {
     x.map(|v| v.max(0.0))
 }
 
+/// ReLU into a caller-provided output tensor (the zero-allocation variant of [`relu`];
+/// bit-identical, since both apply `v.max(0.0)` elementwise).
+///
+/// # Panics
+///
+/// Panics if the shapes differ (an internal wiring error).
+pub fn relu_into(x: &Tensor, out: &mut Tensor) {
+    assert_eq!(x.shape(), out.shape(), "relu_into requires matching shapes");
+    for (o, &v) in out.data_mut().iter_mut().zip(x.data()) {
+        *o = v.max(0.0);
+    }
+}
+
 /// Gradient of ReLU with respect to its input: passes `upstream` where the forward input was
 /// positive, zero elsewhere.
 ///
@@ -25,6 +38,20 @@ pub fn relu_backward(input: &Tensor, upstream: &Tensor) -> Tensor {
     input
         .zip_map(upstream, |x, g| if x > 0.0 { g } else { 0.0 })
         .expect("relu_backward requires matching shapes")
+}
+
+/// ReLU gradient into a caller-provided output tensor (zero-allocation variant of
+/// [`relu_backward`], bit-identical).
+///
+/// # Panics
+///
+/// Panics if the shapes differ (an internal wiring error).
+pub fn relu_backward_into(input: &Tensor, upstream: &Tensor, out: &mut Tensor) {
+    assert_eq!(input.shape(), upstream.shape(), "relu_backward_into requires matching shapes");
+    assert_eq!(input.shape(), out.shape(), "relu_backward_into requires matching shapes");
+    for ((o, &x), &g) in out.data_mut().iter_mut().zip(input.data()).zip(upstream.data()) {
+        *o = if x > 0.0 { g } else { 0.0 };
+    }
 }
 
 /// Numerically stable softplus `ln(1 + e^x)`, used to keep the standard deviation positive via

@@ -44,14 +44,213 @@ impl ConvGeometry {
     }
 }
 
-fn expect_shape(t: &Tensor, shape: &[usize]) -> Result<(), TensorError> {
+pub(crate) fn expect_shape(t: &Tensor, shape: &[usize]) -> Result<(), TensorError> {
     if t.shape() != shape {
         return Err(TensorError::ShapeMismatch { left: t.shape().to_vec(), right: shape.to_vec() });
     }
     Ok(())
 }
 
-/// Forward convolution.
+/// The retained straightforward loop-nest kernels, kept as the bit-exactness oracle for the
+/// packed [`crate::kernels`] implementations (and as the baseline `hot_bench` measures
+/// speedups against). These are the paper's Fig. 1(b) loop nests, unchanged.
+pub mod reference {
+    use super::{expect_shape, ConvGeometry};
+    use crate::tensor::{Tensor, TensorError};
+
+    /// Forward convolution.
+    ///
+    /// * `input` — `[N, H, W]`
+    /// * `weights` — `[M, N, K, K]`
+    /// * `bias` — `[M]`
+    ///
+    /// Returns `[M, OH, OW]`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] if any operand's shape is inconsistent with `geom`.
+    pub fn conv2d_forward(
+        geom: &ConvGeometry,
+        input: &Tensor,
+        weights: &Tensor,
+        bias: &Tensor,
+    ) -> Result<Tensor, TensorError> {
+        let (n, m, k) = (geom.in_channels, geom.out_channels, geom.kernel);
+        let in_shape = input.shape().to_vec();
+        if in_shape.len() != 3 || in_shape[0] != n {
+            return Err(TensorError::ShapeMismatch { left: in_shape, right: vec![n, 0, 0] });
+        }
+        let (h, w) = (in_shape[1], in_shape[2]);
+        expect_shape(weights, &[m, n, k, k])?;
+        expect_shape(bias, &[m])?;
+        let (oh, ow) = geom.output_size(h, w);
+        let pad = geom.padding as isize;
+        let stride = geom.stride as isize;
+
+        let mut out = Tensor::zeros(&[m, oh, ow]);
+        let in_d = input.data();
+        let w_d = weights.data();
+        let out_d = out.data_mut();
+        for om in 0..m {
+            let b = bias.data()[om];
+            for oy in 0..oh {
+                for ox in 0..ow {
+                    let mut acc = b;
+                    for ic in 0..n {
+                        for ky in 0..k {
+                            let iy = oy as isize * stride + ky as isize - pad;
+                            if iy < 0 || iy >= h as isize {
+                                continue;
+                            }
+                            for kx in 0..k {
+                                let ix = ox as isize * stride + kx as isize - pad;
+                                if ix < 0 || ix >= w as isize {
+                                    continue;
+                                }
+                                let iv = in_d[(ic * h + iy as usize) * w + ix as usize];
+                                let wv = w_d[((om * n + ic) * k + ky) * k + kx];
+                                acc += iv * wv;
+                            }
+                        }
+                    }
+                    out_d[(om * oh + oy) * ow + ox] = acc;
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Gradient of the loss with respect to the convolution *input*.
+    ///
+    /// This is the backward-stage computation the paper describes: the kernels are rotated 180° and
+    /// convolved with the output errors (a "full" convolution when `padding = k - 1 - padding`).
+    ///
+    /// * `grad_output` — `[M, OH, OW]`
+    /// * `weights` — `[M, N, K, K]`
+    ///
+    /// Returns `[N, H, W]` where `h`/`w` are the forward input sizes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] if operand shapes are inconsistent with `geom`.
+    pub fn conv2d_backward_input(
+        geom: &ConvGeometry,
+        grad_output: &Tensor,
+        weights: &Tensor,
+        input_h: usize,
+        input_w: usize,
+    ) -> Result<Tensor, TensorError> {
+        let (n, m, k) = (geom.in_channels, geom.out_channels, geom.kernel);
+        let (oh, ow) = geom.output_size(input_h, input_w);
+        expect_shape(grad_output, &[m, oh, ow])?;
+        expect_shape(weights, &[m, n, k, k])?;
+        let pad = geom.padding as isize;
+        let stride = geom.stride as isize;
+
+        let mut grad_in = Tensor::zeros(&[n, input_h, input_w]);
+        let go = grad_output.data();
+        let w_d = weights.data();
+        let gi = grad_in.data_mut();
+        // Scatter formulation: every output error contributes back to the input positions its
+        // receptive field covered, weighted by the (unrotated) kernel entry — equivalent to the
+        // rotated-kernel convolution but exact for any stride/padding.
+        for om in 0..m {
+            for oy in 0..oh {
+                for ox in 0..ow {
+                    let g = go[(om * oh + oy) * ow + ox];
+                    if g == 0.0 {
+                        continue;
+                    }
+                    for ic in 0..n {
+                        for ky in 0..k {
+                            let iy = oy as isize * stride + ky as isize - pad;
+                            if iy < 0 || iy >= input_h as isize {
+                                continue;
+                            }
+                            for kx in 0..k {
+                                let ix = ox as isize * stride + kx as isize - pad;
+                                if ix < 0 || ix >= input_w as isize {
+                                    continue;
+                                }
+                                let wv = w_d[((om * n + ic) * k + ky) * k + kx];
+                                gi[(ic * input_h + iy as usize) * input_w + ix as usize] += g * wv;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        Ok(grad_in)
+    }
+
+    /// Gradient of the loss with respect to the convolution *weights* (the likelihood part of the
+    /// gradient-calculation stage: feature maps convolved with errors).
+    ///
+    /// * `input` — `[N, H, W]` (the forward activations)
+    /// * `grad_output` — `[M, OH, OW]`
+    ///
+    /// Returns `([M, N, K, K], [M])`: weight gradient and bias gradient.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] if operand shapes are inconsistent with `geom`.
+    pub fn conv2d_backward_weights(
+        geom: &ConvGeometry,
+        input: &Tensor,
+        grad_output: &Tensor,
+    ) -> Result<(Tensor, Tensor), TensorError> {
+        let (n, m, k) = (geom.in_channels, geom.out_channels, geom.kernel);
+        let in_shape = input.shape().to_vec();
+        if in_shape.len() != 3 || in_shape[0] != n {
+            return Err(TensorError::ShapeMismatch { left: in_shape, right: vec![n, 0, 0] });
+        }
+        let (h, w) = (in_shape[1], in_shape[2]);
+        let (oh, ow) = geom.output_size(h, w);
+        expect_shape(grad_output, &[m, oh, ow])?;
+        let pad = geom.padding as isize;
+        let stride = geom.stride as isize;
+
+        let mut grad_w = Tensor::zeros(&[m, n, k, k]);
+        let mut grad_b = Tensor::zeros(&[m]);
+        let in_d = input.data();
+        let go = grad_output.data();
+        {
+            let gw = grad_w.data_mut();
+            let gb = grad_b.data_mut();
+            for om in 0..m {
+                for oy in 0..oh {
+                    for ox in 0..ow {
+                        let g = go[(om * oh + oy) * ow + ox];
+                        if g == 0.0 {
+                            continue;
+                        }
+                        gb[om] += g;
+                        for ic in 0..n {
+                            for ky in 0..k {
+                                let iy = oy as isize * stride + ky as isize - pad;
+                                if iy < 0 || iy >= h as isize {
+                                    continue;
+                                }
+                                for kx in 0..k {
+                                    let ix = ox as isize * stride + kx as isize - pad;
+                                    if ix < 0 || ix >= w as isize {
+                                        continue;
+                                    }
+                                    let iv = in_d[(ic * h + iy as usize) * w + ix as usize];
+                                    gw[((om * n + ic) * k + ky) * k + kx] += g * iv;
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        Ok((grad_w, grad_b))
+    }
+}
+
+/// Forward convolution via im2col packing and the cache-blocked GEMM of [`crate::kernels`] —
+/// bit-identical to [`reference::conv2d_forward`] (pinned by `tests/kernel_equivalence.rs`).
 ///
 /// * `input` — `[N, H, W]`
 /// * `weights` — `[M, N, K, K]`
@@ -69,54 +268,21 @@ pub fn conv2d_forward(
     bias: &Tensor,
 ) -> Result<Tensor, TensorError> {
     let (n, m, k) = (geom.in_channels, geom.out_channels, geom.kernel);
-    let in_shape = input.shape().to_vec();
+    let in_shape = input.shape();
     if in_shape.len() != 3 || in_shape[0] != n {
-        return Err(TensorError::ShapeMismatch { left: in_shape, right: vec![n, 0, 0] });
+        return Err(TensorError::ShapeMismatch { left: in_shape.to_vec(), right: vec![n, 0, 0] });
     }
-    let (h, w) = (in_shape[1], in_shape[2]);
     expect_shape(weights, &[m, n, k, k])?;
     expect_shape(bias, &[m])?;
-    let (oh, ow) = geom.output_size(h, w);
-    let pad = geom.padding as isize;
-    let stride = geom.stride as isize;
-
+    let (oh, ow) = geom.output_size(in_shape[1], in_shape[2]);
     let mut out = Tensor::zeros(&[m, oh, ow]);
-    let in_d = input.data();
-    let w_d = weights.data();
-    let out_d = out.data_mut();
-    for om in 0..m {
-        let b = bias.data()[om];
-        for oy in 0..oh {
-            for ox in 0..ow {
-                let mut acc = b;
-                for ic in 0..n {
-                    for ky in 0..k {
-                        let iy = oy as isize * stride + ky as isize - pad;
-                        if iy < 0 || iy >= h as isize {
-                            continue;
-                        }
-                        for kx in 0..k {
-                            let ix = ox as isize * stride + kx as isize - pad;
-                            if ix < 0 || ix >= w as isize {
-                                continue;
-                            }
-                            let iv = in_d[(ic * h + iy as usize) * w + ix as usize];
-                            let wv = w_d[((om * n + ic) * k + ky) * k + kx];
-                            acc += iv * wv;
-                        }
-                    }
-                }
-                out_d[(om * oh + oy) * ow + ox] = acc;
-            }
-        }
-    }
+    let mut scratch = crate::scratch::Scratch::new();
+    crate::kernels::conv2d_forward_into(geom, input, weights, bias, &mut out, &mut scratch)?;
     Ok(out)
 }
 
-/// Gradient of the loss with respect to the convolution *input*.
-///
-/// This is the backward-stage computation the paper describes: the kernels are rotated 180° and
-/// convolved with the output errors (a "full" convolution when `padding = k - 1 - padding`).
+/// Gradient of the loss with respect to the convolution *input*, computed by the packed
+/// kernels of [`crate::kernels`] — bit-identical to [`reference::conv2d_backward_input`].
 ///
 /// * `grad_output` — `[M, OH, OW]`
 /// * `weights` — `[M, N, K, K]`
@@ -133,51 +299,23 @@ pub fn conv2d_backward_input(
     input_h: usize,
     input_w: usize,
 ) -> Result<Tensor, TensorError> {
-    let (n, m, k) = (geom.in_channels, geom.out_channels, geom.kernel);
-    let (oh, ow) = geom.output_size(input_h, input_w);
-    expect_shape(grad_output, &[m, oh, ow])?;
-    expect_shape(weights, &[m, n, k, k])?;
-    let pad = geom.padding as isize;
-    let stride = geom.stride as isize;
-
-    let mut grad_in = Tensor::zeros(&[n, input_h, input_w]);
-    let go = grad_output.data();
-    let w_d = weights.data();
-    let gi = grad_in.data_mut();
-    // Scatter formulation: every output error contributes back to the input positions its
-    // receptive field covered, weighted by the (unrotated) kernel entry — equivalent to the
-    // rotated-kernel convolution but exact for any stride/padding.
-    for om in 0..m {
-        for oy in 0..oh {
-            for ox in 0..ow {
-                let g = go[(om * oh + oy) * ow + ox];
-                if g == 0.0 {
-                    continue;
-                }
-                for ic in 0..n {
-                    for ky in 0..k {
-                        let iy = oy as isize * stride + ky as isize - pad;
-                        if iy < 0 || iy >= input_h as isize {
-                            continue;
-                        }
-                        for kx in 0..k {
-                            let ix = ox as isize * stride + kx as isize - pad;
-                            if ix < 0 || ix >= input_w as isize {
-                                continue;
-                            }
-                            let wv = w_d[((om * n + ic) * k + ky) * k + kx];
-                            gi[(ic * input_h + iy as usize) * input_w + ix as usize] += g * wv;
-                        }
-                    }
-                }
-            }
-        }
-    }
+    let mut grad_in = Tensor::zeros(&[geom.in_channels, input_h, input_w]);
+    let mut scratch = crate::scratch::Scratch::new();
+    crate::kernels::conv2d_backward_input_into(
+        geom,
+        grad_output,
+        weights,
+        input_h,
+        input_w,
+        &mut grad_in,
+        &mut scratch,
+    )?;
     Ok(grad_in)
 }
 
-/// Gradient of the loss with respect to the convolution *weights* (the likelihood part of the
-/// gradient-calculation stage: feature maps convolved with errors).
+/// Gradient of the loss with respect to the convolution *weights* (plus the bias gradient),
+/// computed by the packed kernels of [`crate::kernels`] — bit-identical to
+/// [`reference::conv2d_backward_weights`].
 ///
 /// * `input` — `[N, H, W]` (the forward activations)
 /// * `grad_output` — `[M, OH, OW]`
@@ -193,51 +331,17 @@ pub fn conv2d_backward_weights(
     grad_output: &Tensor,
 ) -> Result<(Tensor, Tensor), TensorError> {
     let (n, m, k) = (geom.in_channels, geom.out_channels, geom.kernel);
-    let in_shape = input.shape().to_vec();
-    if in_shape.len() != 3 || in_shape[0] != n {
-        return Err(TensorError::ShapeMismatch { left: in_shape, right: vec![n, 0, 0] });
-    }
-    let (h, w) = (in_shape[1], in_shape[2]);
-    let (oh, ow) = geom.output_size(h, w);
-    expect_shape(grad_output, &[m, oh, ow])?;
-    let pad = geom.padding as isize;
-    let stride = geom.stride as isize;
-
     let mut grad_w = Tensor::zeros(&[m, n, k, k]);
     let mut grad_b = Tensor::zeros(&[m]);
-    let in_d = input.data();
-    let go = grad_output.data();
-    {
-        let gw = grad_w.data_mut();
-        let gb = grad_b.data_mut();
-        for om in 0..m {
-            for oy in 0..oh {
-                for ox in 0..ow {
-                    let g = go[(om * oh + oy) * ow + ox];
-                    if g == 0.0 {
-                        continue;
-                    }
-                    gb[om] += g;
-                    for ic in 0..n {
-                        for ky in 0..k {
-                            let iy = oy as isize * stride + ky as isize - pad;
-                            if iy < 0 || iy >= h as isize {
-                                continue;
-                            }
-                            for kx in 0..k {
-                                let ix = ox as isize * stride + kx as isize - pad;
-                                if ix < 0 || ix >= w as isize {
-                                    continue;
-                                }
-                                let iv = in_d[(ic * h + iy as usize) * w + ix as usize];
-                                gw[((om * n + ic) * k + ky) * k + kx] += g * iv;
-                            }
-                        }
-                    }
-                }
-            }
-        }
-    }
+    let mut scratch = crate::scratch::Scratch::new();
+    crate::kernels::conv2d_backward_weights_into(
+        geom,
+        input,
+        grad_output,
+        &mut grad_w,
+        &mut grad_b,
+        &mut scratch,
+    )?;
     Ok((grad_w, grad_b))
 }
 

@@ -7,6 +7,26 @@
 use crate::tensor::Tensor;
 use rand::Rng;
 
+/// Fills a tensor of the given shape with splitmix64-derived pseudo-random values in roughly
+/// `[-1, 1]` — a seed-deterministic fixture generator (no `Rng` plumbing) shared by the
+/// kernel-equivalence proptests and the `hot_bench` microbenchmarks, whose committed digests
+/// depend on this exact stream.
+pub fn splitmix_tensor(seed: u64, shape: &[usize]) -> Tensor {
+    let len: usize = shape.iter().product();
+    let mut x = seed;
+    let data: Vec<f32> = (0..len)
+        .map(|_| {
+            x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = x;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^= z >> 31;
+            (z >> 40) as f32 / (1u64 << 23) as f32 - 1.0
+        })
+        .collect();
+    Tensor::from_vec(shape.to_vec(), data).expect("length derived from shape")
+}
+
 /// Fills a tensor of the given shape with uniform values in `[-limit, limit]` where
 /// `limit = sqrt(6 / (fan_in + fan_out))` (Glorot/Xavier uniform initialization).
 pub fn xavier_uniform(

@@ -1,0 +1,523 @@
+//! The numeric hot-path kernels: cache-blocked GEMM and im2col convolution drivers.
+//!
+//! Everything in this module is **bit-exact by construction** against the straightforward
+//! loops it replaces (retained in [`crate::conv::reference`] and pinned by
+//! `tests/kernel_equivalence.rs`). The invariant that makes this possible: every output scalar
+//! accumulates *exactly one* running sum whose terms are added in the same order as the
+//! reference loops —
+//!
+//! * convolution forward: bias first, then products ordered by `(ic, ky, kx)`;
+//! * weight gradient: products ordered by output pixel `(oy, ox)`;
+//! * input gradient: products ordered by `(om, oy, ox)` (realized as a unit-stride
+//!   convolution of the dilated, zero-embedded output gradient with 180°-rotated kernels,
+//!   whose k-dimension `(om, ky′, kx′)` enumerates the same terms in the same order);
+//! * GEMM: plain `k`-ascending accumulation per scalar, never split into partial sums.
+//!
+//! Where the reference loops *skip* terms (out-of-bounds taps, explicit `g == 0` shortcuts),
+//! the packed kernels add the corresponding `±0.0` products instead. Under IEEE-754
+//! round-to-nearest this cannot change any running sum: `x + (±0.0) == x` for every `x`
+//! except `x == -0.0` with a `+0.0` addend, and a running sum seeded from `+0.0` (or from a
+//! bias that is never `-0.0`) can never reach `-0.0` — exact cancellation rounds to `+0.0`.
+//! The proptests assert `to_bits()` equality, not approximate closeness.
+//!
+//! All drivers take a [`Scratch`] arena and perform **zero heap allocations** once the arena
+//! has warmed up.
+
+use crate::conv::{expect_shape, ConvGeometry};
+use crate::scratch::Scratch;
+use crate::tensor::{Tensor, TensorError};
+
+/// Column-block width of the blocked GEMM: 256 × 4 bytes = one 1 KiB stripe of `B` per row,
+/// so an entire `k × NB` panel of `B` stays cache-resident while the `A` rows stream over it.
+const NB: usize = 256;
+
+/// C\[m,n\] += A\[m,k\] · B\[k,n\], row-major, accumulating into whatever `c` already holds
+/// (zeros or a bias pre-fill). Per output scalar the `k` terms are added in ascending order
+/// into a single accumulator, which is what keeps the result bit-identical to a naive
+/// `for k { acc += a*b }` loop; blocking only reorders *which scalars* are worked on, never
+/// the order of additions within one scalar.
+///
+/// # Panics
+///
+/// Debug-asserts that the slices match the given dimensions.
+pub fn gemm_accumulate(c: &mut [f32], a: &[f32], b: &[f32], m: usize, k: usize, n: usize) {
+    debug_assert_eq!(c.len(), m * n);
+    debug_assert_eq!(a.len(), m * k);
+    debug_assert_eq!(b.len(), k * n);
+    let mut j0 = 0;
+    while j0 < n {
+        let nb = NB.min(n - j0);
+        // 4-row register tile: four A scalars per loaded B stripe quadruple the arithmetic
+        // intensity of the inner loop without touching any scalar's addition order.
+        let mut i = 0;
+        while i + 4 <= m {
+            let (a0, a1, a2, a3) = (
+                &a[i * k..(i + 1) * k],
+                &a[(i + 1) * k..(i + 2) * k],
+                &a[(i + 2) * k..(i + 3) * k],
+                &a[(i + 3) * k..(i + 4) * k],
+            );
+            let (row0, rest) = c[i * n..(i + 4) * n].split_at_mut(n);
+            let (row1, rest) = rest.split_at_mut(n);
+            let (row2, row3) = rest.split_at_mut(n);
+            let t0 = &mut row0[j0..j0 + nb];
+            let t1 = &mut row1[j0..j0 + nb];
+            let t2 = &mut row2[j0..j0 + nb];
+            let t3 = &mut row3[j0..j0 + nb];
+            for p in 0..k {
+                let (v0, v1, v2, v3) = (a0[p], a1[p], a2[p], a3[p]);
+                let brow = &b[p * n + j0..p * n + j0 + nb];
+                for (j, &bv) in brow.iter().enumerate() {
+                    t0[j] += v0 * bv;
+                    t1[j] += v1 * bv;
+                    t2[j] += v2 * bv;
+                    t3[j] += v3 * bv;
+                }
+            }
+            i += 4;
+        }
+        while i < m {
+            let arow = &a[i * k..(i + 1) * k];
+            for (p, &av) in arow.iter().enumerate() {
+                let brow = &b[p * n + j0..p * n + j0 + nb];
+                let crow = &mut c[i * n + j0..i * n + j0 + nb];
+                for (cv, &bv) in crow.iter_mut().zip(brow) {
+                    *cv += av * bv;
+                }
+            }
+            i += 1;
+        }
+        j0 += nb;
+    }
+}
+
+/// C\[m,n\] += Aᵀ · B where `a` is `[k, m]` and `b` is `[k, n]`, both row-major. Terms are
+/// accumulated `p`-ascending per scalar (the `p`-outer rank-1-update form), matching
+/// `a.transpose2().matmul(b)` bit for bit without materializing the transpose.
+pub fn gemm_at_accumulate(c: &mut [f32], a: &[f32], b: &[f32], m: usize, k: usize, n: usize) {
+    debug_assert_eq!(c.len(), m * n);
+    debug_assert_eq!(a.len(), k * m);
+    debug_assert_eq!(b.len(), k * n);
+    for p in 0..k {
+        let arow = &a[p * m..(p + 1) * m];
+        let brow = &b[p * n..(p + 1) * n];
+        for (i, &av) in arow.iter().enumerate() {
+            let crow = &mut c[i * n..(i + 1) * n];
+            for (cv, &bv) in crow.iter_mut().zip(brow) {
+                *cv += av * bv;
+            }
+        }
+    }
+}
+
+/// C\[m,n\] += A · Bᵀ where `a` is `[m, k]` and `b` is `[n, k]`, both row-major: every output
+/// scalar is a dot product of two contiguous rows, accumulated `p`-ascending in one scalar
+/// accumulator (no multi-lane unrolling — splitting the accumulator would reorder the sum).
+pub fn gemm_bt_accumulate(c: &mut [f32], a: &[f32], b: &[f32], m: usize, k: usize, n: usize) {
+    debug_assert_eq!(c.len(), m * n);
+    debug_assert_eq!(a.len(), m * k);
+    debug_assert_eq!(b.len(), n * k);
+    for i in 0..m {
+        let arow = &a[i * k..(i + 1) * k];
+        for j in 0..n {
+            let brow = &b[j * k..(j + 1) * k];
+            let mut acc = c[i * n + j];
+            for (&av, &bv) in arow.iter().zip(brow) {
+                acc += av * bv;
+            }
+            c[i * n + j] = acc;
+        }
+    }
+}
+
+/// Packs `input` (`[N, H, W]`) into the im2col matrix `[N·K·K, OH·OW]`: row `(ic, ky, kx)`,
+/// column `(oy, ox)`, out-of-bounds taps as `0.0`. Row order `(ic, ky, kx)` is exactly the
+/// accumulation order of the reference forward loop.
+#[allow(clippy::too_many_arguments)]
+fn pack_im2col(
+    col: &mut [f32],
+    input: &[f32],
+    n: usize,
+    h: usize,
+    w: usize,
+    geom: &ConvGeometry,
+    oh: usize,
+    ow: usize,
+) {
+    let k = geom.kernel;
+    let (stride, pad) = (geom.stride as isize, geom.padding as isize);
+    let cols = oh * ow;
+    debug_assert_eq!(col.len(), n * k * k * cols);
+    for ic in 0..n {
+        let plane = &input[ic * h * w..(ic + 1) * h * w];
+        for ky in 0..k {
+            for kx in 0..k {
+                let row = &mut col[((ic * k + ky) * k + kx) * cols..][..cols];
+                for oy in 0..oh {
+                    let iy = oy as isize * stride + ky as isize - pad;
+                    let dst = &mut row[oy * ow..(oy + 1) * ow];
+                    if iy < 0 || iy >= h as isize {
+                        dst.fill(0.0);
+                        continue;
+                    }
+                    let src = &plane[iy as usize * w..(iy as usize + 1) * w];
+                    for (ox, d) in dst.iter_mut().enumerate() {
+                        let ix = ox as isize * stride + kx as isize - pad;
+                        *d = if ix < 0 || ix >= w as isize { 0.0 } else { src[ix as usize] };
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Packs `input` into the im2row matrix `[OH·OW, N·K·K]` (one contiguous patch per output
+/// pixel) — the transpose of [`pack_im2col`], used as the GEMM `B` operand of the weight
+/// gradient so its k-dimension enumerates output pixels in raster order.
+#[allow(clippy::too_many_arguments)]
+fn pack_im2row(
+    row_mat: &mut [f32],
+    input: &[f32],
+    n: usize,
+    h: usize,
+    w: usize,
+    geom: &ConvGeometry,
+    oh: usize,
+    ow: usize,
+) {
+    let k = geom.kernel;
+    let (stride, pad) = (geom.stride as isize, geom.padding as isize);
+    let patch = n * k * k;
+    debug_assert_eq!(row_mat.len(), oh * ow * patch);
+    for oy in 0..oh {
+        for ox in 0..ow {
+            let dst = &mut row_mat[(oy * ow + ox) * patch..][..patch];
+            let mut q = 0;
+            for ic in 0..n {
+                let plane = &input[ic * h * w..(ic + 1) * h * w];
+                for ky in 0..k {
+                    let iy = oy as isize * stride + ky as isize - pad;
+                    if iy < 0 || iy >= h as isize {
+                        dst[q..q + k].fill(0.0);
+                        q += k;
+                        continue;
+                    }
+                    let src = &plane[iy as usize * w..(iy as usize + 1) * w];
+                    for kx in 0..k {
+                        let ix = ox as isize * stride + kx as isize - pad;
+                        dst[q] = if ix < 0 || ix >= w as isize { 0.0 } else { src[ix as usize] };
+                        q += 1;
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Forward convolution into a caller-provided output tensor (shape `[M, OH, OW]`, any prior
+/// contents overwritten), via im2col packing and the blocked GEMM. Bit-identical to
+/// [`crate::conv::reference::conv2d_forward`].
+///
+/// # Errors
+///
+/// Returns [`TensorError::ShapeMismatch`] on inconsistent operand shapes.
+pub fn conv2d_forward_into(
+    geom: &ConvGeometry,
+    input: &Tensor,
+    weights: &Tensor,
+    bias: &Tensor,
+    out: &mut Tensor,
+    scratch: &mut Scratch,
+) -> Result<(), TensorError> {
+    let (n, m, k) = (geom.in_channels, geom.out_channels, geom.kernel);
+    let in_shape = input.shape();
+    if in_shape.len() != 3 || in_shape[0] != n {
+        return Err(TensorError::ShapeMismatch { left: in_shape.to_vec(), right: vec![n, 0, 0] });
+    }
+    let (h, w) = (in_shape[1], in_shape[2]);
+    expect_shape(weights, &[m, n, k, k])?;
+    expect_shape(bias, &[m])?;
+    let (oh, ow) = geom.output_size(h, w);
+    debug_assert_eq!(out.shape(), &[m, oh, ow]);
+
+    let cols = oh * ow;
+    let kk = n * k * k;
+    let mut col = scratch.take_f32(kk * cols);
+    pack_im2col(&mut col, input.data(), n, h, w, geom, oh, ow);
+
+    // Seed every output scalar with its channel bias — the reference loop starts `acc = b`.
+    let out_d = out.data_mut();
+    for om in 0..m {
+        out_d[om * cols..(om + 1) * cols].fill(bias.data()[om]);
+    }
+    // Weights are already `[M, (ic, ky, kx)]` row-major: the GEMM A operand needs no packing.
+    gemm_accumulate(out_d, weights.data(), &col, m, kk, cols);
+    scratch.put_f32(col);
+    Ok(())
+}
+
+/// Input-gradient convolution into a caller-provided `[N, H, W]` tensor, bit-identical to
+/// [`crate::conv::reference::conv2d_backward_input`].
+///
+/// The scatter loop of the reference accumulates into each input pixel in `(om, oy, ox)`
+/// order. That is exactly the `(om, ky′, kx′)`-ordered k-dimension of a unit-stride
+/// convolution over the *dilated* output gradient (stride−1 zeros between elements, embedded
+/// with a `k−1−pad` border) with 180°-rotated, axis-swapped kernels — so the same
+/// im2col+GEMM machinery applies. Geometries with `padding ≥ kernel` (which never occur in
+/// the paper's models) fall back to the reference scatter.
+///
+/// # Errors
+///
+/// Returns [`TensorError::ShapeMismatch`] on inconsistent operand shapes.
+pub fn conv2d_backward_input_into(
+    geom: &ConvGeometry,
+    grad_output: &Tensor,
+    weights: &Tensor,
+    input_h: usize,
+    input_w: usize,
+    grad_in: &mut Tensor,
+    scratch: &mut Scratch,
+) -> Result<(), TensorError> {
+    let (n, m, k) = (geom.in_channels, geom.out_channels, geom.kernel);
+    let (oh, ow) = geom.output_size(input_h, input_w);
+    expect_shape(grad_output, &[m, oh, ow])?;
+    expect_shape(weights, &[m, n, k, k])?;
+    debug_assert_eq!(grad_in.shape(), &[n, input_h, input_w]);
+
+    if geom.padding >= k {
+        // Degenerate geometry outside the dilated-convolution formulation's domain.
+        let reference = crate::conv::reference::conv2d_backward_input(
+            geom,
+            grad_output,
+            weights,
+            input_h,
+            input_w,
+        )?;
+        grad_in.data_mut().copy_from_slice(reference.data());
+        return Ok(());
+    }
+
+    // 1. Embed the output gradient: D[om, oy·s + border, ox·s + border] = go[om, oy, ox]
+    //    with border = k − 1 − pad; everything else 0. A unit-stride valid convolution of D
+    //    then has output extent exactly [input_h, input_w].
+    let border = k - 1 - geom.padding;
+    let (dh, dw) = (input_h + k - 1, input_w + k - 1);
+    let mut dilated = scratch.take_f32(m * dh * dw);
+    let go = grad_output.data();
+    for om in 0..m {
+        let plane = &mut dilated[om * dh * dw..(om + 1) * dh * dw];
+        for oy in 0..oh {
+            let y = oy * geom.stride + border;
+            for ox in 0..ow {
+                plane[y * dw + ox * geom.stride + border] = go[(om * oh + oy) * ow + ox];
+            }
+        }
+    }
+
+    // 2. Rotate + axis-swap the kernels: A[ic, (om, ky′, kx′)] = w[om, ic, k−1−ky′, k−1−kx′].
+    let kk = m * k * k;
+    let mut rot = scratch.take_f32(n * kk);
+    let w_d = weights.data();
+    for ic in 0..n {
+        for om in 0..m {
+            for ky in 0..k {
+                for kx in 0..k {
+                    rot[(ic * m + om) * k * k + ky * k + kx] =
+                        w_d[((om * n + ic) * k + (k - 1 - ky)) * k + (k - 1 - kx)];
+                }
+            }
+        }
+    }
+
+    // 3. im2col over D (kernel k, stride 1, no padding — the border is already embedded).
+    let dil_geom =
+        ConvGeometry { in_channels: m, out_channels: n, kernel: k, stride: 1, padding: 0 };
+    let cols = input_h * input_w;
+    let mut col = scratch.take_f32(kk * cols);
+    pack_im2col(&mut col, &dilated, m, dh, dw, &dil_geom, input_h, input_w);
+
+    let gi = grad_in.data_mut();
+    gi.fill(0.0);
+    gemm_accumulate(gi, &rot, &col, n, kk, cols);
+
+    scratch.put_f32(col);
+    scratch.put_f32(rot);
+    scratch.put_f32(dilated);
+    Ok(())
+}
+
+/// Weight/bias-gradient convolution into caller-provided `[M, N, K, K]` / `[M]` tensors,
+/// bit-identical to [`crate::conv::reference::conv2d_backward_weights`]: the GEMM k-dimension
+/// enumerates output pixels in raster order, matching the reference's `(oy, ox)` accumulation.
+///
+/// # Errors
+///
+/// Returns [`TensorError::ShapeMismatch`] on inconsistent operand shapes.
+pub fn conv2d_backward_weights_into(
+    geom: &ConvGeometry,
+    input: &Tensor,
+    grad_output: &Tensor,
+    grad_w: &mut Tensor,
+    grad_b: &mut Tensor,
+    scratch: &mut Scratch,
+) -> Result<(), TensorError> {
+    let (n, m, k) = (geom.in_channels, geom.out_channels, geom.kernel);
+    let in_shape = input.shape();
+    if in_shape.len() != 3 || in_shape[0] != n {
+        return Err(TensorError::ShapeMismatch { left: in_shape.to_vec(), right: vec![n, 0, 0] });
+    }
+    let (h, w) = (in_shape[1], in_shape[2]);
+    let (oh, ow) = geom.output_size(h, w);
+    expect_shape(grad_output, &[m, oh, ow])?;
+    debug_assert_eq!(grad_w.shape(), &[m, n, k, k]);
+    debug_assert_eq!(grad_b.shape(), &[m]);
+
+    let pixels = oh * ow;
+    let patch = n * k * k;
+    let mut rows = scratch.take_f32(pixels * patch);
+    pack_im2row(&mut rows, input.data(), n, h, w, geom, oh, ow);
+
+    let go = grad_output.data();
+    let gb = grad_b.data_mut();
+    for om in 0..m {
+        let mut acc = 0.0f32;
+        for &g in &go[om * pixels..(om + 1) * pixels] {
+            acc += g;
+        }
+        gb[om] = acc;
+    }
+
+    let gw = grad_w.data_mut();
+    gw.fill(0.0);
+    gemm_accumulate(gw, go, &rows, m, pixels, patch);
+    scratch.put_f32(rows);
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tensor(shape: &[usize], f: impl Fn(usize) -> f32) -> Tensor {
+        let len = shape.iter().product();
+        Tensor::from_vec(shape.to_vec(), (0..len).map(f).collect()).unwrap()
+    }
+
+    #[test]
+    fn gemm_matches_naive_bitwise() {
+        let (m, k, n) = (5, 7, 300); // n > NB exercises column blocking
+        let a = tensor(&[m, k], |i| ((i as f32) * 0.17).sin());
+        let b = tensor(&[k, n], |i| ((i as f32) * 0.09).cos());
+        let mut c = vec![0.0f32; m * n];
+        gemm_accumulate(&mut c, a.data(), b.data(), m, k, n);
+        for i in 0..m {
+            for j in 0..n {
+                let mut acc = 0.0f32;
+                for p in 0..k {
+                    acc += a.data()[i * k + p] * b.data()[p * n + j];
+                }
+                assert_eq!(c[i * n + j].to_bits(), acc.to_bits(), "({i},{j})");
+            }
+        }
+    }
+
+    #[test]
+    fn gemm_at_matches_transpose_then_matmul_bitwise() {
+        let (k, m, n) = (6, 4, 9);
+        let a = tensor(&[k, m], |i| (i as f32 * 0.31).sin());
+        let b = tensor(&[k, n], |i| (i as f32 * 0.23).cos());
+        let expect = a.transpose2().matmul(&b).unwrap();
+        let mut c = vec![0.0f32; m * n];
+        gemm_at_accumulate(&mut c, a.data(), b.data(), m, k, n);
+        for (got, want) in c.iter().zip(expect.data()) {
+            assert_eq!(got.to_bits(), want.to_bits());
+        }
+    }
+
+    #[test]
+    fn gemm_bt_matches_matmul_of_transpose_bitwise() {
+        let (m, k, n) = (3, 11, 5);
+        let a = tensor(&[m, k], |i| (i as f32 * 0.13).sin());
+        let b = tensor(&[n, k], |i| (i as f32 * 0.29).cos());
+        let expect = a.matmul(&b.transpose2()).unwrap();
+        let mut c = vec![0.0f32; m * n];
+        gemm_bt_accumulate(&mut c, a.data(), b.data(), m, k, n);
+        for (got, want) in c.iter().zip(expect.data()) {
+            assert_eq!(got.to_bits(), want.to_bits());
+        }
+    }
+
+    #[test]
+    fn conv_forward_into_matches_reference_bitwise() {
+        let geom =
+            ConvGeometry { in_channels: 3, out_channels: 5, kernel: 3, stride: 2, padding: 1 };
+        let input = tensor(&[3, 9, 11], |i| (i as f32 * 0.7).sin());
+        let weights = tensor(&[5, 3, 3, 3], |i| (i as f32 * 0.11).cos() * 0.4);
+        let bias = tensor(&[5], |i| i as f32 * 0.05 - 0.1);
+        let expect =
+            crate::conv::reference::conv2d_forward(&geom, &input, &weights, &bias).unwrap();
+        let mut scratch = Scratch::new();
+        let mut out = scratch.take_tensor(expect.shape());
+        conv2d_forward_into(&geom, &input, &weights, &bias, &mut out, &mut scratch).unwrap();
+        for (got, want) in out.data().iter().zip(expect.data()) {
+            assert_eq!(got.to_bits(), want.to_bits());
+        }
+    }
+
+    #[test]
+    fn degenerate_padding_falls_back_to_reference_bitwise() {
+        // padding >= kernel is outside the dilated-gather formulation's domain; the driver
+        // must detect it and reproduce the reference scatter exactly.
+        let geom =
+            ConvGeometry { in_channels: 2, out_channels: 3, kernel: 2, stride: 1, padding: 3 };
+        let (h, w) = (5, 4);
+        let (oh, ow) = geom.output_size(h, w);
+        let weights = tensor(&[3, 2, 2, 2], |i| (i as f32 * 0.23).cos() * 0.5);
+        let grad_out = tensor(&[3, oh, ow], |i| (i as f32 * 0.31).sin());
+        let want = crate::conv::reference::conv2d_backward_input(&geom, &grad_out, &weights, h, w)
+            .unwrap();
+        let mut scratch = Scratch::new();
+        let mut got = scratch.take_tensor(&[2, h, w]);
+        conv2d_backward_input_into(&geom, &grad_out, &weights, h, w, &mut got, &mut scratch)
+            .unwrap();
+        for (g, t) in got.data().iter().zip(want.data()) {
+            assert_eq!(g.to_bits(), t.to_bits());
+        }
+    }
+
+    #[test]
+    fn conv_backward_into_matches_reference_bitwise() {
+        let geom =
+            ConvGeometry { in_channels: 2, out_channels: 4, kernel: 3, stride: 2, padding: 1 };
+        let (h, w) = (8, 7);
+        let input = tensor(&[2, h, w], |i| (i as f32 * 0.37).sin());
+        let weights = tensor(&[4, 2, 3, 3], |i| (i as f32 * 0.19).cos() * 0.3);
+        let (oh, ow) = geom.output_size(h, w);
+        let grad_out = tensor(&[4, oh, ow], |i| (i as f32 * 0.41).sin());
+
+        let expect_gi =
+            crate::conv::reference::conv2d_backward_input(&geom, &grad_out, &weights, h, w)
+                .unwrap();
+        let (expect_gw, expect_gb) =
+            crate::conv::reference::conv2d_backward_weights(&geom, &input, &grad_out).unwrap();
+
+        let mut scratch = Scratch::new();
+        let mut gi = scratch.take_tensor(expect_gi.shape());
+        conv2d_backward_input_into(&geom, &grad_out, &weights, h, w, &mut gi, &mut scratch)
+            .unwrap();
+        let mut gw = scratch.take_tensor(expect_gw.shape());
+        let mut gb = scratch.take_tensor(expect_gb.shape());
+        conv2d_backward_weights_into(&geom, &input, &grad_out, &mut gw, &mut gb, &mut scratch)
+            .unwrap();
+
+        for (got, want) in gi.data().iter().zip(expect_gi.data()) {
+            assert_eq!(got.to_bits(), want.to_bits(), "grad input");
+        }
+        for (got, want) in gw.data().iter().zip(expect_gw.data()) {
+            assert_eq!(got.to_bits(), want.to_bits(), "grad weights");
+        }
+        for (got, want) in gb.data().iter().zip(expect_gb.data()) {
+            assert_eq!(got.to_bits(), want.to_bits(), "grad bias");
+        }
+    }
+}

@@ -35,10 +35,13 @@
 pub mod activation;
 pub mod conv;
 pub mod init;
+pub mod kernels;
 pub mod loss;
 pub mod pool;
 pub mod quant;
+pub mod scratch;
 mod tensor;
 
 pub use quant::Precision;
+pub use scratch::Scratch;
 pub use tensor::{Tensor, TensorError};

@@ -17,6 +17,27 @@ pub fn softmax(logits: &Tensor) -> Tensor {
         .expect("softmax preserves shape")
 }
 
+/// Numerically stable softmax computed in place over a 1-D logit vector — the
+/// zero-allocation variant of [`softmax`], bit-identical (same max subtraction, same
+/// exponentiation and normalization order).
+///
+/// # Panics
+///
+/// Panics if `logits` is empty.
+pub fn softmax_inplace(logits: &mut Tensor) {
+    assert!(!logits.is_empty(), "softmax of empty logits");
+    let data = logits.data_mut();
+    let max = data.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+    let mut sum = 0.0f32;
+    for x in data.iter_mut() {
+        *x = (*x - max).exp();
+        sum += *x;
+    }
+    for x in data.iter_mut() {
+        *x /= sum;
+    }
+}
+
 /// Softmax cross-entropy loss against an integer class label, returning the scalar loss and the
 /// gradient with respect to the logits (`softmax(x) − one_hot(label)`).
 ///
@@ -33,6 +54,21 @@ pub fn softmax_cross_entropy(logits: &Tensor, label: usize) -> (f32, Tensor) {
     let mut grad = probs;
     grad.data_mut()[label] -= 1.0;
     (loss, grad)
+}
+
+/// Softmax cross-entropy that consumes its logits and turns the same buffer into the
+/// gradient — the zero-allocation variant of [`softmax_cross_entropy`], bit-identical.
+///
+/// # Panics
+///
+/// Panics if `label` is out of range for the logit vector.
+pub fn softmax_cross_entropy_owned(mut logits: Tensor, label: usize) -> (f32, Tensor) {
+    assert!(label < logits.len(), "label {label} out of range for {} classes", logits.len());
+    softmax_inplace(&mut logits);
+    let p = logits.data()[label].max(1e-12);
+    let loss = -p.ln();
+    logits.data_mut()[label] -= 1.0;
+    (loss, logits)
 }
 
 /// Mean squared error between a prediction and a target of the same shape, with its gradient

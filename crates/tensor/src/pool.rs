@@ -37,8 +37,45 @@ pub fn max_pool2d(input: &Tensor, window: usize) -> Result<PoolOutput, TensorErr
     let (oh, ow) = (h / window, w / window);
     let mut output = Tensor::zeros(&[c, oh, ow]);
     let mut argmax = vec![0usize; c * oh * ow];
+    max_pool2d_into(input, window, &mut output, &mut argmax)?;
+    Ok(PoolOutput { output, argmax })
+}
+
+/// Max pooling into caller-provided output and argmax buffers — the zero-allocation variant
+/// of [`max_pool2d`], bit-identical (same scan order, same strict-`>` tie-breaking).
+///
+/// `out` must be `[C, H/window, W/window]` and `argmax.len()` must equal `out.len()`.
+///
+/// # Errors
+///
+/// Returns [`TensorError::ShapeMismatch`] under the same conditions as [`max_pool2d`].
+///
+/// # Panics
+///
+/// Panics if `out` / `argmax` do not match the pooled geometry (an internal wiring error).
+pub fn max_pool2d_into(
+    input: &Tensor,
+    window: usize,
+    out: &mut Tensor,
+    argmax: &mut [usize],
+) -> Result<(), TensorError> {
+    let shape = input.shape();
+    if shape.len() != 3
+        || window == 0
+        || !shape[1].is_multiple_of(window)
+        || !shape[2].is_multiple_of(window)
+    {
+        return Err(TensorError::ShapeMismatch {
+            left: shape.to_vec(),
+            right: vec![shape.first().copied().unwrap_or(0), window, window],
+        });
+    }
+    let (c, h, w) = (shape[0], shape[1], shape[2]);
+    let (oh, ow) = (h / window, w / window);
+    assert_eq!(out.shape(), &[c, oh, ow], "pooled output shape mismatch");
+    assert_eq!(argmax.len(), c * oh * ow, "argmax record size mismatch");
     let in_d = input.data();
-    let out_d = output.data_mut();
+    let out_d = out.data_mut();
     for ch in 0..c {
         for oy in 0..oh {
             for ox in 0..ow {
@@ -61,7 +98,22 @@ pub fn max_pool2d(input: &Tensor, window: usize) -> Result<PoolOutput, TensorErr
             }
         }
     }
-    Ok(PoolOutput { output, argmax })
+    Ok(())
+}
+
+/// Max-pooling gradient into a caller-provided tensor (zero-allocation variant of
+/// [`max_pool2d_backward`], bit-identical). `grad_in` is fully overwritten.
+///
+/// # Panics
+///
+/// Panics if `grad_output` and `argmax` disagree in length (an internal wiring error).
+pub fn max_pool2d_backward_into(grad_output: &Tensor, argmax: &[usize], grad_in: &mut Tensor) {
+    assert_eq!(grad_output.len(), argmax.len(), "argmax record does not match gradient size");
+    let gi = grad_in.data_mut();
+    gi.fill(0.0);
+    for (g, &idx) in grad_output.data().iter().zip(argmax) {
+        gi[idx] += g;
+    }
 }
 
 /// Routes the upstream gradient back through a max-pooling layer using the recorded argmax.

@@ -65,6 +65,19 @@ impl Precision {
         }
     }
 
+    /// Quantizes every element of a tensor in place — the zero-allocation variant of
+    /// [`Precision::quantize_tensor`], bit-identical (a no-op for `Fp32`).
+    pub fn quantize_tensor_inplace(&self, tensor: &mut Tensor) {
+        match self {
+            Precision::Fp32 => {}
+            _ => {
+                for v in tensor.data_mut() {
+                    *v = self.quantize(*v);
+                }
+            }
+        }
+    }
+
     /// Smallest positive representable step (the quantization resolution); zero for `Fp32`
     /// (negligible at the scales involved).
     pub fn resolution(&self) -> f32 {

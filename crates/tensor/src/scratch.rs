@@ -1,0 +1,186 @@
+//! A zero-allocation scratch arena for the numeric hot path.
+//!
+//! Steady-state BNN training and serving iterate the same computation over and over: every
+//! iteration needs the same sequence of temporary buffers (ε blocks, sampled weight tensors,
+//! im2col panels, activation outputs, gradients). Allocating them afresh each time puts the
+//! allocator on the critical path; a [`Scratch`] arena instead *recycles* them — buffers are
+//! taken for the duration of one use and given back, so after a warmup iteration has grown the
+//! pools, no further heap allocation happens (asserted by the allocation-counting test in
+//! `crates/bench`).
+//!
+//! Ownership rules (documented in DESIGN.md §5):
+//!
+//! * every worker owns exactly one `Scratch` — arenas are never shared across threads
+//!   (`Scratch` is `Send` but deliberately not synchronized);
+//! * a buffer taken from the arena is either *given back* (`put_*`) or allowed to escape as an
+//!   owned result; escaping is what callers do with tensors they return to their caller, and
+//!   the arena does not track it — escaped buffers simply stop participating in recycling;
+//! * `take_*` zero-fills, so a fresh buffer is indistinguishable from `Tensor::zeros` /
+//!   `vec![0; n]`, keeping the arithmetic of recycled and freshly allocated paths bit-identical.
+//!
+//! Buffer reuse is *best-fit by capacity*: each pool is kept sorted by capacity and `take`
+//! picks the smallest buffer that already fits the request, so a steady state with mixed
+//! buffer sizes converges after one iteration instead of thrashing between reallocations.
+
+use crate::tensor::Tensor;
+
+/// A per-worker arena of recyclable `f32` / `usize` buffers and [`Tensor`]s.
+#[derive(Debug, Default)]
+pub struct Scratch {
+    /// Recyclable `f32` buffers, sorted ascending by capacity.
+    f32_pool: Vec<Vec<f32>>,
+    /// Recyclable `usize` buffers (pooling argmax records, cached shapes), sorted by capacity.
+    usize_pool: Vec<Vec<usize>>,
+}
+
+/// Minimum capacity of `usize` buffers: shape vectors get reshaped between ranks in place
+/// (flatten: `[C, H, W]` ↔ `[C·H·W]`), and a capacity floor above any realistic rank keeps
+/// those transitions from ever growing a recycled buffer.
+const MIN_USIZE_CAPACITY: usize = 8;
+
+fn take_from<T: Copy + Default>(pool: &mut Vec<Vec<T>>, len: usize, min_capacity: usize) -> Vec<T> {
+    // Best fit: the smallest pooled buffer whose capacity already covers the request.
+    let idx = pool.partition_point(|b| b.capacity() < len);
+    let mut buf =
+        if idx < pool.len() { pool.remove(idx) } else { Vec::with_capacity(len.max(min_capacity)) };
+    buf.clear();
+    buf.resize(len, T::default());
+    buf
+}
+
+fn put_into<T>(pool: &mut Vec<Vec<T>>, buf: Vec<T>) {
+    let idx = pool.partition_point(|b| b.capacity() < buf.capacity());
+    pool.insert(idx, buf);
+}
+
+impl Scratch {
+    /// Creates an empty arena; pools grow on demand during the warmup iteration.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Takes a zero-filled `f32` buffer of exactly `len` elements.
+    pub fn take_f32(&mut self, len: usize) -> Vec<f32> {
+        take_from(&mut self.f32_pool, len, len)
+    }
+
+    /// Returns an `f32` buffer to the pool for reuse.
+    pub fn put_f32(&mut self, buf: Vec<f32>) {
+        put_into(&mut self.f32_pool, buf);
+    }
+
+    /// Takes a zero-filled `usize` buffer of exactly `len` elements (capacity floored at a
+    /// small minimum so in-place rank changes of shape vectors never reallocate).
+    pub fn take_usize(&mut self, len: usize) -> Vec<usize> {
+        take_from(&mut self.usize_pool, len, MIN_USIZE_CAPACITY)
+    }
+
+    /// Returns a `usize` buffer to the pool for reuse.
+    pub fn put_usize(&mut self, buf: Vec<usize>) {
+        put_into(&mut self.usize_pool, buf);
+    }
+
+    /// Takes a zero-filled tensor of the given shape (the recycled analogue of
+    /// [`Tensor::zeros`]); the shape vector is recycled too.
+    pub fn take_tensor(&mut self, shape: &[usize]) -> Tensor {
+        let mut shape_buf = self.take_usize(shape.len());
+        shape_buf.copy_from_slice(shape);
+        let len = shape.iter().product();
+        let data = self.take_f32(len);
+        Tensor::from_parts(shape_buf, data)
+    }
+
+    /// Takes a tensor holding a copy of `source` (shape and data).
+    pub fn take_tensor_copy(&mut self, source: &Tensor) -> Tensor {
+        let mut t = self.take_tensor(source.shape());
+        t.data_mut().copy_from_slice(source.data());
+        t
+    }
+
+    /// Returns a tensor's buffers to the pools for reuse.
+    pub fn put_tensor(&mut self, tensor: Tensor) {
+        let (shape, data) = tensor.into_parts();
+        self.put_usize(shape);
+        self.put_f32(data);
+    }
+
+    /// Number of buffers currently pooled (for tests and diagnostics).
+    pub fn pooled_buffers(&self) -> usize {
+        self.f32_pool.len() + self.usize_pool.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn take_is_zero_filled_and_sized() {
+        let mut s = Scratch::new();
+        let mut a = s.take_f32(8);
+        a.iter_mut().for_each(|x| *x = 1.0);
+        s.put_f32(a);
+        let b = s.take_f32(4);
+        assert_eq!(b.len(), 4);
+        assert!(b.iter().all(|&x| x == 0.0), "recycled buffers must come back zeroed");
+    }
+
+    #[test]
+    fn best_fit_prefers_smallest_sufficient_buffer() {
+        let mut s = Scratch::new();
+        let small = s.take_f32(4);
+        let large = s.take_f32(1024);
+        let small_cap = small.capacity();
+        s.put_f32(small);
+        s.put_f32(large);
+        // A request for 3 must reuse the small buffer, leaving the large one for large asks.
+        let got = s.take_f32(3);
+        assert_eq!(got.capacity(), small_cap);
+        let big = s.take_f32(1000);
+        assert!(big.capacity() >= 1024);
+    }
+
+    #[test]
+    fn steady_state_reuses_without_growth() {
+        let mut s = Scratch::new();
+        // Warmup: grow the pool for a mixed-size workload.
+        let sizes = [16usize, 256, 9, 256, 64];
+        let bufs: Vec<_> = sizes.iter().map(|&n| s.take_f32(n)).collect();
+        for b in bufs {
+            s.put_f32(b);
+        }
+        let pooled = s.pooled_buffers();
+        // Steady state: the same workload is served entirely from the pool.
+        for _ in 0..3 {
+            let bufs: Vec<_> = sizes.iter().map(|&n| s.take_f32(n)).collect();
+            for (b, &n) in bufs.iter().zip(&sizes) {
+                assert_eq!(b.len(), n);
+            }
+            for b in bufs {
+                s.put_f32(b);
+            }
+            assert_eq!(s.pooled_buffers(), pooled, "pool must not grow in steady state");
+        }
+    }
+
+    #[test]
+    fn tensors_round_trip_through_the_arena() {
+        let mut s = Scratch::new();
+        let mut t = s.take_tensor(&[2, 3]);
+        assert_eq!(t.shape(), &[2, 3]);
+        assert_eq!(t.data(), &[0.0; 6]);
+        t.data_mut()[0] = 5.0;
+        s.put_tensor(t);
+        let u = s.take_tensor(&[3, 2]);
+        assert_eq!(u.shape(), &[3, 2]);
+        assert!(u.data().iter().all(|&x| x == 0.0));
+    }
+
+    #[test]
+    fn take_tensor_copy_matches_source() {
+        let mut s = Scratch::new();
+        let src = Tensor::from_vec(vec![2, 2], vec![1.0, 2.0, 3.0, 4.0]).unwrap();
+        let copy = s.take_tensor_copy(&src);
+        assert_eq!(copy, src);
+    }
+}

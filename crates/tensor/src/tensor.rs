@@ -97,6 +97,28 @@ impl Tensor {
         Ok(Self { shape, data })
     }
 
+    /// Assembles a tensor from an already-validated shape vector and data buffer — the
+    /// recycling constructor used by [`crate::scratch::Scratch`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len()` does not equal the product of `shape` (an internal wiring error;
+    /// use [`Tensor::from_vec`] for fallible construction from untrusted sizes).
+    pub fn from_parts(shape: Vec<usize>, data: Vec<f32>) -> Self {
+        assert_eq!(
+            data.len(),
+            shape.iter().product::<usize>(),
+            "from_parts requires data matching the shape"
+        );
+        Self { shape, data }
+    }
+
+    /// Disassembles the tensor into its shape vector and data buffer (the inverse of
+    /// [`Tensor::from_parts`], used to recycle both through a scratch arena).
+    pub fn into_parts(self) -> (Vec<usize>, Vec<f32>) {
+        (self.shape, self.data)
+    }
+
     /// The tensor's shape.
     pub fn shape(&self) -> &[usize] {
         &self.shape
@@ -172,6 +194,23 @@ impl Tensor {
             return Err(TensorError::InvalidReshape { len: self.len(), shape: shape.to_vec() });
         }
         Ok(Self { shape: shape.to_vec(), data: self.data.clone() })
+    }
+
+    /// Changes the tensor's shape in place without touching the data, reusing the shape
+    /// vector's capacity (the zero-allocation counterpart of [`Tensor::reshape`] for owned
+    /// tensors — what the flatten layer uses).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::InvalidReshape`] if the element counts differ.
+    pub fn reshape_in_place(&mut self, shape: &[usize]) -> Result<(), TensorError> {
+        let expected: usize = shape.iter().product();
+        if expected != self.len() {
+            return Err(TensorError::InvalidReshape { len: self.len(), shape: shape.to_vec() });
+        }
+        self.shape.clear();
+        self.shape.extend_from_slice(shape);
+        Ok(())
     }
 
     /// Applies `f` to every element, producing a new tensor.
@@ -298,19 +337,51 @@ impl Tensor {
         let (m, k) = (self.shape[0], self.shape[1]);
         let n = other.shape[1];
         let mut out = vec![0.0f32; m * n];
-        for i in 0..m {
-            for p in 0..k {
-                let a = self.data[i * k + p];
-                if a == 0.0 {
-                    continue;
-                }
-                let row = &other.data[p * n..(p + 1) * n];
-                let dst = &mut out[i * n..(i + 1) * n];
-                for (d, &b) in dst.iter_mut().zip(row) {
-                    *d += a * b;
-                }
-            }
+        crate::kernels::gemm_accumulate(&mut out, &self.data, &other.data, m, k, n);
+        Ok(Self { shape: vec![m, n], data: out })
+    }
+
+    /// Transposed-left matrix multiplication `selfᵀ · other`: `self` is `[k, m]`, `other` is
+    /// `[k, n]`, result is `[m, n]` — bit-identical to `self.transpose2().matmul(other)` but
+    /// without materializing the transposed copy.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::InvalidMatmul`] if either operand is not 2-D or the shared
+    /// dimension disagrees.
+    pub fn matmul_at(&self, other: &Self) -> Result<Self, TensorError> {
+        if self.shape.len() != 2 || other.shape.len() != 2 || self.shape[0] != other.shape[0] {
+            return Err(TensorError::InvalidMatmul {
+                left: self.shape.clone(),
+                right: other.shape.clone(),
+            });
         }
+        let (k, m) = (self.shape[0], self.shape[1]);
+        let n = other.shape[1];
+        let mut out = vec![0.0f32; m * n];
+        crate::kernels::gemm_at_accumulate(&mut out, &self.data, &other.data, m, k, n);
+        Ok(Self { shape: vec![m, n], data: out })
+    }
+
+    /// Transposed-right matrix multiplication `self · otherᵀ`: `self` is `[m, k]`, `other` is
+    /// `[n, k]`, result is `[m, n]` — bit-identical to `self.matmul(&other.transpose2())` but
+    /// without materializing the transposed copy.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::InvalidMatmul`] if either operand is not 2-D or the shared
+    /// dimension disagrees.
+    pub fn matmul_bt(&self, other: &Self) -> Result<Self, TensorError> {
+        if self.shape.len() != 2 || other.shape.len() != 2 || self.shape[1] != other.shape[1] {
+            return Err(TensorError::InvalidMatmul {
+                left: self.shape.clone(),
+                right: other.shape.clone(),
+            });
+        }
+        let (m, k) = (self.shape[0], self.shape[1]);
+        let n = other.shape[0];
+        let mut out = vec![0.0f32; m * n];
+        crate::kernels::gemm_bt_accumulate(&mut out, &self.data, &other.data, m, k, n);
         Ok(Self { shape: vec![m, n], data: out })
     }
 
@@ -421,6 +492,54 @@ mod tests {
         assert_eq!(c.shape(), &[2, 2]);
         assert_eq!(c.data(), &[58., 64., 139., 154.]);
         assert!(a.matmul(&a).is_err());
+    }
+
+    #[test]
+    fn matmul_transposed_variants_match_materialized_transposes_bitwise() {
+        let a =
+            Tensor::from_vec(vec![3, 2], (0..6).map(|i| (i as f32 * 0.7).sin()).collect()).unwrap();
+        let b = Tensor::from_vec(vec![3, 4], (0..12).map(|i| (i as f32 * 0.3).cos()).collect())
+            .unwrap();
+        let at = a.matmul_at(&b).unwrap();
+        let expect = a.transpose2().matmul(&b).unwrap();
+        assert_eq!(at.shape(), &[2, 4]);
+        for (x, y) in at.data().iter().zip(expect.data()) {
+            assert_eq!(x.to_bits(), y.to_bits());
+        }
+        let c = Tensor::from_vec(vec![5, 4], (0..20).map(|i| (i as f32 * 0.11).sin()).collect())
+            .unwrap();
+        let bt = b.matmul_bt(&c).unwrap();
+        let expect = b.matmul(&c.transpose2()).unwrap();
+        assert_eq!(bt.shape(), &[3, 5]);
+        for (x, y) in bt.data().iter().zip(expect.data()) {
+            assert_eq!(x.to_bits(), y.to_bits());
+        }
+        assert!(a.matmul_at(&c).is_err());
+        assert!(a.matmul_bt(&b).is_err());
+    }
+
+    #[test]
+    fn from_parts_and_into_parts_round_trip() {
+        let t = Tensor::from_parts(vec![2, 2], vec![1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(t.shape(), &[2, 2]);
+        let (shape, data) = t.into_parts();
+        assert_eq!(shape, vec![2, 2]);
+        assert_eq!(data, vec![1.0, 2.0, 3.0, 4.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "from_parts")]
+    fn from_parts_rejects_mismatched_sizes() {
+        Tensor::from_parts(vec![2, 2], vec![1.0]);
+    }
+
+    #[test]
+    fn reshape_in_place_keeps_data_and_validates() {
+        let mut t = Tensor::from_vec(vec![2, 3], vec![1., 2., 3., 4., 5., 6.]).unwrap();
+        t.reshape_in_place(&[6]).unwrap();
+        assert_eq!(t.shape(), &[6]);
+        assert_eq!(t.data(), &[1., 2., 3., 4., 5., 6.]);
+        assert!(t.reshape_in_place(&[4]).is_err());
     }
 
     #[test]
