@@ -1,0 +1,107 @@
+//! `store_bench`: the end-to-end gauge of the checkpoint store and model registry.
+//!
+//! Per model family (B-MLP and B-LeNet proxies), in one run:
+//!
+//! 1. trains a v1 posterior, resume-trains a v2 from v1's checkpoint (exercising the
+//!    bit-exact resume path), and round-trips both through the binary format;
+//! 2. measures save/load throughput: encode, fully-validated decode, atomic registry
+//!    publish, registry load (wall clock — artifact only, never committed);
+//! 3. serves the registry-loaded v1 against the in-memory posterior (asserting byte-identical
+//!    responses at 1 and N workers) and hot-swaps to v2 mid-trace, measuring the swap's
+//!    activation latency in **ticks** (deterministic — committed).
+//!
+//! Outputs: a human table on stdout, the full timing report to `--out` (machine-dependent, a
+//! CI artifact), and the deterministic summary (sizes, digests, versions, tick boundaries) to
+//! `--summary` — the file committed as `BENCH_store_summary.json` and drift-gated by
+//! `bench_regression` on every PR and nightly.
+//!
+//! Usage: `cargo run --release -p shift-bnn-bench --bin store_bench -- \
+//!   [--reps N] [--registry PATH] [--out BENCH_store.json] [--summary BENCH_store_summary.json]`
+
+use shift_bnn_bench::store_views::{full_json, run_store_bench, summary_json};
+use shift_bnn_bench::{num, print_table};
+
+struct Args {
+    reps: usize,
+    registry: String,
+    out: Option<String>,
+    summary: Option<String>,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        reps: 20,
+        registry: "target/tmp/store_bench-registry".to_string(),
+        out: None,
+        summary: None,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--reps" => {
+                args.reps = it
+                    .next()
+                    .expect("--reps needs a count")
+                    .parse()
+                    .expect("--reps must be an integer")
+            }
+            "--registry" => args.registry = it.next().expect("--registry needs a path"),
+            "--out" => args.out = Some(it.next().expect("--out needs a path")),
+            "--summary" => args.summary = Some(it.next().expect("--summary needs a path")),
+            other => panic!(
+                "unknown argument {other} (expected --reps N, --registry PATH, --out PATH, \
+                 --summary PATH)"
+            ),
+        }
+    }
+    args
+}
+
+fn main() {
+    let args = parse_args();
+    let results = run_store_bench(std::path::Path::new(&args.registry), args.reps);
+
+    let rows: Vec<Vec<String>> = results
+        .iter()
+        .map(|r| {
+            vec![
+                r.name.clone(),
+                format!("{}", r.v1_bytes),
+                num(r.encode_mb_per_s(), 1),
+                num(r.decode_mb_per_s(), 1),
+                format!("{:.1}", r.publish_ns / 1e3),
+                format!("{:.1}", r.load_ns / 1e3),
+                format!("{}", r.swap_latency_ticks()),
+                r.v1_digest.clone(),
+            ]
+        })
+        .collect();
+    print_table(
+        "Checkpoint store: save/load throughput and hot-swap latency (digests pinned)",
+        &[
+            "model",
+            "bytes",
+            "enc MB/s",
+            "dec MB/s",
+            "publish µs",
+            "load µs",
+            "swap ticks",
+            "digest",
+        ],
+        &rows,
+    );
+    println!(
+        "\nhot-swap: requested at tick {}, activated at the first batch starting at or after \
+         it; every disk-loaded replica asserted byte-identical to its in-memory posterior",
+        shift_bnn_bench::store_views::STORE_SWAP_TICK
+    );
+
+    if let Some(path) = &args.out {
+        std::fs::write(path, full_json(&results).to_pretty() + "\n").expect("write full report");
+        println!("wrote {path}");
+    }
+    if let Some(path) = &args.summary {
+        std::fs::write(path, summary_json(&results).to_pretty() + "\n").expect("write summary");
+        println!("wrote {path}");
+    }
+}

@@ -31,16 +31,10 @@ use rand::SeedableRng;
 use shift_bnn::sweep::json::Json;
 use std::time::Instant;
 
-/// FNV-1a digest of a float slice's bit patterns, as 16 hex characters.
+/// FNV-1a digest of a float slice's bit patterns, as 16 hex characters (the workspace-shared
+/// [`fnv1a_hex`](shift_bnn::sweep::json::fnv1a_hex) over the little-endian bit stream).
 pub fn digest_f32(values: &[f32]) -> String {
-    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
-    for v in values {
-        for byte in v.to_bits().to_le_bytes() {
-            hash ^= u64::from(byte);
-            hash = hash.wrapping_mul(0x100_0000_01b3);
-        }
-    }
-    format!("{hash:016x}")
+    shift_bnn::sweep::json::fnv1a_hex(values.iter().flat_map(|v| v.to_bits().to_le_bytes()))
 }
 
 /// Deterministic pseudo-random tensor fill in roughly [−1, 1] (the shared splitmix64 fixture

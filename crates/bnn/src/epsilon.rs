@@ -17,7 +17,20 @@
 //! convenience wrappers that delegate to the `*_into` forms, so both paths draw the exact same
 //! stream.
 
-use bnn_lfsr::{Grng, GrngMode, LfsrError};
+use bnn_lfsr::{Grng, GrngMode, GrngState, LfsrError};
+
+/// A restorable capture of an [`EpsilonSource`] at an **iteration boundary** (every generated
+/// block drained, nothing buffered): the generator register capture plus the storage counter.
+/// This is what the checkpoint store serializes per Monte-Carlo sample so a resumed training
+/// run draws the identical ε stream the uninterrupted run would have drawn.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct SourceState {
+    /// The underlying GRNG capture.
+    pub grng: GrngState,
+    /// Total ε values stored off-chip so far ([`EpsilonSource::stored_values`]; zero for the
+    /// LFSR sources).
+    pub stored: u64,
+}
 
 /// A provider of ε blocks for one sampled model (one SPU's worth of training).
 ///
@@ -65,6 +78,31 @@ pub trait EpsilonSource {
         self.retrieve_block_into(&mut out);
         out
     }
+
+    /// Captures the source's state at an iteration boundary for later [`restore`]
+    /// (see [`SourceState`]) — the per-sample payload of a training checkpoint.
+    ///
+    /// [`restore`]: EpsilonSource::restore
+    ///
+    /// # Panics
+    ///
+    /// Panics when called mid-iteration (generated blocks not yet drained, or the iteration
+    /// not yet reset): a snapshot there could not resume deterministically, because the
+    /// buffered blocks are not part of the capture.
+    fn state(&self) -> SourceState;
+
+    /// Restores a state captured by [`state`](EpsilonSource::state) into this source in
+    /// place, after which the source continues the captured ε stream exactly where it left
+    /// off. The generator is replaced wholesale — the capture's register geometry (width,
+    /// taps) takes over, whatever this source was configured with before. Any buffered
+    /// blocks are discarded (their buffers recycled).
+    ///
+    /// # Errors
+    ///
+    /// Returns an [`LfsrError`] when the capture is internally inconsistent (invalid
+    /// geometry, stray bits, pop-count drift — see [`bnn_lfsr::Grng::from_state`]); the
+    /// current state is left untouched.
+    fn restore(&mut self, state: &SourceState) -> Result<(), LfsrError>;
 
     /// Whether this source has to move ε off-chip between stages (true for the baseline,
     /// false for LFSR retrieval).
@@ -130,6 +168,20 @@ impl EpsilonSource for StoreReplay {
             self.free.push(block);
         }
         self.stored = 0;
+    }
+
+    fn state(&self) -> SourceState {
+        assert!(self.stack.is_empty(), "snapshot requires an iteration boundary (blocks stored)");
+        SourceState { grng: self.grng.state(), stored: self.stored }
+    }
+
+    fn restore(&mut self, state: &SourceState) -> Result<(), LfsrError> {
+        self.grng.restore(&state.grng)?;
+        while let Some(block) = self.stack.pop() {
+            self.free.push(block);
+        }
+        self.stored = state.stored;
+        Ok(())
     }
 
     fn stores_offchip(&self) -> bool {
@@ -224,6 +276,21 @@ impl EpsilonSource for LfsrRetrieve {
         self.generated_this_iteration = 0;
     }
 
+    fn state(&self) -> SourceState {
+        assert!(
+            self.block_sizes.is_empty() && self.generated_this_iteration == 0,
+            "snapshot requires an iteration boundary (blocks generated but not reset)"
+        );
+        SourceState { grng: self.grng.state(), stored: 0 }
+    }
+
+    fn restore(&mut self, state: &SourceState) -> Result<(), LfsrError> {
+        self.grng.restore(&state.grng)?;
+        self.block_sizes.clear();
+        self.generated_this_iteration = 0;
+        Ok(())
+    }
+
     fn stores_offchip(&self) -> bool {
         false
     }
@@ -281,6 +348,15 @@ impl EpsilonSource for LfsrForward {
 
     fn reseed(&mut self, seed: u64) {
         self.grng.reseed_shift_bnn(seed);
+    }
+
+    fn state(&self) -> SourceState {
+        // A pure generator has no buffered blocks: every point of its stream is a boundary.
+        SourceState { grng: self.grng.state(), stored: 0 }
+    }
+
+    fn restore(&mut self, state: &SourceState) -> Result<(), LfsrError> {
+        self.grng.restore(&state.grng)
     }
 
     fn stores_offchip(&self) -> bool {
@@ -400,6 +476,58 @@ mod tests {
         replay.generate_block(64);
         replay.reset_iteration();
         assert_eq!(replay.generate_block(1), next_before);
+    }
+
+    #[test]
+    fn state_restore_continues_every_source_kind() {
+        // (constructor, whether a generated block must be retrieved before the boundary)
+        type MakeSource = fn(u64) -> Box<dyn EpsilonSource>;
+        let kinds: [(MakeSource, bool); 3] = [
+            (|seed| Box::new(StoreReplay::new(seed).unwrap()), true),
+            (|seed| Box::new(LfsrRetrieve::new(seed).unwrap()), true),
+            (|seed| Box::new(LfsrForward::new(seed).unwrap()), false),
+        ];
+        for (make, retrieves) in kinds {
+            // Drive one full iteration so the register sits mid-stream, then snapshot at the
+            // boundary.
+            let mut original = make(21);
+            original.generate_block(40);
+            if retrieves {
+                original.retrieve_block(40);
+            }
+            original.reset_iteration();
+            let state = original.state();
+            // Restore into a differently seeded, already-used source of the same kind.
+            let mut resumed = make(99);
+            resumed.generate_block(3);
+            if retrieves {
+                resumed.retrieve_block(3);
+            }
+            resumed.reset_iteration();
+            resumed.restore(&state).unwrap();
+            assert_eq!(resumed.generate_block(64), original.generate_block(64));
+            assert_eq!(resumed.stored_values(), original.stored_values());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "iteration boundary")]
+    fn snapshot_mid_iteration_panics() {
+        let mut src = LfsrRetrieve::new(5).unwrap();
+        src.generate_block(8);
+        let _ = src.state();
+    }
+
+    #[test]
+    fn restore_discards_buffered_blocks() {
+        let mut src = StoreReplay::new(4).unwrap();
+        let state = src.state();
+        src.generate_block(6);
+        src.restore(&state).unwrap();
+        // The buffered block was recycled; a fresh iteration replays the same stream.
+        let mut fresh = StoreReplay::new(4).unwrap();
+        assert_eq!(src.generate_block(6), fresh.generate_block(6));
+        assert_eq!(src.stored_values(), fresh.stored_values());
     }
 
     #[test]

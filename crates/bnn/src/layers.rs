@@ -14,6 +14,7 @@
 //! the allocation-counting test in `crates/bench`).
 
 use crate::epsilon::EpsilonSource;
+use crate::snapshot::LayerSnapshot;
 use crate::variational::{BayesConfig, VariationalParams};
 use bnn_tensor::activation::{relu_backward_into, relu_into};
 use bnn_tensor::conv::ConvGeometry;
@@ -91,6 +92,12 @@ pub trait Layer {
 
     /// A short human-readable layer name for reports.
     fn name(&self) -> &'static str;
+
+    /// Captures the layer's complete trainable state as a [`LayerSnapshot`] — parameters,
+    /// gradient accumulators and geometry, but **not** the per-sample activation caches
+    /// (snapshots are taken at iteration boundaries, where those are empty). The snapshot
+    /// rebuilds an identical layer via [`LayerSnapshot::build`].
+    fn snapshot(&self) -> LayerSnapshot;
 }
 
 /// Empties a per-sample tensor cache, returning every cached buffer to the arena (what
@@ -156,9 +163,54 @@ impl BayesLinear {
         }
     }
 
+    /// Reassembles a layer from captured parameters (the checkpoint-restore constructor,
+    /// bit-exact — nothing is re-initialized or recomputed).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] when the weight shape is not
+    /// `[out_features, in_features]` or the bias shapes are not `[out_features]`.
+    pub fn from_parts(
+        in_features: usize,
+        out_features: usize,
+        weights: VariationalParams,
+        bias: Tensor,
+        grad_bias: Tensor,
+        config: BayesConfig,
+    ) -> Result<Self, TensorError> {
+        if weights.shape() != [out_features, in_features] {
+            return Err(TensorError::ShapeMismatch {
+                left: weights.shape().to_vec(),
+                right: vec![out_features, in_features],
+            });
+        }
+        if bias.shape() != [out_features] || grad_bias.shape() != [out_features] {
+            return Err(TensorError::ShapeMismatch {
+                left: bias.shape().to_vec(),
+                right: vec![out_features],
+            });
+        }
+        Ok(Self {
+            in_features,
+            out_features,
+            weights,
+            bias,
+            grad_bias,
+            config,
+            samples: 1,
+            cached_inputs: Vec::new(),
+            accumulated_complexity: 0.0,
+        })
+    }
+
     /// The layer's variational parameters (exposed for inspection and tests).
     pub fn weights(&self) -> &VariationalParams {
         &self.weights
+    }
+
+    /// The layer's bias vector.
+    pub fn bias(&self) -> &Tensor {
+        &self.bias
     }
 
     /// Input feature count.
@@ -305,6 +357,16 @@ impl Layer for BayesLinear {
     fn name(&self) -> &'static str {
         "bayes_linear"
     }
+
+    fn snapshot(&self) -> LayerSnapshot {
+        LayerSnapshot::Linear {
+            in_features: self.in_features,
+            out_features: self.out_features,
+            weights: self.weights.clone(),
+            bias: self.bias.clone(),
+            grad_bias: self.grad_bias.clone(),
+        }
+    }
 }
 
 /// A Bayesian 2-D convolution layer with per-sample weight sampling, running on the packed
@@ -338,6 +400,46 @@ impl BayesConv2d {
         }
     }
 
+    /// Reassembles a layer from captured parameters (the checkpoint-restore constructor,
+    /// bit-exact — nothing is re-initialized or recomputed).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] when the weight shape does not match the
+    /// geometry or the bias shapes are not `[out_channels]`.
+    pub fn from_parts(
+        geometry: ConvGeometry,
+        weights: VariationalParams,
+        bias: Tensor,
+        grad_bias: Tensor,
+        config: BayesConfig,
+    ) -> Result<Self, TensorError> {
+        let expect =
+            [geometry.out_channels, geometry.in_channels, geometry.kernel, geometry.kernel];
+        if weights.shape() != expect {
+            return Err(TensorError::ShapeMismatch {
+                left: weights.shape().to_vec(),
+                right: expect.to_vec(),
+            });
+        }
+        if bias.shape() != [geometry.out_channels] || grad_bias.shape() != [geometry.out_channels] {
+            return Err(TensorError::ShapeMismatch {
+                left: bias.shape().to_vec(),
+                right: vec![geometry.out_channels],
+            });
+        }
+        Ok(Self {
+            geometry,
+            weights,
+            bias,
+            grad_bias,
+            config,
+            samples: 1,
+            cached_inputs: Vec::new(),
+            accumulated_complexity: 0.0,
+        })
+    }
+
     /// The convolution geometry.
     pub fn geometry(&self) -> &ConvGeometry {
         &self.geometry
@@ -346,6 +448,11 @@ impl BayesConv2d {
     /// The layer's variational parameters.
     pub fn weights(&self) -> &VariationalParams {
         &self.weights
+    }
+
+    /// The layer's bias vector.
+    pub fn bias(&self) -> &Tensor {
+        &self.bias
     }
 
     fn sample_weights(&self, epsilon: &[f32], scratch: &mut Scratch) -> Tensor {
@@ -467,6 +574,15 @@ impl Layer for BayesConv2d {
     fn name(&self) -> &'static str {
         "bayes_conv2d"
     }
+
+    fn snapshot(&self) -> LayerSnapshot {
+        LayerSnapshot::Conv {
+            geometry: self.geometry,
+            weights: self.weights.clone(),
+            bias: self.bias.clone(),
+            grad_bias: self.grad_bias.clone(),
+        }
+    }
 }
 
 /// ReLU activation layer.
@@ -522,6 +638,10 @@ impl Layer for ReluLayer {
 
     fn name(&self) -> &'static str {
         "relu"
+    }
+
+    fn snapshot(&self) -> LayerSnapshot {
+        LayerSnapshot::Relu
     }
 }
 
@@ -610,6 +730,10 @@ impl Layer for MaxPoolLayer {
     fn name(&self) -> &'static str {
         "max_pool"
     }
+
+    fn snapshot(&self) -> LayerSnapshot {
+        LayerSnapshot::MaxPool { window: self.window }
+    }
 }
 
 /// Flattens a `[C, H, W]` feature map into a `[C·H·W]` vector (and restores the shape on the way
@@ -671,6 +795,10 @@ impl Layer for FlattenLayer {
 
     fn name(&self) -> &'static str {
         "flatten"
+    }
+
+    fn snapshot(&self) -> LayerSnapshot {
+        LayerSnapshot::Flatten
     }
 }
 

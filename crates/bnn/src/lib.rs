@@ -25,7 +25,9 @@
 //! * [`network`] — sequential container and B-MLP / B-LeNet builders;
 //! * [`trainer`] — the training loop, metrics, and the ε-strategy switch;
 //! * [`data`] — deterministic synthetic datasets standing in for MNIST/CIFAR/ImageNet;
-//! * [`epsilon`] — the ε-source abstraction.
+//! * [`epsilon`] — the ε-source abstraction;
+//! * [`snapshot`] — restorable captures of networks and whole training runs (the in-memory
+//!   artifact the `bnn-store` checkpoint format serializes).
 //!
 //! # Example
 //!
@@ -55,10 +57,12 @@ pub mod data;
 pub mod epsilon;
 pub mod layers;
 pub mod network;
+pub mod snapshot;
 pub mod trainer;
 pub mod variational;
 
-pub use epsilon::{EpsilonSource, LfsrForward, LfsrRetrieve, StoreReplay};
+pub use epsilon::{EpsilonSource, LfsrForward, LfsrRetrieve, SourceState, StoreReplay};
 pub use network::{Network, Predictive};
+pub use snapshot::{LayerSnapshot, NetworkSnapshot, TrainerSnapshot};
 pub use trainer::{EpsilonStrategy, Trainer, TrainerConfig};
 pub use variational::BayesConfig;

@@ -78,6 +78,17 @@ impl Network {
         &self.layers
     }
 
+    /// Captures the network's complete trainable state as a
+    /// [`NetworkSnapshot`](crate::snapshot::NetworkSnapshot) — the frozen-posterior artifact
+    /// the checkpoint store persists. Activation caches are not captured (snapshots are taken
+    /// at iteration boundaries, where they are empty).
+    pub fn snapshot(&self) -> crate::snapshot::NetworkSnapshot {
+        crate::snapshot::NetworkSnapshot {
+            config: self.config,
+            layers: self.layers.iter().map(|l| l.snapshot()).collect(),
+        }
+    }
+
     /// Number of ε values drawn per Monte-Carlo sample (one per Bayesian weight).
     pub fn epsilon_count(&self) -> usize {
         self.layers.iter().map(|l| l.epsilon_count()).sum()

@@ -1,0 +1,276 @@
+//! Restorable captures of networks and trainers — the in-memory half of the checkpoint story.
+//!
+//! The paper's observation is that the posterior `θ = (μ, ρ)` is the *durable* artifact of
+//! Bayesian training while every ε is regenerable from an LFSR seed. This module makes that
+//! artifact first-class: a [`NetworkSnapshot`] captures the full trainable state of a
+//! [`Network`] (parameters, gradient accumulators, geometry), and a [`TrainerSnapshot`] adds
+//! everything else a training run carries — the step count, the trainer configuration and one
+//! [`SourceState`] per Monte-Carlo sample (the GRNG registers mid-stream). Rebuilding from a
+//! snapshot is **bit-exact**: a run resumed from a snapshot at step `K` produces the same
+//! posteriors and loss trace as the uninterrupted run, down to `to_bits()` equality (pinned by
+//! `crates/store`'s resume-determinism test).
+//!
+//! Snapshots are plain in-memory values; the binary serialization (versioned, checksummed)
+//! lives in the `bnn-store` crate, which encodes exactly the fields defined here.
+
+use crate::epsilon::SourceState;
+use crate::layers::{BayesConv2d, BayesLinear, FlattenLayer, Layer, MaxPoolLayer, ReluLayer};
+use crate::network::Network;
+use crate::trainer::TrainerConfig;
+use crate::variational::{BayesConfig, VariationalParams};
+use bnn_tensor::conv::ConvGeometry;
+use bnn_tensor::{Tensor, TensorError};
+
+/// The captured state of one layer (see [`Layer::snapshot`]). Parameter-free layers carry
+/// only their geometry; Bayesian layers carry their full `(μ, ρ)` posteriors, biases and
+/// gradient accumulators.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LayerSnapshot {
+    /// A [`BayesLinear`] layer.
+    Linear {
+        /// Input feature count.
+        in_features: usize,
+        /// Output feature count.
+        out_features: usize,
+        /// The `(μ, ρ)` posterior with gradient accumulators.
+        weights: VariationalParams,
+        /// The bias vector.
+        bias: Tensor,
+        /// The bias gradient accumulator.
+        grad_bias: Tensor,
+    },
+    /// A [`BayesConv2d`] layer.
+    Conv {
+        /// The convolution geometry.
+        geometry: ConvGeometry,
+        /// The `(μ, ρ)` posterior with gradient accumulators.
+        weights: VariationalParams,
+        /// The bias vector.
+        bias: Tensor,
+        /// The bias gradient accumulator.
+        grad_bias: Tensor,
+    },
+    /// A parameter-free ReLU layer.
+    Relu,
+    /// A parameter-free max-pooling layer.
+    MaxPool {
+        /// Pooling window (and stride).
+        window: usize,
+    },
+    /// A parameter-free flatten layer.
+    Flatten,
+}
+
+impl LayerSnapshot {
+    /// Materializes the captured layer (bit-exact; see the layer `from_parts` constructors).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] when the captured tensors are inconsistent with
+    /// the captured geometry (possible only for hand-built or corrupted snapshots).
+    pub fn build(&self, config: BayesConfig) -> Result<Box<dyn Layer>, TensorError> {
+        Ok(match self {
+            LayerSnapshot::Linear { in_features, out_features, weights, bias, grad_bias } => {
+                Box::new(BayesLinear::from_parts(
+                    *in_features,
+                    *out_features,
+                    weights.clone(),
+                    bias.clone(),
+                    grad_bias.clone(),
+                    config,
+                )?)
+            }
+            LayerSnapshot::Conv { geometry, weights, bias, grad_bias } => {
+                Box::new(BayesConv2d::from_parts(
+                    *geometry,
+                    weights.clone(),
+                    bias.clone(),
+                    grad_bias.clone(),
+                    config,
+                )?)
+            }
+            LayerSnapshot::Relu => Box::new(ReluLayer::new()),
+            LayerSnapshot::MaxPool { window } => Box::new(MaxPoolLayer::new(*window)),
+            LayerSnapshot::Flatten => Box::new(FlattenLayer::new()),
+        })
+    }
+
+    /// Number of ε values the captured layer draws per Monte-Carlo sample.
+    pub fn epsilon_count(&self) -> usize {
+        match self {
+            LayerSnapshot::Linear { weights, .. } | LayerSnapshot::Conv { weights, .. } => {
+                weights.len()
+            }
+            _ => 0,
+        }
+    }
+
+    /// Checks the capture's internal consistency — everything [`LayerSnapshot::build`] could
+    /// fail on — **without** materializing a layer (no tensor clones). `validate().is_ok()`
+    /// guarantees `build` succeeds.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] when a captured tensor disagrees with the
+    /// captured geometry (a zero pooling window reports as the degenerate `[0]` vs `[1]`
+    /// window-shape mismatch).
+    pub fn validate(&self) -> Result<(), TensorError> {
+        let shape_check = |found: &[usize], expect: Vec<usize>| {
+            if found == expect.as_slice() {
+                Ok(())
+            } else {
+                Err(TensorError::ShapeMismatch { left: found.to_vec(), right: expect })
+            }
+        };
+        match self {
+            LayerSnapshot::Linear { in_features, out_features, weights, bias, grad_bias } => {
+                shape_check(weights.shape(), vec![*out_features, *in_features])?;
+                shape_check(bias.shape(), vec![*out_features])?;
+                shape_check(grad_bias.shape(), vec![*out_features])
+            }
+            LayerSnapshot::Conv { geometry, weights, bias, grad_bias } => {
+                shape_check(
+                    weights.shape(),
+                    vec![
+                        geometry.out_channels,
+                        geometry.in_channels,
+                        geometry.kernel,
+                        geometry.kernel,
+                    ],
+                )?;
+                shape_check(bias.shape(), vec![geometry.out_channels])?;
+                shape_check(grad_bias.shape(), vec![geometry.out_channels])
+            }
+            LayerSnapshot::MaxPool { window } => shape_check(&[*window], vec![(*window).max(1)]),
+            LayerSnapshot::Relu | LayerSnapshot::Flatten => Ok(()),
+        }
+    }
+}
+
+/// The captured trainable state of a whole [`Network`]: the frozen-posterior artifact a
+/// checkpoint persists and a serving replica is materialized from.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NetworkSnapshot {
+    /// The network's Bayesian hyper-parameters.
+    pub config: BayesConfig,
+    /// Per-layer captures, in stack order.
+    pub layers: Vec<LayerSnapshot>,
+}
+
+impl NetworkSnapshot {
+    /// Materializes a network from the capture. The result is bit-identical to the network
+    /// the snapshot was taken from: same parameters, same accumulators, same forward and
+    /// backward arithmetic.
+    ///
+    /// # Errors
+    ///
+    /// Propagates shape validation from [`LayerSnapshot::build`].
+    pub fn build(&self) -> Result<Network, TensorError> {
+        let mut network = Network::new(self.config);
+        for layer in &self.layers {
+            network.push(layer.build(self.config)?);
+        }
+        Ok(network)
+    }
+
+    /// Number of ε values one Monte-Carlo sample of the captured network draws.
+    pub fn epsilon_count(&self) -> usize {
+        self.layers.iter().map(LayerSnapshot::epsilon_count).sum()
+    }
+
+    /// Checks every layer capture's consistency without materializing anything (see
+    /// [`LayerSnapshot::validate`]); `validate().is_ok()` guarantees [`NetworkSnapshot::build`]
+    /// succeeds. This is what the checkpoint decoder and the serving `CheckpointReplica` run
+    /// instead of building (and immediately dropping) a whole throwaway network.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first layer's [`TensorError::ShapeMismatch`].
+    pub fn validate(&self) -> Result<(), TensorError> {
+        self.layers.iter().try_for_each(LayerSnapshot::validate)
+    }
+}
+
+/// The complete state of a training run at an iteration boundary: posterior, trainer
+/// configuration, step count, and the mid-stream GRNG capture of every Monte-Carlo sample's
+/// ε source. `TrainerSnapshot::build` + further training is bit-identical to never having
+/// stopped.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrainerSnapshot {
+    /// The captured network.
+    pub network: NetworkSnapshot,
+    /// The trainer's hyper-parameters (including the ε strategy and base seed).
+    pub config: TrainerConfig,
+    /// Training steps taken so far ([`crate::trainer::Trainer::steps`]).
+    pub steps: u64,
+    /// Per-sample ε source captures, in sample order.
+    pub sources: Vec<SourceState>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::epsilon::LfsrRetrieve;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn network_snapshot_round_trips_bit_exactly() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut net = Network::bayes_lenet(&[1, 8, 8], 3, BayesConfig::default(), &mut rng);
+        let snap = net.snapshot();
+        let mut rebuilt = snap.build().unwrap();
+        assert_eq!(rebuilt.len(), net.len());
+        assert_eq!(rebuilt.epsilon_count(), net.epsilon_count());
+        assert_eq!(snap.epsilon_count(), net.epsilon_count());
+        // Identical forward arithmetic from identically seeded sources.
+        let input = Tensor::filled(&[1, 8, 8], 0.4);
+        let mut a = LfsrRetrieve::new(5).unwrap();
+        let mut b = LfsrRetrieve::new(5).unwrap();
+        net.begin_iteration(1);
+        rebuilt.begin_iteration(1);
+        let out_a = net.forward_sample(0, &input, &mut a).unwrap();
+        let out_b = rebuilt.forward_sample(0, &input, &mut b).unwrap();
+        assert_eq!(out_a, out_b);
+    }
+
+    #[test]
+    fn hand_built_inconsistent_snapshot_fails_to_build() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let weights = VariationalParams::init(&[4, 2], &BayesConfig::default(), &mut rng);
+        let snap = NetworkSnapshot {
+            config: BayesConfig::default(),
+            layers: vec![LayerSnapshot::Linear {
+                in_features: 3, // inconsistent with the [4, 2] weights
+                out_features: 4,
+                weights,
+                bias: Tensor::zeros(&[4]),
+                grad_bias: Tensor::zeros(&[4]),
+            }],
+        };
+        assert!(snap.build().is_err());
+        assert!(snap.validate().is_err());
+    }
+
+    #[test]
+    fn validate_agrees_with_build_without_materializing() {
+        let mut rng = StdRng::seed_from_u64(12);
+        let net = Network::bayes_lenet(&[1, 8, 8], 3, BayesConfig::default(), &mut rng);
+        let snap = net.snapshot();
+        assert!(snap.validate().is_ok());
+        assert!(snap.build().is_ok());
+        // Every corruption build() would reject, validate() must reject too.
+        let mut bad = snap.clone();
+        if let LayerSnapshot::Conv { bias, .. } = &mut bad.layers[0] {
+            *bias = Tensor::zeros(&[7]);
+        } else {
+            panic!("first LeNet layer is a conv");
+        }
+        assert!(bad.validate().is_err());
+        assert!(bad.build().is_err());
+        // The zero pooling window — which build() would *panic* on — validates to an error.
+        let mut bad = snap.clone();
+        bad.layers[2] = LayerSnapshot::MaxPool { window: 0 };
+        assert!(bad.validate().is_err());
+    }
+}

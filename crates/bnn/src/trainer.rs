@@ -9,6 +9,7 @@
 use crate::data::SyntheticDataset;
 use crate::epsilon::{EpsilonSource, LfsrRetrieve, StoreReplay};
 use crate::network::Network;
+use crate::snapshot::TrainerSnapshot;
 use bnn_lfsr::LfsrError;
 use bnn_tensor::loss::softmax_cross_entropy_owned;
 use bnn_tensor::{Tensor, TensorError};
@@ -71,6 +72,9 @@ pub enum TrainError {
     Lfsr(LfsrError),
     /// A tensor shape did not match the network.
     Tensor(TensorError),
+    /// A trainer snapshot was inconsistent with its own configuration (e.g. the wrong number
+    /// of ε source captures for the configured sample count).
+    Snapshot(String),
 }
 
 impl std::fmt::Display for TrainError {
@@ -78,6 +82,7 @@ impl std::fmt::Display for TrainError {
         match self {
             TrainError::Lfsr(e) => write!(f, "epsilon source error: {e}"),
             TrainError::Tensor(e) => write!(f, "tensor error: {e}"),
+            TrainError::Snapshot(detail) => write!(f, "inconsistent trainer snapshot: {detail}"),
         }
     }
 }
@@ -101,6 +106,9 @@ pub struct Trainer {
     network: Network,
     sources: Vec<Box<dyn EpsilonSource>>,
     config: TrainerConfig,
+    /// Training steps (examples) completed so far; carried through snapshots so a resumed
+    /// run continues the count of the uninterrupted one.
+    steps: u64,
     /// Per-sample loss gradients held between the forward and backward stages; the tensors
     /// cycle through the network's scratch arena, so the steady state allocates nothing.
     grad_store: Vec<Tensor>,
@@ -141,12 +149,60 @@ impl Trainer {
     /// Returns an error if GRNG construction fails.
     pub fn new(network: Network, config: TrainerConfig) -> Result<Self, TrainError> {
         let sources = build_sources(&config)?;
-        Ok(Self { network, sources, config, grad_store: Vec::new() })
+        Ok(Self { network, sources, config, steps: 0, grad_store: Vec::new() })
+    }
+
+    /// Rebuilds a trainer from a [`TrainerSnapshot`], bit-exactly: the network, the step
+    /// count and every ε source resume precisely where [`Trainer::snapshot`] captured them,
+    /// so continued training reproduces the uninterrupted run's posteriors and loss trace
+    /// down to the bit (pinned by `crates/store`'s resume-determinism test).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TrainError::Snapshot`] when the capture disagrees with its own
+    /// configuration, and propagates network/ε-source restoration failures.
+    pub fn from_snapshot(snapshot: &TrainerSnapshot) -> Result<Self, TrainError> {
+        let network = snapshot.network.build()?;
+        let mut trainer = Trainer::new(network, snapshot.config)?;
+        if snapshot.sources.len() != trainer.sources.len() {
+            return Err(TrainError::Snapshot(format!(
+                "{} source captures for {} configured samples",
+                snapshot.sources.len(),
+                trainer.sources.len()
+            )));
+        }
+        for (source, state) in trainer.sources.iter_mut().zip(&snapshot.sources) {
+            source.restore(state)?;
+        }
+        trainer.steps = snapshot.steps;
+        Ok(trainer)
+    }
+
+    /// Captures the complete training state at the current iteration boundary (posterior,
+    /// configuration, step count, per-sample GRNG registers). See [`TrainerSnapshot`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if called mid-iteration — possible only if a previous
+    /// [`Trainer::train_example`] errored out partway; completed calls always leave the
+    /// sources at a boundary.
+    pub fn snapshot(&self) -> TrainerSnapshot {
+        TrainerSnapshot {
+            network: self.network.snapshot(),
+            config: self.config,
+            steps: self.steps,
+            sources: self.sources.iter().map(|s| s.state()).collect(),
+        }
     }
 
     /// The trainer's configuration.
     pub fn config(&self) -> &TrainerConfig {
         &self.config
+    }
+
+    /// Training steps (examples) completed so far, counted across snapshot/resume.
+    pub fn steps(&self) -> u64 {
+        self.steps
     }
 
     /// The trained network.
@@ -203,6 +259,7 @@ impl Trainer {
 
         let complexity = self.network.complexity_loss() / samples as f32;
         self.network.apply_update(self.config.learning_rate);
+        self.steps += 1;
 
         let nll = nll_sum / samples as f32;
         Ok(StepMetrics { nll, complexity, total_loss: nll + complexity })
@@ -356,5 +413,42 @@ mod tests {
     fn error_type_formats_cleanly() {
         let e = TrainError::Lfsr(LfsrError::ZeroSeed);
         assert!(e.to_string().contains("epsilon source"));
+        let e = TrainError::Snapshot("3 captures for 2 samples".into());
+        assert!(e.to_string().contains("3 captures"));
+    }
+
+    #[test]
+    fn snapshot_resume_matches_uninterrupted_training() {
+        let dataset = tiny_dataset();
+        let config = TrainerConfig { samples: 3, learning_rate: 0.07, ..TrainerConfig::default() };
+        let mut uninterrupted = Trainer::new(mlp(9, Precision::Fp32), config).unwrap();
+        let mut first_leg = Trainer::new(mlp(9, Precision::Fp32), config).unwrap();
+        // First leg: one epoch, then snapshot at the boundary.
+        uninterrupted.train_epoch(&dataset).unwrap();
+        first_leg.train_epoch(&dataset).unwrap();
+        let snapshot = first_leg.snapshot();
+        assert_eq!(snapshot.steps, dataset.len() as u64);
+        drop(first_leg);
+        // Second leg: resumed trainer must replay the uninterrupted run bit-for-bit.
+        let mut resumed = Trainer::from_snapshot(&snapshot).unwrap();
+        assert_eq!(resumed.steps(), dataset.len() as u64);
+        for (image, label) in dataset.iter() {
+            let a = uninterrupted.train_example(image, label).unwrap();
+            let b = resumed.train_example(image, label).unwrap();
+            assert_eq!(a, b, "resumed step metrics diverged");
+        }
+        let final_a = uninterrupted.snapshot();
+        let final_b = resumed.snapshot();
+        assert_eq!(final_a.network, final_b.network, "posteriors diverged after resume");
+        assert_eq!(final_a.sources, final_b.sources, "GRNG states diverged after resume");
+        assert_eq!(final_a.steps, final_b.steps);
+    }
+
+    #[test]
+    fn from_snapshot_rejects_source_count_mismatch() {
+        let trainer = Trainer::new(mlp(2, Precision::Fp32), TrainerConfig::default()).unwrap();
+        let mut snapshot = trainer.snapshot();
+        snapshot.sources.pop();
+        assert!(matches!(Trainer::from_snapshot(&snapshot), Err(TrainError::Snapshot(_))));
     }
 }

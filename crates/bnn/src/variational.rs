@@ -13,7 +13,7 @@
 
 use bnn_tensor::activation::{sigmoid, softplus, softplus_inverse};
 use bnn_tensor::init::{fan_in_out, xavier_uniform};
-use bnn_tensor::{Precision, Tensor};
+use bnn_tensor::{Precision, Tensor, TensorError};
 use rand::Rng;
 
 /// Hyper-parameters shared by every Bayesian layer of a network.
@@ -73,6 +73,31 @@ impl VariationalParams {
         let rho = sigma.map(softplus_inverse);
         let shape = mu.shape().to_vec();
         Self { grad_mu: Tensor::zeros(&shape), grad_rho: Tensor::zeros(&shape), mu, rho }
+    }
+
+    /// Reassembles parameters from captured tensors, bit-exactly — the checkpoint-restore
+    /// constructor: unlike [`VariationalParams::from_mu_sigma`] nothing is recomputed through
+    /// `softplus`, so a snapshot/restore round trip reproduces every ρ and every accumulated
+    /// gradient down to the bit.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] if the four tensors do not share one shape.
+    pub fn from_raw(
+        mu: Tensor,
+        rho: Tensor,
+        grad_mu: Tensor,
+        grad_rho: Tensor,
+    ) -> Result<Self, TensorError> {
+        for other in [&rho, &grad_mu, &grad_rho] {
+            if other.shape() != mu.shape() {
+                return Err(TensorError::ShapeMismatch {
+                    left: mu.shape().to_vec(),
+                    right: other.shape().to_vec(),
+                });
+            }
+        }
+        Ok(Self { mu, rho, grad_mu, grad_rho })
     }
 
     /// The mean tensor μ.

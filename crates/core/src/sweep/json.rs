@@ -17,6 +17,24 @@
 
 use std::fmt::Write as _;
 
+/// FNV-1a (64-bit) hash of a byte stream — the workspace's single implementation of the
+/// function behind every committed fingerprint and the checkpoint container checksum.
+pub fn fnv1a(bytes: impl IntoIterator<Item = u8>) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for byte in bytes {
+        hash ^= u64::from(byte);
+        hash = hash.wrapping_mul(0x100_0000_01b3);
+    }
+    hash
+}
+
+/// [`fnv1a`] rendered as 16 lowercase hex characters — the shared fingerprint format for
+/// committed baselines: response bytes (`bnn-serve`), kernel output bits (`shift-bnn-bench`)
+/// and checkpoint bytes (`bnn-store`) all pin their content with this same function.
+pub fn fnv1a_hex(bytes: impl IntoIterator<Item = u8>) -> String {
+    format!("{:016x}", fnv1a(bytes))
+}
+
 /// A JSON value with deterministic serialization.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Json {
@@ -557,6 +575,14 @@ impl ToJson for bnn_arch::simulate::TrainingRunReport {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn fnv1a_hex_matches_the_reference_vectors() {
+        // FNV-1a 64 test vectors: empty input is the offset basis; "a" is well known.
+        assert_eq!(fnv1a_hex([]), "cbf29ce484222325");
+        assert_eq!(fnv1a_hex(*b"a"), "af63dc4c8601ec8c");
+        assert_eq!(fnv1a_hex(b"abc".iter().copied()).len(), 16);
+    }
 
     #[test]
     fn scalars_serialize_canonically() {

@@ -28,6 +28,12 @@ pub enum LfsrError {
         /// The width for which no tap table entry exists.
         width: usize,
     },
+    /// A captured register/generator state failed validation on restore (wrong word count,
+    /// stray bits beyond the width, or an inconsistent pop-count).
+    InvalidState {
+        /// What was inconsistent about the state.
+        detail: String,
+    },
 }
 
 impl fmt::Display for LfsrError {
@@ -42,6 +48,9 @@ impl fmt::Display for LfsrError {
             LfsrError::ZeroSeed => write!(f, "LFSR seed must not be all zeroes"),
             LfsrError::UnknownTapWidth { width } => {
                 write!(f, "no known maximal-length taps for width {width}")
+            }
+            LfsrError::InvalidState { detail } => {
+                write!(f, "invalid captured LFSR state: {detail}")
             }
         }
     }
@@ -64,6 +73,8 @@ mod tests {
         assert!(e.to_string().contains("all zeroes"));
         let e = LfsrError::UnknownTapWidth { width: 7 };
         assert!(e.to_string().contains("width 7"));
+        let e = LfsrError::InvalidState { detail: "pop-count drifted".into() };
+        assert!(e.to_string().contains("pop-count drifted"));
     }
 
     #[test]

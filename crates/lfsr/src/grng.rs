@@ -13,7 +13,7 @@
 //!    enters and the bit that leaves the register on each shift.
 
 use crate::error::LfsrError;
-use crate::lfsr::Lfsr;
+use crate::lfsr::{Lfsr, LfsrState};
 
 /// Operating mode of a [`Grng`], mirroring the three modes of the hardware GRNG.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
@@ -27,6 +27,24 @@ pub enum GrngMode {
     Backward,
     /// Idle mode: registers hold their values; requesting an ε in this mode is a logic error.
     Idle,
+}
+
+/// A complete, restorable capture of a [`Grng`]'s state: the register capture plus the
+/// pop-count/mode/outstanding bookkeeping of Fig. 8(b) — everything the checkpoint store
+/// (`bnn-store`) needs so a restored generator continues both its forward and backward ε
+/// streams bit-exactly.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct GrngState {
+    /// The underlying register capture.
+    pub lfsr: LfsrState,
+    /// Pop-count of the seed pattern (the "initial sum" register).
+    pub initial_sum: u32,
+    /// The incrementally maintained pop-count of the current pattern.
+    pub current_sum: u32,
+    /// The operating mode at capture time.
+    pub mode: GrngMode,
+    /// ε values generated forward and not yet retrieved backward.
+    pub outstanding: i64,
 }
 
 /// A Gaussian random number generator backed by a reversible LFSR.
@@ -291,6 +309,66 @@ impl Grng {
         Ok(())
     }
 
+    /// Captures the generator's complete state ([`GrngState`]) for later restoration or
+    /// serialization by the checkpoint store.
+    pub fn state(&self) -> GrngState {
+        GrngState {
+            lfsr: self.lfsr.state(),
+            initial_sum: self.initial_sum,
+            current_sum: self.current_sum,
+            mode: self.mode,
+            outstanding: self.outstanding,
+        }
+    }
+
+    /// Rebuilds a generator from a captured state; the result continues the forward and
+    /// backward ε streams exactly where [`Grng::state`] left them.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the register validation of [`Lfsr::from_state`], and additionally returns
+    /// [`LfsrError::InvalidState`] when the captured sums are inconsistent with the register
+    /// pattern (the incremental pop-count invariant would otherwise be silently broken).
+    pub fn from_state(state: &GrngState) -> Result<Self, LfsrError> {
+        let lfsr = Lfsr::from_state(&state.lfsr)?;
+        if state.current_sum != lfsr.popcount() {
+            return Err(LfsrError::InvalidState {
+                detail: format!(
+                    "current_sum {} does not match the pattern pop-count {}",
+                    state.current_sum,
+                    lfsr.popcount()
+                ),
+            });
+        }
+        if state.initial_sum > lfsr.width() as u32 {
+            return Err(LfsrError::InvalidState {
+                detail: format!(
+                    "initial_sum {} exceeds the {}-bit register width",
+                    state.initial_sum,
+                    lfsr.width()
+                ),
+            });
+        }
+        Ok(Self {
+            lfsr,
+            initial_sum: state.initial_sum,
+            current_sum: state.current_sum,
+            mode: state.mode,
+            outstanding: state.outstanding,
+        })
+    }
+
+    /// Restores a captured state into this generator in place (same validation as
+    /// [`Grng::from_state`]; on error the current state is left untouched).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the validation errors of [`Grng::from_state`].
+    pub fn restore(&mut self, state: &GrngState) -> Result<(), LfsrError> {
+        *self = Self::from_state(state)?;
+        Ok(())
+    }
+
     fn reset_counters(&mut self) {
         let sum = self.lfsr.popcount();
         self.initial_sum = sum;
@@ -389,6 +467,35 @@ mod tests {
         let sa = a.generate(32);
         let sb = b.generate(32);
         assert_ne!(sa, sb);
+    }
+
+    #[test]
+    fn state_round_trip_continues_both_directions() {
+        let mut grng = Grng::shift_bnn_default(1234).unwrap();
+        grng.generate(77);
+        let state = grng.state();
+        let mut restored = Grng::from_state(&state).unwrap();
+        assert_eq!(restored.generate(64), grng.generate(64));
+        grng.set_mode(GrngMode::Backward);
+        restored.set_mode(GrngMode::Backward);
+        assert_eq!(restored.retrieve(100), grng.retrieve(100));
+        assert_eq!(restored.outstanding(), grng.outstanding());
+    }
+
+    #[test]
+    fn from_state_rejects_inconsistent_sums() {
+        let grng = Grng::new(16, 0xACE1).unwrap();
+        let mut state = grng.state();
+        state.current_sum += 1;
+        assert!(matches!(Grng::from_state(&state), Err(LfsrError::InvalidState { .. })));
+        let mut state = grng.state();
+        state.initial_sum = 17;
+        assert!(matches!(Grng::from_state(&state), Err(LfsrError::InvalidState { .. })));
+        // Restore leaves the target untouched on error.
+        let mut target = Grng::new(16, 0xBEEF).unwrap();
+        let before = target.clone();
+        assert!(target.restore(&state).is_err());
+        assert_eq!(target, before);
     }
 
     #[test]

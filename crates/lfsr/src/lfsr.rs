@@ -32,6 +32,25 @@ pub fn shift_bnn_seed_words(seed: u64) -> [u64; 4] {
     words
 }
 
+/// A complete, restorable capture of an [`Lfsr`]'s state: everything a register needs to
+/// continue its pattern sequence exactly where it left off — the primitive the checkpoint
+/// store (`bnn-store`) serializes so a resumed training run draws the identical ε stream.
+///
+/// Produced by [`Lfsr::state`]; consumed by [`Lfsr::from_state`] / [`Lfsr::restore`], which
+/// re-validate every field (a corrupted capture yields an [`LfsrError`], never a register in
+/// an impossible configuration).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct LfsrState {
+    /// Register width in bits.
+    pub width: usize,
+    /// Tap positions, 1-based, ascending.
+    pub taps: Vec<usize>,
+    /// Packed register state words (bit `i` of the concatenation is `R_{i+1}`).
+    pub state_words: Vec<u64>,
+    /// Net forward steps since construction ([`Lfsr::position`]).
+    pub position: i64,
+}
+
 /// A reversible Fibonacci LFSR with an arbitrary register width.
 ///
 /// Bits are stored packed into `u64` words; bit `i` of the packed state holds register
@@ -271,6 +290,78 @@ impl Lfsr {
         (entering, leaving)
     }
 
+    /// Captures the register's complete state for later restoration (or serialization by the
+    /// checkpoint store). The capture is self-contained: [`Lfsr::from_state`] rebuilds an
+    /// identical register from it alone.
+    pub fn state(&self) -> LfsrState {
+        LfsrState {
+            width: self.width,
+            taps: self.taps.clone(),
+            state_words: self.state.clone(),
+            position: self.position,
+        }
+    }
+
+    /// Rebuilds a register from a captured state, continuing the pattern sequence exactly
+    /// where [`Lfsr::state`] left it (`from_state(lfsr.state())` and `lfsr` produce identical
+    /// streams in both directions).
+    ///
+    /// # Errors
+    ///
+    /// Every field is re-validated, so a corrupted capture fails loudly:
+    ///
+    /// * [`LfsrError::InvalidWidth`] / [`LfsrError::InvalidTaps`] for out-of-range geometry;
+    /// * [`LfsrError::InvalidState`] when the word count does not match the width or bits are
+    ///   set beyond it;
+    /// * [`LfsrError::ZeroSeed`] for the all-zero (degenerate) pattern.
+    pub fn from_state(state: &LfsrState) -> Result<Self, LfsrError> {
+        if !(2..=MAX_WIDTH).contains(&state.width) {
+            return Err(LfsrError::InvalidWidth { width: state.width });
+        }
+        validate_taps(state.width, &state.taps)?;
+        if state.state_words.len() != words_for(state.width) {
+            return Err(LfsrError::InvalidState {
+                detail: format!(
+                    "{} state words for a {}-bit register (need {})",
+                    state.state_words.len(),
+                    state.width,
+                    words_for(state.width)
+                ),
+            });
+        }
+        let rem = state.width % 64;
+        if rem != 0 {
+            let last = state.state_words[state.state_words.len() - 1];
+            if last & !((1u64 << rem) - 1) != 0 {
+                return Err(LfsrError::InvalidState {
+                    detail: format!("bits set beyond the {}-bit register width", state.width),
+                });
+            }
+        }
+        if state.state_words.iter().all(|&w| w == 0) {
+            return Err(LfsrError::ZeroSeed);
+        }
+        let mut taps = state.taps.clone();
+        taps.sort_unstable();
+        Ok(Self {
+            width: state.width,
+            taps,
+            state: state.state_words.clone(),
+            position: state.position,
+        })
+    }
+
+    /// Restores a captured state into this register in place (same validation as
+    /// [`Lfsr::from_state`]; on error the current state is left untouched).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the validation errors of [`Lfsr::from_state`].
+    pub fn restore(&mut self, state: &LfsrState) -> Result<(), LfsrError> {
+        *self = Self::from_state(state)?;
+        Ok(())
+    }
+
     /// Re-seeds the register in place from little-endian `seed_words` (the same convention as
     /// [`Lfsr::new`]), resetting [`Lfsr::position`] to zero without reallocating — the
     /// primitive that lets a serving worker reuse one register per replica across requests.
@@ -493,6 +584,50 @@ mod tests {
             lfsr.step_backward();
             assert_eq!(lfsr.register(lfsr.width()), *expected_tail);
         }
+    }
+
+    #[test]
+    fn state_round_trip_continues_the_stream() {
+        let mut lfsr = Lfsr::shift_bnn_default(33).unwrap();
+        lfsr.step_forward_by(137);
+        let state = lfsr.state();
+        let mut restored = Lfsr::from_state(&state).unwrap();
+        assert_eq!(restored.position(), lfsr.position());
+        for _ in 0..300 {
+            assert_eq!(restored.step_forward(), lfsr.step_forward());
+            assert_eq!(restored.state_words(), lfsr.state_words());
+        }
+        let mut in_place = Lfsr::shift_bnn_default(99).unwrap();
+        in_place.restore(&state).unwrap();
+        in_place.step_backward_by(10);
+        restored.step_backward_by(310);
+        assert_eq!(in_place.state_words(), restored.state_words());
+    }
+
+    #[test]
+    fn from_state_rejects_corrupted_captures() {
+        let lfsr = lfsr8(0xA5);
+        let good = lfsr.state();
+
+        let mut bad = good.clone();
+        bad.width = 1;
+        assert!(matches!(Lfsr::from_state(&bad), Err(LfsrError::InvalidWidth { .. })));
+
+        let mut bad = good.clone();
+        bad.taps = vec![3, 5];
+        assert!(matches!(Lfsr::from_state(&bad), Err(LfsrError::InvalidTaps { .. })));
+
+        let mut bad = good.clone();
+        bad.state_words.push(0);
+        assert!(matches!(Lfsr::from_state(&bad), Err(LfsrError::InvalidState { .. })));
+
+        let mut bad = good.clone();
+        bad.state_words[0] |= 1 << 9; // beyond the 8-bit width
+        assert!(matches!(Lfsr::from_state(&bad), Err(LfsrError::InvalidState { .. })));
+
+        let mut bad = good.clone();
+        bad.state_words[0] = 0;
+        assert!(matches!(Lfsr::from_state(&bad), Err(LfsrError::ZeroSeed)));
     }
 
     #[test]

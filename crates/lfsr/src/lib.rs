@@ -52,5 +52,5 @@ pub mod taps;
 
 pub use bank::GrngBank;
 pub use error::LfsrError;
-pub use grng::{Grng, GrngMode};
-pub use lfsr::{Lfsr, MAX_WIDTH};
+pub use grng::{Grng, GrngMode, GrngState};
+pub use lfsr::{Lfsr, LfsrState, MAX_WIDTH};

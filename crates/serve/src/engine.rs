@@ -12,15 +12,19 @@
 //!   committed regression baselines.
 //!
 //! Execution itself fans the requests out over [`shift_bnn::pool::run_indexed_with`]: each
-//! worker builds one frozen-posterior replica ([`ModelSpec::build`]) and serves whatever
-//! requests it steals. A response depends only on the request (input, `S`, seed) and the
-//! frozen posterior — never on the worker, the batch it rode in, or the completion order — so
-//! 1-worker and N-worker runs, and batch-size-1 and coalesced runs, produce byte-identical
-//! responses. `tests/serve_determinism.rs` pins all three equalities.
+//! worker materializes one frozen-posterior replica per model version it serves
+//! ([`ModelSource::build`] — seed-rebuilt or checkpoint-loaded) and answers whatever requests
+//! it steals. A response depends only on the request (input, `S`, seed) and the frozen
+//! posterior of the version that answered it — never on the worker, the batch it rode in, or
+//! the completion order — so 1-worker and N-worker runs, and batch-size-1 and coalesced runs,
+//! produce byte-identical responses. `tests/serve_determinism.rs` pins those equalities and
+//! `tests/hot_swap.rs` extends them across scheduled version swaps
+//! ([`InferenceEngine::run_with_swaps`]): versions change only at deterministic tick
+//! boundaries, old versions drain, and no request is ever dropped.
 
 use crate::batcher::{plan_batches, BatchPolicy};
 use crate::request::{mix_seed, InferRequest, InferResponse};
-use crate::spec::ModelSpec;
+use crate::spec::{ModelSource, ModelSpec};
 use bnn_tensor::Tensor;
 use bnn_train::network::Predictive;
 use bnn_train::{EpsilonSource, LfsrForward, Network};
@@ -45,6 +49,26 @@ pub struct BatchStat {
     pub end_tick: u64,
     /// Number of coalesced requests.
     pub size: usize,
+    /// Index of the model version that answered this batch: 0 is the engine's initial
+    /// source, `i ≥ 1` is the `i`-th scheduled [`VersionSwap`]. Always 0 without swaps.
+    pub version: usize,
+}
+
+/// A scheduled hot-swap: from (simulated) tick `at_tick` onward, batches are answered by
+/// `source` instead of whatever version was active before.
+///
+/// The swap is **deterministic in the tick domain**: a batch is answered by the newest
+/// version whose `at_tick` is at or before the batch's *service start* tick. Batches that
+/// started service earlier drain on the old version — no request is ever dropped or
+/// re-answered — and every batch from the boundary onward answers with the new posterior.
+/// Because batch timing is a pure function of (trace, policy), the boundary is too: the same
+/// swap schedule splits the same trace at the same request on every machine and worker count.
+#[derive(Debug, Clone)]
+pub struct VersionSwap {
+    /// First tick at which the new version may begin answering.
+    pub at_tick: u64,
+    /// The replacement posterior source.
+    pub source: ModelSource,
 }
 
 /// The result of one engine run over a request trace.
@@ -105,12 +129,7 @@ impl ServeRunReport {
     /// FNV-1a digest of [`responses_json`](Self::responses_json), as 16 hex characters — the
     /// compact fingerprint the committed serve baseline pins the numerical outputs with.
     pub fn responses_digest(&self) -> String {
-        let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
-        for byte in self.responses_json().bytes() {
-            hash ^= u64::from(byte);
-            hash = hash.wrapping_mul(0x100_0000_01b3);
-        }
-        format!("{hash:016x}")
+        shift_bnn::sweep::json::fnv1a_hex(self.responses_json().bytes())
     }
 
     /// Serializes the full run report. Every field is tick-domain or response data — a pure
@@ -153,32 +172,49 @@ impl ServeRunReport {
     }
 }
 
-/// A batched Monte-Carlo inference engine over one frozen posterior.
+/// A batched Monte-Carlo inference engine over one frozen posterior (with optional scheduled
+/// hot-swaps to newer posterior versions — see [`InferenceEngine::run_with_swaps`]).
 #[derive(Debug, Clone)]
 pub struct InferenceEngine {
-    spec: ModelSpec,
+    source: ModelSource,
     policy: BatchPolicy,
     workers: usize,
     epsilon_per_sample: usize,
 }
 
 impl InferenceEngine {
-    /// Creates an engine serving `spec` under `policy` on `workers` pool threads.
+    /// Creates an engine serving the seed-rebuilt `spec` under `policy` on `workers` pool
+    /// threads (the synthetic-posterior path; see [`InferenceEngine::from_source`]).
     ///
     /// # Panics
     ///
     /// Panics when `workers` is zero or the policy's `max_batch` is zero.
     pub fn new(spec: ModelSpec, policy: BatchPolicy, workers: usize) -> InferenceEngine {
-        assert!(workers >= 1, "an engine needs at least one worker");
-        assert!(policy.max_batch >= 1, "max_batch must be at least 1");
-        // One throwaway replica up front: its ε-per-sample count drives the tick cost model.
-        let epsilon_per_sample = spec.build().epsilon_count();
-        InferenceEngine { spec, policy, workers, epsilon_per_sample }
+        InferenceEngine::from_source(ModelSource::Spec(spec), policy, workers)
     }
 
-    /// The served model's spec.
-    pub fn spec(&self) -> &ModelSpec {
-        &self.spec
+    /// Creates an engine serving any [`ModelSource`] — the checkpoint path: sources loaded
+    /// from a `bnn-store` registry serve (and hot-swap) trained posteriors rather than
+    /// seed-synthesized ones.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `workers` is zero or the policy's `max_batch` is zero.
+    pub fn from_source(
+        source: ModelSource,
+        policy: BatchPolicy,
+        workers: usize,
+    ) -> InferenceEngine {
+        assert!(workers >= 1, "an engine needs at least one worker");
+        assert!(policy.max_batch >= 1, "max_batch must be at least 1");
+        // The source's ε-per-sample count drives the tick cost model.
+        let epsilon_per_sample = source.epsilon_count();
+        InferenceEngine { source, policy, workers, epsilon_per_sample }
+    }
+
+    /// The served model's source (version 0; swaps are per-run, not engine state).
+    pub fn source(&self) -> &ModelSource {
+        &self.source
     }
 
     /// The engine's batching policy.
@@ -196,10 +232,10 @@ impl InferenceEngine {
         self.epsilon_per_sample
     }
 
-    /// Simulated service cost of one request: one setup tick plus the GRNG-bound ε
-    /// generation time of its `S` sampled forward passes.
+    /// Simulated service cost of one request on the engine's initial source: one setup tick
+    /// plus the GRNG-bound ε generation time of its `S` sampled forward passes.
     pub fn service_cost_ticks(&self, samples: usize) -> u64 {
-        1 + (samples as u64 * self.epsilon_per_sample as u64).div_ceil(EPSILON_LANES)
+        service_cost(self.epsilon_per_sample, samples)
     }
 
     /// Serves a request trace: plans batches, computes tick-domain timing, and executes every
@@ -210,44 +246,87 @@ impl InferenceEngine {
     /// Panics when the trace is not sorted by arrival tick, a request's input shape does not
     /// match the model, or a request asks for zero samples.
     pub fn run(&self, requests: &[InferRequest]) -> ServeRunReport {
+        self.run_with_swaps(requests, &[])
+    }
+
+    /// Serves a request trace with scheduled **hot-swaps**: batches that start service at or
+    /// after a swap's `at_tick` are answered by the swapped-in posterior; earlier batches
+    /// drain on the prior version. No request is dropped at a swap — the trace is answered
+    /// end to end, and the version boundary is a deterministic function of (trace, policy,
+    /// swap schedule), never of worker count or wall clock.
+    ///
+    /// Every worker materializes a private replica of each version it actually serves
+    /// (lazily, at most once per version per worker), so responses stay byte-identical
+    /// across worker counts with any swap schedule.
+    ///
+    /// # Panics
+    ///
+    /// Panics under the same conditions as [`InferenceEngine::run`], or when `swaps` is not
+    /// sorted by `at_tick`.
+    pub fn run_with_swaps(
+        &self,
+        requests: &[InferRequest],
+        swaps: &[VersionSwap],
+    ) -> ServeRunReport {
+        for pair in swaps.windows(2) {
+            assert!(pair[0].at_tick <= pair[1].at_tick, "swap schedule must be sorted by at_tick");
+        }
+        // Version table: index 0 is the engine's own source, i ≥ 1 the (i−1)-th swap.
+        let sources: Vec<&ModelSource> =
+            std::iter::once(&self.source).chain(swaps.iter().map(|s| &s.source)).collect();
+        let epsilon_counts: Vec<usize> = std::iter::once(self.epsilon_per_sample)
+            .chain(swaps.iter().map(|s| s.source.epsilon_count()))
+            .collect();
+
         let plans = plan_batches(requests, self.policy);
 
         // Tick-domain timing: the simulated device serves batches in close order, one at a
-        // time — queueing delay emerges when arrivals outpace service.
+        // time — queueing delay emerges when arrivals outpace service. The active version of
+        // a batch is decided at its service start tick (swap deterministically "lands"
+        // between batches), and its ε volume prices the batch's service time.
         let mut batches = Vec::with_capacity(plans.len());
         let mut latencies = vec![0u64; requests.len()];
+        let mut version_of = vec![0usize; requests.len()];
         let mut device_free: u64 = 0;
         for plan in &plans {
+            let start_tick = plan.close_tick.max(device_free);
+            let version = swaps.iter().take_while(|s| s.at_tick <= start_tick).count();
             let service: u64 = BATCH_OVERHEAD_TICKS
                 + plan
                     .requests
                     .iter()
-                    .map(|&i| self.service_cost_ticks(requests[i].samples))
+                    .map(|&i| service_cost(epsilon_counts[version], requests[i].samples))
                     .sum::<u64>();
-            let start_tick = plan.close_tick.max(device_free);
             let end_tick = start_tick + service;
             device_free = end_tick;
             for &i in &plan.requests {
                 latencies[i] = end_tick - requests[i].arrival_tick;
+                version_of[i] = version;
             }
             batches.push(BatchStat {
                 close_tick: plan.close_tick,
                 start_tick,
                 end_tick,
                 size: plan.requests.len(),
+                version,
             });
         }
 
-        // Execution: requests fan out over the pool; worker replicas are built once each and
-        // results merge by request index (completion order cannot leak into the report).
-        // Materializing the owned per-request responses necessarily allocates their vectors;
-        // the zero-allocation contract covers the compute path (`answer_into`) itself.
-        let spec = &self.spec;
+        // Execution: requests fan out over the pool; each worker materializes one replica
+        // per version it serves (built once, lazily) and results merge by request index
+        // (completion order cannot leak into the report). Materializing the owned
+        // per-request responses necessarily allocates their vectors; the zero-allocation
+        // contract covers the compute path (`answer_into`) itself.
+        let sources = &sources;
+        let version_of = &version_of;
         let responses = pool::run_indexed_with(
             requests.len(),
             self.workers,
-            |_worker| ServeReplica::new(spec),
-            |replica, i| {
+            |_worker| -> Vec<Option<ServeReplica>> { (0..sources.len()).map(|_| None).collect() },
+            |replicas, i| {
+                let version = version_of[i];
+                let replica = replicas[version]
+                    .get_or_insert_with(|| ServeReplica::from_source(sources[version]));
                 let mut response = InferResponse {
                     id: 0,
                     samples: 0,
@@ -261,7 +340,7 @@ impl InferenceEngine {
         );
 
         ServeRunReport {
-            model: self.spec.name().to_string(),
+            model: self.source.name(),
             policy: self.policy,
             workers: self.workers,
             responses,
@@ -270,6 +349,12 @@ impl InferenceEngine {
             makespan_ticks: device_free,
         }
     }
+}
+
+/// One setup tick plus the GRNG-bound ε generation time of `samples` forward passes drawing
+/// `epsilon_per_sample` values each.
+fn service_cost(epsilon_per_sample: usize, samples: usize) -> u64 {
+    1 + (samples as u64 * epsilon_per_sample as u64).div_ceil(EPSILON_LANES)
 }
 
 /// One worker's serving state: a frozen-posterior network replica plus the reusable ε sources
@@ -296,8 +381,14 @@ impl std::fmt::Debug for ServeReplica {
 impl ServeReplica {
     /// Builds a replica for `spec` (deterministic in the spec, like [`ModelSpec::build`]).
     pub fn new(spec: &ModelSpec) -> ServeReplica {
+        ServeReplica::from_source(&ModelSource::Spec(spec.clone()))
+    }
+
+    /// Builds a replica for any [`ModelSource`] — seed-rebuilt or checkpoint-materialized
+    /// (deterministic in the source either way).
+    pub fn from_source(source: &ModelSource) -> ServeReplica {
         ServeReplica {
-            network: spec.build(),
+            network: source.build(),
             sources: Vec::new(),
             predictive: Predictive {
                 mean: Tensor::zeros(&[0]),

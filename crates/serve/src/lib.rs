@@ -50,7 +50,7 @@ pub mod spec;
 pub mod workload;
 
 pub use batcher::{plan_batches, BatchPlan, BatchPolicy};
-pub use engine::{InferenceEngine, ServeReplica, ServeRunReport};
+pub use engine::{InferenceEngine, ServeReplica, ServeRunReport, VersionSwap};
 pub use request::{mix_seed, InferRequest, InferResponse};
-pub use spec::ModelSpec;
+pub use spec::{CheckpointReplica, ModelSource, ModelSpec};
 pub use workload::WorkloadSpec;

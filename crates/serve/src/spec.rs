@@ -1,18 +1,27 @@
-//! Frozen-posterior model specifications.
+//! Frozen-posterior model sources.
 //!
 //! A serving engine must be able to *replicate* its model: every pool worker holds a private
 //! copy of the frozen posterior (layer state is `&mut` during a forward pass, so replicas
-//! cannot be shared). Rather than cloning a trained network across threads, a [`ModelSpec`]
-//! describes how to **rebuild** it deterministically — the same geometry and the same weight
-//! seed produce bit-identical `(μ, ρ)` parameters on every worker, the replica-side analogue
-//! of regenerating ε from a seed instead of shipping it.
+//! cannot be shared). Two ways to materialize a replica exist, unified by [`ModelSource`]:
+//!
+//! * a [`ModelSpec`] describes how to **rebuild** it deterministically from a seed — the same
+//!   geometry and the same weight seed produce bit-identical `(μ, ρ)` parameters on every
+//!   worker, the replica-side analogue of regenerating ε from a seed instead of shipping it.
+//!   This is the synthetic-posterior path the benchmarks use;
+//! * a [`CheckpointReplica`] materializes it from a **loaded posterior**
+//!   ([`NetworkSnapshot`]) — the production path: a model *trained* somewhere, persisted by
+//!   the `bnn-store` checkpoint format, published to a registry and served (and hot-swapped)
+//!   from there. The snapshot is behind an [`Arc`], so N workers share one loaded parameter
+//!   set and each materializes a private bit-identical replica from it.
 
 use bnn_models::zoo::TrainableProxy;
 use bnn_models::ModelKind;
+use bnn_train::snapshot::NetworkSnapshot;
 use bnn_train::variational::BayesConfig;
 use bnn_train::Network;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use std::sync::Arc;
 
 /// A deterministic recipe for one frozen posterior: a scaled-down family proxy plus the seed
 /// its variational parameters were initialized from.
@@ -52,6 +61,25 @@ impl ModelSpec {
         &self.proxy.input
     }
 
+    /// ε values one Monte-Carlo sample draws (one per Bayesian weight), computed from the
+    /// proxy geometry alone — no network is materialized. Must mirror the layer stacks of
+    /// [`Network::bayes_mlp`] / [`Network::bayes_lenet`] that [`ModelSpec::build`] constructs
+    /// (pinned against `build().epsilon_count()` by a test for every family).
+    pub fn epsilon_count(&self) -> usize {
+        if self.proxy.conv {
+            let [c, h, w] = [self.proxy.input[0], self.proxy.input[1], self.proxy.input[2]];
+            let conv1 = 6 * c * 3 * 3;
+            let conv2 = 16 * 6 * 3 * 3;
+            let flat = 16 * (h / 4) * (w / 4);
+            conv1 + conv2 + flat * 64 + 64 * self.proxy.classes
+        } else {
+            let dims = std::iter::once(self.proxy.input[0])
+                .chain(self.proxy.hidden.iter().copied())
+                .chain(std::iter::once(self.proxy.classes));
+            dims.clone().zip(dims.skip(1)).map(|(a, b)| a * b).sum()
+        }
+    }
+
     /// Builds one frozen-posterior replica. Pure in `(proxy, weight_seed, config)`: every
     /// call, on every thread, yields bit-identical parameters.
     pub fn build(&self) -> Network {
@@ -68,6 +96,110 @@ impl ModelSpec {
                 &mut rng,
             )
         }
+    }
+}
+
+/// A posterior loaded from a checkpoint, ready to materialize serving replicas.
+///
+/// Construction validates the snapshot once ([`NetworkSnapshot::validate`] — shape checks
+/// only, no throwaway network is built), so [`ModelSource::build`] on the hot path cannot
+/// fail.
+#[derive(Debug, Clone)]
+pub struct CheckpointReplica {
+    label: String,
+    snapshot: Arc<NetworkSnapshot>,
+    input_shape: Vec<usize>,
+}
+
+impl CheckpointReplica {
+    /// Wraps a loaded posterior. `label` names the model in reports (e.g.
+    /// `"blenet@v3"`), `input_shape` is the shape requests must carry (a posterior alone
+    /// does not determine the spatial input size of a convolutional network).
+    ///
+    /// # Errors
+    ///
+    /// Returns the shape error of [`NetworkSnapshot::validate`] when the snapshot is
+    /// internally inconsistent (possible only for hand-built snapshots — decoded checkpoints
+    /// are validated by the store).
+    pub fn new(
+        label: impl Into<String>,
+        snapshot: NetworkSnapshot,
+        input_shape: Vec<usize>,
+    ) -> Result<CheckpointReplica, bnn_tensor::TensorError> {
+        snapshot.validate()?;
+        Ok(CheckpointReplica { label: label.into(), snapshot: Arc::new(snapshot), input_shape })
+    }
+
+    /// The model label used in reports.
+    pub fn label(&self) -> &str {
+        &self.label
+    }
+
+    /// The loaded posterior.
+    pub fn snapshot(&self) -> &NetworkSnapshot {
+        &self.snapshot
+    }
+}
+
+/// Where a serving replica's frozen posterior comes from: rebuilt from a seed proxy
+/// ([`ModelSpec`]) or materialized from a loaded checkpoint ([`CheckpointReplica`]).
+///
+/// Every variant is a *pure recipe*: building twice — on any worker — yields bit-identical
+/// replicas, which is what keeps N-worker serving byte-deterministic.
+#[derive(Debug, Clone)]
+pub enum ModelSource {
+    /// Rebuild deterministically from `(proxy geometry, weight seed)`.
+    Spec(ModelSpec),
+    /// Materialize from a loaded posterior snapshot.
+    Checkpoint(CheckpointReplica),
+}
+
+impl ModelSource {
+    /// The name of the served model for reports.
+    pub fn name(&self) -> String {
+        match self {
+            ModelSource::Spec(spec) => spec.name().to_string(),
+            ModelSource::Checkpoint(replica) => replica.label.clone(),
+        }
+    }
+
+    /// The input shape a request's tensor must have.
+    pub fn input_shape(&self) -> &[usize] {
+        match self {
+            ModelSource::Spec(spec) => spec.input_shape(),
+            ModelSource::Checkpoint(replica) => &replica.input_shape,
+        }
+    }
+
+    /// ε values one Monte-Carlo sample draws (one per Bayesian weight) — drives the engine's
+    /// tick cost model without materializing a network.
+    pub fn epsilon_count(&self) -> usize {
+        match self {
+            ModelSource::Spec(spec) => spec.epsilon_count(),
+            ModelSource::Checkpoint(replica) => replica.snapshot.epsilon_count(),
+        }
+    }
+
+    /// Builds one frozen-posterior replica (bit-identical on every call and every thread).
+    pub fn build(&self) -> Network {
+        match self {
+            ModelSource::Spec(spec) => spec.build(),
+            ModelSource::Checkpoint(replica) => {
+                replica.snapshot.build().expect("snapshot validated at construction")
+            }
+        }
+    }
+}
+
+impl From<ModelSpec> for ModelSource {
+    fn from(spec: ModelSpec) -> ModelSource {
+        ModelSource::Spec(spec)
+    }
+}
+
+impl From<CheckpointReplica> for ModelSource {
+    fn from(replica: CheckpointReplica) -> ModelSource {
+        ModelSource::Checkpoint(replica)
     }
 }
 
@@ -100,5 +232,64 @@ mod tests {
             assert!(net.epsilon_count() > 0, "{} has no Bayesian weights", spec.name());
             assert_eq!(spec.name(), kind.paper_name());
         }
+    }
+
+    #[test]
+    fn geometric_epsilon_count_matches_the_built_network_for_every_family() {
+        // The cheap geometry-derived count must track the layer stacks `build()` constructs;
+        // this pin is what lets the engine's tick cost model skip the throwaway build.
+        for kind in ModelKind::all() {
+            let spec = ModelSpec::for_kind(kind, 1);
+            assert_eq!(
+                spec.epsilon_count(),
+                spec.build().epsilon_count(),
+                "{}: geometric ε count drifted from the built network",
+                spec.name()
+            );
+        }
+    }
+
+    #[test]
+    fn checkpoint_source_replicates_the_captured_posterior_bit_exactly() {
+        let spec = ModelSpec::lenet(23);
+        let network = spec.build();
+        let snapshot = network.snapshot();
+        let source = ModelSource::from(
+            CheckpointReplica::new("lenet@v1", snapshot, spec.input_shape().to_vec()).unwrap(),
+        );
+        assert_eq!(source.name(), "lenet@v1");
+        assert_eq!(source.input_shape(), spec.input_shape());
+        assert_eq!(source.epsilon_count(), network.epsilon_count());
+        // A replica materialized from the checkpoint answers exactly like the seed-rebuilt
+        // network it was captured from.
+        let input = Tensor::filled(spec.input_shape(), 0.3);
+        let run = |net: &mut Network| {
+            let mut src: Vec<Box<dyn EpsilonSource>> = vec![Box::new(LfsrForward::new(9).unwrap())];
+            net.predictive(&input, &mut src).unwrap()
+        };
+        let mut from_checkpoint = source.build();
+        let mut from_seed = spec.build();
+        assert_eq!(run(&mut from_checkpoint), run(&mut from_seed));
+    }
+
+    #[test]
+    fn checkpoint_replica_rejects_inconsistent_snapshots() {
+        use bnn_train::snapshot::{LayerSnapshot, NetworkSnapshot};
+        use bnn_train::variational::VariationalParams;
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let mut rng = StdRng::seed_from_u64(1);
+        let weights = VariationalParams::init(&[2, 2], &BayesConfig::default(), &mut rng);
+        let snapshot = NetworkSnapshot {
+            config: BayesConfig::default(),
+            layers: vec![LayerSnapshot::Linear {
+                in_features: 5,
+                out_features: 2,
+                weights,
+                bias: Tensor::zeros(&[2]),
+                grad_bias: Tensor::zeros(&[2]),
+            }],
+        };
+        assert!(CheckpointReplica::new("broken", snapshot, vec![5]).is_err());
     }
 }

@@ -29,7 +29,13 @@ impl WorkloadSpec {
     /// Generates the trace for `model`: request `r` arrives at tick `r × interarrival_ticks`
     /// with a pseudo-random input of the model's shape and ε seed [`mix_seed`]`(seed, r)`.
     pub fn generate(&self, model: &ModelSpec) -> Vec<InferRequest> {
-        let shape = model.input_shape();
+        self.generate_for_shape(model.input_shape())
+    }
+
+    /// Generates the trace for any input shape — the form checkpoint-served engines use,
+    /// where the served model is a loaded posterior rather than a [`ModelSpec`]. Identical
+    /// shapes yield identical traces whichever entry point produced them.
+    pub fn generate_for_shape(&self, shape: &[usize]) -> Vec<InferRequest> {
         let len: usize = shape.iter().product();
         let mut rng = StdRng::seed_from_u64(self.seed);
         (0..self.requests)

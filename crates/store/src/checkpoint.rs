@@ -1,0 +1,576 @@
+//! The checkpoint: a deterministic binary serialization of a posterior (and optionally the
+//! full training state around it).
+//!
+//! What the paper treats as ephemeral (ε — regenerated from seeds) and what it treats as
+//! durable (the posterior `θ = (μ, ρ)`) maps directly onto this format: a checkpoint carries
+//! the durable artifact bit-exactly — every parameter as its raw `f32` bit pattern — plus,
+//! for training checkpoints, the *seed-sized* generator states (a few hundred bytes per
+//! Monte-Carlo sample) from which every future ε is regenerable. Nothing else a training run
+//! touches needs persisting: datasets are seed-synthesized, scratch arenas hold no values,
+//! and gradient accumulators are captured in place.
+//!
+//! Encoding is a pure function of the in-memory snapshot (field order fixed, integers
+//! little-endian, floats by bit pattern), so identical states produce identical bytes and the
+//! container digest ([`Checkpoint::digest`]) is a committable baseline. Decoding re-validates
+//! everything: the container frame (magic/version/length/checksum), every structural count
+//! against the remaining bytes, every enum tag, every tensor shape (each layer capture
+//! checked against its geometry) and every GRNG capture (by rebuilding each generator) — a
+//! checkpoint that decodes `Ok` is guaranteed to materialize.
+
+use crate::codec::{self, Reader, Writer};
+use crate::error::StoreError;
+use bnn_lfsr::{Grng, GrngMode, GrngState, LfsrState};
+use bnn_tensor::conv::ConvGeometry;
+use bnn_tensor::{Precision, Tensor};
+use bnn_train::snapshot::{LayerSnapshot, NetworkSnapshot, TrainerSnapshot};
+use bnn_train::trainer::TrainError;
+use bnn_train::variational::{BayesConfig, VariationalParams};
+use bnn_train::{EpsilonStrategy, Network, SourceState, Trainer, TrainerConfig};
+
+/// The non-posterior half of a training checkpoint: trainer configuration, step count, and
+/// the mid-stream generator capture of every Monte-Carlo sample's ε source.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrainerState {
+    /// The trainer's hyper-parameters (sample count, learning rate, ε strategy, base seed).
+    pub config: TrainerConfig,
+    /// Training steps completed at capture time.
+    pub steps: u64,
+    /// Per-sample ε source captures, in sample order.
+    pub sources: Vec<SourceState>,
+}
+
+/// One checkpoint: a posterior, optionally with the full training state around it.
+///
+/// * [`Checkpoint::posterior`] captures a network alone — the artifact a serving engine
+///   materializes replicas from;
+/// * [`Checkpoint::from_trainer`] captures everything, so [`Checkpoint::resume_trainer`] at
+///   step `K` continues **bit-identically** to a run that never stopped (pinned by
+///   `tests/resume_determinism.rs`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Checkpoint {
+    /// The captured posterior (parameters, accumulators, architecture).
+    pub network: NetworkSnapshot,
+    /// Training state, present only for checkpoints taken from a [`Trainer`].
+    pub trainer: Option<TrainerState>,
+}
+
+impl Checkpoint {
+    /// Captures a posterior-only checkpoint from a network.
+    pub fn posterior(network: &Network) -> Checkpoint {
+        Checkpoint { network: network.snapshot(), trainer: None }
+    }
+
+    /// Captures a full training checkpoint from a trainer at its current iteration boundary.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the trainer sits mid-iteration (see [`Trainer::snapshot`]).
+    pub fn from_trainer(trainer: &Trainer) -> Checkpoint {
+        Checkpoint::from_trainer_snapshot(trainer.snapshot())
+    }
+
+    /// Wraps an already-captured [`TrainerSnapshot`].
+    pub fn from_trainer_snapshot(snapshot: TrainerSnapshot) -> Checkpoint {
+        Checkpoint {
+            network: snapshot.network,
+            trainer: Some(TrainerState {
+                config: snapshot.config,
+                steps: snapshot.steps,
+                sources: snapshot.sources,
+            }),
+        }
+    }
+
+    /// Materializes the captured posterior as a fresh network (bit-identical to the captured
+    /// one).
+    ///
+    /// # Errors
+    ///
+    /// Propagates shape validation — unreachable for checkpoints that came through
+    /// [`Checkpoint::from_bytes`], which validates every shape on decode.
+    pub fn build_network(&self) -> Result<Network, StoreError> {
+        Ok(self.network.build()?)
+    }
+
+    /// The captured training state as a [`TrainerSnapshot`].
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::NotATrainingCheckpoint`] for posterior-only checkpoints.
+    pub fn trainer_snapshot(&self) -> Result<TrainerSnapshot, StoreError> {
+        let state = self.trainer.as_ref().ok_or(StoreError::NotATrainingCheckpoint)?;
+        Ok(TrainerSnapshot {
+            network: self.network.clone(),
+            config: state.config,
+            steps: state.steps,
+            sources: state.sources.clone(),
+        })
+    }
+
+    /// Rebuilds a trainer that resumes bit-identically to the captured run.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::NotATrainingCheckpoint`] for posterior-only checkpoints; otherwise
+    /// propagates trainer restoration failures.
+    pub fn resume_trainer(&self) -> Result<Trainer, StoreError> {
+        let snapshot = self.trainer_snapshot()?;
+        Trainer::from_snapshot(&snapshot).map_err(|e| match e {
+            TrainError::Lfsr(inner) => StoreError::Lfsr(inner),
+            TrainError::Tensor(inner) => StoreError::Shape(inner),
+            TrainError::Snapshot(detail) => StoreError::Train(detail),
+        })
+    }
+
+    /// Serializes into the checksummed container frame (deterministic: identical checkpoints
+    /// produce identical bytes).
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut w = Writer::new();
+        match &self.trainer {
+            None => w.u8(0),
+            Some(state) => {
+                w.u8(1);
+                encode_trainer_state(&mut w, state);
+            }
+        }
+        encode_network(&mut w, &self.network);
+        codec::frame(w.into_bytes())
+    }
+
+    /// Deserializes and **fully validates** a container: frame integrity, structure, tensor
+    /// shapes (every layer capture is checked against its geometry) and generator states
+    /// (each is rebuilt once). A returned checkpoint is guaranteed to materialize.
+    ///
+    /// # Errors
+    ///
+    /// Every corruption mode maps to a typed [`StoreError`] (see `tests/corruption_props.rs`
+    /// — bit flips and truncations never panic and never mis-load).
+    pub fn from_bytes(bytes: &[u8]) -> Result<Checkpoint, StoreError> {
+        let payload = codec::unframe(bytes)?;
+        let mut r = Reader::new(payload);
+        let trainer = match r.u8()? {
+            0 => None,
+            1 => Some(decode_trainer_state(&mut r)?),
+            tag => return Err(r.malformed(format!("unknown trainer-presence tag {tag}"))),
+        };
+        let network = decode_network(&mut r)?;
+        r.finish()?;
+        // Semantic validation: the posterior must materialize, and the generator captures
+        // must restore. After this, downstream `build()` calls cannot fail — `validate()`
+        // covers every shape `build()` checks, without cloning any tensors.
+        network.validate()?;
+        if let Some(state) = &trainer {
+            if state.sources.len() != state.config.samples.max(1) {
+                return Err(StoreError::Train(format!(
+                    "{} source captures for {} configured samples",
+                    state.sources.len(),
+                    state.config.samples.max(1)
+                )));
+            }
+            for source in &state.sources {
+                Grng::from_state(&source.grng)?;
+            }
+        }
+        Ok(Checkpoint { network, trainer })
+    }
+
+    /// FNV-1a digest of [`Checkpoint::to_bytes`], as 16 hex characters — the committable
+    /// fingerprint of this checkpoint's exact content.
+    pub fn digest(&self) -> String {
+        codec::digest(&self.to_bytes())
+    }
+
+    /// ε values one Monte-Carlo sample of the captured posterior draws.
+    pub fn epsilon_count(&self) -> usize {
+        self.network.epsilon_count()
+    }
+
+    /// Whether this checkpoint can resume training (carries trainer state).
+    pub fn is_training_checkpoint(&self) -> bool {
+        self.trainer.is_some()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Encoding
+// ---------------------------------------------------------------------------
+
+fn encode_tensor(w: &mut Writer, tensor: &Tensor) {
+    w.usize_seq(tensor.shape());
+    tensor.extend_le_bytes(w.bytes_mut());
+}
+
+fn encode_params(w: &mut Writer, params: &VariationalParams) {
+    w.usize_seq(params.shape());
+    for tensor in [params.mu(), params.rho(), params.grad_mu(), params.grad_rho()] {
+        tensor.extend_le_bytes(w.bytes_mut());
+    }
+}
+
+fn encode_bayes_config(w: &mut Writer, config: &BayesConfig) {
+    match config.precision {
+        Precision::Fp32 => {
+            w.u8(0);
+            w.u32(0);
+        }
+        Precision::Fx16 { frac_bits } => {
+            w.u8(1);
+            w.u32(frac_bits);
+        }
+        Precision::Fx8 { frac_bits } => {
+            w.u8(2);
+            w.u32(frac_bits);
+        }
+    }
+    w.f32(config.prior_sigma);
+    w.f32(config.kl_weight);
+    w.f32(config.init_rho);
+}
+
+fn encode_network(w: &mut Writer, network: &NetworkSnapshot) {
+    encode_bayes_config(w, &network.config);
+    w.u32(network.layers.len() as u32);
+    for layer in &network.layers {
+        match layer {
+            LayerSnapshot::Linear { in_features, out_features, weights, bias, grad_bias } => {
+                w.u8(0);
+                w.size(*in_features);
+                w.size(*out_features);
+                encode_params(w, weights);
+                encode_tensor(w, bias);
+                encode_tensor(w, grad_bias);
+            }
+            LayerSnapshot::Conv { geometry, weights, bias, grad_bias } => {
+                w.u8(1);
+                w.size(geometry.in_channels);
+                w.size(geometry.out_channels);
+                w.size(geometry.kernel);
+                w.size(geometry.stride);
+                w.size(geometry.padding);
+                encode_params(w, weights);
+                encode_tensor(w, bias);
+                encode_tensor(w, grad_bias);
+            }
+            LayerSnapshot::Relu => w.u8(2),
+            LayerSnapshot::MaxPool { window } => {
+                w.u8(3);
+                w.size(*window);
+            }
+            LayerSnapshot::Flatten => w.u8(4),
+        }
+    }
+}
+
+fn encode_trainer_state(w: &mut Writer, state: &TrainerState) {
+    w.size(state.config.samples);
+    w.f32(state.config.learning_rate);
+    w.u8(match state.config.strategy {
+        EpsilonStrategy::StoreReplay => 0,
+        EpsilonStrategy::LfsrRetrieve => 1,
+    });
+    w.u64(state.config.seed);
+    w.u64(state.steps);
+    w.u32(state.sources.len() as u32);
+    for source in &state.sources {
+        let grng = &source.grng;
+        w.size(grng.lfsr.width);
+        w.usize_seq(&grng.lfsr.taps);
+        w.u64_seq(&grng.lfsr.state_words);
+        w.i64(grng.lfsr.position);
+        w.u32(grng.initial_sum);
+        w.u32(grng.current_sum);
+        w.u8(match grng.mode {
+            GrngMode::Forward => 0,
+            GrngMode::Backward => 1,
+            GrngMode::Idle => 2,
+        });
+        w.i64(grng.outstanding);
+        w.u64(source.stored);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Decoding
+// ---------------------------------------------------------------------------
+
+/// Validated element count of a shape: the product, with overflow and an over-read of the
+/// remaining payload both rejected before any allocation is sized from it.
+fn shape_len(r: &Reader<'_>, shape: &[usize]) -> Result<usize, StoreError> {
+    let mut len: usize = 1;
+    for &dim in shape {
+        len = len
+            .checked_mul(dim)
+            .ok_or_else(|| r.malformed(format!("tensor shape {shape:?} overflows")))?;
+    }
+    let bytes_needed = len
+        .checked_mul(4)
+        .ok_or_else(|| r.malformed(format!("tensor of {len} elements overflows byte count")))?;
+    if bytes_needed > r.remaining() {
+        return Err(StoreError::Truncated {
+            offset: r.offset(),
+            needed: bytes_needed - r.remaining(),
+        });
+    }
+    Ok(len)
+}
+
+fn decode_tensor_data(r: &mut Reader<'_>, shape: Vec<usize>) -> Result<Tensor, StoreError> {
+    let len = shape_len(r, &shape)?;
+    let bytes = r.raw(len * 4)?;
+    Ok(Tensor::from_le_bytes(shape, bytes)?)
+}
+
+fn decode_tensor(r: &mut Reader<'_>) -> Result<Tensor, StoreError> {
+    let shape = r.usize_seq()?;
+    decode_tensor_data(r, shape)
+}
+
+fn decode_params(r: &mut Reader<'_>) -> Result<VariationalParams, StoreError> {
+    let shape = r.usize_seq()?;
+    let mu = decode_tensor_data(r, shape.clone())?;
+    let rho = decode_tensor_data(r, shape.clone())?;
+    let grad_mu = decode_tensor_data(r, shape.clone())?;
+    let grad_rho = decode_tensor_data(r, shape)?;
+    Ok(VariationalParams::from_raw(mu, rho, grad_mu, grad_rho)?)
+}
+
+fn decode_bayes_config(r: &mut Reader<'_>) -> Result<BayesConfig, StoreError> {
+    let tag = r.u8()?;
+    let frac_bits = r.u32()?;
+    // Canonical-form discipline: every accepted payload must re-encode to identical bytes
+    // (so a loaded checkpoint's digest always matches the file's), hence the zero-field
+    // requirement for Fp32 rather than read-and-ignore.
+    let precision = match tag {
+        0 if frac_bits == 0 => Precision::Fp32,
+        0 => {
+            return Err(r.malformed(format!("Fp32 precision with nonzero frac_bits {frac_bits}")));
+        }
+        1 if frac_bits < 16 => Precision::Fx16 { frac_bits },
+        2 if frac_bits < 8 => Precision::Fx8 { frac_bits },
+        1 | 2 => {
+            return Err(r.malformed(format!("fractional bits {frac_bits} out of range")));
+        }
+        other => return Err(r.malformed(format!("unknown precision tag {other}"))),
+    };
+    Ok(BayesConfig { precision, prior_sigma: r.f32()?, kl_weight: r.f32()?, init_rho: r.f32()? })
+}
+
+fn decode_network(r: &mut Reader<'_>) -> Result<NetworkSnapshot, StoreError> {
+    let config = decode_bayes_config(r)?;
+    let layer_count = r.u32()? as usize;
+    // Every layer occupies at least its 1-byte tag; reject counts the payload cannot hold.
+    if layer_count > r.remaining() {
+        return Err(StoreError::Truncated {
+            offset: r.offset(),
+            needed: layer_count - r.remaining(),
+        });
+    }
+    let mut layers = Vec::with_capacity(layer_count);
+    for _ in 0..layer_count {
+        let layer = match r.u8()? {
+            0 => LayerSnapshot::Linear {
+                in_features: r.size()?,
+                out_features: r.size()?,
+                weights: decode_params(r)?,
+                bias: decode_tensor(r)?,
+                grad_bias: decode_tensor(r)?,
+            },
+            1 => {
+                let geometry = ConvGeometry {
+                    in_channels: r.size()?,
+                    out_channels: r.size()?,
+                    kernel: r.size()?,
+                    stride: r.size()?,
+                    padding: r.size()?,
+                };
+                LayerSnapshot::Conv {
+                    geometry,
+                    weights: decode_params(r)?,
+                    bias: decode_tensor(r)?,
+                    grad_bias: decode_tensor(r)?,
+                }
+            }
+            2 => LayerSnapshot::Relu,
+            3 => {
+                let window = r.size()?;
+                if window == 0 {
+                    return Err(r.malformed("zero pooling window"));
+                }
+                LayerSnapshot::MaxPool { window }
+            }
+            4 => LayerSnapshot::Flatten,
+            tag => return Err(r.malformed(format!("unknown layer tag {tag}"))),
+        };
+        layers.push(layer);
+    }
+    Ok(NetworkSnapshot { config, layers })
+}
+
+fn decode_trainer_state(r: &mut Reader<'_>) -> Result<TrainerState, StoreError> {
+    let samples = r.size()?;
+    let learning_rate = r.f32()?;
+    let strategy = match r.u8()? {
+        0 => EpsilonStrategy::StoreReplay,
+        1 => EpsilonStrategy::LfsrRetrieve,
+        tag => return Err(r.malformed(format!("unknown epsilon strategy tag {tag}"))),
+    };
+    let seed = r.u64()?;
+    let steps = r.u64()?;
+    let source_count = r.u32()? as usize;
+    if source_count > r.remaining() {
+        return Err(StoreError::Truncated {
+            offset: r.offset(),
+            needed: source_count - r.remaining(),
+        });
+    }
+    let mut sources = Vec::with_capacity(source_count);
+    for _ in 0..source_count {
+        let width = r.size()?;
+        let taps = r.usize_seq()?;
+        // Canonical form: `Lfsr::state` emits taps strictly ascending; accepting any other
+        // order would make decode → encode change bytes (digests would stop matching files).
+        if !taps.windows(2).all(|pair| pair[0] < pair[1]) {
+            return Err(r.malformed("LFSR taps not strictly ascending"));
+        }
+        let state_words = r.u64_seq()?;
+        let position = r.i64()?;
+        let initial_sum = r.u32()?;
+        let current_sum = r.u32()?;
+        let mode = match r.u8()? {
+            0 => GrngMode::Forward,
+            1 => GrngMode::Backward,
+            2 => GrngMode::Idle,
+            tag => return Err(r.malformed(format!("unknown GRNG mode tag {tag}"))),
+        };
+        let outstanding = r.i64()?;
+        let stored = r.u64()?;
+        sources.push(SourceState {
+            grng: GrngState {
+                lfsr: LfsrState { width, taps, state_words, position },
+                initial_sum,
+                current_sum,
+                mode,
+                outstanding,
+            },
+            stored,
+        });
+    }
+    Ok(TrainerState {
+        config: TrainerConfig { samples, learning_rate, strategy, seed },
+        steps,
+        sources,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn small_network(seed: u64) -> Network {
+        let mut rng = StdRng::seed_from_u64(seed);
+        Network::bayes_lenet(&[1, 8, 8], 3, BayesConfig::default(), &mut rng)
+    }
+
+    #[test]
+    fn posterior_checkpoint_round_trips_bit_exactly() {
+        let network = small_network(5);
+        let checkpoint = Checkpoint::posterior(&network);
+        let bytes = checkpoint.to_bytes();
+        let decoded = Checkpoint::from_bytes(&bytes).unwrap();
+        assert_eq!(decoded, checkpoint);
+        assert!(!decoded.is_training_checkpoint());
+        assert_eq!(decoded.epsilon_count(), network.epsilon_count());
+        assert!(matches!(decoded.resume_trainer(), Err(StoreError::NotATrainingCheckpoint)));
+        // Serialization is deterministic: same state, same bytes, same digest.
+        assert_eq!(bytes, checkpoint.to_bytes());
+        assert_eq!(decoded.digest(), checkpoint.digest());
+    }
+
+    #[test]
+    fn training_checkpoint_round_trips_with_all_state() {
+        let trainer = Trainer::new(
+            small_network(7),
+            TrainerConfig { samples: 3, ..TrainerConfig::default() },
+        )
+        .unwrap();
+        let checkpoint = Checkpoint::from_trainer(&trainer);
+        let decoded = Checkpoint::from_bytes(&checkpoint.to_bytes()).unwrap();
+        assert_eq!(decoded, checkpoint);
+        let state = decoded.trainer.as_ref().unwrap();
+        assert_eq!(state.sources.len(), 3);
+        assert_eq!(state.config.samples, 3);
+        let resumed = decoded.resume_trainer().unwrap();
+        assert_eq!(resumed.steps(), 0);
+        assert_eq!(resumed.snapshot().network, trainer.snapshot().network);
+    }
+
+    #[test]
+    fn quantized_configs_round_trip() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let config = BayesConfig { kl_weight: 0.25, ..BayesConfig::default() }
+            .with_precision(Precision::PAPER_16BIT);
+        let network = Network::bayes_mlp(6, &[5], 2, config, &mut rng);
+        let decoded = Checkpoint::from_bytes(&Checkpoint::posterior(&network).to_bytes()).unwrap();
+        assert_eq!(decoded.network.config, config);
+    }
+
+    #[test]
+    fn source_count_mismatch_is_rejected() {
+        let trainer = Trainer::new(
+            small_network(2),
+            TrainerConfig { samples: 2, ..TrainerConfig::default() },
+        )
+        .unwrap();
+        let mut checkpoint = Checkpoint::from_trainer(&trainer);
+        checkpoint.trainer.as_mut().unwrap().sources.pop();
+        let bytes = checkpoint.to_bytes();
+        assert!(matches!(Checkpoint::from_bytes(&bytes), Err(StoreError::Train(_))));
+    }
+
+    #[test]
+    fn non_canonical_encodings_are_rejected() {
+        // Canonical-form contract: decode → encode is an identity, so a loaded checkpoint's
+        // digest always matches the digest of the file bytes. Forged near-miss encodings
+        // must therefore be rejected, not normalized.
+
+        // Fp32 precision tag with a nonzero (ignored-looking) frac_bits field. In a
+        // posterior-only payload the config starts at byte 1 (after the trainer tag).
+        let network = small_network(4);
+        let bytes = Checkpoint::posterior(&network).to_bytes();
+        let mut payload = codec::unframe(&bytes).unwrap().to_vec();
+        assert_eq!(payload[1], 0, "Fp32 tag expected at the config offset");
+        payload[2] = 7; // low byte of frac_bits
+        let forged = codec::frame(payload);
+        assert!(matches!(Checkpoint::from_bytes(&forged), Err(StoreError::Malformed { .. })));
+
+        // LFSR taps out of canonical (strictly ascending) order in a trainer capture.
+        let trainer = Trainer::new(small_network(4), TrainerConfig::default()).unwrap();
+        let mut checkpoint = Checkpoint::from_trainer(&trainer);
+        checkpoint.trainer.as_mut().unwrap().sources[0].grng.lfsr.taps.reverse();
+        let bytes = checkpoint.to_bytes();
+        assert!(matches!(Checkpoint::from_bytes(&bytes), Err(StoreError::Malformed { .. })));
+    }
+
+    #[test]
+    fn decoded_checkpoints_re_encode_to_identical_bytes() {
+        let trainer = Trainer::new(small_network(6), TrainerConfig::default()).unwrap();
+        for checkpoint in
+            [Checkpoint::from_trainer(&trainer), Checkpoint::posterior(&small_network(6))]
+        {
+            let bytes = checkpoint.to_bytes();
+            let decoded = Checkpoint::from_bytes(&bytes).unwrap();
+            assert_eq!(decoded.to_bytes(), bytes, "decode → encode must be an identity");
+        }
+    }
+
+    #[test]
+    fn inconsistent_grng_capture_is_rejected() {
+        let trainer = Trainer::new(small_network(2), TrainerConfig::default()).unwrap();
+        let mut checkpoint = Checkpoint::from_trainer(&trainer);
+        checkpoint.trainer.as_mut().unwrap().sources[0].grng.current_sum ^= 1;
+        let bytes = checkpoint.to_bytes();
+        assert!(matches!(Checkpoint::from_bytes(&bytes), Err(StoreError::Lfsr(_))));
+    }
+}

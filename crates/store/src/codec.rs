@@ -1,0 +1,386 @@
+//! The byte-level codec: little-endian primitive writer/reader and the checksummed container
+//! frame every checkpoint travels in.
+//!
+//! Layout of the container (all integers little-endian):
+//!
+//! ```text
+//! offset  size  field
+//! 0       4     magic  "BNST"
+//! 4       4     format version (currently 1)
+//! 8       8     payload length in bytes
+//! 16      8     FNV-1a 64 checksum of the payload
+//! 24      n     payload
+//! ```
+//!
+//! The design constraints, in order:
+//!
+//! * **determinism** — encoding is a pure function of the value (no maps, no timestamps, no
+//!   platform-dependent widths), so identical checkpoints are byte-identical and their FNV
+//!   digests are committable baselines;
+//! * **corruption robustness** — every read is bounds-checked *before* any allocation is
+//!   sized from untrusted bytes, so a flipped or truncated input yields a typed
+//!   [`StoreError`], never a panic or an over-allocation;
+//! * **versioning** — the header's format version gates decoding, so a future layout change
+//!   fails loudly on old readers instead of mis-loading.
+
+use crate::error::StoreError;
+use shift_bnn::sweep::json::{fnv1a as fnv1a_stream, fnv1a_hex};
+
+/// The 4-byte container magic.
+pub const MAGIC: [u8; 4] = *b"BNST";
+
+/// The container format version this build reads and writes.
+pub const FORMAT_VERSION: u32 = 1;
+
+/// Container header size in bytes.
+pub const HEADER_LEN: usize = 4 + 4 + 8 + 8;
+
+/// FNV-1a 64 of a byte slice (the checksum the container header records) — the workspace's
+/// shared [`shift_bnn::sweep::json::fnv1a`] over the slice.
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    fnv1a_stream(bytes.iter().copied())
+}
+
+/// Wraps a payload in the checksummed container frame.
+pub fn frame(payload: Vec<u8>) -> Vec<u8> {
+    let mut out = Vec::with_capacity(HEADER_LEN + payload.len());
+    out.extend_from_slice(&MAGIC);
+    out.extend_from_slice(&FORMAT_VERSION.to_le_bytes());
+    out.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+    out.extend_from_slice(&fnv1a(&payload).to_le_bytes());
+    out.extend_from_slice(&payload);
+    out
+}
+
+/// Validates a container frame (magic, version, length, checksum) and returns its payload.
+///
+/// # Errors
+///
+/// [`StoreError::BadMagic`], [`StoreError::UnsupportedVersion`], [`StoreError::Truncated`],
+/// [`StoreError::TrailingBytes`] or [`StoreError::ChecksumMismatch`] — each header field
+/// guards itself, and the checksum guards every payload byte.
+pub fn unframe(bytes: &[u8]) -> Result<&[u8], StoreError> {
+    if bytes.len() < HEADER_LEN {
+        return Err(StoreError::Truncated {
+            offset: bytes.len(),
+            needed: HEADER_LEN - bytes.len(),
+        });
+    }
+    if bytes[0..4] != MAGIC {
+        return Err(StoreError::BadMagic);
+    }
+    let version = u32::from_le_bytes([bytes[4], bytes[5], bytes[6], bytes[7]]);
+    if version != FORMAT_VERSION {
+        return Err(StoreError::UnsupportedVersion { found: version });
+    }
+    let declared = u64::from_le_bytes(bytes[8..16].try_into().expect("8 bytes"));
+    let available = (bytes.len() - HEADER_LEN) as u64;
+    if declared > available {
+        return Err(StoreError::Truncated {
+            offset: bytes.len(),
+            needed: (declared - available) as usize,
+        });
+    }
+    if declared < available {
+        return Err(StoreError::TrailingBytes {
+            expected: HEADER_LEN + declared as usize,
+            actual: bytes.len(),
+        });
+    }
+    let expected = u64::from_le_bytes(bytes[16..24].try_into().expect("8 bytes"));
+    let payload = &bytes[HEADER_LEN..];
+    let actual = fnv1a(payload);
+    if expected != actual {
+        return Err(StoreError::ChecksumMismatch { expected, actual });
+    }
+    Ok(payload)
+}
+
+/// The FNV-1a digest of a full container, as 16 hex characters — the committable fingerprint
+/// of a checkpoint's exact bytes.
+pub fn digest(bytes: &[u8]) -> String {
+    fnv1a_hex(bytes.iter().copied())
+}
+
+/// Little-endian primitive writer over a growable buffer.
+#[derive(Debug, Default)]
+pub struct Writer {
+    buf: Vec<u8>,
+}
+
+impl Writer {
+    /// Creates an empty writer.
+    pub fn new() -> Writer {
+        Writer::default()
+    }
+
+    /// Finishes and returns the written bytes.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// Writes one byte.
+    pub fn u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    /// Writes a little-endian `u32`.
+    pub fn u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Writes a little-endian `u64`.
+    pub fn u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Writes a little-endian `i64`.
+    pub fn i64(&mut self, v: i64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Writes an `f32` by bit pattern (lossless, `−0.0`/NaN payloads included).
+    pub fn f32(&mut self, v: f32) {
+        self.buf.extend_from_slice(&v.to_bits().to_le_bytes());
+    }
+
+    /// Writes a `usize` as a `u64` (checkpoints are platform-independent).
+    pub fn size(&mut self, v: usize) {
+        self.u64(v as u64);
+    }
+
+    /// Writes a `u64` slice as a `u32` count followed by the words.
+    pub fn u64_seq(&mut self, values: &[u64]) {
+        self.u32(values.len() as u32);
+        for &v in values {
+            self.u64(v);
+        }
+    }
+
+    /// Writes a `usize` slice as a `u32` count followed by `u64` words.
+    pub fn usize_seq(&mut self, values: &[usize]) {
+        self.u32(values.len() as u32);
+        for &v in values {
+            self.u64(v as u64);
+        }
+    }
+
+    /// Raw access for writing pre-encoded blocks (e.g. tensor bit streams).
+    pub fn bytes_mut(&mut self) -> &mut Vec<u8> {
+        &mut self.buf
+    }
+}
+
+/// Bounds-checked little-endian reader over a byte slice.
+#[derive(Debug)]
+pub struct Reader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    /// Wraps a byte slice.
+    pub fn new(bytes: &'a [u8]) -> Reader<'a> {
+        Reader { bytes, pos: 0 }
+    }
+
+    /// Current byte offset (for error reporting).
+    pub fn offset(&self) -> usize {
+        self.pos
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.bytes.len() - self.pos
+    }
+
+    /// A [`StoreError::Malformed`] at the current offset.
+    pub fn malformed(&self, detail: impl Into<String>) -> StoreError {
+        StoreError::Malformed { offset: self.pos, detail: detail.into() }
+    }
+
+    /// Fails unless every byte has been consumed (payloads must be exact).
+    pub fn finish(&self) -> Result<(), StoreError> {
+        if self.remaining() != 0 {
+            return Err(StoreError::TrailingBytes { expected: self.pos, actual: self.bytes.len() });
+        }
+        Ok(())
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], StoreError> {
+        if self.remaining() < n {
+            return Err(StoreError::Truncated { offset: self.pos, needed: n - self.remaining() });
+        }
+        let slice = &self.bytes[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(slice)
+    }
+
+    /// Reads one byte.
+    pub fn u8(&mut self) -> Result<u8, StoreError> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// Reads a little-endian `u32`.
+    pub fn u32(&mut self) -> Result<u32, StoreError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("4 bytes")))
+    }
+
+    /// Reads a little-endian `u64`.
+    pub fn u64(&mut self) -> Result<u64, StoreError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("8 bytes")))
+    }
+
+    /// Reads a little-endian `i64`.
+    pub fn i64(&mut self) -> Result<i64, StoreError> {
+        Ok(i64::from_le_bytes(self.take(8)?.try_into().expect("8 bytes")))
+    }
+
+    /// Reads an `f32` by bit pattern.
+    pub fn f32(&mut self) -> Result<f32, StoreError> {
+        Ok(f32::from_bits(u32::from_le_bytes(self.take(4)?.try_into().expect("4 bytes"))))
+    }
+
+    /// Reads a `u64` written by [`Writer::size`] back as a `usize`, rejecting values that do
+    /// not fit the platform.
+    pub fn size(&mut self) -> Result<usize, StoreError> {
+        let v = self.u64()?;
+        usize::try_from(v).map_err(|_| self.malformed(format!("length {v} overflows usize")))
+    }
+
+    /// Reads a `u64` sequence written by [`Writer::u64_seq`]. The count is validated against
+    /// the remaining bytes *before* the vector is sized (with the byte count computed
+    /// overflow-checked, so a forged count cannot wrap the guard on 32-bit targets), so
+    /// corrupted counts cannot trigger huge allocations.
+    pub fn u64_seq(&mut self) -> Result<Vec<u64>, StoreError> {
+        let count = self.u32()? as usize;
+        let bytes_needed = count
+            .checked_mul(8)
+            .ok_or_else(|| self.malformed(format!("sequence of {count} words overflows")))?;
+        if self.remaining() < bytes_needed {
+            return Err(StoreError::Truncated {
+                offset: self.pos,
+                needed: bytes_needed - self.remaining(),
+            });
+        }
+        (0..count).map(|_| self.u64()).collect()
+    }
+
+    /// Reads a `usize` sequence written by [`Writer::usize_seq`] (same bounds discipline).
+    pub fn usize_seq(&mut self) -> Result<Vec<usize>, StoreError> {
+        let words = self.u64_seq()?;
+        words
+            .into_iter()
+            .map(|v| {
+                usize::try_from(v)
+                    .map_err(|_| self.malformed(format!("sequence value {v} overflows usize")))
+            })
+            .collect()
+    }
+
+    /// Reads `n` raw bytes.
+    pub fn raw(&mut self, n: usize) -> Result<&'a [u8], StoreError> {
+        self.take(n)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_round_trip() {
+        let mut w = Writer::new();
+        w.u8(7);
+        w.u32(0xDEAD_BEEF);
+        w.u64(u64::MAX);
+        w.i64(-42);
+        w.f32(-0.0);
+        w.f32(f32::NAN);
+        w.size(12345);
+        w.u64_seq(&[1, 2, 3]);
+        w.usize_seq(&[9, 8]);
+        let bytes = w.into_bytes();
+        let mut r = Reader::new(&bytes);
+        assert_eq!(r.u8().unwrap(), 7);
+        assert_eq!(r.u32().unwrap(), 0xDEAD_BEEF);
+        assert_eq!(r.u64().unwrap(), u64::MAX);
+        assert_eq!(r.i64().unwrap(), -42);
+        assert_eq!(r.f32().unwrap().to_bits(), (-0.0f32).to_bits());
+        assert!(r.f32().unwrap().is_nan());
+        assert_eq!(r.size().unwrap(), 12345);
+        assert_eq!(r.u64_seq().unwrap(), vec![1, 2, 3]);
+        assert_eq!(r.usize_seq().unwrap(), vec![9, 8]);
+        r.finish().unwrap();
+    }
+
+    #[test]
+    fn reads_past_the_end_are_truncation_errors() {
+        let mut r = Reader::new(&[1, 2]);
+        assert!(matches!(r.u64(), Err(StoreError::Truncated { .. })));
+        // The failed read consumed nothing; smaller reads still succeed.
+        assert_eq!(r.u8().unwrap(), 1);
+    }
+
+    #[test]
+    fn huge_sequence_counts_fail_before_allocating() {
+        // A corrupted count of ~4 billion must be caught by the remaining-bytes check.
+        let mut w = Writer::new();
+        w.u32(u32::MAX);
+        let bytes = w.into_bytes();
+        let mut r = Reader::new(&bytes);
+        assert!(matches!(r.u64_seq(), Err(StoreError::Truncated { .. })));
+    }
+
+    #[test]
+    fn unconsumed_payload_bytes_are_an_error() {
+        let r = {
+            let mut r = Reader::new(&[0, 0, 0]);
+            r.u8().unwrap();
+            r
+        };
+        assert!(matches!(r.finish(), Err(StoreError::TrailingBytes { .. })));
+    }
+
+    #[test]
+    fn frame_round_trips_and_guards_every_header_field() {
+        let payload = b"posterior bytes".to_vec();
+        let framed = frame(payload.clone());
+        assert_eq!(unframe(&framed).unwrap(), &payload[..]);
+
+        // Magic.
+        let mut bad = framed.clone();
+        bad[0] ^= 0xFF;
+        assert!(matches!(unframe(&bad), Err(StoreError::BadMagic)));
+        // Version.
+        let mut bad = framed.clone();
+        bad[4] = 99;
+        assert!(matches!(unframe(&bad), Err(StoreError::UnsupportedVersion { found: 99 })));
+        // Declared length too long.
+        let mut bad = framed.clone();
+        bad[8] += 1;
+        assert!(matches!(unframe(&bad), Err(StoreError::Truncated { .. })));
+        // Trailing garbage.
+        let mut bad = framed.clone();
+        bad.push(0);
+        assert!(matches!(unframe(&bad), Err(StoreError::TrailingBytes { .. })));
+        // Checksum field corruption.
+        let mut bad = framed.clone();
+        bad[16] ^= 1;
+        assert!(matches!(unframe(&bad), Err(StoreError::ChecksumMismatch { .. })));
+        // Payload corruption.
+        let mut bad = framed.clone();
+        let last = bad.len() - 1;
+        bad[last] ^= 0x10;
+        assert!(matches!(unframe(&bad), Err(StoreError::ChecksumMismatch { .. })));
+        // Truncation below the header.
+        assert!(matches!(unframe(&framed[..10]), Err(StoreError::Truncated { .. })));
+    }
+
+    #[test]
+    fn empty_payloads_frame_cleanly() {
+        let framed = frame(Vec::new());
+        assert_eq!(framed.len(), HEADER_LEN);
+        assert_eq!(unframe(&framed).unwrap(), &[] as &[u8]);
+    }
+}

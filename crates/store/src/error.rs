@@ -1,0 +1,175 @@
+//! The typed error surface of the checkpoint store.
+//!
+//! The corruption-robustness contract (pinned by `tests/corruption_props.rs`) is that **every**
+//! malformed input — bit-flipped, truncated, hand-rolled — decodes to one of these variants.
+//! Nothing in the store path panics on bad bytes, and nothing mis-loads silently: the container
+//! checksum catches payload corruption, the header fields catch their own corruption, and the
+//! payload decoder bounds-checks every read and re-validates every structure it rebuilds.
+
+use bnn_lfsr::LfsrError;
+use bnn_tensor::TensorError;
+use std::fmt;
+
+/// Errors produced by checkpoint encoding/decoding and the model registry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StoreError {
+    /// A filesystem operation failed (`std::io::Error` flattened to keep the type `Clone`).
+    Io {
+        /// The path the operation touched.
+        path: String,
+        /// The underlying I/O error, rendered.
+        detail: String,
+    },
+    /// The bytes do not start with the checkpoint magic (`"BNST"`).
+    BadMagic,
+    /// The container declares a format version this build does not understand.
+    UnsupportedVersion {
+        /// The version found in the header.
+        found: u32,
+    },
+    /// The container is shorter than its header or its declared payload length.
+    Truncated {
+        /// Byte offset at which more data was needed.
+        offset: usize,
+        /// How many more bytes the decoder needed.
+        needed: usize,
+    },
+    /// Bytes remain after the declared payload (corrupted length field or appended garbage).
+    TrailingBytes {
+        /// Declared total size.
+        expected: usize,
+        /// Actual size.
+        actual: usize,
+    },
+    /// The payload checksum does not match the header's (bit corruption in flight or at rest).
+    ChecksumMismatch {
+        /// Checksum recorded in the header.
+        expected: u64,
+        /// Checksum of the payload as read.
+        actual: u64,
+    },
+    /// The payload structure is invalid (bad tag, impossible count, inconsistent field).
+    Malformed {
+        /// Byte offset of the offending field.
+        offset: usize,
+        /// What was wrong.
+        detail: String,
+    },
+    /// A captured GRNG/LFSR state failed re-validation on restore.
+    Lfsr(LfsrError),
+    /// A captured tensor/layer failed shape re-validation on rebuild.
+    Shape(TensorError),
+    /// Rebuilding a trainer from the checkpoint's training state failed.
+    Train(String),
+    /// The checkpoint holds only a posterior; it cannot resume training.
+    NotATrainingCheckpoint,
+    /// The registry has no model under this name.
+    UnknownModel {
+        /// The requested model name.
+        name: String,
+    },
+    /// The registry has no such version of this model.
+    UnknownVersion {
+        /// The requested model name.
+        name: String,
+        /// The requested version.
+        version: u32,
+    },
+    /// A model name contains characters the registry's on-disk layout does not allow.
+    InvalidName {
+        /// The offending name.
+        name: String,
+    },
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreError::Io { path, detail } => write!(f, "I/O error on {path}: {detail}"),
+            StoreError::BadMagic => write!(f, "not a bnn-store checkpoint (bad magic)"),
+            StoreError::UnsupportedVersion { found } => {
+                write!(f, "unsupported checkpoint format version {found}")
+            }
+            StoreError::Truncated { offset, needed } => {
+                write!(f, "truncated checkpoint: needed {needed} more byte(s) at offset {offset}")
+            }
+            StoreError::TrailingBytes { expected, actual } => {
+                write!(f, "trailing bytes after checkpoint: expected {expected}, got {actual}")
+            }
+            StoreError::ChecksumMismatch { expected, actual } => {
+                write!(
+                    f,
+                    "checkpoint checksum mismatch: header {expected:016x}, payload {actual:016x}"
+                )
+            }
+            StoreError::Malformed { offset, detail } => {
+                write!(f, "malformed checkpoint at offset {offset}: {detail}")
+            }
+            StoreError::Lfsr(e) => write!(f, "invalid captured generator state: {e}"),
+            StoreError::Shape(e) => write!(f, "invalid captured parameters: {e}"),
+            StoreError::Train(detail) => write!(f, "cannot resume trainer: {detail}"),
+            StoreError::NotATrainingCheckpoint => {
+                write!(f, "checkpoint holds a posterior only, no trainer state to resume")
+            }
+            StoreError::UnknownModel { name } => write!(f, "no model {name:?} in the registry"),
+            StoreError::UnknownVersion { name, version } => {
+                write!(f, "model {name:?} has no version {version}")
+            }
+            StoreError::InvalidName { name } => {
+                write!(f, "invalid model name {name:?} (use 1-64 ASCII letters, digits, '-', '_')")
+            }
+        }
+    }
+}
+
+impl std::error::Error for StoreError {}
+
+impl From<LfsrError> for StoreError {
+    fn from(e: LfsrError) -> Self {
+        StoreError::Lfsr(e)
+    }
+}
+
+impl From<TensorError> for StoreError {
+    fn from(e: TensorError) -> Self {
+        StoreError::Shape(e)
+    }
+}
+
+impl StoreError {
+    /// Wraps an I/O error with the path it occurred on.
+    pub fn io(path: &std::path::Path, error: std::io::Error) -> StoreError {
+        StoreError::Io { path: path.display().to_string(), detail: error.to_string() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_name_the_failure() {
+        let cases: Vec<(StoreError, &str)> = vec![
+            (StoreError::BadMagic, "bad magic"),
+            (StoreError::UnsupportedVersion { found: 9 }, "version 9"),
+            (StoreError::Truncated { offset: 10, needed: 4 }, "offset 10"),
+            (StoreError::TrailingBytes { expected: 5, actual: 9 }, "trailing"),
+            (StoreError::ChecksumMismatch { expected: 1, actual: 2 }, "checksum"),
+            (StoreError::Malformed { offset: 3, detail: "bad tag 7".into() }, "bad tag 7"),
+            (StoreError::NotATrainingCheckpoint, "posterior only"),
+            (StoreError::UnknownModel { name: "m".into() }, "no model"),
+            (StoreError::UnknownVersion { name: "m".into(), version: 2 }, "version 2"),
+            (StoreError::InvalidName { name: "a/b".into() }, "invalid model name"),
+            (StoreError::Train("boom".into()), "boom"),
+        ];
+        for (error, needle) in cases {
+            assert!(error.to_string().contains(needle), "{error}");
+        }
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<StoreError>();
+    }
+}

@@ -1,0 +1,72 @@
+//! **bnn-store** — the deterministic posterior checkpoint store and versioned model registry
+//! of the Shift-BNN reproduction.
+//!
+//! The paper's central observation is a statement about *what is durable*: the posterior
+//! `θ = (μ, ρ)` is the artifact of Bayesian training, while every Gaussian ε is regenerable
+//! from an LFSR seed and therefore never worth storing. This crate is that observation turned
+//! into a persistence layer, completing the train → snapshot → serve → hot-swap lifecycle:
+//!
+//! * [`Checkpoint`] — a versioned, checksummed, hand-rolled binary serialization (no serde;
+//!   the same offline constraint as `sweep::json`) of a [`NetworkSnapshot`] and, for training
+//!   checkpoints, the full trainer state: step count, gradient accumulators, and the
+//!   mid-stream GRNG register capture of every Monte-Carlo sample's ε source. Save at step
+//!   `N`, load, resume — the continued run is **bit-identical** to one that never stopped
+//!   (`tests/resume_determinism.rs`);
+//! * [`ModelRegistry`] — named, monotonically-versioned checkpoints with atomic publish
+//!   (write-then-link; readers never observe partial files), feeding `bnn-serve`'s
+//!   `ModelSource::Checkpoint` path so `InferenceEngine`s materialize replicas from trained
+//!   posteriors and hot-swap new versions across all pool workers between batches
+//!   (`tests/serve_equivalence.rs`);
+//! * [`StoreError`] — the typed decode surface: bit-flipped or truncated checkpoint bytes
+//!   always fail loudly (checksum/version/bounds), never panic, never mis-load
+//!   (`tests/corruption_props.rs`).
+//!
+//! # Example: train → save → resume → serve
+//!
+//! ```
+//! use bnn_store::{Checkpoint, ModelRegistry};
+//! use bnn_train::data::SyntheticDataset;
+//! use bnn_train::variational::BayesConfig;
+//! use bnn_train::{Network, Trainer, TrainerConfig};
+//! use rand::rngs::StdRng;
+//! use rand::SeedableRng;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! // Train a few steps.
+//! let dataset = SyntheticDataset::generate(&[6], 2, 4, 0.2, 3);
+//! let mut rng = StdRng::seed_from_u64(0);
+//! let network = Network::bayes_mlp(6, &[8], 2, BayesConfig::default(), &mut rng);
+//! let mut trainer = Trainer::new(network, TrainerConfig::default())?;
+//! trainer.train_epoch(&dataset)?;
+//!
+//! // Snapshot everything; bytes round-trip bit-exactly.
+//! let checkpoint = Checkpoint::from_trainer(&trainer);
+//! let decoded = Checkpoint::from_bytes(&checkpoint.to_bytes())?;
+//! let mut resumed = decoded.resume_trainer()?;
+//! assert_eq!(resumed.steps(), trainer.steps());
+//!
+//! // Publish to a registry (atomic, monotonically versioned).
+//! let root = std::env::temp_dir().join(format!("bnn-store-doc-{}", std::process::id()));
+//! let registry = ModelRegistry::open(&root)?;
+//! let version = registry.publish("bmlp", &checkpoint)?;
+//! assert_eq!(registry.latest("bmlp")?, Some(version));
+//! let (_, source) = registry.serve_source("bmlp", None, vec![6])?;
+//! assert_eq!(source.epsilon_count(), checkpoint.epsilon_count());
+//! # std::fs::remove_dir_all(&root).ok();
+//! # Ok(())
+//! # }
+//! ```
+//!
+//! [`NetworkSnapshot`]: bnn_train::snapshot::NetworkSnapshot
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod checkpoint;
+pub mod codec;
+pub mod error;
+pub mod registry;
+
+pub use checkpoint::{Checkpoint, TrainerState};
+pub use error::StoreError;
+pub use registry::ModelRegistry;

@@ -1,0 +1,277 @@
+//! The model registry: named, monotonically-versioned checkpoints with atomic publish.
+//!
+//! On-disk layout (one directory per model, one file per version):
+//!
+//! ```text
+//! <root>/
+//!   blenet/
+//!     v000001.ckpt
+//!     v000002.ckpt
+//!   bmlp/
+//!     v000001.ckpt
+//! ```
+//!
+//! The directory listing *is* the index — no manifest file exists to go stale or to corrupt
+//! independently of the data. Two properties make the registry safe to read while being
+//! written:
+//!
+//! * **atomic publish** — a checkpoint is written to a hidden temporary file and *linked*
+//!   into its final version name. Readers either see a complete, checksummed file or no file;
+//!   never a partial one. The link step fails (rather than overwriting) if the version
+//!   already exists, so concurrent publishers bump to the next number instead of clobbering
+//!   each other;
+//! * **monotonic versions** — versions are allocated as `max(existing) + 1`; published
+//!   checkpoints are immutable (nothing in this API rewrites or deletes a version).
+//!
+//! A serving engine wires in through [`ModelRegistry::serve_source`], which loads a version
+//! (or the latest) as a [`ModelSource`] ready for `InferenceEngine::from_source` or a
+//! hot-swap schedule.
+
+use crate::checkpoint::Checkpoint;
+use crate::error::StoreError;
+use bnn_serve::{CheckpointReplica, ModelSource};
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// A filesystem-backed registry of named, versioned checkpoints.
+#[derive(Debug, Clone)]
+pub struct ModelRegistry {
+    root: PathBuf,
+}
+
+/// Versions are rendered zero-padded (`v000042.ckpt`) so lexicographic directory order is
+/// version order for every version below one million.
+fn version_file(version: u32) -> String {
+    format!("v{version:06}.ckpt")
+}
+
+/// Accepts only the exact canonical form [`version_file`] writes (zero-padded), so the
+/// versions the listing reports are always the versions [`ModelRegistry::load`] can find —
+/// a hand-copied `v7.ckpt` is ignored rather than listed-but-unloadable.
+fn parse_version(file_name: &str) -> Option<u32> {
+    let digits = file_name.strip_prefix('v')?.strip_suffix(".ckpt")?;
+    if digits.is_empty() || !digits.bytes().all(|b| b.is_ascii_digit()) {
+        return None;
+    }
+    let version: u32 = digits.parse().ok()?;
+    (version_file(version) == file_name).then_some(version)
+}
+
+fn valid_name(name: &str) -> bool {
+    !name.is_empty()
+        && name.len() <= 64
+        && name.bytes().all(|b| b.is_ascii_alphanumeric() || b == b'-' || b == b'_')
+}
+
+impl ModelRegistry {
+    /// Opens (creating if necessary) a registry rooted at `root`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StoreError::Io`] when the root cannot be created.
+    pub fn open(root: impl Into<PathBuf>) -> Result<ModelRegistry, StoreError> {
+        let root = root.into();
+        fs::create_dir_all(&root).map_err(|e| StoreError::io(&root, e))?;
+        Ok(ModelRegistry { root })
+    }
+
+    /// The registry's root directory.
+    pub fn root(&self) -> &Path {
+        &self.root
+    }
+
+    /// The path a given version of a model lives at (whether or not it exists yet).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StoreError::InvalidName`] for names the on-disk layout cannot hold.
+    pub fn checkpoint_path(&self, name: &str, version: u32) -> Result<PathBuf, StoreError> {
+        Ok(self.model_dir(name)?.join(version_file(version)))
+    }
+
+    fn model_dir(&self, name: &str) -> Result<PathBuf, StoreError> {
+        if !valid_name(name) {
+            return Err(StoreError::InvalidName { name: name.to_string() });
+        }
+        Ok(self.root.join(name))
+    }
+
+    /// All model names with at least one published version, sorted.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StoreError::Io`] when the root cannot be listed.
+    pub fn models(&self) -> Result<Vec<String>, StoreError> {
+        let mut names = Vec::new();
+        let entries = fs::read_dir(&self.root).map_err(|e| StoreError::io(&self.root, e))?;
+        for entry in entries {
+            let entry = entry.map_err(|e| StoreError::io(&self.root, e))?;
+            let is_dir = entry.file_type().map_err(|e| StoreError::io(&self.root, e))?.is_dir();
+            let name = entry.file_name().to_string_lossy().into_owned();
+            // Stray files in the root (notes, backups) are not models; only directories
+            // holding at least one version count.
+            if is_dir && valid_name(&name) && !self.versions(&name)?.is_empty() {
+                names.push(name);
+            }
+        }
+        names.sort();
+        Ok(names)
+    }
+
+    /// The published versions of a model, ascending (empty if the model is unknown).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StoreError::InvalidName`] / [`StoreError::Io`] on bad names or unreadable
+    /// directories.
+    pub fn versions(&self, name: &str) -> Result<Vec<u32>, StoreError> {
+        let dir = self.model_dir(name)?;
+        let entries = match fs::read_dir(&dir) {
+            Ok(entries) => entries,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(Vec::new()),
+            Err(e) => return Err(StoreError::io(&dir, e)),
+        };
+        let mut versions = Vec::new();
+        for entry in entries {
+            let entry = entry.map_err(|e| StoreError::io(&dir, e))?;
+            if let Some(version) = parse_version(&entry.file_name().to_string_lossy()) {
+                versions.push(version);
+            }
+        }
+        versions.sort_unstable();
+        Ok(versions)
+    }
+
+    /// The newest published version of a model, if any.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`ModelRegistry::versions`] failures.
+    pub fn latest(&self, name: &str) -> Result<Option<u32>, StoreError> {
+        Ok(self.versions(name)?.last().copied())
+    }
+
+    /// Publishes a checkpoint under `name`, returning the newly allocated version
+    /// (`max(existing) + 1`, starting at 1).
+    ///
+    /// The publish is atomic: the bytes land in a hidden temporary file first and are then
+    /// hard-linked into the version name, which fails — and retries with the next number —
+    /// if a concurrent publisher claimed it. Readers never observe partial checkpoints.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StoreError::InvalidName`] / [`StoreError::Io`] on bad names or filesystem
+    /// failures.
+    pub fn publish(&self, name: &str, checkpoint: &Checkpoint) -> Result<u32, StoreError> {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        static PUBLISH_SEQ: AtomicU64 = AtomicU64::new(0);
+        let dir = self.model_dir(name)?;
+        fs::create_dir_all(&dir).map_err(|e| StoreError::io(&dir, e))?;
+        let tmp = dir.join(format!(
+            ".tmp-publish-{}-{}",
+            std::process::id(),
+            PUBLISH_SEQ.fetch_add(1, Ordering::Relaxed)
+        ));
+        fs::write(&tmp, checkpoint.to_bytes()).map_err(|e| StoreError::io(&tmp, e))?;
+        let result = self.link_next_version(name, &dir, &tmp);
+        let _ = fs::remove_file(&tmp);
+        result
+    }
+
+    fn link_next_version(&self, name: &str, dir: &Path, tmp: &Path) -> Result<u32, StoreError> {
+        loop {
+            let version = self.latest(name)?.unwrap_or(0) + 1;
+            let target = dir.join(version_file(version));
+            match fs::hard_link(tmp, &target) {
+                Ok(()) => return Ok(version),
+                Err(e) if e.kind() == std::io::ErrorKind::AlreadyExists => {
+                    // A concurrent publisher claimed this number; rescan and take the next.
+                    continue;
+                }
+                Err(e) => return Err(StoreError::io(&target, e)),
+            }
+        }
+    }
+
+    /// Loads one version of a model (fully validated; see [`Checkpoint::from_bytes`]).
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::UnknownVersion`] when the file does not exist; otherwise the usual
+    /// decode errors.
+    pub fn load(&self, name: &str, version: u32) -> Result<Checkpoint, StoreError> {
+        let path = self.checkpoint_path(name, version)?;
+        let bytes = match fs::read(&path) {
+            Ok(bytes) => bytes,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+                return Err(StoreError::UnknownVersion { name: name.to_string(), version });
+            }
+            Err(e) => return Err(StoreError::io(&path, e)),
+        };
+        Checkpoint::from_bytes(&bytes)
+    }
+
+    /// Loads the newest version of a model.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::UnknownModel`] when no version has been published.
+    pub fn load_latest(&self, name: &str) -> Result<(u32, Checkpoint), StoreError> {
+        let version = self
+            .latest(name)?
+            .ok_or_else(|| StoreError::UnknownModel { name: name.to_string() })?;
+        Ok((version, self.load(name, version)?))
+    }
+
+    /// Loads a version (or the latest, for `None`) as a serving [`ModelSource`], labelled
+    /// `"<name>@v<version>"` — ready for `InferenceEngine::from_source` or a
+    /// `VersionSwap`. `input_shape` is the request shape the served model expects.
+    ///
+    /// # Errors
+    ///
+    /// Propagates load errors; the replica validation itself cannot fail for checkpoints
+    /// that decoded successfully.
+    pub fn serve_source(
+        &self,
+        name: &str,
+        version: Option<u32>,
+        input_shape: Vec<usize>,
+    ) -> Result<(u32, ModelSource), StoreError> {
+        let (version, checkpoint) = match version {
+            Some(v) => (v, self.load(name, v)?),
+            None => self.load_latest(name)?,
+        };
+        let replica =
+            CheckpointReplica::new(format!("{name}@v{version}"), checkpoint.network, input_shape)?;
+        Ok((version, ModelSource::Checkpoint(replica)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn version_file_names_round_trip() {
+        assert_eq!(version_file(1), "v000001.ckpt");
+        assert_eq!(version_file(999_999), "v999999.ckpt");
+        assert_eq!(parse_version("v000042.ckpt"), Some(42));
+        assert_eq!(parse_version("v1000000.ckpt"), Some(1_000_000), "wide versions round-trip");
+        assert_eq!(parse_version("v1.ckpt"), None, "non-canonical padding is not listed");
+        assert_eq!(parse_version("v0000042.ckpt"), None, "over-padding is not listed");
+        assert_eq!(parse_version(".tmp-publish-7"), None);
+        assert_eq!(parse_version("v.ckpt"), None);
+        assert_eq!(parse_version("vx2.ckpt"), None);
+        assert_eq!(parse_version("v2.json"), None);
+    }
+
+    #[test]
+    fn name_validation_rejects_path_escapes() {
+        for bad in ["", "a/b", "..", "a b", "é", &"x".repeat(65)] {
+            assert!(!valid_name(bad), "{bad:?} must be rejected");
+        }
+        for good in ["blenet", "B-MLP_v2", "x", &"x".repeat(64)] {
+            assert!(valid_name(good), "{good:?} must be accepted");
+        }
+    }
+}

@@ -1,0 +1,128 @@
+//! Resume determinism: train `K` steps → checkpoint (through the **full binary round trip**)
+//! → train `K` more, versus `2K` uninterrupted — `to_bits()`-identical posteriors and a
+//! bit-identical loss trace.
+//!
+//! This is the acceptance test of the whole store: a checkpoint that loses *any* state —
+//! one gradient accumulator, one GRNG register bit, one ρ value rounded through text — would
+//! diverge here, because Bayes-by-Backprop training is chaotic in exactly the way that
+//! amplifies single-ULP differences into visible loss drift within a few steps.
+
+use bnn_store::Checkpoint;
+use bnn_tensor::Precision;
+use bnn_train::data::SyntheticDataset;
+use bnn_train::trainer::StepMetrics;
+use bnn_train::variational::BayesConfig;
+use bnn_train::{EpsilonStrategy, Network, Trainer, TrainerConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn dataset() -> SyntheticDataset {
+    SyntheticDataset::generate(&[1, 8, 8], 3, 6, 0.2, 41)
+}
+
+fn fresh_trainer(strategy: EpsilonStrategy, precision: Precision) -> Trainer {
+    let mut rng = StdRng::seed_from_u64(1213);
+    let config = BayesConfig::default().with_precision(precision);
+    let network = Network::bayes_lenet(&[1, 8, 8], 3, config, &mut rng);
+    Trainer::new(network, TrainerConfig { samples: 3, learning_rate: 0.05, strategy, seed: 99 })
+        .unwrap()
+}
+
+/// Drives training steps `start..start + steps`, cycling the dataset by global step index
+/// (the trainer's own step counter keeps the cursor consistent across resume boundaries).
+fn drive(trainer: &mut Trainer, dataset: &SyntheticDataset, steps: usize) -> Vec<StepMetrics> {
+    (0..steps)
+        .map(|_| {
+            let (image, label) = dataset.example(trainer.steps() as usize % dataset.len());
+            trainer.train_example(image, label).unwrap()
+        })
+        .collect()
+}
+
+/// Every parameter bit of two runs, compared exactly (`PartialEq` on tensors is `f32`
+/// equality, which distinguishes every bit pattern except `0.0 == -0.0` and NaN — the
+/// additional digest equality below closes even that gap at the byte level).
+fn assert_identical_runs(strategy: EpsilonStrategy, precision: Precision, k: usize) {
+    let data = dataset();
+
+    // Arm A: 2K uninterrupted steps.
+    let mut uninterrupted = fresh_trainer(strategy, precision);
+    let trace_a = drive(&mut uninterrupted, &data, 2 * k);
+
+    // Arm B: K steps, checkpoint through bytes, resume in a brand-new trainer, K more.
+    let mut first_leg = fresh_trainer(strategy, precision);
+    let mut trace_b = drive(&mut first_leg, &data, k);
+    let bytes = Checkpoint::from_trainer(&first_leg).to_bytes();
+    drop(first_leg);
+    let mut resumed = Checkpoint::from_bytes(&bytes).unwrap().resume_trainer().unwrap();
+    assert_eq!(resumed.steps(), k as u64, "step count must survive the round trip");
+    trace_b.extend(drive(&mut resumed, &data, k));
+
+    // The loss traces must agree step for step, bit for bit.
+    assert_eq!(trace_a.len(), trace_b.len());
+    for (step, (a, b)) in trace_a.iter().zip(&trace_b).enumerate() {
+        assert_eq!(
+            a.total_loss.to_bits(),
+            b.total_loss.to_bits(),
+            "loss diverged at step {step} ({strategy:?}, {precision:?}): {} vs {}",
+            a.total_loss,
+            b.total_loss
+        );
+        assert_eq!(a.nll.to_bits(), b.nll.to_bits(), "nll diverged at step {step}");
+    }
+
+    // And the final states must be byte-identical, posterior and generators alike.
+    let final_a = Checkpoint::from_trainer(&uninterrupted);
+    let final_b = Checkpoint::from_trainer(&resumed);
+    assert_eq!(final_a.digest(), final_b.digest(), "final checkpoint bytes diverged");
+    assert_eq!(final_a, final_b);
+}
+
+#[test]
+fn lfsr_retrieve_resume_is_bit_identical() {
+    assert_identical_runs(EpsilonStrategy::LfsrRetrieve, Precision::Fp32, 5);
+}
+
+#[test]
+fn store_replay_resume_is_bit_identical() {
+    assert_identical_runs(EpsilonStrategy::StoreReplay, Precision::Fp32, 4);
+}
+
+#[test]
+fn quantized_training_resume_is_bit_identical() {
+    assert_identical_runs(EpsilonStrategy::LfsrRetrieve, Precision::PAPER_16BIT, 4);
+}
+
+#[test]
+fn snapshot_boundaries_compose() {
+    // Checkpointing twice (K, then K more) must equal checkpointing once — boundaries are
+    // transparent wherever they land.
+    let data = dataset();
+    let mut reference = fresh_trainer(EpsilonStrategy::LfsrRetrieve, Precision::Fp32);
+    drive(&mut reference, &data, 6);
+
+    let mut leg1 = fresh_trainer(EpsilonStrategy::LfsrRetrieve, Precision::Fp32);
+    drive(&mut leg1, &data, 2);
+    let mut leg2 = Checkpoint::from_bytes(&Checkpoint::from_trainer(&leg1).to_bytes())
+        .unwrap()
+        .resume_trainer()
+        .unwrap();
+    // Continue where leg1 stopped: steps 2 and 3 of the cycled dataset.
+    for s in 2..4 {
+        let (image, label) = data.example(s % data.len());
+        leg2.train_example(image, label).unwrap();
+    }
+    let mut leg3 = Checkpoint::from_bytes(&Checkpoint::from_trainer(&leg2).to_bytes())
+        .unwrap()
+        .resume_trainer()
+        .unwrap();
+    for s in 4..6 {
+        let (image, label) = data.example(s % data.len());
+        leg3.train_example(image, label).unwrap();
+    }
+    assert_eq!(
+        Checkpoint::from_trainer(&reference).digest(),
+        Checkpoint::from_trainer(&leg3).digest(),
+        "two checkpoint boundaries diverged from zero boundaries"
+    );
+}

@@ -119,6 +119,36 @@ impl Tensor {
         (self.shape, self.data)
     }
 
+    /// Appends the raw element bits to `out`, each element as a little-endian `f32` word in
+    /// row-major order — the lossless export the checkpoint store serializes parameters
+    /// through (`to_bits` round-trips every value, NaN payloads and `−0.0` included).
+    pub fn extend_le_bytes(&self, out: &mut Vec<u8>) {
+        out.reserve(self.data.len() * 4);
+        for v in &self.data {
+            out.extend_from_slice(&v.to_bits().to_le_bytes());
+        }
+    }
+
+    /// Rebuilds a tensor from a shape and the little-endian `f32` bytes produced by
+    /// [`Tensor::extend_le_bytes`] — bit-exact (`from_le_bytes(shape, bytes)` reproduces the
+    /// exported tensor down to every bit pattern).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::InvalidReshape`] if `bytes.len()` is not exactly four times the
+    /// product of `shape`.
+    pub fn from_le_bytes(shape: Vec<usize>, bytes: &[u8]) -> Result<Self, TensorError> {
+        let expected: usize = shape.iter().product();
+        if bytes.len() != expected * 4 {
+            return Err(TensorError::InvalidReshape { len: bytes.len() / 4, shape });
+        }
+        let data = bytes
+            .chunks_exact(4)
+            .map(|c| f32::from_bits(u32::from_le_bytes([c[0], c[1], c[2], c[3]])))
+            .collect();
+        Ok(Self { shape, data })
+    }
+
     /// The tensor's shape.
     pub fn shape(&self) -> &[usize] {
         &self.shape
@@ -430,6 +460,31 @@ mod tests {
     #[test]
     fn from_vec_rejects_wrong_length() {
         assert!(Tensor::from_vec(vec![2, 2], vec![1.0]).is_err());
+    }
+
+    #[test]
+    fn le_bytes_round_trip_is_bit_exact() {
+        // Include the values a lossy text round-trip would mangle: −0.0, subnormals, NaN.
+        let t = Tensor::from_vec(
+            vec![2, 3],
+            vec![-0.0, f32::NAN, 1.0e-40, f32::MIN_POSITIVE, 0.1, -3.5],
+        )
+        .unwrap();
+        let mut bytes = Vec::new();
+        t.extend_le_bytes(&mut bytes);
+        assert_eq!(bytes.len(), 6 * 4);
+        let back = Tensor::from_le_bytes(vec![2, 3], &bytes).unwrap();
+        assert_eq!(back.shape(), t.shape());
+        for (a, b) in back.data().iter().zip(t.data()) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn from_le_bytes_rejects_mismatched_lengths() {
+        assert!(Tensor::from_le_bytes(vec![2], &[0u8; 4]).is_err());
+        assert!(Tensor::from_le_bytes(vec![1], &[0u8; 5]).is_err());
+        assert!(Tensor::from_le_bytes(vec![0], &[]).is_ok());
     }
 
     #[test]

@@ -10,7 +10,9 @@
 //!   GPU roofline);
 //! * [`core`] (`shift-bnn`) — the four accelerator designs and the comparison/scalability APIs;
 //! * [`serve`] (`bnn-serve`) — the batched Monte-Carlo uncertainty-serving engine over frozen
-//!   posteriors.
+//!   posteriors;
+//! * [`store`] (`bnn-store`) — the deterministic posterior checkpoint store and versioned model
+//!   registry (train → snapshot → publish → serve → hot-swap).
 //!
 //! See `README.md` for a walkthrough, `DESIGN.md` for the system inventory and
 //! `EXPERIMENTS.md` for the paper-vs-measured record of every table and figure.
@@ -21,6 +23,7 @@ pub use bnn_arch as arch;
 pub use bnn_lfsr as lfsr;
 pub use bnn_models as models;
 pub use bnn_serve as serve;
+pub use bnn_store as store;
 pub use bnn_tensor as tensor;
 pub use bnn_train as train;
 pub use shift_bnn as core;
@@ -31,5 +34,6 @@ mod tests {
     fn reexports_are_wired() {
         assert_eq!(crate::core::DesignKind::ShiftBnn.name(), "Shift-BNN");
         assert!(crate::models::ModelKind::all().len() == 5);
+        assert_eq!(crate::store::codec::FORMAT_VERSION, 1);
     }
 }
