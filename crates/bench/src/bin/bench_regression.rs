@@ -5,7 +5,8 @@
 //!
 //! Both inputs are JSON documents produced by this repo's own deterministic serializer
 //! (`BENCH_sweep_summary.json` from `sweep_all`, `BENCH_serve_summary.json` from
-//! `serve_bench`). Structure must match exactly; numeric leaves may differ by the relative
+//! `serve_bench`, `BENCH_cluster_summary.json` from `cluster_bench`). Structure must match
+//! exactly; numeric leaves may differ by the relative
 //! tolerance (default 1e-9 — the summaries are deterministic, so the default is effectively
 //! "identical up to float printing").
 //!
@@ -77,7 +78,8 @@ fn main() {
     }
     eprintln!(
         "\nIf the drift is intentional, regenerate the committed baseline (run sweep_all / \
-         serve_bench without --reduced at the repo root) and commit the updated summary."
+         serve_bench / cluster_bench without --reduced at the repo root) and commit the \
+         updated summary."
     );
     std::process::exit(1);
 }

@@ -7,14 +7,16 @@
 //! The figure *computations* live in [`views`] as pure functions over one shared design-space
 //! sweep ([`shift_bnn::sweep`]); the binaries render those views, and `tests/golden_figures.rs`
 //! pins their key scalars against checked-in golden values. The serving benchmark's grid and
-//! deterministic summary live in [`serve_views`], the checkpoint-store benchmark
-//! (train → publish → serve → hot-swap) in [`store_views`], and the numeric-tree comparison
-//! behind the CI bench-regression gate in [`regression`].
+//! deterministic summary live in [`serve_views`], the cluster-serving benchmark (routing ×
+//! arrival grid plus the plan-only stress arm) in [`cluster_views`], the checkpoint-store
+//! benchmark (train → publish → serve → hot-swap) in [`store_views`], and the numeric-tree
+//! comparison behind the CI bench-regression gate in [`regression`].
 
 //! The hot-path kernel microbenchmarks (`hot_bench`) live in [`hot`], and the allocation
 //! counter enforcing the zero-allocation steady state in [`alloc`].
 
 pub mod alloc;
+pub mod cluster_views;
 pub mod hot;
 pub mod regression;
 pub mod serve_views;

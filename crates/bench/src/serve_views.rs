@@ -54,12 +54,7 @@ impl ServeConfig {
 
     /// The open-loop trace this config is driven with.
     pub fn workload(&self, requests: usize) -> WorkloadSpec {
-        WorkloadSpec {
-            requests,
-            interarrival_ticks: SERVE_INTERARRIVAL_TICKS,
-            samples: self.samples,
-            seed: SERVE_WORKLOAD_SEED,
-        }
+        WorkloadSpec::uniform(requests, SERVE_INTERARRIVAL_TICKS, self.samples, SERVE_WORKLOAD_SEED)
     }
 }
 

@@ -96,8 +96,7 @@ fn dataset_for(proxy: &TrainableProxy) -> SyntheticDataset {
 
 /// The serving trace every store benchmark drives.
 pub fn store_trace(proxy: &TrainableProxy) -> Vec<bnn_serve::InferRequest> {
-    WorkloadSpec { requests: STORE_REQUESTS, interarrival_ticks: 3, samples: 4, seed: STORE_SEED }
-        .generate_for_shape(&proxy.input)
+    WorkloadSpec::uniform(STORE_REQUESTS, 3, 4, STORE_SEED).generate_for_shape(&proxy.input)
 }
 
 /// One family's results: the deterministic facts (sizes, digests, versions, tick boundaries)

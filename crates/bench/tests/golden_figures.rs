@@ -19,6 +19,7 @@ use shift_bnn::designs::DesignKind;
 use shift_bnn::sweep::json::Json;
 use shift_bnn::sweep::summary::SweepSummary;
 use shift_bnn::sweep::{paper_sweep, SweepPrecision, SweepReport};
+use shift_bnn_bench::cluster_views::{cluster_summary_json, run_cluster_grid, run_cluster_stress};
 use shift_bnn_bench::regression;
 use shift_bnn_bench::serve_views::{run_serve_grid, serve_summary_json};
 use shift_bnn_bench::views;
@@ -235,6 +236,14 @@ fn golden_serve_summary_matches_committed() {
     assert_matches_baseline("BENCH_serve_summary.json", &fresh);
 }
 
+fn golden_cluster_summary_matches_committed() {
+    // Recompute the full cluster grid (real engines) and the plan-only stress arm; every
+    // scalar is tick-domain or a digest, so shard/worker parallelism cannot perturb it.
+    let fresh =
+        cluster_summary_json(&run_cluster_grid(false, 2), &run_cluster_stress(false), false);
+    assert_matches_baseline("BENCH_cluster_summary.json", &fresh);
+}
+
 // ---------------------------------------------------------------------------------------------
 // Training-based goldens (slow; only with `-- --include-golden`)
 // ---------------------------------------------------------------------------------------------
@@ -288,6 +297,7 @@ fn main() {
         ("table2_resource_totals", golden_table2_resource_totals),
         ("sweep_summary_matches_committed", golden_sweep_summary_matches_committed),
         ("serve_summary_matches_committed", golden_serve_summary_matches_committed),
+        ("cluster_summary_matches_committed", golden_cluster_summary_matches_committed),
     ];
     let heavy: &[(&str, fn())] = &[
         ("fig09_bit_identical_training", golden_fig09_bit_identical_training),

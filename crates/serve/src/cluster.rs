@@ -1,0 +1,1219 @@
+//! **bnn-cluster** — a deterministic tick-domain cluster simulator above the single-engine
+//! serving path: a router fanning [`InferRequest`]s across N replica shards, each an
+//! [`InferenceEngine`] with its own pool and a bounded per-shard queue.
+//!
+//! This is the "millions of users" layer: it adds the three mechanisms a single engine does
+//! not have —
+//!
+//! * **admission control and load shedding**: every shard bounds its *backlog* (requests
+//!   admitted but not yet completed) at [`ClusterConfig::queue_cap`]; a request routed to a
+//!   full shard is shed at its arrival tick. An optional relative deadline
+//!   ([`ClusterConfig::deadline_ticks`]) sheds requests whose estimated completion already
+//!   misses it at admission time, so nothing hopeless occupies queue space;
+//! * **routing policies** ([`RoutingPolicy`]): deterministic round-robin, deterministic
+//!   least-loaded (min backlog, lowest index on ties), and the uncertainty-aware **two-tier**
+//!   policy — a cheap low-`S` first pass on the low tier whose predictive entropy above a
+//!   threshold *escalates* the request to a reserved high-`S` shard. Escalation is the
+//!   serving-side payoff of the paper's ε regeneration: re-sampling the same request at
+//!   higher `S` needs only its 64-bit seed, nothing stored;
+//! * **queue-depth-driven autoscaling** ([`AutoscalePolicy`]): at deterministic epoch ticks,
+//!   shards activate when the mean backlog crosses a high watermark and drain (stop receiving,
+//!   finish their queue) when it falls below a low one.
+//!
+//! # The determinism argument
+//!
+//! Everything above runs in the simulated tick domain established by PR 2–5: arrival ticks
+//! come from the trace, batch formation follows [`crate::batcher::plan_batches`] semantics,
+//! and per-shard service timing replays [`InferenceEngine::run_with_swaps`]'s device
+//! serialization **exactly** (same `BATCH_OVERHEAD_TICKS` + ε-volume pricing, same
+//! version-at-service-start swap rule). Routing, shedding, escalation and scaling decisions
+//! are pure functions of (trace, config, swap schedule); responses are pure functions of
+//! (request, posterior, `S`). No wall clock is read anywhere on the result path, so an
+//! N-shard × M-worker cluster run serializes **byte-identically** on every machine, at every
+//! worker count — and each shard's slice of the run equals a standalone single-shard run over
+//! the sub-trace the router handed it (`tests/cluster_determinism.rs` pins both).
+//!
+//! Internally a run has two phases. Phase A (the *plan*) walks arrivals in trace order
+//! through incremental per-shard simulators and makes every decision; it never touches a
+//! network, so it scales to million-request traces ([`Cluster::plan`] exposes it directly).
+//! Phase B hands each shard's admitted sub-trace to that shard's own [`InferenceEngine`] and
+//! computes real responses on its pool; the engine's batch timing is asserted equal to the
+//! plan's batch for batch, so the report's timing and its answers can never drift apart.
+
+use crate::batcher::BatchPolicy;
+use crate::engine::BATCH_OVERHEAD_TICKS;
+use crate::engine::{service_cost, InferenceEngine, ServeRunReport, VersionSwap};
+use crate::request::{InferRequest, InferResponse};
+use crate::spec::ModelSource;
+use shift_bnn::sweep::json::{fnv1a_hex, Json, ToJson};
+use std::collections::VecDeque;
+
+/// How the router picks a shard for each arriving request.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum RoutingPolicy {
+    /// Cycle through the active shards in arrival order — the baseline that ignores load.
+    RoundRobin,
+    /// Route to the active shard with the smallest backlog (admitted-but-incomplete
+    /// requests); ties break to the lowest shard index. Deterministic because backlog is a
+    /// pure tick-domain function of prior decisions.
+    LeastLoaded,
+    /// Uncertainty-aware two-tier serving: the low tier (all shards but the last) answers a
+    /// cheap `low_samples`-sample first pass, routed least-loaded; any answer whose
+    /// predictive entropy exceeds `entropy_threshold` is *escalated* — re-submitted, at its
+    /// low-pass completion tick, to the reserved high-`S` shard (the last one) for a
+    /// `high_samples`-sample answer. Escalations pass the same admission control; one that
+    /// is shed keeps its low-tier answer.
+    TwoTier {
+        /// Monte-Carlo samples of the cheap first pass (≥ 1).
+        low_samples: usize,
+        /// Monte-Carlo samples of the escalated pass (≥ 1).
+        high_samples: usize,
+        /// Predictive-entropy escalation threshold in nats.
+        entropy_threshold: f64,
+    },
+}
+
+impl RoutingPolicy {
+    /// A short machine-readable label: `"round_robin"`, `"least_loaded"` or `"two_tier"`.
+    pub fn label(&self) -> &'static str {
+        match self {
+            RoutingPolicy::RoundRobin => "round_robin",
+            RoutingPolicy::LeastLoaded => "least_loaded",
+            RoutingPolicy::TwoTier { .. } => "two_tier",
+        }
+    }
+}
+
+/// Queue-depth-driven autoscaling, evaluated at deterministic epoch ticks
+/// (`interval_ticks`, `2 × interval_ticks`, …): when the summed backlog of the active shards
+/// exceeds `high_watermark` per active shard, the next inactive shard activates; when it
+/// falls below `low_watermark` per active shard, the highest-numbered active shard *drains* —
+/// it stops receiving new requests but completes everything already admitted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AutoscalePolicy {
+    /// Ticks between scaling decisions (≥ 1).
+    pub interval_ticks: u64,
+    /// Mean backlog per active shard above which a shard activates.
+    pub high_watermark: usize,
+    /// Mean backlog per active shard below which a shard drains (must be < high).
+    pub low_watermark: usize,
+    /// Active shards never drop below this (≥ 1).
+    pub min_active: usize,
+}
+
+/// Configuration of a cluster: N replica shards of one posterior source, a shared batching
+/// policy and queue bound, a routing policy and optional autoscaling.
+#[derive(Debug, Clone)]
+pub struct ClusterConfig {
+    /// The frozen posterior every shard replicates (hot-swaps can replace it per shard).
+    pub source: ModelSource,
+    /// Total replica shards. Under [`RoutingPolicy::TwoTier`] the *last* shard is reserved
+    /// as the high-`S` escalation tier and the rest form the low tier.
+    pub shards: usize,
+    /// Pool workers each shard's engine executes on (affects wall clock only, never bytes).
+    pub workers_per_shard: usize,
+    /// The per-shard dynamic-batching policy.
+    pub batch: BatchPolicy,
+    /// Per-shard backlog bound: a request routed to a shard holding this many
+    /// admitted-but-incomplete requests is shed.
+    pub queue_cap: usize,
+    /// Optional relative deadline: a request whose estimated completion (service start on an
+    /// idle-or-busy device plus batch overhead and its own ε volume) exceeds
+    /// `arrival + deadline_ticks` is shed at admission rather than queued hopelessly.
+    pub deadline_ticks: Option<u64>,
+    /// How the router picks shards.
+    pub routing: RoutingPolicy,
+    /// Optional queue-depth-driven autoscaling over the routable shards.
+    pub autoscale: Option<AutoscalePolicy>,
+}
+
+/// A scheduled hot-swap on one shard of the cluster (the cluster form of [`VersionSwap`]).
+#[derive(Debug, Clone)]
+pub struct ShardSwap {
+    /// Which shard swaps.
+    pub shard: usize,
+    /// The swap itself (tick + replacement source).
+    pub swap: VersionSwap,
+}
+
+/// Why a request was shed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShedReason {
+    /// The routed shard's backlog was at `queue_cap`.
+    QueueFull,
+    /// The admission-time completion estimate already missed the request's deadline.
+    Deadline,
+}
+
+impl ShedReason {
+    /// A short machine-readable label.
+    pub fn label(&self) -> &'static str {
+        match self {
+            ShedReason::QueueFull => "queue_full",
+            ShedReason::Deadline => "deadline",
+        }
+    }
+}
+
+/// One load-shedding decision: which request, the exact tick, where and why.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShedEvent {
+    /// The shed request's id.
+    pub request: u64,
+    /// The tick the decision was made at (the request's arrival tick).
+    pub tick: u64,
+    /// The shard the router had chosen.
+    pub shard: usize,
+    /// Why it was shed.
+    pub reason: ShedReason,
+}
+
+/// One escalation decision of the two-tier policy: which request, the exact tick (its
+/// low-pass completion), and whether the high shard admitted it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EscalationEvent {
+    /// The escalated request's id.
+    pub request: u64,
+    /// The tick the low-tier answer (and its entropy) became available.
+    pub tick: u64,
+    /// Whether the high shard admitted the escalation (a shed escalation keeps the
+    /// low-tier answer).
+    pub admitted: bool,
+}
+
+/// One autoscaling decision: the epoch tick and the resulting active-shard count.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ScaleEvent {
+    /// The deterministic epoch tick the decision fired at.
+    pub tick: u64,
+    /// Active shards after the decision.
+    pub active: usize,
+}
+
+/// What happened to one submitted request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RequestOutcome {
+    /// Shed at admission — never answered.
+    Shed {
+        /// The tick the decision was made at.
+        tick: u64,
+        /// The shard the router had chosen.
+        shard: usize,
+        /// Why it was shed.
+        reason: ShedReason,
+    },
+    /// Answered (possibly after an escalation to the high tier).
+    Answered {
+        /// The shard whose answer the response carries (the high shard for upgrades).
+        shard: usize,
+        /// The tick the carried answer completed at.
+        end_tick: u64,
+        /// Whether the two-tier policy escalated this request.
+        escalated: bool,
+        /// Whether the escalation was admitted and the high-`S` answer is the one carried.
+        upgraded: bool,
+    },
+}
+
+/// Nearest-rank percentile over a latency set (`q` in `0.0..=1.0`).
+///
+/// # Panics
+///
+/// Panics on an empty set.
+pub fn latency_percentile(latencies: &[u64], q: f64) -> u64 {
+    assert!(!latencies.is_empty(), "no latencies to rank");
+    let mut sorted = latencies.to_vec();
+    sorted.sort_unstable();
+    let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
+// ---------------------------------------------------------------------------------------------
+// Phase A: the incremental per-shard simulator
+// ---------------------------------------------------------------------------------------------
+
+/// One planned batch of a shard simulator (global request indices).
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct SimBatch {
+    close_tick: u64,
+    start_tick: u64,
+    end_tick: u64,
+    members: Vec<usize>,
+    version: usize,
+}
+
+/// An incremental replay of one shard's batcher + device timing, mirroring
+/// [`crate::batcher::plan_batches`] and [`InferenceEngine::run_with_swaps`] decision for
+/// decision so phase B's engine reproduces its batches exactly.
+struct ShardSim {
+    policy: BatchPolicy,
+    /// ε per sample of version 0, then of each scheduled swap, in order.
+    epsilon_counts: Vec<usize>,
+    /// Swap activation ticks (parallel to `epsilon_counts[1..]`).
+    swap_ticks: Vec<u64>,
+    open: Vec<(usize, usize)>, // (global request index, effective sample count)
+    open_deadline: u64,
+    device_free: u64,
+    batches: Vec<SimBatch>,
+    /// Closed-but-incomplete batches as (end_tick, size), popped as queried time passes.
+    in_flight: VecDeque<(u64, usize)>,
+    in_flight_requests: usize,
+}
+
+impl ShardSim {
+    fn new(policy: BatchPolicy, base_epsilon: usize, swaps: &[VersionSwap]) -> ShardSim {
+        let mut epsilon_counts = vec![base_epsilon];
+        epsilon_counts.extend(swaps.iter().map(|s| s.source.epsilon_count()));
+        ShardSim {
+            policy,
+            epsilon_counts,
+            swap_ticks: swaps.iter().map(|s| s.at_tick).collect(),
+            open: Vec::new(),
+            open_deadline: 0,
+            device_free: 0,
+            batches: Vec::new(),
+            in_flight: VecDeque::new(),
+            in_flight_requests: 0,
+        }
+    }
+
+    /// Closes the open batch at `close_tick`, replaying the engine's device serialization:
+    /// service starts at `max(close, device_free)`, the active version is decided at that
+    /// start tick, and the batch pays overhead plus its members' ε volume.
+    fn close_open(&mut self, close_tick: u64) {
+        let start_tick = close_tick.max(self.device_free);
+        let version = self.swap_ticks.iter().take_while(|&&at| at <= start_tick).count();
+        let service: u64 = BATCH_OVERHEAD_TICKS
+            + self
+                .open
+                .iter()
+                .map(|&(_, samples)| service_cost(self.epsilon_counts[version], samples))
+                .sum::<u64>();
+        let end_tick = start_tick + service;
+        self.device_free = end_tick;
+        let members: Vec<usize> = self.open.drain(..).map(|(i, _)| i).collect();
+        self.in_flight.push_back((end_tick, members.len()));
+        self.in_flight_requests += members.len();
+        self.batches.push(SimBatch { close_tick, start_tick, end_tick, members, version });
+    }
+
+    /// Advances simulated time to `t`: a batch whose wait deadline has passed closes at that
+    /// deadline, exactly when `plan_batches` would close it on the next arrival.
+    fn advance_to(&mut self, t: u64) {
+        if !self.open.is_empty() && t > self.open_deadline {
+            let deadline = self.open_deadline;
+            self.close_open(deadline);
+        }
+    }
+
+    /// Backlog at tick `t`: requests admitted but not yet completed (waiting in the open
+    /// batch, queued behind the device, or in service). Callers must query with
+    /// non-decreasing `t`.
+    fn backlog(&mut self, t: u64) -> usize {
+        self.advance_to(t);
+        while let Some(&(end, size)) = self.in_flight.front() {
+            if end > t {
+                break;
+            }
+            self.in_flight_requests -= size;
+            self.in_flight.pop_front();
+        }
+        self.open.len() + self.in_flight_requests
+    }
+
+    /// Admission-time completion estimate for a request of `samples` arriving at `t`: the
+    /// device drains its current queue, then one fresh batch (overhead + this request's ε
+    /// volume) runs. Ignores co-members the open batch would contribute, so it is a lower
+    /// bound used only to shed requests that *cannot* make their deadline.
+    fn estimate_end(&self, t: u64, samples: usize) -> u64 {
+        let start = t.max(self.device_free);
+        let version = self.swap_ticks.iter().take_while(|&&at| at <= start).count();
+        start + BATCH_OVERHEAD_TICKS + service_cost(self.epsilon_counts[version], samples)
+    }
+
+    /// Joins the open batch at `t`, mirroring `plan_batches`: an empty batch opens with a
+    /// fresh wait deadline; a full batch closes immediately at the joining arrival.
+    fn admit(&mut self, index: usize, samples: usize, t: u64) {
+        self.advance_to(t);
+        if self.open.is_empty() {
+            self.open_deadline = t + self.policy.max_wait_ticks;
+        }
+        self.open.push((index, samples));
+        if self.open.len() == self.policy.max_batch {
+            self.close_open(t);
+        }
+    }
+
+    /// Closes the trailing batch at its deadline (the open-loop "no end-of-input oracle"
+    /// rule `plan_batches` ends with).
+    fn finish(&mut self) {
+        if !self.open.is_empty() {
+            let deadline = self.open_deadline;
+            self.close_open(deadline);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------------------------
+// Phase A output: the plan
+// ---------------------------------------------------------------------------------------------
+
+/// The routing/admission/timing plan of a cluster run — everything except the answers.
+///
+/// Produced by [`Cluster::plan`] without materializing a single network replica, so it scales
+/// to arbitrarily long traces; [`Cluster::run`] executes the same plan and fills in real
+/// responses.
+#[derive(Debug, Clone)]
+pub struct ClusterPlan {
+    /// Per submitted request, in trace order.
+    pub outcomes: Vec<RequestOutcome>,
+    /// Every shed decision, in decision order.
+    pub sheds: Vec<ShedEvent>,
+    /// Every autoscaling decision, in epoch order.
+    pub scale_events: Vec<ScaleEvent>,
+    /// Answered-request latencies (completion − arrival), in trace order of the answered.
+    pub latencies: Vec<u64>,
+    /// Tick the last batch on any shard completes at (0 for an empty plan).
+    pub makespan_ticks: u64,
+    /// Batches planned per shard.
+    pub batches_per_shard: Vec<usize>,
+}
+
+impl ClusterPlan {
+    /// Nearest-rank latency percentile over the answered requests.
+    ///
+    /// # Panics
+    ///
+    /// Panics when nothing was answered.
+    pub fn latency_percentile(&self, q: f64) -> u64 {
+        latency_percentile(&self.latencies, q)
+    }
+
+    /// Shed requests over submitted requests (0 for an empty trace).
+    pub fn shed_rate(&self) -> f64 {
+        if self.outcomes.is_empty() {
+            return 0.0;
+        }
+        self.sheds.len() as f64 / self.outcomes.len() as f64
+    }
+}
+
+/// Phase-A working state shared by `plan` and `run`.
+struct Routing {
+    sims: Vec<ShardSim>,
+    /// Admitted global request indices per shard, in arrival order.
+    routed: Vec<Vec<usize>>,
+    /// Effective per-request sample count (two-tier low passes override the request's own).
+    effective_samples: Vec<usize>,
+    outcomes: Vec<Option<RequestOutcome>>,
+    sheds: Vec<ShedEvent>,
+    scale_events: Vec<ScaleEvent>,
+}
+
+// ---------------------------------------------------------------------------------------------
+// The cluster
+// ---------------------------------------------------------------------------------------------
+
+/// A deterministic tick-domain cluster: router + N bounded-queue replica shards.
+#[derive(Debug, Clone)]
+pub struct Cluster {
+    config: ClusterConfig,
+}
+
+impl Cluster {
+    /// Creates a cluster after validating the configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a zero shard/worker/queue/batch bound, a two-tier cluster with fewer than
+    /// two shards or zero sample counts, or an autoscale policy with inverted watermarks, a
+    /// zero interval, or `min_active` outside `1..=routable shards`.
+    pub fn new(config: ClusterConfig) -> Cluster {
+        assert!(config.shards >= 1, "a cluster needs at least one shard");
+        assert!(config.workers_per_shard >= 1, "each shard needs at least one worker");
+        assert!(config.queue_cap >= 1, "queue_cap must be at least 1");
+        assert!(config.batch.max_batch >= 1, "max_batch must be at least 1");
+        if let RoutingPolicy::TwoTier { low_samples, high_samples, .. } = config.routing {
+            assert!(config.shards >= 2, "two-tier routing reserves the last shard as high tier");
+            assert!(low_samples >= 1 && high_samples >= 1, "sample counts must be at least 1");
+        }
+        if let Some(scale) = config.autoscale {
+            assert!(scale.interval_ticks >= 1, "autoscale interval must be at least 1 tick");
+            assert!(scale.low_watermark < scale.high_watermark, "watermarks must be ordered");
+            let routable = Cluster::routable(&config);
+            assert!(
+                scale.min_active >= 1 && scale.min_active <= routable,
+                "min_active must be in 1..={routable}"
+            );
+        }
+        Cluster { config }
+    }
+
+    /// The cluster's configuration.
+    pub fn config(&self) -> &ClusterConfig {
+        &self.config
+    }
+
+    /// Shards the router may target (all of them, minus the reserved high tier).
+    fn routable(config: &ClusterConfig) -> usize {
+        match config.routing {
+            RoutingPolicy::TwoTier { .. } => config.shards - 1,
+            _ => config.shards,
+        }
+    }
+
+    /// Groups a swap schedule by shard and validates it.
+    fn swaps_by_shard(&self, swaps: &[ShardSwap]) -> Vec<Vec<VersionSwap>> {
+        let mut grouped: Vec<Vec<VersionSwap>> = vec![Vec::new(); self.config.shards];
+        for swap in swaps {
+            assert!(swap.shard < self.config.shards, "swap targets shard {}", swap.shard);
+            grouped[swap.shard].push(swap.swap.clone());
+        }
+        for shard in &grouped {
+            for pair in shard.windows(2) {
+                assert!(
+                    pair[0].at_tick <= pair[1].at_tick,
+                    "per-shard swap schedules must be sorted by at_tick"
+                );
+            }
+        }
+        grouped
+    }
+
+    /// Phase A: walk the trace in arrival order, making every scaling, routing and admission
+    /// decision against the incremental shard simulators.
+    fn route(&self, trace: &[InferRequest], swaps: &[Vec<VersionSwap>]) -> Routing {
+        let routable = Cluster::routable(&self.config);
+        let base_epsilon = self.config.source.epsilon_count();
+        let mut sims: Vec<ShardSim> = (0..self.config.shards)
+            .map(|s| ShardSim::new(self.config.batch, base_epsilon, &swaps[s]))
+            .collect();
+        let mut routed: Vec<Vec<usize>> = vec![Vec::new(); self.config.shards];
+        let mut outcomes: Vec<Option<RequestOutcome>> = vec![None; trace.len()];
+        let mut sheds = Vec::new();
+        let mut scale_events = Vec::new();
+        let mut effective_samples = vec![0usize; trace.len()];
+
+        let mut active = match self.config.autoscale {
+            Some(scale) => scale.min_active,
+            None => routable,
+        };
+        let mut next_epoch = self.config.autoscale.map(|s| s.interval_ticks);
+        let mut rr_cursor = 0usize;
+        let mut previous_arrival = 0u64;
+
+        for (i, request) in trace.iter().enumerate() {
+            let t = request.arrival_tick;
+            assert!(
+                t >= previous_arrival,
+                "request trace must be sorted by arrival_tick (index {i})"
+            );
+            previous_arrival = t;
+
+            // Autoscaling epochs at or before this arrival fire first, in order.
+            if let (Some(scale), Some(epoch)) = (self.config.autoscale, next_epoch) {
+                let mut epoch = epoch;
+                while epoch <= t {
+                    let backlog: usize =
+                        sims[..active].iter_mut().map(|sim| sim.backlog(epoch)).sum();
+                    if backlog > scale.high_watermark * active && active < routable {
+                        active += 1;
+                        scale_events.push(ScaleEvent { tick: epoch, active });
+                    } else if backlog < scale.low_watermark * active && active > scale.min_active {
+                        active -= 1;
+                        scale_events.push(ScaleEvent { tick: epoch, active });
+                    }
+                    epoch += scale.interval_ticks;
+                }
+                next_epoch = Some(epoch);
+            }
+
+            let samples = match self.config.routing {
+                RoutingPolicy::TwoTier { low_samples, .. } => low_samples,
+                _ => request.samples,
+            };
+            let shard = match self.config.routing {
+                RoutingPolicy::RoundRobin => {
+                    let shard = rr_cursor % active;
+                    rr_cursor += 1;
+                    shard
+                }
+                RoutingPolicy::LeastLoaded | RoutingPolicy::TwoTier { .. } => (0..active)
+                    .min_by_key(|&s| (sims[s].backlog(t), s))
+                    .expect("at least one shard is active"),
+            };
+
+            if sims[shard].backlog(t) >= self.config.queue_cap {
+                let event = ShedEvent {
+                    request: request.id,
+                    tick: t,
+                    shard,
+                    reason: ShedReason::QueueFull,
+                };
+                sheds.push(event);
+                outcomes[i] =
+                    Some(RequestOutcome::Shed { tick: t, shard, reason: ShedReason::QueueFull });
+                continue;
+            }
+            if let Some(deadline) = self.config.deadline_ticks {
+                if sims[shard].estimate_end(t, samples) > t + deadline {
+                    let event = ShedEvent {
+                        request: request.id,
+                        tick: t,
+                        shard,
+                        reason: ShedReason::Deadline,
+                    };
+                    sheds.push(event);
+                    outcomes[i] =
+                        Some(RequestOutcome::Shed { tick: t, shard, reason: ShedReason::Deadline });
+                    continue;
+                }
+            }
+            sims[shard].admit(i, samples, t);
+            routed[shard].push(i);
+            effective_samples[i] = samples;
+        }
+        for sim in &mut sims {
+            sim.finish();
+        }
+        Routing { sims, routed, effective_samples, outcomes, sheds, scale_events }
+    }
+
+    /// Plans a run without computing any responses: routing, admission, shedding, scaling
+    /// and complete tick timing. Usable with arbitrarily long traces (nothing per-request
+    /// but bookkeeping), which is what the large-trace stress benchmarks drive.
+    ///
+    /// # Panics
+    ///
+    /// Panics under [`RoutingPolicy::TwoTier`] — escalation decisions need real predictive
+    /// entropy, so the two-tier policy only supports [`Cluster::run`].
+    pub fn plan(&self, trace: &[InferRequest]) -> ClusterPlan {
+        assert!(
+            !matches!(self.config.routing, RoutingPolicy::TwoTier { .. }),
+            "two-tier escalation needs real entropies; use Cluster::run"
+        );
+        let swaps = self.swaps_by_shard(&[]);
+        let routing = self.route(trace, &swaps);
+        let mut outcomes = routing.outcomes;
+        let mut end_ticks = vec![0u64; trace.len()];
+        let mut makespan = 0u64;
+        for sim in &routing.sims {
+            for batch in &sim.batches {
+                makespan = makespan.max(batch.end_tick);
+                for &i in &batch.members {
+                    end_ticks[i] = batch.end_tick;
+                }
+            }
+        }
+        for (shard, members) in routing.routed.iter().enumerate() {
+            for &i in members {
+                outcomes[i] = Some(RequestOutcome::Answered {
+                    shard,
+                    end_tick: end_ticks[i],
+                    escalated: false,
+                    upgraded: false,
+                });
+            }
+        }
+        let outcomes: Vec<RequestOutcome> =
+            outcomes.into_iter().map(|o| o.expect("every request has an outcome")).collect();
+        let latencies: Vec<u64> = outcomes
+            .iter()
+            .zip(trace)
+            .filter_map(|(outcome, request)| match outcome {
+                RequestOutcome::Answered { end_tick, .. } => Some(end_tick - request.arrival_tick),
+                RequestOutcome::Shed { .. } => None,
+            })
+            .collect();
+        ClusterPlan {
+            outcomes,
+            sheds: routing.sheds,
+            scale_events: routing.scale_events,
+            latencies,
+            makespan_ticks: makespan,
+            batches_per_shard: routing.sims.iter().map(|s| s.batches.len()).collect(),
+        }
+    }
+
+    /// Serves a trace through the cluster: plan (phase A), then answer every admitted
+    /// request on its shard's own engine (phase B), escalating high-entropy two-tier
+    /// answers to the high shard.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the trace is not sorted by arrival tick, a request's input shape
+    /// mismatches the source, or a request asks for zero samples.
+    pub fn run(&self, trace: &[InferRequest]) -> ClusterRunReport {
+        self.run_with_swaps(trace, &[])
+    }
+
+    /// [`Cluster::run`] with scheduled per-shard hot-swaps: each shard's engine answers its
+    /// sub-trace under its own swap schedule, with the same deterministic
+    /// version-at-service-start boundary as [`InferenceEngine::run_with_swaps`].
+    ///
+    /// # Panics
+    ///
+    /// Panics under the same conditions as [`Cluster::run`], or when a swap targets a shard
+    /// out of range or a per-shard schedule is not sorted by `at_tick`.
+    pub fn run_with_swaps(&self, trace: &[InferRequest], swaps: &[ShardSwap]) -> ClusterRunReport {
+        let grouped = self.swaps_by_shard(swaps);
+        let routing = self.route(trace, &grouped);
+
+        // Phase B: each shard's admitted sub-trace runs on that shard's own engine; the
+        // engine re-derives batch timing from the sub-trace, and it must agree with the
+        // plan's batch for batch — the cluster's timing and answers come from one clock.
+        let mut shard_reports: Vec<ServeRunReport> = Vec::with_capacity(self.config.shards);
+        for (shard, shard_swaps) in grouped.iter().enumerate() {
+            let sub_trace: Vec<InferRequest> = routing.routed[shard]
+                .iter()
+                .map(|&i| {
+                    let mut request = trace[i].clone();
+                    request.samples = routing.effective_samples[i];
+                    request
+                })
+                .collect();
+            let engine = InferenceEngine::from_source(
+                self.config.source.clone(),
+                self.config.batch,
+                self.config.workers_per_shard,
+            );
+            let report = engine.run_with_swaps(&sub_trace, shard_swaps);
+            assert_sim_matches_engine(&routing.sims[shard], &report, shard);
+            shard_reports.push(report);
+        }
+
+        let mut outcomes = routing.outcomes;
+        let mut responses: Vec<Option<InferResponse>> = vec![None; trace.len()];
+        let mut end_ticks = vec![0u64; trace.len()];
+        for (shard, members) in routing.routed.iter().enumerate() {
+            for (j, &i) in members.iter().enumerate() {
+                let end = trace[i].arrival_tick + shard_reports[shard].latencies[j];
+                end_ticks[i] = end;
+                responses[i] = Some(shard_reports[shard].responses[j].clone());
+                outcomes[i] = Some(RequestOutcome::Answered {
+                    shard,
+                    end_tick: end,
+                    escalated: false,
+                    upgraded: false,
+                });
+            }
+        }
+
+        // Two-tier escalation: low-pass answers whose entropy crosses the threshold re-enter
+        // at the high shard, arriving at their low-pass completion tick.
+        let mut escalations: Vec<EscalationEvent> = Vec::new();
+        if let RoutingPolicy::TwoTier { high_samples, entropy_threshold, .. } = self.config.routing
+        {
+            let high = self.config.shards - 1;
+            let mut candidates: Vec<(u64, usize)> = routing
+                .routed
+                .iter()
+                .take(high)
+                .flatten()
+                .filter_map(|&i| {
+                    let response = responses[i].as_ref().expect("admitted requests answered");
+                    (f64::from(response.entropy) > entropy_threshold).then_some((end_ticks[i], i))
+                })
+                .collect();
+            candidates.sort_unstable();
+
+            let mut high_sim = ShardSim::new(
+                self.config.batch,
+                self.config.source.epsilon_count(),
+                &grouped[high],
+            );
+            let mut admitted: Vec<usize> = Vec::new();
+            for &(tick, i) in &candidates {
+                let full = high_sim.backlog(tick) >= self.config.queue_cap;
+                let late = self.config.deadline_ticks.is_some_and(|deadline| {
+                    high_sim.estimate_end(tick, high_samples) > tick + deadline
+                });
+                let admit = !full && !late;
+                escalations.push(EscalationEvent { request: trace[i].id, tick, admitted: admit });
+                if admit {
+                    high_sim.admit(i, high_samples, tick);
+                    admitted.push(i);
+                }
+            }
+            high_sim.finish();
+
+            let high_trace: Vec<InferRequest> = candidates
+                .iter()
+                .filter(|&&(_, i)| admitted.contains(&i))
+                .map(|&(tick, i)| {
+                    let mut request = trace[i].clone();
+                    request.arrival_tick = tick;
+                    request.samples = high_samples;
+                    request
+                })
+                .collect();
+            let engine = InferenceEngine::from_source(
+                self.config.source.clone(),
+                self.config.batch,
+                self.config.workers_per_shard,
+            );
+            let high_report = engine.run_with_swaps(&high_trace, &grouped[high]);
+            assert_sim_matches_engine(&high_sim, &high_report, high);
+
+            for (k, request) in high_trace.iter().enumerate() {
+                let i = request.id as usize;
+                let end = request.arrival_tick + high_report.latencies[k];
+                end_ticks[i] = end;
+                responses[i] = Some(high_report.responses[k].clone());
+                outcomes[i] = Some(RequestOutcome::Answered {
+                    shard: high,
+                    end_tick: end,
+                    escalated: true,
+                    upgraded: true,
+                });
+            }
+            for event in &escalations {
+                if !event.admitted {
+                    let i = event.request as usize;
+                    if let Some(RequestOutcome::Answered { escalated, .. }) = &mut outcomes[i] {
+                        *escalated = true;
+                    }
+                }
+            }
+            shard_reports[high] = high_report;
+        }
+
+        let outcomes: Vec<RequestOutcome> =
+            outcomes.into_iter().map(|o| o.expect("every request has an outcome")).collect();
+        let latencies: Vec<u64> = outcomes
+            .iter()
+            .zip(trace)
+            .filter_map(|(outcome, request)| match outcome {
+                RequestOutcome::Answered { end_tick, .. } => Some(end_tick - request.arrival_tick),
+                RequestOutcome::Shed { .. } => None,
+            })
+            .collect();
+        let makespan_ticks = shard_reports.iter().map(|r| r.makespan_ticks).max().unwrap_or(0);
+
+        ClusterRunReport {
+            routing: self.config.routing.label().to_string(),
+            shards: self.config.shards,
+            queue_cap: self.config.queue_cap,
+            workers_per_shard: self.config.workers_per_shard,
+            outcomes,
+            responses,
+            latencies,
+            sheds: routing.sheds,
+            escalations,
+            scale_events: routing.scale_events,
+            shard_reports,
+            makespan_ticks,
+        }
+    }
+}
+
+/// Pins phase A to phase B: the incremental simulator's batches must replay the engine's
+/// batch stats exactly — same closes, same service starts and ends, same sizes, same
+/// versions. A divergence would mean routing decisions were made against a different clock
+/// than the one the report carries, so it is a hard error, not a tolerance.
+fn assert_sim_matches_engine(sim: &ShardSim, report: &ServeRunReport, shard: usize) {
+    assert_eq!(
+        sim.batches.len(),
+        report.batches.len(),
+        "shard {shard}: plan and engine disagree on batch count"
+    );
+    for (planned, executed) in sim.batches.iter().zip(&report.batches) {
+        assert!(
+            planned.close_tick == executed.close_tick
+                && planned.start_tick == executed.start_tick
+                && planned.end_tick == executed.end_tick
+                && planned.members.len() == executed.size
+                && planned.version == executed.version,
+            "shard {shard}: plan batch {planned:?} diverged from engine batch {executed:?}"
+        );
+    }
+}
+
+// ---------------------------------------------------------------------------------------------
+// The report
+// ---------------------------------------------------------------------------------------------
+
+/// The result of one cluster run: per-request outcomes and answers, every shed / escalation /
+/// scaling decision with its exact tick, and the per-shard engine reports.
+///
+/// Every field except `workers_per_shard` is a pure function of (trace, config, swap
+/// schedule); `to_json` omits the worker count, so two runs of the same inputs serialize
+/// byte-identically at any worker count.
+#[derive(Debug, Clone)]
+pub struct ClusterRunReport {
+    /// The routing policy's label.
+    pub routing: String,
+    /// Shard count (for two-tier runs the last is the high tier).
+    pub shards: usize,
+    /// The per-shard backlog bound the run enforced.
+    pub queue_cap: usize,
+    /// Pool workers per shard (wall-clock only; never affects any other field).
+    pub workers_per_shard: usize,
+    /// Per submitted request, in trace order.
+    pub outcomes: Vec<RequestOutcome>,
+    /// Per submitted request, in trace order: the carried answer, `None` when shed.
+    pub responses: Vec<Option<InferResponse>>,
+    /// Answered-request latencies (carried answer's completion − arrival), in trace order
+    /// of the answered requests.
+    pub latencies: Vec<u64>,
+    /// Every shed decision, in decision order.
+    pub sheds: Vec<ShedEvent>,
+    /// Every two-tier escalation decision, in decision order.
+    pub escalations: Vec<EscalationEvent>,
+    /// Every autoscaling decision, in epoch order.
+    pub scale_events: Vec<ScaleEvent>,
+    /// One engine report per shard (the high shard's holds the escalation sub-trace).
+    pub shard_reports: Vec<ServeRunReport>,
+    /// Tick the last batch on any shard completed at (0 for an empty run).
+    pub makespan_ticks: u64,
+}
+
+impl ClusterRunReport {
+    /// Submitted request count.
+    pub fn submitted(&self) -> usize {
+        self.outcomes.len()
+    }
+
+    /// Answered request count (`submitted − shed`).
+    pub fn answered(&self) -> usize {
+        self.outcomes.len() - self.sheds.len()
+    }
+
+    /// Shed requests over submitted requests (0 for an empty trace).
+    pub fn shed_rate(&self) -> f64 {
+        if self.outcomes.is_empty() {
+            return 0.0;
+        }
+        self.sheds.len() as f64 / self.outcomes.len() as f64
+    }
+
+    /// Escalated requests over submitted requests (0 outside two-tier routing).
+    pub fn escalation_rate(&self) -> f64 {
+        if self.outcomes.is_empty() {
+            return 0.0;
+        }
+        self.escalations.len() as f64 / self.outcomes.len() as f64
+    }
+
+    /// Nearest-rank latency percentile over the answered requests.
+    ///
+    /// # Panics
+    ///
+    /// Panics when nothing was answered.
+    pub fn latency_percentile(&self, q: f64) -> u64 {
+        latency_percentile(&self.latencies, q)
+    }
+
+    /// The canonical response bytes (shed requests serialize as `null`) — what the cluster
+    /// determinism contract compares across shard and worker counts.
+    pub fn responses_json(&self) -> String {
+        let items: Vec<Json> = self
+            .responses
+            .iter()
+            .map(|r| r.as_ref().map_or(Json::Null, |resp| resp.to_json()))
+            .collect();
+        Json::Array(items).to_compact()
+    }
+
+    /// FNV-1a digest of [`responses_json`](Self::responses_json), 16 hex characters.
+    pub fn responses_digest(&self) -> String {
+        fnv1a_hex(self.responses_json().bytes())
+    }
+
+    /// The canonical decision bytes: every shed, escalation and scaling event with its exact
+    /// tick. The committed cluster baseline pins this digest.
+    pub fn events_json(&self) -> String {
+        Json::obj([
+            ("sheds", Json::Array(self.sheds.iter().map(shed_to_json).collect())),
+            ("escalations", Json::Array(self.escalations.iter().map(escalation_to_json).collect())),
+            ("scale_events", Json::Array(self.scale_events.iter().map(scale_to_json).collect())),
+        ])
+        .to_compact()
+    }
+
+    /// FNV-1a digest of [`events_json`](Self::events_json), 16 hex characters.
+    pub fn events_digest(&self) -> String {
+        fnv1a_hex(self.events_json().bytes())
+    }
+
+    /// Serializes the full report. Worker count is deliberately omitted: every serialized
+    /// field is a pure function of (trace, config, swap schedule), so 1-worker and N-worker
+    /// runs — and re-runs on any machine — produce identical bytes.
+    pub fn to_json(&self) -> Json {
+        let percentile = |q| {
+            if self.latencies.is_empty() {
+                Json::Null
+            } else {
+                Json::UInt(self.latency_percentile(q))
+            }
+        };
+        Json::obj([
+            ("routing", Json::Str(self.routing.clone())),
+            ("shards", Json::UInt(self.shards as u64)),
+            ("queue_cap", Json::UInt(self.queue_cap as u64)),
+            ("submitted", Json::UInt(self.submitted() as u64)),
+            ("answered", Json::UInt(self.answered() as u64)),
+            ("shed", Json::UInt(self.sheds.len() as u64)),
+            ("shed_rate", Json::Float(self.shed_rate())),
+            ("escalated", Json::UInt(self.escalations.len() as u64)),
+            ("escalation_rate", Json::Float(self.escalation_rate())),
+            ("makespan_ticks", Json::UInt(self.makespan_ticks)),
+            (
+                "latency_ticks",
+                Json::obj([
+                    ("p50", percentile(0.50)),
+                    ("p95", percentile(0.95)),
+                    ("p99", percentile(0.99)),
+                    ("p999", percentile(0.999)),
+                ]),
+            ),
+            ("sheds", Json::Array(self.sheds.iter().map(shed_to_json).collect())),
+            ("escalations", Json::Array(self.escalations.iter().map(escalation_to_json).collect())),
+            ("scale_events", Json::Array(self.scale_events.iter().map(scale_to_json).collect())),
+            (
+                "shard_batches",
+                Json::Array(
+                    self.shard_reports.iter().map(|r| Json::UInt(r.batches.len() as u64)).collect(),
+                ),
+            ),
+            (
+                "responses",
+                Json::Array(
+                    self.responses
+                        .iter()
+                        .map(|r| r.as_ref().map_or(Json::Null, |resp| resp.to_json()))
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+}
+
+fn shed_to_json(event: &ShedEvent) -> Json {
+    Json::obj([
+        ("request", Json::UInt(event.request)),
+        ("tick", Json::UInt(event.tick)),
+        ("shard", Json::UInt(event.shard as u64)),
+        ("reason", Json::Str(event.reason.label().to_string())),
+    ])
+}
+
+fn escalation_to_json(event: &EscalationEvent) -> Json {
+    Json::obj([
+        ("request", Json::UInt(event.request)),
+        ("tick", Json::UInt(event.tick)),
+        ("admitted", Json::Bool(event.admitted)),
+    ])
+}
+
+fn scale_to_json(event: &ScaleEvent) -> Json {
+    Json::obj([("tick", Json::UInt(event.tick)), ("active", Json::UInt(event.active as u64))])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::ModelSpec;
+    use crate::workload::{ArrivalProcess, WorkloadSpec};
+
+    fn spec() -> ModelSpec {
+        ModelSpec::mlp(2021)
+    }
+
+    fn config(shards: usize, routing: RoutingPolicy) -> ClusterConfig {
+        ClusterConfig {
+            source: ModelSource::Spec(spec()),
+            shards,
+            workers_per_shard: 1,
+            batch: BatchPolicy { max_batch: 4, max_wait_ticks: 8 },
+            queue_cap: 8,
+            deadline_ticks: None,
+            routing,
+            autoscale: None,
+        }
+    }
+
+    fn trace(requests: usize, interarrival: u64) -> Vec<InferRequest> {
+        WorkloadSpec::uniform(requests, interarrival, 2, 33).generate(&spec())
+    }
+
+    #[test]
+    fn every_request_has_exactly_one_outcome() {
+        let cluster = Cluster::new(config(3, RoutingPolicy::LeastLoaded));
+        let trace = trace(48, 1);
+        let report = cluster.run(&trace);
+        assert_eq!(report.outcomes.len(), 48);
+        assert_eq!(report.answered() + report.sheds.len(), report.submitted());
+        for (i, outcome) in report.outcomes.iter().enumerate() {
+            match outcome {
+                RequestOutcome::Answered { end_tick, .. } => {
+                    assert!(responses_present(&report, i));
+                    assert!(*end_tick >= trace[i].arrival_tick);
+                }
+                RequestOutcome::Shed { .. } => assert!(!responses_present(&report, i)),
+            }
+        }
+    }
+
+    fn responses_present(report: &ClusterRunReport, i: usize) -> bool {
+        report.responses[i].is_some()
+    }
+
+    #[test]
+    fn round_robin_spreads_and_least_loaded_balances() {
+        let trace = trace(32, 2);
+        for routing in [RoutingPolicy::RoundRobin, RoutingPolicy::LeastLoaded] {
+            let report = Cluster::new(config(4, routing)).run(&trace);
+            let served: Vec<usize> =
+                report.shard_reports.iter().map(|r| r.responses.len()).collect();
+            assert!(served.iter().all(|&n| n > 0), "{}: idle shard {served:?}", routing.label());
+        }
+    }
+
+    #[test]
+    fn queue_cap_sheds_under_adversarial_spikes() {
+        let spikes = WorkloadSpec::uniform(64, 1, 2, 33)
+            .with_arrival(ArrivalProcess::Adversarial { spike: 32 })
+            .generate(&spec());
+        let mut cfg = config(2, RoutingPolicy::LeastLoaded);
+        cfg.queue_cap = 4;
+        let report = Cluster::new(cfg).run(&spikes);
+        assert!(!report.sheds.is_empty(), "a 32-request spike must overflow cap-4 queues");
+        assert!(report.shed_rate() > 0.0);
+        for event in &report.sheds {
+            assert_eq!(event.reason, ShedReason::QueueFull);
+            assert_eq!(event.tick, spikes[event.request as usize].arrival_tick);
+        }
+    }
+
+    #[test]
+    fn deadline_admission_sheds_hopeless_requests() {
+        let mut cfg = config(1, RoutingPolicy::LeastLoaded);
+        cfg.deadline_ticks = Some(70); // one batch overhead (64) + a couple of service ticks
+        cfg.queue_cap = 1000;
+        let dense = trace(32, 1);
+        let report = Cluster::new(cfg).run(&dense);
+        assert!(
+            report.sheds.iter().any(|s| s.reason == ShedReason::Deadline),
+            "a deadline barely above the batch overhead must shed queued requests"
+        );
+        // Every answered request a deadline shed would have displaced still completed.
+        assert_eq!(report.answered() + report.sheds.len(), 32);
+    }
+
+    #[test]
+    fn two_tier_escalates_high_entropy_answers() {
+        let cfg = ClusterConfig {
+            routing: RoutingPolicy::TwoTier {
+                low_samples: 1,
+                high_samples: 8,
+                entropy_threshold: 0.0, // escalate everything: entropy is always positive
+            },
+            ..config(3, RoutingPolicy::LeastLoaded)
+        };
+        let trace = trace(24, 4);
+        let report = Cluster::new(cfg).run(&trace);
+        assert_eq!(report.escalations.len(), report.answered());
+        for outcome in &report.outcomes {
+            if let RequestOutcome::Answered { escalated, upgraded, shard, .. } = outcome {
+                assert!(escalated);
+                if *upgraded {
+                    assert_eq!(*shard, 2, "upgraded answers come from the high shard");
+                }
+            }
+        }
+        let upgraded = report
+            .outcomes
+            .iter()
+            .filter(|o| matches!(o, RequestOutcome::Answered { upgraded: true, .. }))
+            .count();
+        assert!(upgraded > 0, "some escalations must be admitted");
+        for (outcome, request) in report.outcomes.iter().zip(&trace) {
+            if let RequestOutcome::Answered { upgraded: true, .. } = outcome {
+                let response = report.responses[request.id as usize].as_ref().unwrap();
+                assert_eq!(response.samples, 8, "upgraded answers carry the high-S ensemble");
+            }
+        }
+    }
+
+    #[test]
+    fn two_tier_with_infinite_threshold_never_escalates() {
+        let cfg = ClusterConfig {
+            routing: RoutingPolicy::TwoTier {
+                low_samples: 2,
+                high_samples: 8,
+                entropy_threshold: f64::INFINITY,
+            },
+            ..config(2, RoutingPolicy::LeastLoaded)
+        };
+        let report = Cluster::new(cfg).run(&trace(16, 4));
+        assert!(report.escalations.is_empty());
+        assert_eq!(report.escalation_rate(), 0.0);
+        assert!(report.shard_reports[1].responses.is_empty(), "high shard stays idle");
+    }
+
+    #[test]
+    fn autoscaling_activates_and_drains_at_epoch_ticks() {
+        let scale = AutoscalePolicy {
+            interval_ticks: 32,
+            high_watermark: 3,
+            low_watermark: 1,
+            min_active: 1,
+        };
+        let mut cfg = config(4, RoutingPolicy::LeastLoaded);
+        cfg.autoscale = Some(scale);
+        cfg.queue_cap = 64;
+        // A burst early (forces scale-up), then a long quiet tail (forces drain).
+        let mut trace = trace(48, 1);
+        for request in trace.iter_mut().skip(40) {
+            request.arrival_tick += 4000;
+        }
+        let report = Cluster::new(cfg).run(&trace);
+        assert!(!report.scale_events.is_empty(), "the burst must trigger scaling");
+        for event in &report.scale_events {
+            assert_eq!(event.tick % 32, 0, "scale decisions land on epoch ticks only");
+            assert!(event.active >= 1 && event.active <= 4);
+        }
+        let peak = report.scale_events.iter().map(|e| e.active).max().unwrap();
+        let last = report.scale_events.last().unwrap().active;
+        assert!(peak > 1, "the burst must activate extra shards");
+        assert!(last < peak, "the quiet tail must drain them");
+    }
+
+    #[test]
+    fn plan_matches_run_timing_without_computing_responses() {
+        let cluster = Cluster::new(config(3, RoutingPolicy::RoundRobin));
+        let trace = trace(40, 2);
+        let plan = cluster.plan(&trace);
+        let report = cluster.run(&trace);
+        assert_eq!(plan.outcomes, report.outcomes);
+        assert_eq!(plan.sheds, report.sheds);
+        assert_eq!(plan.latencies, report.latencies);
+        assert_eq!(plan.makespan_ticks, report.makespan_ticks);
+        assert_eq!(
+            plan.batches_per_shard,
+            report.shard_reports.iter().map(|r| r.batches.len()).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn empty_trace_yields_an_empty_report() {
+        let report = Cluster::new(config(2, RoutingPolicy::LeastLoaded)).run(&[]);
+        assert_eq!(report.submitted(), 0);
+        assert_eq!(report.makespan_ticks, 0);
+        assert_eq!(report.shed_rate(), 0.0);
+        let json = report.to_json().to_compact();
+        assert!(json.contains("\"p999\":null"));
+    }
+
+    #[test]
+    fn reports_serialize_deterministically() {
+        let cluster = Cluster::new(config(2, RoutingPolicy::LeastLoaded));
+        let trace = trace(12, 2);
+        let a = cluster.run(&trace);
+        let b = cluster.run(&trace);
+        assert_eq!(a.to_json().to_pretty(), b.to_json().to_pretty());
+        assert_eq!(a.responses_digest(), b.responses_digest());
+        assert_eq!(a.events_digest(), b.events_digest());
+    }
+}

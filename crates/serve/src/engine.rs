@@ -352,8 +352,9 @@ impl InferenceEngine {
 }
 
 /// One setup tick plus the GRNG-bound ε generation time of `samples` forward passes drawing
-/// `epsilon_per_sample` values each.
-fn service_cost(epsilon_per_sample: usize, samples: usize) -> u64 {
+/// `epsilon_per_sample` values each (shared with the cluster simulator, whose shard timing
+/// must mirror the engine's batch pricing exactly).
+pub(crate) fn service_cost(epsilon_per_sample: usize, samples: usize) -> u64 {
     1 + (samples as u64 * epsilon_per_sample as u64).div_ceil(EPSILON_LANES)
 }
 
@@ -438,7 +439,7 @@ mod tests {
     use crate::workload::WorkloadSpec;
 
     fn small_trace(spec: &ModelSpec) -> Vec<InferRequest> {
-        WorkloadSpec { requests: 10, interarrival_ticks: 2, samples: 3, seed: 99 }.generate(spec)
+        WorkloadSpec::uniform(10, 2, 3, 99).generate(spec)
     }
 
     #[test]

@@ -22,7 +22,12 @@
 //!   engine and an N-worker engine produce **byte-identical** [`InferResponse`]s (enforced by
 //!   `tests/serve_determinism.rs` and at runtime by the `serve_bench` binary).
 //! * [`workload`] generates seeded synthetic open-loop request traces, the serving analogue
-//!   of the training side's synthetic datasets.
+//!   of the training side's synthetic datasets — uniform, bursty, diurnal or adversarial
+//!   arrival shapes over the same seeded inputs ([`ArrivalProcess`]).
+//! * [`cluster`] scales the engine out: a deterministic tick-domain **cluster simulator** —
+//!   router, N bounded-queue replica shards, admission control / load shedding,
+//!   uncertainty-aware two-tier escalation and queue-depth-driven autoscaling — whose
+//!   reports serialize byte-identically at any shard × worker count.
 //!
 //! # Example
 //!
@@ -32,8 +37,7 @@
 //! let spec = ModelSpec::mlp(2021);
 //! let policy = BatchPolicy { max_batch: 4, max_wait_ticks: 16 };
 //! let engine = InferenceEngine::new(spec.clone(), policy, 2);
-//! let trace = WorkloadSpec { requests: 12, interarrival_ticks: 3, samples: 4, seed: 7 }
-//!     .generate(&spec);
+//! let trace = WorkloadSpec::uniform(12, 3, 4, 7).generate(&spec);
 //! let report = engine.run(&trace);
 //! assert_eq!(report.responses.len(), 12);
 //! let p99 = report.latency_percentile(0.99);
@@ -44,13 +48,18 @@
 #![warn(rust_2018_idioms)]
 
 pub mod batcher;
+pub mod cluster;
 pub mod engine;
 pub mod request;
 pub mod spec;
 pub mod workload;
 
 pub use batcher::{plan_batches, BatchPlan, BatchPolicy};
+pub use cluster::{
+    AutoscalePolicy, Cluster, ClusterConfig, ClusterPlan, ClusterRunReport, EscalationEvent,
+    RequestOutcome, RoutingPolicy, ScaleEvent, ShardSwap, ShedEvent, ShedReason,
+};
 pub use engine::{InferenceEngine, ServeReplica, ServeRunReport, VersionSwap};
 pub use request::{mix_seed, InferRequest, InferResponse};
 pub use spec::{CheckpointReplica, ModelSource, ModelSpec};
-pub use workload::WorkloadSpec;
+pub use workload::{ArrivalProcess, WorkloadSpec};

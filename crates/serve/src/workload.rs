@@ -3,8 +3,22 @@
 //! An *open-loop* workload fixes the arrival process independently of service speed (arrivals
 //! do not wait for responses), which is how production traffic behaves and what makes latency
 //! percentiles meaningful — a closed loop would self-throttle exactly when the engine is
-//! slowest. Arrivals land on a fixed tick cadence; inputs and per-request ε seeds derive
-//! deterministically from the workload seed, so the same spec always produces the same trace.
+//! slowest. Inputs and per-request ε seeds derive deterministically from the workload seed, so
+//! the same spec always produces the same trace.
+//!
+//! Arrival *timing* is pluggable through [`ArrivalProcess`]: the default
+//! [`Uniform`](ArrivalProcess::Uniform) cadence the single-engine benchmarks were committed
+//! with, plus
+//! the cluster-scale processes — [`Bursty`](ArrivalProcess::Bursty) (seeded random burst
+//! trains), [`Diurnal`](ArrivalProcess::Diurnal) (a deterministic slow/fast/slow rate wave)
+//! and [`Adversarial`](ArrivalProcess::Adversarial) (synchronized spikes crafted to overflow
+//! bounded queues). Two invariants hold for every process:
+//!
+//! * arrival ticks are non-decreasing (the batcher's ordering contract), with a long-run mean
+//!   rate of about one request per `interarrival_ticks`;
+//! * inputs and ε seeds depend only on `(seed, request index)` — **never** on the arrival
+//!   process — so switching processes re-times the same requests rather than inventing new
+//!   ones, and answers stay comparable across arrival shapes.
 
 use crate::request::{mix_seed, InferRequest};
 use crate::spec::ModelSpec;
@@ -12,22 +26,146 @@ use bnn_tensor::Tensor;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
+/// Seed-stream tag separating arrival-gap randomness from the input-value randomness, so the
+/// arrival process can never perturb input bytes.
+const ARRIVAL_STREAM: u64 = 0xA221_7A1C_5EED_0001;
+
+/// How request arrival ticks are laid out over the trace.
+///
+/// Every variant is a pure function of `(WorkloadSpec, request index)` — no wall clock, no
+/// global state — so a given spec always reproduces the same trace bytes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ArrivalProcess {
+    /// One arrival every `interarrival_ticks` — request `r` arrives at
+    /// `r × interarrival_ticks`. The original (and default) process; all committed
+    /// single-engine baselines use it.
+    Uniform,
+    /// Seeded random bursts: runs of `1..2×mean_burst` requests share one arrival tick, with
+    /// a randomized gap (of roughly matching total duration) before the next burst, so the
+    /// long-run rate stays near `1/interarrival_ticks` while short windows far exceed it.
+    Bursty {
+        /// Mean burst length (must be ≥ 1); bursts are uniform on `1..2×mean_burst`.
+        mean_burst: usize,
+    },
+    /// A deterministic load wave: the inter-arrival gap triangles between
+    /// `interarrival_ticks/2` (peak traffic) and `3×interarrival_ticks/2` (trough) over a
+    /// cycle of `cycle` requests — the tick-domain analogue of diurnal traffic.
+    Diurnal {
+        /// Requests per full slow→fast→slow cycle (must be ≥ 2).
+        cycle: usize,
+    },
+    /// The worst case for bounded queues: `spike` requests arrive *simultaneously* at the
+    /// start of each window of `spike × interarrival_ticks` ticks, then nothing until the
+    /// next window. Mean rate is unchanged; instantaneous rate is unbounded.
+    Adversarial {
+        /// Simultaneous arrivals per spike (must be ≥ 1).
+        spike: usize,
+    },
+}
+
+impl ArrivalProcess {
+    /// A short machine-readable label, e.g. `"uniform"`, `"bursty8"`, `"diurnal64"`,
+    /// `"adversarial32"`.
+    pub fn label(&self) -> String {
+        match self {
+            ArrivalProcess::Uniform => "uniform".to_string(),
+            ArrivalProcess::Bursty { mean_burst } => format!("bursty{mean_burst}"),
+            ArrivalProcess::Diurnal { cycle } => format!("diurnal{cycle}"),
+            ArrivalProcess::Adversarial { spike } => format!("adversarial{spike}"),
+        }
+    }
+
+    /// The arrival tick of every request in a `requests`-long trace at base cadence
+    /// `interarrival_ticks`, seeded by `seed`. Non-decreasing by construction.
+    fn arrival_ticks(&self, requests: usize, interarrival_ticks: u64, seed: u64) -> Vec<u64> {
+        let delta = interarrival_ticks;
+        match *self {
+            ArrivalProcess::Uniform => (0..requests).map(|r| r as u64 * delta).collect(),
+            ArrivalProcess::Bursty { mean_burst } => {
+                assert!(mean_burst >= 1, "mean_burst must be at least 1");
+                let mut rng = StdRng::seed_from_u64(mix_seed(seed, ARRIVAL_STREAM));
+                let mut ticks = Vec::with_capacity(requests);
+                let mut t = 0u64;
+                while ticks.len() < requests {
+                    let burst = rng.gen_range(1..2 * mean_burst);
+                    for _ in 0..burst.min(requests - ticks.len()) {
+                        ticks.push(t);
+                    }
+                    // A burst of b requests is followed by a gap of b×Δ ± Δ/2 ticks, so the
+                    // long-run rate stays near 1/Δ whatever the burst sizes drawn.
+                    let nominal = burst as u64 * delta;
+                    let jitter = rng.gen_range(0..delta.max(1) + 1);
+                    t += (nominal + jitter).saturating_sub(delta.max(1) / 2).max(1);
+                }
+                ticks
+            }
+            ArrivalProcess::Diurnal { cycle } => {
+                assert!(cycle >= 2, "cycle must be at least 2");
+                let half = (cycle / 2).max(1) as u64;
+                let mut ticks = Vec::with_capacity(requests);
+                let mut t = 0u64;
+                for r in 0..requests {
+                    ticks.push(t);
+                    let phase = (r % cycle) as u64;
+                    let tri = if phase < half { phase } else { cycle as u64 - phase };
+                    // Gap triangles over [Δ/2, Δ/2 + Δ×tri/half] ⊆ [Δ/2, 3Δ/2]: fast at the
+                    // cycle start, slow at its middle, fast again at its end.
+                    t += (delta / 2 + delta * tri / half).max(1);
+                }
+                ticks
+            }
+            ArrivalProcess::Adversarial { spike } => {
+                assert!(spike >= 1, "spike must be at least 1");
+                (0..requests).map(|r| (r / spike) as u64 * spike as u64 * delta).collect()
+            }
+        }
+    }
+}
+
 /// Parameters of a synthetic open-loop trace.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct WorkloadSpec {
     /// Number of requests.
     pub requests: usize,
-    /// Ticks between consecutive arrivals (1 = every tick; the offered-load knob).
+    /// Base ticks between consecutive arrivals (1 = every tick; the offered-load knob). The
+    /// arrival process shapes timing *around* this mean rate.
     pub interarrival_ticks: u64,
     /// Monte-Carlo sample count `S` every request asks for.
     pub samples: usize,
-    /// Base seed: inputs and per-request ε seeds all derive from it.
+    /// Base seed: inputs, per-request ε seeds and any arrival randomness derive from it.
     pub seed: u64,
+    /// The arrival process laying out request timing (defaults to
+    /// [`ArrivalProcess::Uniform`] via [`WorkloadSpec::uniform`]).
+    pub arrival: ArrivalProcess,
 }
 
 impl WorkloadSpec {
-    /// Generates the trace for `model`: request `r` arrives at tick `r × interarrival_ticks`
-    /// with a pseudo-random input of the model's shape and ε seed [`mix_seed`]`(seed, r)`.
+    /// The backward-compatible constructor: a uniform-cadence trace, bit-identical to the
+    /// traces this type produced before arrival processes existed (request `r` arrives at
+    /// `r × interarrival_ticks`). All committed serve/store baselines are pinned to it.
+    pub fn uniform(
+        requests: usize,
+        interarrival_ticks: u64,
+        samples: usize,
+        seed: u64,
+    ) -> WorkloadSpec {
+        WorkloadSpec {
+            requests,
+            interarrival_ticks,
+            samples,
+            seed,
+            arrival: ArrivalProcess::Uniform,
+        }
+    }
+
+    /// Returns the spec with its arrival process replaced (builder style).
+    pub fn with_arrival(mut self, arrival: ArrivalProcess) -> WorkloadSpec {
+        self.arrival = arrival;
+        self
+    }
+
+    /// Generates the trace for `model`: request `r` carries a pseudo-random input of the
+    /// model's shape and ε seed [`mix_seed`]`(seed, r)`, timed by the arrival process.
     pub fn generate(&self, model: &ModelSpec) -> Vec<InferRequest> {
         self.generate_for_shape(model.input_shape())
     }
@@ -37,13 +175,15 @@ impl WorkloadSpec {
     /// shapes yield identical traces whichever entry point produced them.
     pub fn generate_for_shape(&self, shape: &[usize]) -> Vec<InferRequest> {
         let len: usize = shape.iter().product();
+        let arrivals =
+            self.arrival.arrival_ticks(self.requests, self.interarrival_ticks, self.seed);
         let mut rng = StdRng::seed_from_u64(self.seed);
         (0..self.requests)
             .map(|r| {
                 let values: Vec<f32> = (0..len).map(|_| rng.gen_range(-1.0f32..1.0)).collect();
                 InferRequest {
                     id: r as u64,
-                    arrival_tick: r as u64 * self.interarrival_ticks,
+                    arrival_tick: arrivals[r],
                     input: Tensor::from_vec(shape.to_vec(), values)
                         .expect("shape and value count agree"),
                     samples: self.samples,
@@ -61,7 +201,7 @@ mod tests {
     #[test]
     fn traces_are_deterministic_and_open_loop() {
         let spec = ModelSpec::mlp(1);
-        let workload = WorkloadSpec { requests: 9, interarrival_ticks: 5, samples: 2, seed: 3 };
+        let workload = WorkloadSpec::uniform(9, 5, 2, 3);
         let a = workload.generate(&spec);
         let b = workload.generate(&spec);
         assert_eq!(a, b, "same spec must yield the same trace");
@@ -78,11 +218,73 @@ mod tests {
     #[test]
     fn different_workload_seeds_change_inputs() {
         let spec = ModelSpec::lenet(1);
-        let a = WorkloadSpec { requests: 2, interarrival_ticks: 1, samples: 1, seed: 10 }
-            .generate(&spec);
-        let b = WorkloadSpec { requests: 2, interarrival_ticks: 1, samples: 1, seed: 11 }
-            .generate(&spec);
+        let a = WorkloadSpec::uniform(2, 1, 1, 10).generate(&spec);
+        let b = WorkloadSpec::uniform(2, 1, 1, 11).generate(&spec);
         assert_ne!(a[0].input, b[0].input);
         assert_ne!(a[0].seed, b[0].seed);
+    }
+
+    #[test]
+    fn every_arrival_process_is_sorted_rate_matched_and_input_invariant() {
+        let spec = ModelSpec::mlp(1);
+        let base = WorkloadSpec::uniform(256, 4, 1, 77);
+        let uniform = base.generate(&spec);
+        for arrival in [
+            ArrivalProcess::Bursty { mean_burst: 8 },
+            ArrivalProcess::Diurnal { cycle: 32 },
+            ArrivalProcess::Adversarial { spike: 16 },
+        ] {
+            let trace = base.with_arrival(arrival).generate(&spec);
+            assert_eq!(trace.len(), 256, "{}", arrival.label());
+            for pair in trace.windows(2) {
+                assert!(
+                    pair[0].arrival_tick <= pair[1].arrival_tick,
+                    "{}: arrivals must be non-decreasing",
+                    arrival.label()
+                );
+            }
+            // The long-run rate stays within 2x of the uniform cadence in either direction.
+            let span = trace.last().unwrap().arrival_tick.max(1);
+            let uniform_span = uniform.last().unwrap().arrival_tick;
+            assert!(
+                span >= uniform_span / 2 && span <= uniform_span * 2,
+                "{}: span {span} strays too far from uniform {uniform_span}",
+                arrival.label()
+            );
+            // Re-timing must not touch inputs or epsilon seeds.
+            for (a, b) in uniform.iter().zip(&trace) {
+                assert_eq!(a.input, b.input, "{}", arrival.label());
+                assert_eq!(a.seed, b.seed, "{}", arrival.label());
+                assert_eq!(a.samples, b.samples);
+            }
+        }
+    }
+
+    #[test]
+    fn adversarial_spikes_are_simultaneous_and_windowed() {
+        let trace = WorkloadSpec::uniform(20, 3, 1, 5)
+            .with_arrival(ArrivalProcess::Adversarial { spike: 5 })
+            .generate_for_shape(&[2]);
+        for (r, request) in trace.iter().enumerate() {
+            assert_eq!(request.arrival_tick, (r / 5) as u64 * 15);
+        }
+    }
+
+    #[test]
+    fn bursty_traces_coalesce_arrivals() {
+        let trace = WorkloadSpec::uniform(64, 4, 1, 9)
+            .with_arrival(ArrivalProcess::Bursty { mean_burst: 6 })
+            .generate_for_shape(&[2]);
+        let simultaneous =
+            trace.windows(2).filter(|p| p[0].arrival_tick == p[1].arrival_tick).count();
+        assert!(simultaneous > 10, "bursty traces must share arrival ticks ({simultaneous})");
+    }
+
+    #[test]
+    fn arrival_labels_are_stable() {
+        assert_eq!(ArrivalProcess::Uniform.label(), "uniform");
+        assert_eq!(ArrivalProcess::Bursty { mean_burst: 8 }.label(), "bursty8");
+        assert_eq!(ArrivalProcess::Diurnal { cycle: 64 }.label(), "diurnal64");
+        assert_eq!(ArrivalProcess::Adversarial { spike: 32 }.label(), "adversarial32");
     }
 }

@@ -14,7 +14,7 @@ use bnn_serve::{
 };
 
 fn trace(spec: &ModelSpec, requests: usize) -> Vec<bnn_serve::InferRequest> {
-    WorkloadSpec { requests, interarrival_ticks: 4, samples: 3, seed: 404 }.generate(spec)
+    WorkloadSpec::uniform(requests, 4, 3, 404).generate(spec)
 }
 
 /// Two distinct posteriors of the same architecture (different weight seeds).

@@ -13,7 +13,7 @@
 use bnn_serve::{BatchPolicy, InferenceEngine, ModelSpec, WorkloadSpec};
 
 fn trace(spec: &ModelSpec, requests: usize, samples: usize) -> Vec<bnn_serve::InferRequest> {
-    WorkloadSpec { requests, interarrival_ticks: 3, samples, seed: 2021 }.generate(spec)
+    WorkloadSpec::uniform(requests, 3, samples, 2021).generate(spec)
 }
 
 #[test]

@@ -51,8 +51,7 @@ fn in_memory_source(network: &Network, label: &str) -> ModelSource {
 }
 
 fn trace(requests: usize) -> Vec<bnn_serve::InferRequest> {
-    WorkloadSpec { requests, interarrival_ticks: 3, samples: 4, seed: 2026 }
-        .generate_for_shape(&INPUT_SHAPE)
+    WorkloadSpec::uniform(requests, 3, 4, 2026).generate_for_shape(&INPUT_SHAPE)
 }
 
 #[test]

@@ -68,8 +68,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // --- 3. Serve v1, hot-swap to v2 mid-trace ------------------------------------------------
     let (_, v1_source) = registry.serve_source("blenet", Some(version_1), INPUT.to_vec())?;
     let (_, v2_source) = registry.serve_source("blenet", Some(version_2), INPUT.to_vec())?;
-    let trace = WorkloadSpec { requests: 16, interarrival_ticks: 4, samples: 4, seed: 21 }
-        .generate_for_shape(&INPUT);
+    let trace = WorkloadSpec::uniform(16, 4, 4, 21).generate_for_shape(&INPUT);
     let engine =
         InferenceEngine::from_source(v1_source, BatchPolicy { max_batch: 4, max_wait_ticks: 8 }, 2);
     let report = engine.run_with_swaps(&trace, &[VersionSwap { at_tick: 70, source: v2_source }]);

@@ -1,8 +1,14 @@
 //! End-to-end integration tests spanning the whole workspace: LFSR → GRNG → BNN training →
-//! workload → accelerator simulation, exercised through the public APIs only.
+//! workload → accelerator simulation → checkpoint store → cluster serving, exercised through
+//! the public APIs only.
 
 use bnn_models::workload::ModelVolume;
 use bnn_models::ModelKind;
+use bnn_serve::{
+    BatchPolicy, Cluster, ClusterConfig, InferenceEngine, RequestOutcome, RoutingPolicy, ShardSwap,
+    VersionSwap, WorkloadSpec,
+};
+use bnn_store::{Checkpoint, ModelRegistry};
 use bnn_train::data::SyntheticDataset;
 use bnn_train::network::Network;
 use bnn_train::trainer::{EpsilonStrategy, Trainer, TrainerConfig};
@@ -106,6 +112,86 @@ fn gpu_comparison_matches_figure_12_shape() {
             gpu_eff
         );
     }
+}
+
+/// The serving lifecycle at cluster scale: train a posterior, publish two versions to the
+/// [`ModelRegistry`], serve the registry-loaded v1 through the sharded cluster router, and
+/// hot-swap one shard to v2 mid-trace. The swapped shard must behave exactly like a
+/// standalone [`InferenceEngine::run_with_swaps`] over the sub-trace the router admitted to
+/// it — same answers before the swap boundary, same answers after, same batch versioning.
+#[test]
+fn cluster_serves_registry_versions_across_a_hot_swap() {
+    const INPUT: [usize; 3] = [1, 8, 8];
+
+    // Train v1, publish, keep training, publish v2.
+    let dataset = SyntheticDataset::generate(&INPUT, 3, 4, 0.2, 31);
+    let mut rng = StdRng::seed_from_u64(67);
+    let network = Network::bayes_lenet(&INPUT, 3, BayesConfig::default(), &mut rng);
+    let mut trainer = Trainer::new(
+        network,
+        TrainerConfig { samples: 2, learning_rate: 0.05, ..TrainerConfig::default() },
+    )
+    .unwrap();
+    trainer.train_epoch(&dataset).unwrap();
+    let root = std::path::Path::new("target/tmp/end_to_end-cluster-registry");
+    let _ = std::fs::remove_dir_all(root);
+    let registry = ModelRegistry::open(root).unwrap();
+    let v1 = registry.publish("blenet", &Checkpoint::from_trainer(&trainer)).unwrap();
+    trainer.train_epoch(&dataset).unwrap();
+    let v2 = registry.publish("blenet", &Checkpoint::from_trainer(&trainer)).unwrap();
+    assert!(v2 > v1);
+
+    // Serve v1 on a 2-shard cluster; shard 1 hot-swaps to v2 mid-trace.
+    let (_, v1_source) = registry.serve_source("blenet", Some(v1), INPUT.to_vec()).unwrap();
+    let (_, v2_source) = registry.serve_source("blenet", Some(v2), INPUT.to_vec()).unwrap();
+    let trace = WorkloadSpec::uniform(18, 4, 3, 77).generate_for_shape(&INPUT);
+    let batch = BatchPolicy { max_batch: 3, max_wait_ticks: 6 };
+    let swap_tick = 90;
+    let cluster = Cluster::new(ClusterConfig {
+        source: v1_source.clone(),
+        shards: 2,
+        workers_per_shard: 2,
+        batch,
+        queue_cap: 64, // roomy: this test is about versioning, not shedding
+        deadline_ticks: None,
+        routing: RoutingPolicy::LeastLoaded,
+        autoscale: None,
+    });
+    let swaps = [ShardSwap {
+        shard: 1,
+        swap: VersionSwap { at_tick: swap_tick, source: v2_source.clone() },
+    }];
+    let report = cluster.run_with_swaps(&trace, &swaps);
+    assert!(report.sheds.is_empty(), "nothing sheds under a cap of 64");
+
+    // The un-swapped shard serves v1 throughout; the swapped one crosses the boundary.
+    assert!(report.shard_reports[0].batches.iter().all(|b| b.version == 0));
+    let versions: Vec<usize> = report.shard_reports[1].batches.iter().map(|b| b.version).collect();
+    assert!(versions.contains(&0) && versions.contains(&1), "swap must land mid-trace");
+    for batch_stat in &report.shard_reports[1].batches {
+        let expected = usize::from(batch_stat.start_tick >= swap_tick);
+        assert_eq!(batch_stat.version, expected, "version flips exactly at the swap boundary");
+    }
+
+    // The swapped shard answers exactly like a standalone engine over its routed sub-trace,
+    // before and after the boundary alike.
+    let sub_trace: Vec<_> = trace
+        .iter()
+        .zip(&report.outcomes)
+        .filter_map(|(request, outcome)| match outcome {
+            RequestOutcome::Answered { shard: 1, .. } => Some(request.clone()),
+            _ => None,
+        })
+        .collect();
+    assert!(!sub_trace.is_empty());
+    let engine = InferenceEngine::from_source(v1_source, batch, 1);
+    let solo =
+        engine.run_with_swaps(&sub_trace, &[VersionSwap { at_tick: swap_tick, source: v2_source }]);
+    assert_eq!(
+        solo.to_json().to_pretty(),
+        report.shard_reports[1].to_json().to_pretty(),
+        "cluster shard 1 diverged from a standalone hot-swapped engine"
+    );
 }
 
 /// Full-model coverage: the four designs produce internally consistent reports (per-layer
