@@ -579,20 +579,34 @@ impl Cluster {
         Routing { sims, routed, effective_samples, outcomes, sheds, scale_events }
     }
 
-    /// Plans a run without computing any responses: routing, admission, shedding, scaling
-    /// and complete tick timing. Usable with arbitrarily long traces (nothing per-request
-    /// but bookkeeping), which is what the large-trace stress benchmarks drive.
+    /// Plans a swap-free run without computing any responses: routing, admission, shedding,
+    /// scaling and complete tick timing. Usable with arbitrarily long traces (nothing
+    /// per-request but bookkeeping), which is what the large-trace stress benchmarks drive.
+    /// For a run with scheduled hot-swaps, use [`Cluster::plan_with_swaps`].
     ///
     /// # Panics
     ///
     /// Panics under [`RoutingPolicy::TwoTier`] — escalation decisions need real predictive
     /// entropy, so the two-tier policy only supports [`Cluster::run`].
     pub fn plan(&self, trace: &[InferRequest]) -> ClusterPlan {
+        self.plan_with_swaps(trace, &[])
+    }
+
+    /// [`Cluster::plan`] under a scheduled per-shard hot-swap schedule: batch timing prices
+    /// each batch at the version active at its service start, exactly as
+    /// [`Cluster::run_with_swaps`] executes it, so a swapped run's timing can be pre-planned
+    /// and cross-checked the same way a swap-free run's can.
+    ///
+    /// # Panics
+    ///
+    /// Panics under the same conditions as [`Cluster::plan`], or when a swap targets a shard
+    /// out of range or a per-shard schedule is not sorted by `at_tick`.
+    pub fn plan_with_swaps(&self, trace: &[InferRequest], swaps: &[ShardSwap]) -> ClusterPlan {
         assert!(
             !matches!(self.config.routing, RoutingPolicy::TwoTier { .. }),
             "two-tier escalation needs real entropies; use Cluster::run"
         );
-        let swaps = self.swaps_by_shard(&[]);
+        let swaps = self.swaps_by_shard(swaps);
         let routing = self.route(trace, &swaps);
         let mut outcomes = routing.outcomes;
         let mut end_ticks = vec![0u64; trace.len()];
@@ -662,8 +676,11 @@ impl Cluster {
         // Phase B: each shard's admitted sub-trace runs on that shard's own engine; the
         // engine re-derives batch timing from the sub-trace, and it must agree with the
         // plan's batch for batch — the cluster's timing and answers come from one clock.
+        // Under two-tier routing the router never targets the reserved high shard, so its
+        // engine (and report) is built once by the escalation block below, not here.
+        let phase_b_shards = Cluster::routable(&self.config);
         let mut shard_reports: Vec<ServeRunReport> = Vec::with_capacity(self.config.shards);
-        for (shard, shard_swaps) in grouped.iter().enumerate() {
+        for (shard, shard_swaps) in grouped.iter().enumerate().take(phase_b_shards) {
             let sub_trace: Vec<InferRequest> = routing.routed[shard]
                 .iter()
                 .map(|&i| {
@@ -722,7 +739,11 @@ impl Cluster {
                 self.config.source.epsilon_count(),
                 &grouped[high],
             );
-            let mut admitted: Vec<usize> = Vec::new();
+            // `high_trace[k]` escalates the request at trace index `high_indices[k]`; ids
+            // are caller-chosen and never used as positions.
+            let mut high_trace: Vec<InferRequest> = Vec::new();
+            let mut high_indices: Vec<usize> = Vec::new();
+            let mut kept_low: Vec<usize> = Vec::new();
             for &(tick, i) in &candidates {
                 let full = high_sim.backlog(tick) >= self.config.queue_cap;
                 let late = self.config.deadline_ticks.is_some_and(|deadline| {
@@ -732,21 +753,17 @@ impl Cluster {
                 escalations.push(EscalationEvent { request: trace[i].id, tick, admitted: admit });
                 if admit {
                     high_sim.admit(i, high_samples, tick);
-                    admitted.push(i);
+                    let mut request = trace[i].clone();
+                    request.arrival_tick = tick;
+                    request.samples = high_samples;
+                    high_trace.push(request);
+                    high_indices.push(i);
+                } else {
+                    kept_low.push(i);
                 }
             }
             high_sim.finish();
 
-            let high_trace: Vec<InferRequest> = candidates
-                .iter()
-                .filter(|&&(_, i)| admitted.contains(&i))
-                .map(|&(tick, i)| {
-                    let mut request = trace[i].clone();
-                    request.arrival_tick = tick;
-                    request.samples = high_samples;
-                    request
-                })
-                .collect();
             let engine = InferenceEngine::from_source(
                 self.config.source.clone(),
                 self.config.batch,
@@ -755,9 +772,8 @@ impl Cluster {
             let high_report = engine.run_with_swaps(&high_trace, &grouped[high]);
             assert_sim_matches_engine(&high_sim, &high_report, high);
 
-            for (k, request) in high_trace.iter().enumerate() {
-                let i = request.id as usize;
-                let end = request.arrival_tick + high_report.latencies[k];
+            for (k, &i) in high_indices.iter().enumerate() {
+                let end = high_trace[k].arrival_tick + high_report.latencies[k];
                 end_ticks[i] = end;
                 responses[i] = Some(high_report.responses[k].clone());
                 outcomes[i] = Some(RequestOutcome::Answered {
@@ -767,15 +783,12 @@ impl Cluster {
                     upgraded: true,
                 });
             }
-            for event in &escalations {
-                if !event.admitted {
-                    let i = event.request as usize;
-                    if let Some(RequestOutcome::Answered { escalated, .. }) = &mut outcomes[i] {
-                        *escalated = true;
-                    }
+            for &i in &kept_low {
+                if let Some(RequestOutcome::Answered { escalated, .. }) = &mut outcomes[i] {
+                    *escalated = true;
                 }
             }
-            shard_reports[high] = high_report;
+            shard_reports.push(high_report);
         }
 
         let outcomes: Vec<RequestOutcome> =
@@ -1178,6 +1191,67 @@ mod tests {
         let last = report.scale_events.last().unwrap().active;
         assert!(peak > 1, "the burst must activate extra shards");
         assert!(last < peak, "the quiet tail must drain them");
+    }
+
+    #[test]
+    fn two_tier_handles_caller_chosen_request_ids() {
+        // Ids are caller-chosen opaque labels, not trace positions: a run whose ids are far
+        // outside 0..n must behave exactly like the same trace with index ids.
+        let cfg = || ClusterConfig {
+            routing: RoutingPolicy::TwoTier {
+                low_samples: 1,
+                high_samples: 8,
+                entropy_threshold: 0.0,
+            },
+            ..config(3, RoutingPolicy::LeastLoaded)
+        };
+        let indexed = trace(24, 4);
+        let mut relabeled = indexed.clone();
+        for request in relabeled.iter_mut() {
+            request.id = 10_000 + request.id * 7;
+        }
+        let baseline = Cluster::new(cfg()).run(&indexed);
+        let report = Cluster::new(cfg()).run(&relabeled);
+        assert_eq!(report.outcomes, baseline.outcomes);
+        assert_eq!(report.latencies, baseline.latencies);
+        // Answers match payload-for-payload; only the echoed caller id may differ.
+        assert_eq!(report.responses.len(), baseline.responses.len());
+        for (response, twin) in report.responses.iter().zip(&baseline.responses) {
+            match (response, twin) {
+                (Some(r), Some(t)) => {
+                    assert_eq!(r.id, 10_000 + t.id * 7);
+                    assert_eq!((&r.mean, &r.variance), (&t.mean, &t.variance));
+                    assert_eq!((r.samples, r.entropy), (t.samples, t.entropy));
+                }
+                (None, None) => {}
+                _ => panic!("relabeling changed a shed decision"),
+            }
+        }
+        for (event, twin) in report.escalations.iter().zip(&baseline.escalations) {
+            assert_eq!(event.request, 10_000 + twin.request * 7);
+            assert_eq!((event.tick, event.admitted), (twin.tick, twin.admitted));
+        }
+    }
+
+    #[test]
+    fn plan_with_swaps_matches_swapped_run_timing() {
+        let cluster = Cluster::new(config(2, RoutingPolicy::LeastLoaded));
+        let trace = trace(32, 2);
+        let swaps = vec![ShardSwap {
+            shard: 1,
+            swap: VersionSwap { at_tick: 80, source: ModelSource::Spec(ModelSpec::mlp(77)) },
+        }];
+        let plan = cluster.plan_with_swaps(&trace, &swaps);
+        let report = cluster.run_with_swaps(&trace, &swaps);
+        assert_eq!(plan.outcomes, report.outcomes);
+        assert_eq!(plan.sheds, report.sheds);
+        assert_eq!(plan.latencies, report.latencies);
+        assert_eq!(plan.makespan_ticks, report.makespan_ticks);
+        // The swap engaged: the swapped shard served batches on both sides of the boundary
+        // (run_with_swaps cross-checks the plan's per-batch version against the engine's).
+        let versions: Vec<usize> =
+            report.shard_reports[1].batches.iter().map(|b| b.version).collect();
+        assert!(versions.contains(&0) && versions.contains(&1), "swap never engaged: {versions:?}");
     }
 
     #[test]
