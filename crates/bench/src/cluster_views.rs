@@ -17,7 +17,7 @@
 
 use bnn_serve::{
     ArrivalProcess, AutoscalePolicy, BatchPolicy, Cluster, ClusterConfig, ClusterPlan,
-    ClusterRunReport, InferRequest, ModelSource, ModelSpec, RoutingPolicy, WorkloadSpec,
+    ClusterRunReport, InferRequest, ModelSource, ModelSpec, RoutingPolicy, ServeMode, WorkloadSpec,
 };
 use shift_bnn::sweep::json::Json;
 
@@ -109,6 +109,7 @@ pub fn stress_request_count(reduced: bool) -> usize {
 pub fn bench_cluster_config(routing: RoutingPolicy, workers: usize) -> ClusterConfig {
     ClusterConfig {
         source: ModelSource::Spec(ModelSpec::mlp(CLUSTER_WEIGHT_SEED)),
+        mode: ServeMode::MonteCarlo,
         shards: CLUSTER_SHARDS,
         workers_per_shard: workers,
         batch: BatchPolicy { max_batch: 8, max_wait_ticks: 16 },

@@ -350,6 +350,64 @@ impl Default for ServeProbe {
     }
 }
 
+/// A steady-state analytic-serving workload: one moment-backend replica answering requests
+/// into a reusable response (single pass per request, no ε drawn).
+pub struct MomentProbe {
+    replica: ServeReplica,
+    request: InferRequest,
+    response: InferResponse,
+}
+
+impl MomentProbe {
+    /// Builds the probe over the B-LeNet serving proxy (deterministic), moment backend.
+    pub fn new() -> MomentProbe {
+        let spec = ModelSpec::lenet(7);
+        let request = InferRequest {
+            id: 0,
+            arrival_tick: 0,
+            input: fill_tensor(0xFEED, spec.input_shape()),
+            samples: 8, // ignored by the analytic backend — kept to mirror ServeProbe
+            seed: 1,
+        };
+        let replica = ServeReplica::from_source_with_mode(
+            &bnn_serve::ModelSource::Spec(spec),
+            bnn_serve::ServeMode::Moment,
+        );
+        let response = InferResponse {
+            id: 0,
+            samples: 0,
+            mean: Vec::new(),
+            variance: Vec::new(),
+            entropy: 0.0,
+        };
+        MomentProbe { replica, request, response }
+    }
+
+    /// Serves `n` analytic requests (reused buffers).
+    pub fn run(&mut self, n: usize) {
+        for i in 0..n {
+            self.request.id = i as u64;
+            self.replica.answer_into(&self.request, &mut self.response);
+        }
+    }
+
+    /// The last response's entropy (read back so the optimizer cannot elide the work).
+    pub fn last_entropy(&self) -> f32 {
+        self.response.entropy
+    }
+
+    /// The last response's sample count — 0 marks it analytic.
+    pub fn last_samples(&self) -> usize {
+        self.response.samples
+    }
+}
+
+impl Default for MomentProbe {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
 /// Builds the **deterministic** summary document committed as `BENCH_hot_summary.json` and
 /// gated by `bench_regression`: kernel output digests, the ε stream digest, and the measured
 /// steady-state allocation counts (which must be zero) — no wall-clock values.
@@ -475,6 +533,10 @@ mod tests {
         let mut s = ServeProbe::new();
         s.run(2);
         assert!(s.last_entropy() >= 0.0);
+        let mut m = MomentProbe::new();
+        m.run(2);
+        assert!(m.last_entropy() >= 0.0);
+        assert_eq!(m.last_samples(), 0, "moment responses must be marked analytic");
     }
 
     #[test]

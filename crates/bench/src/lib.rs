@@ -18,6 +18,7 @@
 pub mod alloc;
 pub mod cluster_views;
 pub mod hot;
+pub mod moment_views;
 pub mod regression;
 pub mod serve_views;
 pub mod store_views;

@@ -9,7 +9,7 @@
 //! inside a measured zero-allocation window.
 
 use shift_bnn_bench::alloc::CountingAlloc;
-use shift_bnn_bench::hot::{ServeProbe, TrainingProbe};
+use shift_bnn_bench::hot::{MomentProbe, ServeProbe, TrainingProbe};
 use std::sync::Mutex;
 
 #[global_allocator]
@@ -44,6 +44,17 @@ fn steady_state_served_request_allocates_nothing() {
     let (allocs, deallocs) = measure(|| probe.run(5));
     assert_eq!(allocs, 0, "served requests allocated in the steady state");
     assert_eq!(deallocs, 0, "served requests freed buffers instead of recycling them");
+    assert!(probe.last_entropy() >= 0.0);
+}
+
+#[test]
+fn steady_state_moment_request_allocates_nothing() {
+    let _guard = COUNTER_LOCK.lock().unwrap();
+    let mut probe = MomentProbe::new();
+    probe.run(2);
+    let (allocs, deallocs) = measure(|| probe.run(5));
+    assert_eq!(allocs, 0, "analytic requests allocated in the steady state");
+    assert_eq!(deallocs, 0, "analytic requests freed buffers instead of recycling them");
     assert!(probe.last_entropy() >= 0.0);
 }
 

@@ -20,6 +20,7 @@ use shift_bnn::sweep::json::Json;
 use shift_bnn::sweep::summary::SweepSummary;
 use shift_bnn::sweep::{paper_sweep, SweepPrecision, SweepReport};
 use shift_bnn_bench::cluster_views::{cluster_summary_json, run_cluster_grid, run_cluster_stress};
+use shift_bnn_bench::moment_views::{moment_summary_json, run_moment_grid};
 use shift_bnn_bench::regression;
 use shift_bnn_bench::serve_views::{run_serve_grid, serve_summary_json};
 use shift_bnn_bench::views;
@@ -236,6 +237,13 @@ fn golden_serve_summary_matches_committed() {
     assert_matches_baseline("BENCH_serve_summary.json", &fresh);
 }
 
+fn golden_moment_summary_matches_committed() {
+    // Recompute the full moment-vs-MC grid; every scalar is tick-domain, a response digest,
+    // or a deterministic accuracy deviation, so worker count and machine cannot perturb it.
+    let fresh = moment_summary_json(&run_moment_grid(false, 2), false);
+    assert_matches_baseline("BENCH_moment_summary.json", &fresh);
+}
+
 fn golden_cluster_summary_matches_committed() {
     // Recompute the full cluster grid (real engines) and the plan-only stress arm; every
     // scalar is tick-domain or a digest, so shard/worker parallelism cannot perturb it.
@@ -297,6 +305,7 @@ fn main() {
         ("table2_resource_totals", golden_table2_resource_totals),
         ("sweep_summary_matches_committed", golden_sweep_summary_matches_committed),
         ("serve_summary_matches_committed", golden_serve_summary_matches_committed),
+        ("moment_summary_matches_committed", golden_moment_summary_matches_committed),
         ("cluster_summary_matches_committed", golden_cluster_summary_matches_committed),
     ];
     let heavy: &[(&str, fn())] = &[

@@ -23,6 +23,8 @@
 //! * [`variational`] — the (μ, ρ) parameter pair and Bayes-by-Backprop gradients;
 //! * [`layers`] — Bayesian linear / convolution layers plus ReLU, pooling and flatten;
 //! * [`network`] — sequential container and B-MLP / B-LeNet builders;
+//! * [`moment`] — single-pass analytic moment propagation over a frozen posterior (the
+//!   Monte-Carlo-free serving backend);
 //! * [`trainer`] — the training loop, metrics, and the ε-strategy switch;
 //! * [`data`] — deterministic synthetic datasets standing in for MNIST/CIFAR/ImageNet;
 //! * [`epsilon`] — the ε-source abstraction;
@@ -56,12 +58,14 @@
 pub mod data;
 pub mod epsilon;
 pub mod layers;
+pub mod moment;
 pub mod network;
 pub mod snapshot;
 pub mod trainer;
 pub mod variational;
 
 pub use epsilon::{EpsilonSource, LfsrForward, LfsrRetrieve, SourceState, StoreReplay};
+pub use moment::MomentNetwork;
 pub use network::{Network, Predictive};
 pub use snapshot::{LayerSnapshot, NetworkSnapshot, TrainerSnapshot};
 pub use trainer::{EpsilonStrategy, Trainer, TrainerConfig};

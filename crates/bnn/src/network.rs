@@ -24,7 +24,7 @@ pub struct Predictive {
 
 /// Reshapes a reusable output tensor only when its shape actually changed, so steady-state
 /// calls that keep producing the same geometry never reallocate.
-fn reuse_buffer(t: &mut Tensor, shape: &[usize]) {
+pub(crate) fn reuse_buffer(t: &mut Tensor, shape: &[usize]) {
     if t.shape() != shape {
         *t = Tensor::zeros(shape);
     }

@@ -44,7 +44,7 @@ use crate::batcher::BatchPolicy;
 use crate::engine::BATCH_OVERHEAD_TICKS;
 use crate::engine::{service_cost, InferenceEngine, ServeRunReport, VersionSwap};
 use crate::request::{InferRequest, InferResponse};
-use crate::spec::ModelSource;
+use crate::spec::{ModelSource, ServeMode};
 use shift_bnn::sweep::json::{fnv1a_hex, Json, ToJson};
 use std::collections::VecDeque;
 
@@ -107,6 +107,10 @@ pub struct AutoscalePolicy {
 pub struct ClusterConfig {
     /// The frozen posterior every shard replicates (hot-swaps can replace it per shard).
     pub source: ModelSource,
+    /// The serving backend every shard runs ([`ServeMode::MonteCarlo`] by default). A
+    /// [`ServeMode::Moment`] cluster prices batches by two weight-wide passes instead of
+    /// `S·ε` GRNG draws and consumes no ε budget at all.
+    pub mode: ServeMode,
     /// Total replica shards. Under [`RoutingPolicy::TwoTier`] the *last* shard is reserved
     /// as the high-`S` escalation tier and the rest form the low tier.
     pub shards: usize,
@@ -215,18 +219,7 @@ pub enum RequestOutcome {
     },
 }
 
-/// Nearest-rank percentile over a latency set (`q` in `0.0..=1.0`).
-///
-/// # Panics
-///
-/// Panics on an empty set.
-pub fn latency_percentile(latencies: &[u64], q: f64) -> u64 {
-    assert!(!latencies.is_empty(), "no latencies to rank");
-    let mut sorted = latencies.to_vec();
-    sorted.sort_unstable();
-    let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
-    sorted[rank - 1]
-}
+pub use crate::stats::latency_percentile;
 
 // ---------------------------------------------------------------------------------------------
 // Phase A: the incremental per-shard simulator
@@ -249,6 +242,8 @@ struct ShardSim {
     policy: BatchPolicy,
     /// ε per sample of version 0, then of each scheduled swap, in order.
     epsilon_counts: Vec<usize>,
+    /// The serving backend pricing this shard's batches (engine-wide, swap-invariant).
+    mode: ServeMode,
     /// Swap activation ticks (parallel to `epsilon_counts[1..]`).
     swap_ticks: Vec<u64>,
     open: Vec<(usize, usize)>, // (global request index, effective sample count)
@@ -261,12 +256,18 @@ struct ShardSim {
 }
 
 impl ShardSim {
-    fn new(policy: BatchPolicy, base_epsilon: usize, swaps: &[VersionSwap]) -> ShardSim {
+    fn new(
+        policy: BatchPolicy,
+        mode: ServeMode,
+        base_epsilon: usize,
+        swaps: &[VersionSwap],
+    ) -> ShardSim {
         let mut epsilon_counts = vec![base_epsilon];
         epsilon_counts.extend(swaps.iter().map(|s| s.source.epsilon_count()));
         ShardSim {
             policy,
             epsilon_counts,
+            mode,
             swap_ticks: swaps.iter().map(|s| s.at_tick).collect(),
             open: Vec::new(),
             open_deadline: 0,
@@ -287,7 +288,7 @@ impl ShardSim {
             + self
                 .open
                 .iter()
-                .map(|&(_, samples)| service_cost(self.epsilon_counts[version], samples))
+                .map(|&(_, samples)| service_cost(self.mode, self.epsilon_counts[version], samples))
                 .sum::<u64>();
         let end_tick = start_tick + service;
         self.device_free = end_tick;
@@ -328,7 +329,9 @@ impl ShardSim {
     fn estimate_end(&self, t: u64, samples: usize) -> u64 {
         let start = t.max(self.device_free);
         let version = self.swap_ticks.iter().take_while(|&&at| at <= start).count();
-        start + BATCH_OVERHEAD_TICKS + service_cost(self.epsilon_counts[version], samples)
+        start
+            + BATCH_OVERHEAD_TICKS
+            + service_cost(self.mode, self.epsilon_counts[version], samples)
     }
 
     /// Joins the open batch at `t`, mirroring `plan_batches`: an empty batch opens with a
@@ -436,6 +439,11 @@ impl Cluster {
         if let RoutingPolicy::TwoTier { low_samples, high_samples, .. } = config.routing {
             assert!(config.shards >= 2, "two-tier routing reserves the last shard as high tier");
             assert!(low_samples >= 1 && high_samples >= 1, "sample counts must be at least 1");
+            assert!(
+                config.mode == ServeMode::MonteCarlo,
+                "two-tier routing escalates by sample count, which the analytic moment \
+                 backend has no use for — serve a moment cluster with a single tier"
+            );
         }
         if let Some(scale) = config.autoscale {
             assert!(scale.interval_ticks >= 1, "autoscale interval must be at least 1 tick");
@@ -486,7 +494,7 @@ impl Cluster {
         let routable = Cluster::routable(&self.config);
         let base_epsilon = self.config.source.epsilon_count();
         let mut sims: Vec<ShardSim> = (0..self.config.shards)
-            .map(|s| ShardSim::new(self.config.batch, base_epsilon, &swaps[s]))
+            .map(|s| ShardSim::new(self.config.batch, self.config.mode, base_epsilon, &swaps[s]))
             .collect();
         let mut routed: Vec<Vec<usize>> = vec![Vec::new(); self.config.shards];
         let mut outcomes: Vec<Option<RequestOutcome>> = vec![None; trace.len()];
@@ -689,8 +697,9 @@ impl Cluster {
                     request
                 })
                 .collect();
-            let engine = InferenceEngine::from_source(
+            let engine = InferenceEngine::from_source_with_mode(
                 self.config.source.clone(),
+                self.config.mode,
                 self.config.batch,
                 self.config.workers_per_shard,
             );
@@ -736,6 +745,7 @@ impl Cluster {
 
             let mut high_sim = ShardSim::new(
                 self.config.batch,
+                self.config.mode,
                 self.config.source.epsilon_count(),
                 &grouped[high],
             );
@@ -1036,6 +1046,7 @@ mod tests {
     fn config(shards: usize, routing: RoutingPolicy) -> ClusterConfig {
         ClusterConfig {
             source: ModelSource::Spec(spec()),
+            mode: ServeMode::MonteCarlo,
             shards,
             workers_per_shard: 1,
             batch: BatchPolicy { max_batch: 4, max_wait_ticks: 8 },

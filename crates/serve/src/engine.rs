@@ -24,8 +24,9 @@
 
 use crate::batcher::{plan_batches, BatchPolicy};
 use crate::request::{mix_seed, InferRequest, InferResponse};
-use crate::spec::{ModelSource, ModelSpec};
+use crate::spec::{ModelSource, ModelSpec, ServeMode};
 use bnn_tensor::Tensor;
+use bnn_train::moment::MomentNetwork;
 use bnn_train::network::Predictive;
 use bnn_train::{EpsilonSource, LfsrForward, Network};
 use shift_bnn::pool;
@@ -91,17 +92,15 @@ pub struct ServeRunReport {
 }
 
 impl ServeRunReport {
-    /// Nearest-rank latency percentile in ticks (`q` in `0.0..=1.0`).
+    /// Nearest-rank latency percentile in ticks (`q` in `0.0..=1.0`); see
+    /// [`crate::stats::latency_percentile`] for the rank contract (`q = 0.0` → minimum).
     ///
     /// # Panics
     ///
-    /// Panics on an empty report.
+    /// Panics on an empty report or `q` outside `0.0..=1.0`.
     pub fn latency_percentile(&self, q: f64) -> u64 {
         assert!(!self.latencies.is_empty(), "no requests were served");
-        let mut sorted = self.latencies.clone();
-        sorted.sort_unstable();
-        let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
-        sorted[rank - 1]
+        crate::stats::latency_percentile(&self.latencies, q)
     }
 
     /// Requests completed per thousand simulated ticks.
@@ -172,11 +171,14 @@ impl ServeRunReport {
     }
 }
 
-/// A batched Monte-Carlo inference engine over one frozen posterior (with optional scheduled
-/// hot-swaps to newer posterior versions — see [`InferenceEngine::run_with_swaps`]).
+/// A batched inference engine over one frozen posterior (with optional scheduled hot-swaps
+/// to newer posterior versions — see [`InferenceEngine::run_with_swaps`]), serving under
+/// either backend of the [`ServeMode`] axis: `S`-sample Monte-Carlo or single-pass analytic
+/// moment propagation.
 #[derive(Debug, Clone)]
 pub struct InferenceEngine {
     source: ModelSource,
+    mode: ServeMode,
     policy: BatchPolicy,
     workers: usize,
     epsilon_per_sample: usize,
@@ -195,7 +197,8 @@ impl InferenceEngine {
 
     /// Creates an engine serving any [`ModelSource`] — the checkpoint path: sources loaded
     /// from a `bnn-store` registry serve (and hot-swap) trained posteriors rather than
-    /// seed-synthesized ones.
+    /// seed-synthesized ones. Serves Monte-Carlo; see
+    /// [`InferenceEngine::from_source_with_mode`] for the backend axis.
     ///
     /// # Panics
     ///
@@ -205,16 +208,37 @@ impl InferenceEngine {
         policy: BatchPolicy,
         workers: usize,
     ) -> InferenceEngine {
+        InferenceEngine::from_source_with_mode(source, ServeMode::MonteCarlo, policy, workers)
+    }
+
+    /// Creates an engine serving any [`ModelSource`] under an explicit [`ServeMode`]. The
+    /// mode is engine-wide: hot-swaps replace the *posterior*, never the backend.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `workers` is zero or the policy's `max_batch` is zero.
+    pub fn from_source_with_mode(
+        source: ModelSource,
+        mode: ServeMode,
+        policy: BatchPolicy,
+        workers: usize,
+    ) -> InferenceEngine {
         assert!(workers >= 1, "an engine needs at least one worker");
         assert!(policy.max_batch >= 1, "max_batch must be at least 1");
-        // The source's ε-per-sample count drives the tick cost model.
+        // The source's ε-per-sample count drives the tick cost model (as the weight count in
+        // moment mode — both backends stream the same weight volume).
         let epsilon_per_sample = source.epsilon_count();
-        InferenceEngine { source, policy, workers, epsilon_per_sample }
+        InferenceEngine { source, mode, policy, workers, epsilon_per_sample }
     }
 
     /// The served model's source (version 0; swaps are per-run, not engine state).
     pub fn source(&self) -> &ModelSource {
         &self.source
+    }
+
+    /// The engine's serving backend.
+    pub fn mode(&self) -> ServeMode {
+        self.mode
     }
 
     /// The engine's batching policy.
@@ -233,9 +257,10 @@ impl InferenceEngine {
     }
 
     /// Simulated service cost of one request on the engine's initial source: one setup tick
-    /// plus the GRNG-bound ε generation time of its `S` sampled forward passes.
+    /// plus the GRNG-bound ε generation time of its `S` sampled forward passes (Monte-Carlo),
+    /// or the two weight-wide moment passes (analytic).
     pub fn service_cost_ticks(&self, samples: usize) -> u64 {
-        service_cost(self.epsilon_per_sample, samples)
+        service_cost(self.mode, self.epsilon_per_sample, samples)
     }
 
     /// Serves a request trace: plans batches, computes tick-domain timing, and executes every
@@ -295,7 +320,7 @@ impl InferenceEngine {
                 + plan
                     .requests
                     .iter()
-                    .map(|&i| service_cost(epsilon_counts[version], requests[i].samples))
+                    .map(|&i| service_cost(self.mode, epsilon_counts[version], requests[i].samples))
                     .sum::<u64>();
             let end_tick = start_tick + service;
             device_free = end_tick;
@@ -319,14 +344,16 @@ impl InferenceEngine {
         // contract covers the compute path (`answer_into`) itself.
         let sources = &sources;
         let version_of = &version_of;
+        let mode = self.mode;
         let responses = pool::run_indexed_with(
             requests.len(),
             self.workers,
             |_worker| -> Vec<Option<ServeReplica>> { (0..sources.len()).map(|_| None).collect() },
             |replicas, i| {
                 let version = version_of[i];
-                let replica = replicas[version]
-                    .get_or_insert_with(|| ServeReplica::from_source(sources[version]));
+                let replica = replicas[version].get_or_insert_with(|| {
+                    ServeReplica::from_source_with_mode(sources[version], mode)
+                });
                 let mut response = InferResponse {
                     id: 0,
                     samples: 0,
@@ -351,46 +378,86 @@ impl InferenceEngine {
     }
 }
 
-/// One setup tick plus the GRNG-bound ε generation time of `samples` forward passes drawing
-/// `epsilon_per_sample` values each (shared with the cluster simulator, whose shard timing
-/// must mirror the engine's batch pricing exactly).
-pub(crate) fn service_cost(epsilon_per_sample: usize, samples: usize) -> u64 {
-    1 + (samples as u64 * epsilon_per_sample as u64).div_ceil(EPSILON_LANES)
+/// Simulated per-request service cost (shared with the cluster simulator, whose shard timing
+/// must mirror the engine's batch pricing exactly):
+///
+/// * **Monte-Carlo** — one setup tick plus the GRNG-bound ε generation time of `samples`
+///   forward passes drawing `epsilon_per_sample` values each;
+/// * **Moment** — one setup tick plus **two** weight-wide streaming passes (mean + variance
+///   GEMM traffic over the same `epsilon_per_sample` weights), independent of the request's
+///   `samples` and with no GRNG serialization at all. A moment shard therefore consumes no
+///   ε budget.
+pub(crate) fn service_cost(mode: ServeMode, epsilon_per_sample: usize, samples: usize) -> u64 {
+    match mode {
+        ServeMode::MonteCarlo => {
+            1 + (samples as u64 * epsilon_per_sample as u64).div_ceil(EPSILON_LANES)
+        }
+        ServeMode::Moment => 1 + (2 * epsilon_per_sample as u64).div_ceil(EPSILON_LANES),
+    }
 }
 
-/// One worker's serving state: a frozen-posterior network replica plus the reusable ε sources
-/// and predictive buffer that let the steady-state request path run without heap allocation —
-/// sources are *reseeded* per request instead of rebuilt, mirroring how the accelerator's
-/// GRNGs are re-loaded rather than re-fabricated.
+/// One worker's serving backend state, per [`ServeMode`]: a sampled-forward network replica
+/// with its reusable ε sources, or a compiled analytic moment network (which needs none).
+enum ReplicaBackend {
+    /// `S` sampled forward passes per request; sources are *reseeded* per request instead of
+    /// rebuilt, mirroring how the accelerator's GRNGs are re-loaded rather than
+    /// re-fabricated.
+    MonteCarlo {
+        network: Network,
+        /// One forward-only source per Monte-Carlo sample, grown to the largest `S` seen and
+        /// reseeded in place for every request.
+        sources: Vec<Box<dyn EpsilonSource>>,
+    },
+    /// One analytic `(mean, variance)` pass per request; no ε, no RNG.
+    Moment { network: MomentNetwork },
+}
+
+/// One worker's serving state: a frozen-posterior backend replica plus the reusable
+/// predictive buffer that lets the steady-state request path run without heap allocation.
 pub struct ServeReplica {
-    network: Network,
-    /// One forward-only source per Monte-Carlo sample, grown to the largest `S` seen and
-    /// reseeded in place for every request.
-    sources: Vec<Box<dyn EpsilonSource>>,
+    backend: ReplicaBackend,
     predictive: Predictive,
 }
 
 impl std::fmt::Debug for ServeReplica {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("ServeReplica")
-            .field("network", &self.network)
-            .field("sources", &self.sources.len())
-            .finish()
+        let mut s = f.debug_struct("ServeReplica");
+        match &self.backend {
+            ReplicaBackend::MonteCarlo { network, sources } => {
+                s.field("mode", &"mc").field("network", network).field("sources", &sources.len())
+            }
+            ReplicaBackend::Moment { network } => {
+                s.field("mode", &"moment").field("network", network)
+            }
+        }
+        .finish()
     }
 }
 
 impl ServeReplica {
-    /// Builds a replica for `spec` (deterministic in the spec, like [`ModelSpec::build`]).
+    /// Builds a Monte-Carlo replica for `spec` (deterministic in the spec, like
+    /// [`ModelSpec::build`]).
     pub fn new(spec: &ModelSpec) -> ServeReplica {
         ServeReplica::from_source(&ModelSource::Spec(spec.clone()))
     }
 
-    /// Builds a replica for any [`ModelSource`] — seed-rebuilt or checkpoint-materialized
-    /// (deterministic in the source either way).
+    /// Builds a Monte-Carlo replica for any [`ModelSource`] — seed-rebuilt or
+    /// checkpoint-materialized (deterministic in the source either way).
     pub fn from_source(source: &ModelSource) -> ServeReplica {
+        ServeReplica::from_source_with_mode(source, ServeMode::MonteCarlo)
+    }
+
+    /// Builds a replica for any [`ModelSource`] under an explicit [`ServeMode`]
+    /// (deterministic in `(source, mode)`).
+    pub fn from_source_with_mode(source: &ModelSource, mode: ServeMode) -> ServeReplica {
+        let backend = match mode {
+            ServeMode::MonteCarlo => {
+                ReplicaBackend::MonteCarlo { network: source.build(), sources: Vec::new() }
+            }
+            ServeMode::Moment => ReplicaBackend::Moment { network: source.build_moment() },
+        };
         ServeReplica {
-            network: source.build(),
-            sources: Vec::new(),
+            backend,
             predictive: Predictive {
                 mean: Tensor::zeros(&[0]),
                 variance: Tensor::zeros(&[0]),
@@ -400,31 +467,52 @@ impl ServeReplica {
         }
     }
 
-    /// Computes one response into `response`, reusing its buffers: `S` forward passes with
-    /// seed-regenerated ε, aggregated into mean / variance / entropy. Pure in (replica
-    /// parameters, request) — bit-identical on every worker, whatever was served before.
-    /// After the replica has warmed up (largest `S` seen, buffer shapes), this performs zero
-    /// heap allocations per request (asserted by `crates/bench`'s allocation test).
+    /// The replica's serving backend.
+    pub fn mode(&self) -> ServeMode {
+        match &self.backend {
+            ReplicaBackend::MonteCarlo { .. } => ServeMode::MonteCarlo,
+            ReplicaBackend::Moment { .. } => ServeMode::Moment,
+        }
+    }
+
+    /// Computes one response into `response`, reusing its buffers. Monte-Carlo: `S` forward
+    /// passes with seed-regenerated ε, aggregated into mean / variance / entropy. Moment:
+    /// one analytic pass — the request's `samples` and ε seed are ignored and the response
+    /// reports `samples = 0` to mark itself analytic. Pure in (replica parameters, request)
+    /// — bit-identical on every worker, whatever was served before. After the replica has
+    /// warmed up (largest `S` seen, buffer shapes), this performs zero heap allocations per
+    /// request (asserted by `crates/bench`'s allocation test).
     ///
     /// # Panics
     ///
-    /// Panics if the request asks for zero samples or its input shape mismatches the model.
+    /// Panics if a Monte-Carlo request asks for zero samples, or the request's input shape
+    /// mismatches the model.
     pub fn answer_into(&mut self, request: &InferRequest, response: &mut InferResponse) {
-        assert!(request.samples >= 1, "request {} asks for zero samples", request.id);
-        while self.sources.len() < request.samples {
-            self.sources.push(Box::new(
-                LfsrForward::new(0).expect("Shift-BNN default GRNG construction cannot fail"),
-            ));
+        match &mut self.backend {
+            ReplicaBackend::MonteCarlo { network, sources } => {
+                assert!(request.samples >= 1, "request {} asks for zero samples", request.id);
+                while sources.len() < request.samples {
+                    sources.push(Box::new(
+                        LfsrForward::new(0)
+                            .expect("Shift-BNN default GRNG construction cannot fail"),
+                    ));
+                }
+                let sources = &mut sources[..request.samples];
+                for (s, source) in sources.iter_mut().enumerate() {
+                    source.reseed(mix_seed(request.seed, s as u64));
+                }
+                network
+                    .predictive_into(&request.input, sources, &mut self.predictive)
+                    .expect("request input shape matches the served model");
+            }
+            ReplicaBackend::Moment { network } => {
+                network
+                    .predictive_into(&request.input, &mut self.predictive)
+                    .expect("request input shape matches the served model");
+            }
         }
-        let sources = &mut self.sources[..request.samples];
-        for (s, source) in sources.iter_mut().enumerate() {
-            source.reseed(mix_seed(request.seed, s as u64));
-        }
-        self.network
-            .predictive_into(&request.input, sources, &mut self.predictive)
-            .expect("request input shape matches the served model");
         response.id = request.id;
-        response.samples = request.samples;
+        response.samples = self.predictive.samples;
         response.mean.clear();
         response.mean.extend_from_slice(self.predictive.mean.data());
         response.variance.clear();

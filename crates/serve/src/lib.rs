@@ -52,6 +52,7 @@ pub mod cluster;
 pub mod engine;
 pub mod request;
 pub mod spec;
+pub mod stats;
 pub mod workload;
 
 pub use batcher::{plan_batches, BatchPlan, BatchPolicy};
@@ -61,5 +62,6 @@ pub use cluster::{
 };
 pub use engine::{InferenceEngine, ServeReplica, ServeRunReport, VersionSwap};
 pub use request::{mix_seed, InferRequest, InferResponse};
-pub use spec::{CheckpointReplica, ModelSource, ModelSpec};
+pub use spec::{CheckpointReplica, ModelSource, ModelSpec, ServeMode};
+pub use stats::latency_percentile;
 pub use workload::{ArrivalProcess, WorkloadSpec};

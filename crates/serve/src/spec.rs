@@ -16,12 +16,41 @@
 
 use bnn_models::zoo::TrainableProxy;
 use bnn_models::ModelKind;
+use bnn_train::moment::MomentNetwork;
 use bnn_train::snapshot::NetworkSnapshot;
 use bnn_train::variational::BayesConfig;
 use bnn_train::Network;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::sync::Arc;
+
+/// How a replica turns a frozen posterior into a predictive summary: the serving backend.
+///
+/// The axis is orthogonal to [`ModelSource`] — any posterior (seed-rebuilt or
+/// checkpoint-loaded) serves under either backend, and responses are shape-compatible
+/// between them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ServeMode {
+    /// `S` sampled forward passes per request (`w = μ + ε∘σ`), aggregated into predictive
+    /// mean / variance / entropy. The default, and the backend every pre-existing committed
+    /// baseline was produced under.
+    #[default]
+    MonteCarlo,
+    /// One analytic pass propagating `(mean, variance)` through every layer
+    /// ([`MomentNetwork`]). No ε is drawn — a request's `samples` field does not change the
+    /// answer — and responses report `samples = 0` to mark themselves analytic.
+    Moment,
+}
+
+impl ServeMode {
+    /// Stable short label for report keys and bench summaries (`"mc"` / `"moment"`).
+    pub fn label(&self) -> &'static str {
+        match self {
+            ServeMode::MonteCarlo => "mc",
+            ServeMode::Moment => "moment",
+        }
+    }
+}
 
 /// A deterministic recipe for one frozen posterior: a scaled-down family proxy plus the seed
 /// its variational parameters were initialized from.
@@ -187,6 +216,18 @@ impl ModelSource {
             ModelSource::Checkpoint(replica) => {
                 replica.snapshot.build().expect("snapshot validated at construction")
             }
+        }
+    }
+
+    /// Compiles the same frozen posterior for the analytic [`ServeMode::Moment`] backend
+    /// (bit-identical on every call and every thread — the compilation is a pure function of
+    /// the posterior).
+    pub fn build_moment(&self) -> MomentNetwork {
+        match self {
+            ModelSource::Spec(spec) => MomentNetwork::from_network(&spec.build())
+                .expect("a built network snapshots consistently"),
+            ModelSource::Checkpoint(replica) => MomentNetwork::from_snapshot(&replica.snapshot)
+                .expect("snapshot validated at construction"),
         }
     }
 }

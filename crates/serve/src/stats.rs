@@ -1,0 +1,67 @@
+//! Shared latency statistics.
+//!
+//! One nearest-rank percentile implementation serves both the single-engine
+//! [`ServeRunReport`](crate::ServeRunReport) and the cluster-scale
+//! [`ClusterRunReport`](crate::ClusterRunReport) — they used to carry identical private
+//! copies, which is exactly how the two would eventually drift apart.
+
+/// Nearest-rank percentile over a latency set.
+///
+/// `q` must lie in `0.0..=1.0` (NaN is rejected by the range check). The nearest-rank
+/// definition picks element `⌈q·n⌉` (1-indexed) of the sorted set, with the rank clamped to
+/// at least 1 — so **`q = 0.0` is defined to return the minimum**, `q = 1.0` the maximum,
+/// and `q = 0.5` the conventional median-by-rank. This is the contract every committed
+/// serve/cluster baseline was produced under.
+///
+/// # Panics
+///
+/// Panics on an empty set, or if `q` is outside `0.0..=1.0`.
+pub fn latency_percentile(latencies: &[u64], q: f64) -> u64 {
+    assert!((0.0..=1.0).contains(&q), "percentile q={q} outside 0.0..=1.0");
+    assert!(!latencies.is_empty(), "no latencies to rank");
+    let mut sorted = latencies.to_vec();
+    sorted.sort_unstable();
+    let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_percentile_is_the_minimum_and_one_is_the_maximum() {
+        let latencies = [7u64, 3, 99, 12];
+        assert_eq!(latency_percentile(&latencies, 0.0), 3);
+        assert_eq!(latency_percentile(&latencies, 1.0), 99);
+        assert_eq!(latency_percentile(&[42], 0.0), 42);
+        assert_eq!(latency_percentile(&[42], 1.0), 42);
+    }
+
+    #[test]
+    fn nearest_rank_matches_the_committed_definition() {
+        // 10 elements: p50 is rank ⌈5⌉ = 5th smallest, p90 rank 9, p99 rank ⌈9.9⌉ = 10.
+        let latencies: Vec<u64> = (1..=10).collect();
+        assert_eq!(latency_percentile(&latencies, 0.5), 5);
+        assert_eq!(latency_percentile(&latencies, 0.9), 9);
+        assert_eq!(latency_percentile(&latencies, 0.99), 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside 0.0..=1.0")]
+    fn out_of_range_q_is_rejected() {
+        latency_percentile(&[1, 2, 3], 1.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside 0.0..=1.0")]
+    fn nan_q_is_rejected() {
+        latency_percentile(&[1, 2, 3], f64::NAN);
+    }
+
+    #[test]
+    #[should_panic(expected = "no latencies")]
+    fn empty_set_is_rejected() {
+        latency_percentile(&[], 0.5);
+    }
+}

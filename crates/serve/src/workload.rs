@@ -91,11 +91,17 @@ impl ArrivalProcess {
                     for _ in 0..burst.min(requests - ticks.len()) {
                         ticks.push(t);
                     }
-                    // A burst of b requests is followed by a gap of b×Δ ± Δ/2 ticks, so the
-                    // long-run rate stays near 1/Δ whatever the burst sizes drawn.
+                    // A burst of b requests is followed by a gap of b×Δ ± ⌊Δ/2⌋ ticks, so the
+                    // long-run rate stays near 1/Δ whatever the burst sizes drawn. The jitter
+                    // is drawn from the *even-width* range 0..=2⌊Δ/2⌋ and re-centered by
+                    // ⌊Δ/2⌋, which keeps its mean exactly zero for every Δ (an asymmetric
+                    // 0..=Δ draw would bias odd Δ — and Δ = 1 — upward by half a tick); for
+                    // even Δ the range equals 0..=Δ, so pre-existing even-Δ traces (all
+                    // committed baselines) are bit-identical.
+                    let half = delta.max(1) / 2;
                     let nominal = burst as u64 * delta;
-                    let jitter = rng.gen_range(0..delta.max(1) + 1);
-                    t += (nominal + jitter).saturating_sub(delta.max(1) / 2).max(1);
+                    let jitter = rng.gen_range(0..2 * half + 1);
+                    t += (nominal + jitter).saturating_sub(half).max(1);
                 }
                 ticks
             }
@@ -107,7 +113,12 @@ impl ArrivalProcess {
                 for r in 0..requests {
                     ticks.push(t);
                     let phase = (r % cycle) as u64;
-                    let tri = if phase < half { phase } else { cycle as u64 - phase };
+                    // The descending edge is clamped to `half`: for an odd cycle the first
+                    // post-peak phase has `cycle − phase = half + 1`, which would push the
+                    // gap to Δ/2 + Δ·(half+1)/half — outside the documented envelope — and
+                    // drift the long-run rate. Even cycles satisfy `cycle − phase ≤ half`
+                    // for every phase ≥ half, so their traces are bit-identical.
+                    let tri = if phase < half { phase } else { (cycle as u64 - phase).min(half) };
                     // Gap triangles over [Δ/2, Δ/2 + Δ×tri/half] ⊆ [Δ/2, 3Δ/2]: fast at the
                     // cycle start, slow at its middle, fast again at its end.
                     t += (delta / 2 + delta * tri / half).max(1);
@@ -278,6 +289,121 @@ mod tests {
         let simultaneous =
             trace.windows(2).filter(|p| p[0].arrival_tick == p[1].arrival_tick).count();
         assert!(simultaneous > 10, "bursty traces must share arrival ticks ({simultaneous})");
+    }
+
+    #[test]
+    fn diurnal_odd_cycles_respect_the_documented_gap_envelope() {
+        // Regression: with an odd cycle the first post-peak phase used to produce
+        // `tri = half + 1`, a gap of Δ/2 + Δ·(half+1)/half > 3Δ/2, and a long-run rate
+        // drifting well below 1/Δ.
+        for (cycle, delta) in [(3usize, 8u64), (5, 8), (7, 12), (33, 10)] {
+            let trace = WorkloadSpec::uniform(16 * cycle, delta, 1, 21)
+                .with_arrival(ArrivalProcess::Diurnal { cycle })
+                .generate_for_shape(&[2]);
+            for (label, pair) in trace.windows(2).enumerate() {
+                let gap = pair[1].arrival_tick - pair[0].arrival_tick;
+                assert!(
+                    gap >= (delta / 2).max(1) && gap <= delta / 2 + delta,
+                    "cycle {cycle}: gap {gap} at index {label} outside [Δ/2, 3Δ/2] for Δ={delta}"
+                );
+            }
+            // Long-run rate: the mean gap of a full triangle wave is about Δ, so the span of
+            // n requests stays within ±25% of the uniform n×Δ span.
+            let span = trace.last().unwrap().arrival_tick;
+            let uniform_span = (trace.len() as u64 - 1) * delta;
+            assert!(
+                4 * span >= 3 * uniform_span && 4 * span <= 5 * uniform_span,
+                "cycle {cycle}: span {span} drifted from uniform {uniform_span}"
+            );
+        }
+    }
+
+    #[test]
+    fn diurnal_even_cycle_traces_are_unchanged_by_the_odd_cycle_clamp() {
+        // The committed cluster baselines pin even-cycle diurnal traces; the clamp must be a
+        // no-op there. This re-derives the pre-clamp arithmetic inline and compares exactly.
+        for (cycle, delta) in [(32usize, 4u64), (64, 24), (512, 24)] {
+            let trace = WorkloadSpec::uniform(3 * cycle, delta, 1, 9)
+                .with_arrival(ArrivalProcess::Diurnal { cycle })
+                .generate_for_shape(&[2]);
+            let half = (cycle / 2) as u64;
+            let mut t = 0u64;
+            for (r, request) in trace.iter().enumerate() {
+                assert_eq!(request.arrival_tick, t, "cycle {cycle}: request {r} moved");
+                let phase = (r % cycle) as u64;
+                let tri = if phase < half { phase } else { cycle as u64 - phase };
+                t += (delta / 2 + delta * tri / half).max(1);
+            }
+        }
+    }
+
+    #[test]
+    fn bursty_gaps_are_centered_for_every_interarrival() {
+        // Regression: the jitter used to be drawn from 0..=Δ and re-centered by ⌊Δ/2⌋,
+        // biasing odd Δ (and Δ = 1, which got no re-centering at all) upward. The gap after
+        // a burst of b requests must stay inside b×Δ ± ⌊Δ/2⌋ and average out to ≈ b×Δ.
+        for delta in [1u64, 2, 5, 24] {
+            let trace = WorkloadSpec::uniform(4096, delta, 1, 17)
+                .with_arrival(ArrivalProcess::Bursty { mean_burst: 6 })
+                .generate_for_shape(&[2]);
+            let mut i = 0;
+            let mut gaps = 0u64;
+            let mut total_gap = 0u64;
+            let mut burst_requests = 0u64;
+            while i < trace.len() {
+                let tick = trace[i].arrival_tick;
+                let mut j = i;
+                while j < trace.len() && trace[j].arrival_tick == tick {
+                    j += 1;
+                }
+                let burst = (j - i) as u64;
+                if j < trace.len() {
+                    let gap = trace[j].arrival_tick - tick;
+                    assert!(
+                        gap >= (burst * delta).saturating_sub(delta / 2).max(1)
+                            && gap <= burst * delta + delta / 2,
+                        "Δ={delta}: gap {gap} after a burst of {burst} outside b×Δ ± ⌊Δ/2⌋"
+                    );
+                    gaps += 1;
+                    total_gap += gap;
+                    burst_requests += burst;
+                }
+                i = j;
+            }
+            assert!(gaps > 100, "Δ={delta}: trace too short to measure centering");
+            // Zero-mean jitter: the average gap per burst request stays within 5% of Δ.
+            let mean_x100 = 100 * total_gap / burst_requests;
+            assert!(
+                mean_x100 >= 95 * delta && mean_x100 <= 105 * delta,
+                "Δ={delta}: mean gap per request {mean_x100}/100 is off-center"
+            );
+        }
+    }
+
+    #[test]
+    fn bursty_even_interarrival_traces_are_unchanged_by_the_centering_fix() {
+        // For even Δ the re-centered jitter range 0..=2⌊Δ/2⌋ equals the old 0..=Δ draw,
+        // so the committed bursty baselines (Δ = 24 cluster, Δ = 4 serve tests) must not
+        // move. This replays the pre-fix arithmetic verbatim on the same RNG stream.
+        for (delta, mean_burst) in [(4u64, 6usize), (24, 6)] {
+            let trace = WorkloadSpec::uniform(512, delta, 1, 9)
+                .with_arrival(ArrivalProcess::Bursty { mean_burst })
+                .generate_for_shape(&[2]);
+            let mut rng = StdRng::seed_from_u64(mix_seed(9, ARRIVAL_STREAM));
+            let mut expected = Vec::with_capacity(trace.len());
+            let mut t = 0u64;
+            while expected.len() < trace.len() {
+                let burst = rng.gen_range(1..2 * mean_burst);
+                for _ in 0..burst.min(trace.len() - expected.len()) {
+                    expected.push(t);
+                }
+                let nominal = burst as u64 * delta;
+                let jitter = rng.gen_range(0..delta.max(1) + 1);
+                t += (nominal + jitter).saturating_sub(delta.max(1) / 2).max(1);
+            }
+            let ticks: Vec<u64> = trace.iter().map(|r| r.arrival_tick).collect();
+            assert_eq!(ticks, expected, "Δ={delta}: even-Δ trace perturbed by the fix");
+        }
     }
 
     #[test]

@@ -16,7 +16,7 @@
 use bnn_serve::engine::BATCH_OVERHEAD_TICKS;
 use bnn_serve::{
     ArrivalProcess, BatchPolicy, Cluster, ClusterConfig, ClusterPlan, InferRequest, ModelSource,
-    ModelSpec, RequestOutcome, RoutingPolicy, WorkloadSpec,
+    ModelSpec, RequestOutcome, RoutingPolicy, ServeMode, WorkloadSpec,
 };
 use proptest::prelude::*;
 
@@ -36,6 +36,7 @@ fn plan_with_policy(
         .generate_for_shape(&[1]);
     let cluster = Cluster::new(ClusterConfig {
         source: ModelSource::Spec(ModelSpec::mlp(2021)),
+        mode: ServeMode::MonteCarlo,
         shards,
         workers_per_shard: 1,
         batch,
@@ -200,6 +201,7 @@ fn executed_two_tier_run_conserves_requests() {
         .generate(&spec);
     let cluster = Cluster::new(ClusterConfig {
         source: ModelSource::Spec(spec),
+        mode: ServeMode::MonteCarlo,
         shards: 3,
         workers_per_shard: 2,
         batch: BatchPolicy { max_batch: 4, max_wait_ticks: 8 },

@@ -15,7 +15,7 @@
 
 use bnn_serve::{
     ArrivalProcess, BatchPolicy, Cluster, ClusterConfig, InferRequest, InferenceEngine,
-    ModelSource, ModelSpec, RequestOutcome, RoutingPolicy, WorkloadSpec,
+    ModelSource, ModelSpec, RequestOutcome, RoutingPolicy, ServeMode, WorkloadSpec,
 };
 
 const WEIGHT_SEED: u64 = 2021;
@@ -27,6 +27,7 @@ fn spec() -> ModelSpec {
 fn config(shards: usize, routing: RoutingPolicy) -> ClusterConfig {
     ClusterConfig {
         source: ModelSource::Spec(spec()),
+        mode: ServeMode::MonteCarlo,
         shards,
         workers_per_shard: 1,
         batch: BatchPolicy { max_batch: 4, max_wait_ticks: 6 },

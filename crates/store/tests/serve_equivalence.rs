@@ -8,7 +8,8 @@
 //! came from.
 
 use bnn_serve::{
-    BatchPolicy, CheckpointReplica, InferenceEngine, ModelSource, VersionSwap, WorkloadSpec,
+    BatchPolicy, CheckpointReplica, InferenceEngine, ModelSource, ServeMode, VersionSwap,
+    WorkloadSpec,
 };
 use bnn_store::{Checkpoint, ModelRegistry};
 use bnn_train::data::SyntheticDataset;
@@ -174,4 +175,42 @@ fn concurrent_publishers_never_clobber_each_other() {
     for version in registry.versions("racy").unwrap() {
         registry.load("racy", version).unwrap();
     }
+}
+
+#[test]
+fn moment_mode_survives_the_checkpoint_round_trip() {
+    // The analytic backend serves a *persisted* posterior exactly like the in-memory one it
+    // captured: encode → publish → registry load → `MomentNetwork::from_snapshot` produces a
+    // byte-identical moment engine, across worker counts, with every response analytic.
+    let network = trained_network(41);
+    let in_memory = in_memory_source(&network, "blenet@v1");
+    let registry = ModelRegistry::open(registry_root("moment-serve")).unwrap();
+    registry.publish("blenet", &Checkpoint::posterior(&network)).unwrap();
+    let (_, from_disk) = registry.serve_source("blenet", None, INPUT_SHAPE.to_vec()).unwrap();
+
+    let policy = BatchPolicy { max_batch: 4, max_wait_ticks: 8 };
+    let requests = trace(18);
+    let baseline = InferenceEngine::from_source_with_mode(in_memory, ServeMode::Moment, policy, 1)
+        .run(&requests);
+    assert!(baseline.responses.iter().all(|r| r.samples == 0));
+    for workers in [1, 2, 4] {
+        let served = InferenceEngine::from_source_with_mode(
+            from_disk.clone(),
+            ServeMode::Moment,
+            policy,
+            workers,
+        )
+        .run(&requests);
+        assert_eq!(
+            baseline.responses_json(),
+            served.responses_json(),
+            "disk-loaded moment replica diverged from the in-memory posterior at {workers} workers"
+        );
+    }
+
+    // The backends answer from the same posterior but are genuinely different summaries:
+    // Monte-Carlo responses over the same trace differ from the analytic ones.
+    let mc = InferenceEngine::from_source_with_mode(from_disk, ServeMode::MonteCarlo, policy, 2)
+        .run(&requests);
+    assert_ne!(baseline.responses_json(), mc.responses_json());
 }

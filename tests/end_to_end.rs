@@ -5,8 +5,8 @@
 use bnn_models::workload::ModelVolume;
 use bnn_models::ModelKind;
 use bnn_serve::{
-    BatchPolicy, Cluster, ClusterConfig, InferenceEngine, RequestOutcome, RoutingPolicy, ShardSwap,
-    VersionSwap, WorkloadSpec,
+    BatchPolicy, Cluster, ClusterConfig, InferenceEngine, RequestOutcome, RoutingPolicy, ServeMode,
+    ShardSwap, VersionSwap, WorkloadSpec,
 };
 use bnn_store::{Checkpoint, ModelRegistry};
 use bnn_train::data::SyntheticDataset;
@@ -149,6 +149,7 @@ fn cluster_serves_registry_versions_across_a_hot_swap() {
     let swap_tick = 90;
     let cluster = Cluster::new(ClusterConfig {
         source: v1_source.clone(),
+        mode: ServeMode::MonteCarlo,
         shards: 2,
         workers_per_shard: 2,
         batch,
