@@ -17,10 +17,12 @@
 //! Usage: `cargo run --release -p shift-bnn-bench --bin hot_bench -- \
 //!   [--reps N] [--out BENCH_hot.json] [--summary BENCH_hot_summary.json] [--min-speedup X]`
 
+use bnn_tensor::KernelTier;
 use shift_bnn_bench::alloc::CountingAlloc;
 use shift_bnn_bench::hot::{
-    full_json, geometric_mean, run_epsilon_bench, run_kernel_benches, summary_json, EpsilonBench,
-    KernelBench, ServeProbe, TrainingProbe,
+    full_json, geometric_mean, run_epsilon_bench, run_fused_serve_bench, run_kernel_benches,
+    run_tier_benches, summary_json, EpsilonBench, KernelBench, ServeProbe, TierBench,
+    TrainingProbe,
 };
 use shift_bnn_bench::print_table;
 
@@ -82,6 +84,8 @@ fn main() {
     let args = parse_args();
 
     let kernels = run_kernel_benches(args.reps);
+    let tiers = run_tier_benches(args.reps);
+    let fused = run_fused_serve_bench(args.reps, 16);
     let epsilon = run_epsilon_bench(args.reps, 16 * 1024);
 
     // Allocation probes: warm two iterations (arena growth, Vec capacity), then measure.
@@ -112,6 +116,33 @@ fn main() {
     let geomean = geometric_mean(&speedups);
     println!("\ngeometric-mean conv kernel speedup: {geomean:.2}x");
 
+    let tier_rows: Vec<Vec<String>> = tiers
+        .iter()
+        .map(|t: &TierBench| {
+            let mut row = vec![t.name.to_string()];
+            row.extend(KernelTier::ALL.iter().map(|&tier| format!("{:.1}", t.ns(tier) / 1e3)));
+            row.push(format!("{:.2}x", t.simd_speedup()));
+            row
+        })
+        .collect();
+    print_table(
+        "GEMM kernel tiers (bit-exact tiers asserted identical; fastmath ULP-bounded)",
+        &["shape", "reference µs", "blocked µs", "simd µs", "fastmath µs", "simd/blocked"],
+        &tier_rows,
+    );
+    let simd_gemm =
+        geometric_mean(&tiers.iter().map(TierBench::simd_speedup).collect::<Vec<f64>>());
+    println!("\ngeometric-mean SIMD-over-blocked GEMM speedup: {simd_gemm:.2}x");
+    println!(
+        "fused sampling (S = {}): per-sample {:.1} µs, fused {:.1} µs ({:.2}x), \
+         response digest {}",
+        fused.samples,
+        fused.per_sample_ns / 1e3,
+        fused.fused_ns / 1e3,
+        fused.speedup(),
+        fused.digest
+    );
+
     let e: &EpsilonBench = &epsilon;
     println!(
         "ε generation ({} values): bit-serial {:.1} µs, word-parallel {:.1} µs ({:.2}x), \
@@ -138,7 +169,7 @@ fn main() {
     }
 
     if let Some(path) = &args.out {
-        let doc = full_json(&kernels, &epsilon, train_allocs, serve_allocs);
+        let doc = full_json(&kernels, &tiers, &fused, &epsilon, train_allocs, serve_allocs);
         std::fs::write(path, doc.to_pretty() + "\n").expect("write full report");
         println!("wrote {path}");
     }

@@ -17,12 +17,13 @@
 //! `BENCH_hot.json` artifact and the printed table, never in the committed summary.
 
 use bnn_lfsr::{Grng, GrngMode};
-use bnn_serve::{InferRequest, InferResponse, ModelSpec, ServeReplica};
+use bnn_serve::{EngineSpec, InferRequest, InferResponse, ModelSpec, ServeReplica};
 use bnn_tensor::conv::{reference, ConvGeometry};
 use bnn_tensor::kernels::{
     conv2d_backward_input_into, conv2d_backward_weights_into, conv2d_forward_into,
+    gemm_accumulate_tiered,
 };
-use bnn_tensor::{Scratch, Tensor};
+use bnn_tensor::{KernelConfig, KernelTier, Scratch, Tensor};
 use bnn_train::trainer::{Trainer, TrainerConfig};
 use bnn_train::variational::BayesConfig;
 use bnn_train::Network;
@@ -203,6 +204,158 @@ fn assert_bits(got: &Tensor, want: &Tensor, name: &str, op: &str) {
     for (i, (g, w)) in got.data().iter().zip(want.data()).enumerate() {
         assert_eq!(g.to_bits(), w.to_bits(), "{name}/{op}[{i}]: {g} vs {w}");
     }
+}
+
+/// Per-[`KernelTier`] timing of one GEMM shape (PR 8's tier arms): every tier runs the same
+/// `C += A·B`, the bit-exact tiers are asserted `to_bits()`-identical to the reference tier,
+/// and `FastMath` — allowed to reassociate — records its own digest unasserted.
+#[derive(Debug, Clone)]
+pub struct TierBench {
+    /// Shape identifier (`gemm_<m>x<k>x<n>`-style).
+    pub name: &'static str,
+    /// Rows of `A` / `C`.
+    pub m: usize,
+    /// The contraction depth.
+    pub k: usize,
+    /// Columns of `B` / `C`.
+    pub n: usize,
+    /// Best-of-reps nanoseconds per call, one entry per tier in [`KernelTier::ALL`] order.
+    pub tier_ns: Vec<(KernelTier, f64)>,
+    /// FNV-1a digest of the reference-tier result (shared by every bit-exact tier).
+    pub digest: String,
+}
+
+impl TierBench {
+    /// Best-of-reps time of one tier.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tier` was not benchmarked.
+    pub fn ns(&self, tier: KernelTier) -> f64 {
+        self.tier_ns.iter().find(|(t, _)| *t == tier).expect("tier was benchmarked").1
+    }
+
+    /// The headline PR 8 ratio: the previous default tier (`Blocked`) over the SIMD tier.
+    pub fn simd_speedup(&self) -> f64 {
+        self.ns(KernelTier::Blocked) / self.ns(KernelTier::Simd)
+    }
+}
+
+/// The tier-arm GEMM shapes: the im2col products of the serving-scale conv geometries (the
+/// shapes where tiers separate) plus one deeper-contraction panel.
+fn tier_shapes() -> [(&'static str, usize, usize, usize); 3] {
+    [
+        ("gemm_16x72x256", 16, 72, 256),
+        ("gemm_32x144x1024", 32, 144, 1024),
+        ("gemm_64x288x1024", 64, 288, 1024),
+    ]
+}
+
+/// Runs every [`KernelTier`] over the tier-arm GEMM shapes.
+///
+/// # Panics
+///
+/// Panics if any tier in [`KernelTier::BIT_EXACT`] — serial or M-split across 3 GEMM
+/// workers — is not bit-identical to the reference tier.
+pub fn run_tier_benches(reps: usize) -> Vec<TierBench> {
+    tier_shapes()
+        .into_iter()
+        .map(|(name, m, k, n)| {
+            let a = fill_tensor(0x7E12 ^ m as u64, &[m, k]);
+            let b = fill_tensor(0x7E34 ^ n as u64, &[k, n]);
+            let mut want = vec![0.0f32; m * n];
+            gemm_accumulate_tiered(
+                KernelConfig { tier: KernelTier::Reference, gemm_workers: 1 },
+                &mut want,
+                a.data(),
+                b.data(),
+                m,
+                k,
+                n,
+            );
+            let digest = digest_f32(&want);
+            let mut c = vec![0.0f32; m * n];
+            let mut tier_ns = Vec::new();
+            for tier in KernelTier::ALL {
+                for gemm_workers in [1usize, 3] {
+                    let cfg = KernelConfig { tier, gemm_workers };
+                    c.fill(0.0);
+                    gemm_accumulate_tiered(cfg, &mut c, a.data(), b.data(), m, k, n);
+                    if KernelTier::BIT_EXACT.contains(&tier) {
+                        for (i, (g, w)) in c.iter().zip(&want).enumerate() {
+                            assert_eq!(
+                                g.to_bits(),
+                                w.to_bits(),
+                                "{name}: tier {} × {gemm_workers} workers diverged at [{i}]",
+                                tier.label()
+                            );
+                        }
+                    }
+                }
+                let cfg = KernelConfig { tier, gemm_workers: 1 };
+                let ns = best_of(reps, || {
+                    c.fill(0.0);
+                    gemm_accumulate_tiered(cfg, &mut c, a.data(), b.data(), m, k, n);
+                });
+                tier_ns.push((tier, ns));
+            }
+            TierBench { name, m, k, n, tier_ns, digest }
+        })
+        .collect()
+}
+
+/// Timing of fused-sampling serving against the per-sample path (PR 8's fused arm): one
+/// frozen B-LeNet replica answering `S = 16` Monte-Carlo requests both ways, asserted
+/// byte-identical before either is timed.
+#[derive(Debug, Clone)]
+pub struct FusedServeBench {
+    /// Monte-Carlo samples per request.
+    pub samples: usize,
+    /// Per-sample (`S` separate forward passes) nanoseconds per request.
+    pub per_sample_ns: f64,
+    /// Fused (one stacked walk) nanoseconds per request.
+    pub fused_ns: f64,
+    /// FNV-1a digest of the (identical) response mean ∥ variance bits.
+    pub digest: String,
+}
+
+impl FusedServeBench {
+    /// per-sample / fused wall-clock ratio.
+    pub fn speedup(&self) -> f64 {
+        self.per_sample_ns / self.fused_ns
+    }
+}
+
+/// Benchmarks fused vs per-sample Monte-Carlo serving at `samples` draws per request.
+///
+/// # Panics
+///
+/// Panics if the two paths' responses are not byte-identical.
+pub fn run_fused_serve_bench(reps: usize, samples: usize) -> FusedServeBench {
+    let spec = ModelSpec::lenet(7);
+    let mut request = InferRequest {
+        id: 0,
+        arrival_tick: 0,
+        input: fill_tensor(0xFEED, spec.input_shape()),
+        samples,
+        seed: 1,
+    };
+    let mut fused = ServeReplica::build(&EngineSpec::new(spec.clone()));
+    let mut per_sample = ServeReplica::build(&EngineSpec::new(spec).fused_sampling(false));
+    let mut response =
+        InferResponse { id: 0, samples: 0, mean: Vec::new(), variance: Vec::new(), entropy: 0.0 };
+    let mut check = response.clone();
+    for seed in 1..=4u64 {
+        request.seed = seed;
+        fused.answer_into(&request, &mut response);
+        per_sample.answer_into(&request, &mut check);
+        assert_eq!(response, check, "fused serving diverged at seed {seed}");
+    }
+    let digest =
+        digest_f32(&response.mean.iter().chain(&response.variance).copied().collect::<Vec<f32>>());
+    let fused_ns = best_of(reps, || fused.answer_into(&request, &mut response));
+    let per_sample_ns = best_of(reps, || per_sample.answer_into(&request, &mut check));
+    FusedServeBench { samples, per_sample_ns, fused_ns, digest }
 }
 
 /// Timing result of the ε-generation comparison.
@@ -451,14 +604,19 @@ pub fn summary_json(
 }
 
 /// Builds the full (machine-dependent) report written to `BENCH_hot.json` — timings,
-/// speedups and the geometric mean alongside everything in the summary.
+/// speedups and the geometric mean alongside everything in the summary, plus PR 8's
+/// per-tier GEMM arms, the fused-serving arm and the named `speedups` object gated by
+/// `bench_regression --min-speedup`.
 pub fn full_json(
     kernels: &[KernelBench],
+    tiers: &[TierBench],
+    fused: &FusedServeBench,
     epsilon: &EpsilonBench,
     train_allocs: u64,
     serve_allocs: u64,
 ) -> Json {
     let speedups: Vec<f64> = kernels.iter().map(KernelBench::speedup).collect();
+    let simd: Vec<f64> = tiers.iter().map(TierBench::simd_speedup).collect();
     Json::obj([
         (
             "kernels",
@@ -479,6 +637,50 @@ pub fn full_json(
             ),
         ),
         ("geometric_mean_speedup", Json::Float(geometric_mean(&speedups))),
+        (
+            "kernel_tiers",
+            Json::Array(
+                tiers
+                    .iter()
+                    .map(|t| {
+                        Json::obj([
+                            ("name", Json::Str(t.name.to_string())),
+                            ("m", Json::UInt(t.m as u64)),
+                            ("k", Json::UInt(t.k as u64)),
+                            ("n", Json::UInt(t.n as u64)),
+                            (
+                                "tier_ns",
+                                Json::obj(
+                                    t.tier_ns
+                                        .iter()
+                                        .map(|(tier, ns)| (tier.label(), Json::Float(*ns)))
+                                        .collect::<Vec<_>>(),
+                                ),
+                            ),
+                            ("simd_speedup", Json::Float(t.simd_speedup())),
+                            ("digest", Json::Str(t.digest.clone())),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+        (
+            "fused_serving",
+            Json::obj([
+                ("samples", Json::UInt(fused.samples as u64)),
+                ("per_sample_ns", Json::Float(fused.per_sample_ns)),
+                ("fused_ns", Json::Float(fused.fused_ns)),
+                ("speedup", Json::Float(fused.speedup())),
+                ("digest", Json::Str(fused.digest.clone())),
+            ]),
+        ),
+        (
+            "speedups",
+            Json::obj([
+                ("simd_gemm", Json::Float(geometric_mean(&simd))),
+                ("fused_sampling", Json::Float(fused.speedup())),
+            ]),
+        ),
         (
             "epsilon",
             Json::obj([
@@ -511,6 +713,39 @@ mod tests {
             assert!(b.reference_ns > 0.0 && b.packed_ns > 0.0);
             assert_eq!(b.digest.len(), 16);
         }
+    }
+
+    #[test]
+    fn tier_benches_cover_every_tier_and_assert_bit_exactness() {
+        let tiers = run_tier_benches(1);
+        assert_eq!(tiers.len(), tier_shapes().len());
+        for t in &tiers {
+            assert_eq!(t.tier_ns.len(), KernelTier::ALL.len());
+            assert_eq!(t.digest.len(), 16);
+            for tier in KernelTier::ALL {
+                assert!(t.ns(tier) > 0.0, "{}: {} has no timing", t.name, tier.label());
+            }
+        }
+    }
+
+    #[test]
+    fn fused_serve_bench_pins_byte_identity_before_timing() {
+        let fused = run_fused_serve_bench(1, 4);
+        assert_eq!(fused.samples, 4);
+        assert_eq!(fused.digest.len(), 16);
+        assert!(fused.per_sample_ns > 0.0 && fused.fused_ns > 0.0);
+    }
+
+    #[test]
+    fn full_json_names_the_gated_speedups() {
+        let kernels = run_kernel_benches(1);
+        let tiers = run_tier_benches(1);
+        let fused = run_fused_serve_bench(1, 4);
+        let epsilon = run_epsilon_bench(1, 128);
+        let doc = full_json(&kernels, &tiers, &fused, &epsilon, 0, 0).to_compact();
+        assert!(doc.contains("\"speedups\""));
+        assert!(doc.contains("\"simd_gemm\""));
+        assert!(doc.contains("\"fused_sampling\""));
     }
 
     #[test]

@@ -20,7 +20,7 @@ use bnn_tensor::activation::{relu_backward_into, relu_into};
 use bnn_tensor::conv::ConvGeometry;
 use bnn_tensor::kernels::{
     conv2d_backward_input_into, conv2d_backward_weights_into, conv2d_forward_into,
-    gemm_at_accumulate,
+    fused_linear_accumulate, gemm_at_accumulate,
 };
 use bnn_tensor::pool::{max_pool2d_backward_into, max_pool2d_into};
 use bnn_tensor::{Scratch, Tensor, TensorError};
@@ -64,6 +64,37 @@ pub trait Layer {
         eps: &mut dyn EpsilonSource,
         scratch: &mut Scratch,
     ) -> Result<Tensor, TensorError>;
+
+    /// Forward pass of **all** `samples` sampled models over a sample-stacked activation
+    /// (the fused-sampling path). `stacked` holds the per-sample activations sample-major:
+    /// rank-2 `[S, F]` for vectors, rank-3 `[S·C, H, W]` for feature maps, so a flatten is a
+    /// pure reshape and per-channel ops act per-sample for free.
+    ///
+    /// The contract is bit-exactness with the per-sample [`Layer::forward`] walk: one
+    /// `forward_all` call must produce exactly the stacked concatenation of `samples`
+    /// individual `forward` calls — same ε draws from `sources[s]`, same per-scalar
+    /// accumulation orders — and, when `train` is true, leave identical per-sample caches
+    /// and complexity sums behind. When `train` is false a layer may skip backward-only work
+    /// (input caches, complexity accumulation), which makes fused serving *faster*, never
+    /// *different* (pinned by `bnn-serve`'s fused-identity tests).
+    ///
+    /// The default implementation splits, forwards per sample, and restacks — correct for
+    /// any layer; layers with a faster fused evaluation override it.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`TensorError`] if the stacked shape does not match the layer.
+    fn forward_all(
+        &mut self,
+        stacked: Tensor,
+        samples: usize,
+        sources: &mut [Box<dyn EpsilonSource>],
+        train: bool,
+        scratch: &mut Scratch,
+    ) -> Result<Tensor, TensorError> {
+        let _ = train;
+        forward_all_split(self, stacked, samples, sources, scratch)
+    }
 
     /// Prepares per-sample caches for an iteration of `samples` Monte-Carlo samples,
     /// recycling whatever the previous iteration left cached (so forward-only iterations
@@ -124,6 +155,52 @@ fn resize_cache<T>(slots: &mut Vec<Option<T>>, samples: usize) {
     if slots.len() < samples {
         slots.resize_with(samples, || None);
     }
+}
+
+/// Takes a stacked tensor for `samples` copies of a per-sample `shape`: rank-3 feature maps
+/// stack along channels (`[S·C, H, W]`), everything else stacks as rows (`[S, len]`).
+fn take_stacked(scratch: &mut Scratch, per_sample: &[usize], samples: usize) -> Tensor {
+    match per_sample {
+        [c, h, w] => scratch.take_tensor(&[samples * c, *h, *w]),
+        shape => scratch.take_tensor(&[samples, shape.iter().product()]),
+    }
+}
+
+/// The generic (and trivially bit-exact) fused walk: split the stacked activation per
+/// sample, run the layer's own per-sample [`Layer::forward`], restack the outputs. Every
+/// `forward_all` override must match this byte for byte; layers without a faster fused
+/// evaluation — and every layer when `train` needs the full per-sample cache shape — defer
+/// to it.
+fn forward_all_split<L: Layer + ?Sized>(
+    layer: &mut L,
+    stacked: Tensor,
+    samples: usize,
+    sources: &mut [Box<dyn EpsilonSource>],
+    scratch: &mut Scratch,
+) -> Result<Tensor, TensorError> {
+    assert!(
+        samples >= 1 && sources.len() >= samples,
+        "fused forward needs one ε source per sample"
+    );
+    let per_len = stacked.len() / samples;
+    let mut out: Option<Tensor> = None;
+    for (s, source) in sources.iter_mut().take(samples).enumerate() {
+        let mut input = match stacked.shape() {
+            &[c, h, w] => scratch.take_tensor(&[c / samples, h, w]),
+            _ => scratch.take_tensor(&[per_len]),
+        };
+        input.data_mut().copy_from_slice(&stacked.data()[s * per_len..(s + 1) * per_len]);
+        let out_s = layer.forward(s, input, source.as_mut(), scratch)?;
+        let dst = match &mut out {
+            Some(t) => t,
+            None => out.insert(take_stacked(scratch, out_s.shape(), samples)),
+        };
+        let n = out_s.len();
+        dst.data_mut()[s * n..(s + 1) * n].copy_from_slice(out_s.data());
+        scratch.put_tensor(out_s);
+    }
+    scratch.put_tensor(stacked);
+    Ok(out.expect("at least one sample"))
 }
 
 /// A Bayesian fully-connected layer: `output = W·input + b` with `W` sampled per Monte-Carlo
@@ -266,6 +343,71 @@ impl Layer for BayesLinear {
         scratch.put_tensor(w);
         scratch.put_f32(epsilon);
         cache_tensor(&mut self.cached_inputs, sample, input, scratch);
+        Ok(out)
+    }
+
+    /// Fused evaluation: all `S` sampled matvecs become one wide GEMM. Per sample the layer
+    /// draws ε and samples `w_s` exactly as [`Layer::forward`] does, then packs the weights
+    /// *transposed* into one `[in, S·out]` panel (`wt[i][s·out + o] = w_s[o][i]`);
+    /// [`fused_linear_accumulate`]'s i-outer rank-1 updates then add each output scalar's
+    /// terms in precisely the per-sample dot loop's ascending-`i` order, so the stacked
+    /// result is bit-identical (pinned by the kernel's proptest and the serve/train identity
+    /// tests). When `train` is false the complexity-loss transcendentals and the input cache
+    /// are skipped — the dominant serving win on MLP stacks.
+    fn forward_all(
+        &mut self,
+        stacked: Tensor,
+        samples: usize,
+        sources: &mut [Box<dyn EpsilonSource>],
+        train: bool,
+        scratch: &mut Scratch,
+    ) -> Result<Tensor, TensorError> {
+        if stacked.len() != samples * self.in_features {
+            return Err(TensorError::InvalidReshape {
+                len: stacked.len(),
+                shape: vec![samples, self.in_features],
+            });
+        }
+        let (inf, outf) = (self.in_features, self.out_features);
+        let width = samples * outf;
+        let mut epsilon = scratch.take_f32(self.weights.len());
+        let mut w = scratch.take_tensor(self.weights.shape());
+        let mut wt = scratch.take_f32(inf * width);
+        for (s, source) in sources.iter_mut().take(samples).enumerate() {
+            source.generate_block_into(&mut epsilon);
+            self.weights.sample_into(&epsilon, self.config.precision, &mut w);
+            if train {
+                self.accumulated_complexity += self.config.kl_weight
+                    * self.weights.complexity_loss(&w, &epsilon, self.config.prior_sigma);
+                let mut input = scratch.take_tensor(&[inf]);
+                input.data_mut().copy_from_slice(&stacked.data()[s * inf..(s + 1) * inf]);
+                cache_tensor(&mut self.cached_inputs, s, input, scratch);
+            }
+            let wd = w.data();
+            for o in 0..outf {
+                for (i, &wv) in wd[o * inf..(o + 1) * inf].iter().enumerate() {
+                    wt[i * width + s * outf + o] = wv;
+                }
+            }
+        }
+
+        let mut out = scratch.take_tensor(&[samples, outf]);
+        fused_linear_accumulate(out.data_mut(), stacked.data(), &wt, samples, inf, outf);
+        {
+            let od = out.data_mut();
+            let bias = self.bias.data();
+            for s in 0..samples {
+                for (o, &b) in bias.iter().enumerate() {
+                    let v = &mut od[s * outf + o];
+                    *v = self.config.precision.quantize(*v + b);
+                }
+            }
+        }
+
+        scratch.put_f32(wt);
+        scratch.put_tensor(w);
+        scratch.put_f32(epsilon);
+        scratch.put_tensor(stacked);
         Ok(out)
     }
 
@@ -495,6 +637,59 @@ impl Layer for BayesConv2d {
         Ok(out)
     }
 
+    /// Fused evaluation: the convolution itself stays per-sample (each sample owns a full
+    /// im2col+GEMM pass over its own sampled kernel), but inference-only calls skip the
+    /// complexity-loss transcendentals and the input cache — the dominant per-sample serving
+    /// cost for convolutional stacks. Training calls defer to the split walk, which leaves
+    /// byte-identical caches for the per-sample backward stage.
+    fn forward_all(
+        &mut self,
+        stacked: Tensor,
+        samples: usize,
+        sources: &mut [Box<dyn EpsilonSource>],
+        train: bool,
+        scratch: &mut Scratch,
+    ) -> Result<Tensor, TensorError> {
+        if train {
+            return forward_all_split(self, stacked, samples, sources, scratch);
+        }
+        let sh = stacked.shape();
+        let cin = self.geometry.in_channels;
+        let cout = self.geometry.out_channels;
+        if sh.len() != 3 || sh[0] != samples * cin {
+            return Err(TensorError::ShapeMismatch {
+                left: sh.to_vec(),
+                right: vec![samples * cin, 0, 0],
+            });
+        }
+        let (h, w_dim) = (sh[1], sh[2]);
+        let (oh, ow) = self.geometry.output_size(h, w_dim);
+        let (per_in, per_out) = (cin * h * w_dim, cout * oh * ow);
+
+        let mut epsilon = scratch.take_f32(self.weights.len());
+        let mut w = scratch.take_tensor(self.weights.shape());
+        let mut input_s = scratch.take_tensor(&[cin, h, w_dim]);
+        let mut out_s = scratch.take_tensor(&[cout, oh, ow]);
+        let mut out = scratch.take_tensor(&[samples * cout, oh, ow]);
+        for (s, source) in sources.iter_mut().take(samples).enumerate() {
+            source.generate_block_into(&mut epsilon);
+            self.weights.sample_into(&epsilon, self.config.precision, &mut w);
+            input_s.data_mut().copy_from_slice(&stacked.data()[s * per_in..(s + 1) * per_in]);
+            // The driver overwrites every output scalar (bias prefill), so `out_s` reuse is
+            // sound across samples.
+            conv2d_forward_into(&self.geometry, &input_s, &w, &self.bias, &mut out_s, scratch)?;
+            self.config.precision.quantize_tensor_inplace(&mut out_s);
+            out.data_mut()[s * per_out..(s + 1) * per_out].copy_from_slice(out_s.data());
+        }
+
+        scratch.put_tensor(out_s);
+        scratch.put_tensor(input_s);
+        scratch.put_tensor(w);
+        scratch.put_f32(epsilon);
+        scratch.put_tensor(stacked);
+        Ok(out)
+    }
+
     fn backward(
         &mut self,
         sample: usize,
@@ -612,6 +807,26 @@ impl Layer for ReluLayer {
         Ok(out)
     }
 
+    /// Fused evaluation: ReLU is elementwise, so inference-only calls apply it to the whole
+    /// stacked activation at once and skip the per-sample input cache. Training calls defer
+    /// to the split walk (the backward stage needs per-sample caches).
+    fn forward_all(
+        &mut self,
+        stacked: Tensor,
+        samples: usize,
+        sources: &mut [Box<dyn EpsilonSource>],
+        train: bool,
+        scratch: &mut Scratch,
+    ) -> Result<Tensor, TensorError> {
+        if train {
+            return forward_all_split(self, stacked, samples, sources, scratch);
+        }
+        let mut out = scratch.take_tensor(stacked.shape());
+        relu_into(&stacked, &mut out);
+        scratch.put_tensor(stacked);
+        Ok(out)
+    }
+
     fn backward(
         &mut self,
         sample: usize,
@@ -697,6 +912,40 @@ impl Layer for MaxPoolLayer {
         Ok(out)
     }
 
+    /// Fused evaluation: pooling acts per channel, and the stacked layout `[S·C, H, W]`
+    /// keeps every sample's channels contiguous — one pooling pass over the stacked map *is*
+    /// `S` per-sample passes. Inference-only calls skip the argmax cache; training calls
+    /// defer to the split walk.
+    fn forward_all(
+        &mut self,
+        stacked: Tensor,
+        samples: usize,
+        sources: &mut [Box<dyn EpsilonSource>],
+        train: bool,
+        scratch: &mut Scratch,
+    ) -> Result<Tensor, TensorError> {
+        if train {
+            return forward_all_split(self, stacked, samples, sources, scratch);
+        }
+        let shape = stacked.shape();
+        if shape.len() != 3
+            || !shape[1].is_multiple_of(self.window)
+            || !shape[2].is_multiple_of(self.window)
+        {
+            return Err(TensorError::ShapeMismatch {
+                left: shape.to_vec(),
+                right: vec![shape.first().copied().unwrap_or(0), self.window, self.window],
+            });
+        }
+        let (c, oh, ow) = (shape[0], shape[1] / self.window, shape[2] / self.window);
+        let mut out = scratch.take_tensor(&[c, oh, ow]);
+        let mut argmax = scratch.take_usize(c * oh * ow);
+        max_pool2d_into(&stacked, self.window, &mut out, &mut argmax)?;
+        scratch.put_usize(argmax);
+        scratch.put_tensor(stacked);
+        Ok(out)
+    }
+
     fn backward(
         &mut self,
         sample: usize,
@@ -765,6 +1014,25 @@ impl Layer for FlattenLayer {
         }
         input.reshape_in_place(&[input.len()])?;
         Ok(input)
+    }
+
+    /// Fused evaluation: the stacked layout is sample-major, so flattening `[S·C, H, W]` to
+    /// `[S, C·H·W]` is a pure in-place reshape. Inference-only calls skip the shape cache;
+    /// training calls defer to the split walk.
+    fn forward_all(
+        &mut self,
+        mut stacked: Tensor,
+        samples: usize,
+        sources: &mut [Box<dyn EpsilonSource>],
+        train: bool,
+        scratch: &mut Scratch,
+    ) -> Result<Tensor, TensorError> {
+        if train {
+            return forward_all_split(self, stacked, samples, sources, scratch);
+        }
+        let per_len = stacked.len() / samples;
+        stacked.reshape_in_place(&[samples, per_len])?;
+        Ok(stacked)
     }
 
     fn backward(

@@ -5,7 +5,7 @@ use crate::layers::{BayesConv2d, BayesLinear, FlattenLayer, Layer, MaxPoolLayer,
 use crate::variational::BayesConfig;
 use bnn_tensor::conv::ConvGeometry;
 use bnn_tensor::loss::softmax_inplace;
-use bnn_tensor::{Scratch, Tensor, TensorError};
+use bnn_tensor::{KernelConfig, Scratch, Tensor, TensorError};
 use rand::Rng;
 
 /// The Monte-Carlo predictive summary of one input under a frozen posterior: what a serving
@@ -154,6 +154,65 @@ impl Network {
         self.scratch.put_tensor(tensor);
     }
 
+    /// Takes a zero-filled tensor from the network's internal arena — the counterpart of
+    /// [`Network::recycle`] for drivers (like the trainer's fused forward stage) that need a
+    /// short-lived buffer without allocating.
+    pub fn take_buffer(&mut self, shape: &[usize]) -> Tensor {
+        self.scratch.take_tensor(shape)
+    }
+
+    /// The kernel configuration (tier + GEMM worker budget) this network's layer stack
+    /// dispatches on.
+    pub fn kernel(&self) -> KernelConfig {
+        self.scratch.kernel()
+    }
+
+    /// Replaces the kernel configuration the layer stack dispatches on. Bit-exact tiers
+    /// ([`bnn_tensor::KernelTier::BIT_EXACT`]) and any `gemm_workers` count leave every
+    /// output bit-identical; `FastMath` does not and is never a default.
+    pub fn set_kernel(&mut self, kernel: KernelConfig) {
+        self.scratch.set_kernel(kernel);
+    }
+
+    /// Forward pass of **all** sampled models at once over a sample-stacked copy of `input`
+    /// (the fused-sampling path, PR 8): returns the stacked `[S, classes]` outputs. One
+    /// [`Layer::forward_all`] call per layer replaces `S` per-layer visits, which turns the
+    /// `S` matvecs of every linear layer into a single wide GEMM.
+    ///
+    /// Bit-identical to `sources.len()` individual [`Network::forward_sample`] calls; with
+    /// `train = true` it also leaves identical per-sample caches and complexity sums behind,
+    /// so the per-sample backward stage runs unchanged on top of a fused forward stage.
+    /// Callers drive [`Network::begin_iteration`] first, exactly as with `forward_sample`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates shape errors from the layers.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `sources` is empty.
+    pub fn forward_all_samples(
+        &mut self,
+        input: &Tensor,
+        sources: &mut [Box<dyn EpsilonSource>],
+        train: bool,
+    ) -> Result<Tensor, TensorError> {
+        let samples = sources.len();
+        assert!(samples >= 1, "fused forward needs at least one ε source");
+        let mut x = match input.shape() {
+            &[c, h, w] => self.scratch.take_tensor(&[samples * c, h, w]),
+            shape => self.scratch.take_tensor(&[samples, shape.iter().product()]),
+        };
+        let n = input.len();
+        for s in 0..samples {
+            x.data_mut()[s * n..(s + 1) * n].copy_from_slice(input.data());
+        }
+        for layer in &mut self.layers {
+            x = layer.forward_all(x, samples, sources, train, &mut self.scratch)?;
+        }
+        Ok(x)
+    }
+
     /// Applies accumulated updates on every layer.
     pub fn apply_update(&mut self, learning_rate: f32) {
         for layer in &mut self.layers {
@@ -294,6 +353,90 @@ impl Network {
         self.scratch.put_tensor(sum);
         self.scratch.put_tensor(sum_sq);
         Ok(())
+    }
+
+    /// [`Network::predictive_into`] on the fused-sampling path: the `S` forward passes run
+    /// stacked through [`Network::forward_all_samples`] (inference-only, so Bayesian layers
+    /// skip complexity-loss and cache work), then each stacked row is softmaxed and
+    /// aggregated in sample order exactly as the per-sample path does.
+    ///
+    /// **Bit-identical** to `predictive_into` for the same `(posterior, input, sources)` —
+    /// pinned by `bnn-serve`'s fused-identity tests and every committed response digest —
+    /// and still zero-allocation per request once warmed up.
+    ///
+    /// # Errors
+    ///
+    /// Propagates shape errors from the layers.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `sources` is empty.
+    pub fn predictive_fused_into(
+        &mut self,
+        input: &Tensor,
+        sources: &mut [Box<dyn EpsilonSource>],
+        out: &mut Predictive,
+    ) -> Result<(), TensorError> {
+        assert!(!sources.is_empty(), "predictive inference needs at least one ε source");
+        let samples = sources.len();
+        self.begin_iteration(samples);
+        let stacked = self.forward_all_samples(input, sources, false)?;
+        let classes = stacked.len() / samples;
+        let mut probs = self.scratch.take_tensor(&[classes]);
+        let mut sum = self.scratch.take_tensor(&[classes]);
+        let mut sum_sq = self.scratch.take_tensor(&[classes]);
+        for s in 0..samples {
+            probs.data_mut().copy_from_slice(&stacked.data()[s * classes..(s + 1) * classes]);
+            softmax_inplace(&mut probs);
+            // Same zero-seeded, sample-ordered accumulation as `predictive_into`.
+            for ((a, b), &p) in sum.data_mut().iter_mut().zip(sum_sq.data_mut()).zip(probs.data()) {
+                *a += p;
+                *b += p * p;
+            }
+        }
+        let inv_s = 1.0 / samples as f32;
+        reuse_buffer(&mut out.mean, sum.shape());
+        reuse_buffer(&mut out.variance, sum.shape());
+        for (m, &s) in out.mean.data_mut().iter_mut().zip(sum.data()) {
+            *m = s * inv_s;
+        }
+        for ((v, &sq), &m) in
+            out.variance.data_mut().iter_mut().zip(sum_sq.data()).zip(out.mean.data())
+        {
+            *v = (sq * inv_s - m * m).max(0.0);
+        }
+        out.entropy = Self::predictive_entropy(&out.mean);
+        out.samples = samples;
+        self.scratch.put_tensor(probs);
+        self.scratch.put_tensor(sum);
+        self.scratch.put_tensor(sum_sq);
+        self.scratch.put_tensor(stacked);
+        Ok(())
+    }
+
+    /// [`Network::predictive_fused_into`] into a fresh summary (the allocating convenience
+    /// form, mirroring [`Network::predictive`]).
+    ///
+    /// # Errors
+    ///
+    /// Propagates shape errors from the layers.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `sources` is empty.
+    pub fn predictive_fused(
+        &mut self,
+        input: &Tensor,
+        sources: &mut [Box<dyn EpsilonSource>],
+    ) -> Result<Predictive, TensorError> {
+        let mut out = Predictive {
+            mean: Tensor::zeros(&[0]),
+            variance: Tensor::zeros(&[0]),
+            entropy: 0.0,
+            samples: 0,
+        };
+        self.predictive_fused_into(input, sources, &mut out)?;
+        Ok(out)
     }
 
     /// Builds a Bayesian multi-layer perceptron: `input_dim → hidden… → classes` with ReLU

@@ -41,6 +41,7 @@
 //! plan's batch for batch, so the report's timing and its answers can never drift apart.
 
 use crate::batcher::BatchPolicy;
+use crate::builder::EngineSpec;
 use crate::engine::BATCH_OVERHEAD_TICKS;
 use crate::engine::{service_cost, InferenceEngine, ServeRunReport, VersionSwap};
 use crate::request::{InferRequest, InferResponse};
@@ -129,6 +130,38 @@ pub struct ClusterConfig {
     pub routing: RoutingPolicy,
     /// Optional queue-depth-driven autoscaling over the routable shards.
     pub autoscale: Option<AutoscalePolicy>,
+}
+
+impl ClusterConfig {
+    /// Mirrors an [`EngineSpec`] into a cluster configuration: every shard replicates the
+    /// spec's posterior source and runs the spec's backend, batching policy and worker count.
+    /// Cluster-only knobs start at their neutral values — no deadline, round-robin routing,
+    /// no autoscaling — and remain plain public fields for struct-update customization.
+    ///
+    /// ```
+    /// use bnn_serve::{ClusterConfig, EngineSpec, ModelSpec, RoutingPolicy};
+    ///
+    /// let spec = EngineSpec::new(ModelSpec::mlp(7)).workers(2);
+    /// let config = ClusterConfig {
+    ///     routing: RoutingPolicy::LeastLoaded,
+    ///     ..ClusterConfig::from_engine_spec(&spec, 3, 64)
+    /// };
+    /// assert_eq!(config.shards, 3);
+    /// assert_eq!(config.workers_per_shard, 2);
+    /// ```
+    pub fn from_engine_spec(spec: &EngineSpec, shards: usize, queue_cap: usize) -> ClusterConfig {
+        ClusterConfig {
+            source: spec.source.clone(),
+            mode: spec.mode,
+            shards,
+            workers_per_shard: spec.workers,
+            batch: spec.policy,
+            queue_cap,
+            deadline_ticks: None,
+            routing: RoutingPolicy::RoundRobin,
+            autoscale: None,
+        }
+    }
 }
 
 /// A scheduled hot-swap on one shard of the cluster (the cluster form of [`VersionSwap`]).

@@ -23,9 +23,10 @@
 //! boundaries, old versions drain, and no request is ever dropped.
 
 use crate::batcher::{plan_batches, BatchPolicy};
+use crate::builder::EngineSpec;
 use crate::request::{mix_seed, InferRequest, InferResponse};
 use crate::spec::{ModelSource, ModelSpec, ServeMode};
-use bnn_tensor::Tensor;
+use bnn_tensor::{KernelConfig, Tensor};
 use bnn_train::moment::MomentNetwork;
 use bnn_train::network::Predictive;
 use bnn_train::{EpsilonSource, LfsrForward, Network};
@@ -181,24 +182,50 @@ pub struct InferenceEngine {
     mode: ServeMode,
     policy: BatchPolicy,
     workers: usize,
+    kernel: KernelConfig,
+    fused_sampling: bool,
     epsilon_per_sample: usize,
 }
 
 impl InferenceEngine {
+    /// Builds an engine from a declarative [`EngineSpec`] — the single construction surface
+    /// since PR 8 (the historical constructors below are thin shims over default specs).
+    ///
+    /// # Panics
+    ///
+    /// Panics when the spec's `workers` is zero or its policy's `max_batch` is zero.
+    pub fn build(spec: EngineSpec) -> InferenceEngine {
+        assert!(spec.workers >= 1, "an engine needs at least one worker");
+        assert!(spec.policy.max_batch >= 1, "max_batch must be at least 1");
+        // The source's ε-per-sample count drives the tick cost model (as the weight count in
+        // moment mode — both backends stream the same weight volume).
+        let epsilon_per_sample = spec.source.epsilon_count();
+        InferenceEngine {
+            source: spec.source,
+            mode: spec.mode,
+            policy: spec.policy,
+            workers: spec.workers,
+            kernel: spec.kernel,
+            fused_sampling: spec.fused_sampling,
+            epsilon_per_sample,
+        }
+    }
+
     /// Creates an engine serving the seed-rebuilt `spec` under `policy` on `workers` pool
-    /// threads (the synthetic-posterior path; see [`InferenceEngine::from_source`]).
+    /// threads (the synthetic-posterior path). Deprecated shim: prefer
+    /// [`InferenceEngine::build`] with an [`EngineSpec`].
     ///
     /// # Panics
     ///
     /// Panics when `workers` is zero or the policy's `max_batch` is zero.
     pub fn new(spec: ModelSpec, policy: BatchPolicy, workers: usize) -> InferenceEngine {
-        InferenceEngine::from_source(ModelSource::Spec(spec), policy, workers)
+        InferenceEngine::build(EngineSpec::new(spec).policy(policy).workers(workers))
     }
 
     /// Creates an engine serving any [`ModelSource`] — the checkpoint path: sources loaded
     /// from a `bnn-store` registry serve (and hot-swap) trained posteriors rather than
-    /// seed-synthesized ones. Serves Monte-Carlo; see
-    /// [`InferenceEngine::from_source_with_mode`] for the backend axis.
+    /// seed-synthesized ones. Deprecated shim: prefer [`InferenceEngine::build`] with an
+    /// [`EngineSpec`].
     ///
     /// # Panics
     ///
@@ -208,11 +235,12 @@ impl InferenceEngine {
         policy: BatchPolicy,
         workers: usize,
     ) -> InferenceEngine {
-        InferenceEngine::from_source_with_mode(source, ServeMode::MonteCarlo, policy, workers)
+        InferenceEngine::build(EngineSpec::new(source).policy(policy).workers(workers))
     }
 
     /// Creates an engine serving any [`ModelSource`] under an explicit [`ServeMode`]. The
     /// mode is engine-wide: hot-swaps replace the *posterior*, never the backend.
+    /// Deprecated shim: prefer [`InferenceEngine::build`] with an [`EngineSpec`].
     ///
     /// # Panics
     ///
@@ -223,12 +251,7 @@ impl InferenceEngine {
         policy: BatchPolicy,
         workers: usize,
     ) -> InferenceEngine {
-        assert!(workers >= 1, "an engine needs at least one worker");
-        assert!(policy.max_batch >= 1, "max_batch must be at least 1");
-        // The source's ε-per-sample count drives the tick cost model (as the weight count in
-        // moment mode — both backends stream the same weight volume).
-        let epsilon_per_sample = source.epsilon_count();
-        InferenceEngine { source, mode, policy, workers, epsilon_per_sample }
+        InferenceEngine::build(EngineSpec::new(source).mode(mode).policy(policy).workers(workers))
     }
 
     /// The served model's source (version 0; swaps are per-run, not engine state).
@@ -345,6 +368,8 @@ impl InferenceEngine {
         let sources = &sources;
         let version_of = &version_of;
         let mode = self.mode;
+        let kernel = self.kernel;
+        let fused = self.fused_sampling;
         let responses = pool::run_indexed_with(
             requests.len(),
             self.workers,
@@ -352,7 +377,7 @@ impl InferenceEngine {
             |replicas, i| {
                 let version = version_of[i];
                 let replica = replicas[version].get_or_insert_with(|| {
-                    ServeReplica::from_source_with_mode(sources[version], mode)
+                    ServeReplica::with_options(sources[version], mode, kernel, fused)
                 });
                 let mut response = InferResponse {
                     id: 0,
@@ -417,6 +442,9 @@ enum ReplicaBackend {
 pub struct ServeReplica {
     backend: ReplicaBackend,
     predictive: Predictive,
+    /// Whether Monte-Carlo requests run fused ([`Network::predictive_fused_into`]) — a pure
+    /// speed switch, bit-identical either way (ignored by the moment backend).
+    fused_sampling: bool,
 }
 
 impl std::fmt::Debug for ServeReplica {
@@ -435,24 +463,48 @@ impl std::fmt::Debug for ServeReplica {
 }
 
 impl ServeReplica {
+    /// Builds a replica from a declarative [`EngineSpec`] — the single construction surface
+    /// since PR 8; the spec's policy/worker fields are engine-level and ignored here.
+    pub fn build(spec: &EngineSpec) -> ServeReplica {
+        ServeReplica::with_options(&spec.source, spec.mode, spec.kernel, spec.fused_sampling)
+    }
+
     /// Builds a Monte-Carlo replica for `spec` (deterministic in the spec, like
-    /// [`ModelSpec::build`]).
+    /// [`ModelSpec::build`]). Deprecated shim: prefer [`ServeReplica::build`] with an
+    /// [`EngineSpec`].
     pub fn new(spec: &ModelSpec) -> ServeReplica {
         ServeReplica::from_source(&ModelSource::Spec(spec.clone()))
     }
 
     /// Builds a Monte-Carlo replica for any [`ModelSource`] — seed-rebuilt or
-    /// checkpoint-materialized (deterministic in the source either way).
+    /// checkpoint-materialized (deterministic in the source either way). Deprecated shim:
+    /// prefer [`ServeReplica::build`] with an [`EngineSpec`].
     pub fn from_source(source: &ModelSource) -> ServeReplica {
         ServeReplica::from_source_with_mode(source, ServeMode::MonteCarlo)
     }
 
     /// Builds a replica for any [`ModelSource`] under an explicit [`ServeMode`]
-    /// (deterministic in `(source, mode)`).
+    /// (deterministic in `(source, mode)`). Deprecated shim: prefer [`ServeReplica::build`]
+    /// with an [`EngineSpec`].
     pub fn from_source_with_mode(source: &ModelSource, mode: ServeMode) -> ServeReplica {
+        ServeReplica::with_options(source, mode, KernelConfig::default(), true)
+    }
+
+    /// The full-option constructor every other constructor funnels into: posterior source,
+    /// backend, kernel configuration for the replica's layer stack, and the fused-sampling
+    /// switch. Deterministic in `(source, mode)` alone — `kernel` (bit-exact tiers) and
+    /// `fused` change speed, never bytes.
+    pub(crate) fn with_options(
+        source: &ModelSource,
+        mode: ServeMode,
+        kernel: KernelConfig,
+        fused_sampling: bool,
+    ) -> ServeReplica {
         let backend = match mode {
             ServeMode::MonteCarlo => {
-                ReplicaBackend::MonteCarlo { network: source.build(), sources: Vec::new() }
+                let mut network = source.build();
+                network.set_kernel(kernel);
+                ReplicaBackend::MonteCarlo { network, sources: Vec::new() }
             }
             ServeMode::Moment => ReplicaBackend::Moment { network: source.build_moment() },
         };
@@ -464,6 +516,7 @@ impl ServeReplica {
                 entropy: 0.0,
                 samples: 0,
             },
+            fused_sampling,
         }
     }
 
@@ -501,9 +554,15 @@ impl ServeReplica {
                 for (s, source) in sources.iter_mut().enumerate() {
                     source.reseed(mix_seed(request.seed, s as u64));
                 }
-                network
-                    .predictive_into(&request.input, sources, &mut self.predictive)
-                    .expect("request input shape matches the served model");
+                if self.fused_sampling {
+                    network
+                        .predictive_fused_into(&request.input, sources, &mut self.predictive)
+                        .expect("request input shape matches the served model");
+                } else {
+                    network
+                        .predictive_into(&request.input, sources, &mut self.predictive)
+                        .expect("request input shape matches the served model");
+                }
             }
             ReplicaBackend::Moment { network } => {
                 network

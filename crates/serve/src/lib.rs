@@ -48,6 +48,7 @@
 #![warn(rust_2018_idioms)]
 
 pub mod batcher;
+pub mod builder;
 pub mod cluster;
 pub mod engine;
 pub mod request;
@@ -56,6 +57,7 @@ pub mod stats;
 pub mod workload;
 
 pub use batcher::{plan_batches, BatchPlan, BatchPolicy};
+pub use builder::EngineSpec;
 pub use cluster::{
     AutoscalePolicy, Cluster, ClusterConfig, ClusterPlan, ClusterRunReport, EscalationEvent,
     RequestOutcome, RoutingPolicy, ScaleEvent, ShardSwap, ShedEvent, ShedReason,

@@ -42,6 +42,7 @@ pub mod quant;
 pub mod scratch;
 mod tensor;
 
+pub use kernels::{KernelConfig, KernelTier};
 pub use quant::Precision;
 pub use scratch::Scratch;
 pub use tensor::{Tensor, TensorError};

@@ -22,15 +22,23 @@
 //! picks the smallest buffer that already fits the request, so a steady state with mixed
 //! buffer sizes converges after one iteration instead of thrashing between reallocations.
 
+use crate::kernels::KernelConfig;
 use crate::tensor::Tensor;
 
 /// A per-worker arena of recyclable `f32` / `usize` buffers and [`Tensor`]s.
+///
+/// Since PR 8 the arena also carries the worker's [`KernelConfig`]: every kernel driver and
+/// layer already threads a `&mut Scratch`, so riding the tier selection on it reaches every
+/// GEMM call site without widening a single signature. One worker = one `Scratch` = one
+/// kernel configuration.
 #[derive(Debug, Default)]
 pub struct Scratch {
     /// Recyclable `f32` buffers, sorted ascending by capacity.
     f32_pool: Vec<Vec<f32>>,
     /// Recyclable `usize` buffers (pooling argmax records, cached shapes), sorted by capacity.
     usize_pool: Vec<Vec<usize>>,
+    /// The kernel tier / worker budget every driver fed from this arena dispatches on.
+    kernel: KernelConfig,
 }
 
 /// Minimum capacity of `usize` buffers: shape vectors get reshaped between ranks in place
@@ -107,6 +115,17 @@ impl Scratch {
     /// Number of buffers currently pooled (for tests and diagnostics).
     pub fn pooled_buffers(&self) -> usize {
         self.f32_pool.len() + self.usize_pool.len()
+    }
+
+    /// The kernel configuration drivers fed from this arena dispatch on.
+    pub fn kernel(&self) -> KernelConfig {
+        self.kernel
+    }
+
+    /// Replaces the arena's kernel configuration (engine builders call this once per worker;
+    /// the default is the process-wide tier with an inline worker budget).
+    pub fn set_kernel(&mut self, kernel: KernelConfig) {
+        self.kernel = kernel;
     }
 }
 

@@ -11,8 +11,18 @@ use bnn_tensor::init::splitmix_tensor as fill;
 use bnn_tensor::kernels::{
     conv2d_backward_input_into, conv2d_backward_weights_into, conv2d_forward_into,
 };
-use bnn_tensor::{Scratch, Tensor};
+use bnn_tensor::{KernelConfig, KernelTier, Scratch, Tensor};
 use proptest::prelude::*;
+
+/// A scratch pinned to a bit-exact tier: the bitwise contract below holds for every tier in
+/// [`KernelTier::BIT_EXACT`] but not under a `SHIFT_BNN_KERNEL_TIER=fastmath` process
+/// default, which the CI tier matrix forces (FastMath's own ULP bound is pinned by
+/// `kernel_tiers.rs`).
+fn bit_exact_scratch() -> Scratch {
+    let mut scratch = Scratch::new();
+    scratch.set_kernel(KernelConfig { tier: KernelTier::Simd, gemm_workers: 1 });
+    scratch
+}
 
 fn assert_bits_eq(got: &Tensor, want: &Tensor, what: &str) -> Result<(), TestCaseError> {
     prop_assert_eq!(got.shape(), want.shape(), "{} shape", what);
@@ -50,7 +60,7 @@ proptest! {
         let bias = fill(seed ^ 0x5555, &[m]);
         let grad_out = fill(seed ^ 0x3333, &[m, oh, ow]);
 
-        let mut scratch = Scratch::new();
+        let mut scratch = bit_exact_scratch();
 
         // Forward.
         let want = reference::conv2d_forward(&geom, &input, &weights, &bias).unwrap();
@@ -98,7 +108,7 @@ proptest! {
             }
         }
 
-        let mut scratch = Scratch::new();
+        let mut scratch = bit_exact_scratch();
         let want = reference::conv2d_backward_input(&geom, &grad_out, &weights, h, w).unwrap();
         let mut got = scratch.take_tensor(&[2, h, w]);
         conv2d_backward_input_into(&geom, &grad_out, &weights, h, w, &mut got, &mut scratch)
