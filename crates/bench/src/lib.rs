@@ -8,7 +8,9 @@
 //! sweep ([`shift_bnn::sweep`]); the binaries render those views, and `tests/golden_figures.rs`
 //! pins their key scalars against checked-in golden values. The serving benchmark's grid and
 //! deterministic summary live in [`serve_views`], the cluster-serving benchmark (routing ×
-//! arrival grid plus the plan-only stress arm) in [`cluster_views`], the checkpoint-store
+//! arrival grid plus the plan-only stress arm) in [`cluster_views`], the fault-injection
+//! chaos benchmark (fault scenarios × arrivals with failover and the degradation ladder)
+//! in [`chaos_views`], the checkpoint-store
 //! benchmark (train → publish → serve → hot-swap) in [`store_views`], and the numeric-tree
 //! comparison behind the CI bench-regression gate in [`regression`].
 
@@ -16,6 +18,7 @@
 //! counter enforcing the zero-allocation steady state in [`alloc`].
 
 pub mod alloc;
+pub mod chaos_views;
 pub mod cluster_views;
 pub mod hot;
 pub mod moment_views;

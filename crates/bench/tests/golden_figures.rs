@@ -19,6 +19,7 @@ use shift_bnn::designs::DesignKind;
 use shift_bnn::sweep::json::Json;
 use shift_bnn::sweep::summary::SweepSummary;
 use shift_bnn::sweep::{paper_sweep, SweepPrecision, SweepReport};
+use shift_bnn_bench::chaos_views::{chaos_summary_json, run_chaos_grid};
 use shift_bnn_bench::cluster_views::{cluster_summary_json, run_cluster_grid, run_cluster_stress};
 use shift_bnn_bench::moment_views::{moment_summary_json, run_moment_grid};
 use shift_bnn_bench::regression;
@@ -252,6 +253,14 @@ fn golden_cluster_summary_matches_committed() {
     assert_matches_baseline("BENCH_cluster_summary.json", &fresh);
 }
 
+fn golden_chaos_summary_matches_committed() {
+    // Recompute the full chaos grid (faults + failover + degradation ladder on real
+    // engines); every scalar is tick-domain or a digest, so worker parallelism cannot
+    // perturb it — any drift means the fault path's determinism contract broke.
+    let fresh = chaos_summary_json(&run_chaos_grid(false, 2), false);
+    assert_matches_baseline("BENCH_chaos_summary.json", &fresh);
+}
+
 // ---------------------------------------------------------------------------------------------
 // Training-based goldens (slow; only with `-- --include-golden`)
 // ---------------------------------------------------------------------------------------------
@@ -307,6 +316,7 @@ fn main() {
         ("serve_summary_matches_committed", golden_serve_summary_matches_committed),
         ("moment_summary_matches_committed", golden_moment_summary_matches_committed),
         ("cluster_summary_matches_committed", golden_cluster_summary_matches_committed),
+        ("chaos_summary_matches_committed", golden_chaos_summary_matches_committed),
     ];
     let heavy: &[(&str, fn())] = &[
         ("fig09_bit_identical_training", golden_fig09_bit_identical_training),

@@ -43,11 +43,15 @@
 use crate::batcher::BatchPolicy;
 use crate::builder::EngineSpec;
 use crate::engine::BATCH_OVERHEAD_TICKS;
-use crate::engine::{service_cost, InferenceEngine, ServeRunReport, VersionSwap};
+use crate::engine::{
+    request_service_cost, slow_multiplier, InferenceEngine, ServeRunReport, Slowdown, VersionSwap,
+};
+use crate::faults::{DegradeEvent, DegradeLevel, FaultPlan, FaultTimeline, FaultTrace, RetryEvent};
 use crate::request::{InferRequest, InferResponse};
 use crate::spec::{ModelSource, ServeMode};
 use shift_bnn::sweep::json::{fnv1a_hex, Json, ToJson};
-use std::collections::VecDeque;
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, VecDeque};
 
 /// How the router picks a shard for each arriving request.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -180,6 +184,16 @@ pub enum ShedReason {
     QueueFull,
     /// The admission-time completion estimate already missed the request's deadline.
     Deadline,
+    /// The request was evicted by a [`crate::faults::FaultEvent::ShardDown`] crash (possibly
+    /// more than once) and its [`crate::faults::RetryPolicy`] budget ran out. The event's
+    /// shard is the one whose crash spent the final attempt.
+    RetryBudgetExhausted,
+    /// Every routable shard was down when the request (or its final retry) submitted. The
+    /// event's shard is recorded as `0` by convention — there was no shard to cite.
+    ShardUnavailable,
+    /// The degradation ladder's top rung ([`crate::faults::DegradeLevel::Shed`]) was active
+    /// at submission: cluster-wide backlog pressure left no capacity at any quality level.
+    Overload,
 }
 
 impl ShedReason {
@@ -188,6 +202,9 @@ impl ShedReason {
         match self {
             ShedReason::QueueFull => "queue_full",
             ShedReason::Deadline => "deadline",
+            ShedReason::RetryBudgetExhausted => "retry_budget_exhausted",
+            ShedReason::ShardUnavailable => "shard_unavailable",
+            ShedReason::Overload => "overload",
         }
     }
 }
@@ -279,6 +296,8 @@ struct ShardSim {
     mode: ServeMode,
     /// Swap activation ticks (parallel to `epsilon_counts[1..]`).
     swap_ticks: Vec<u64>,
+    /// Fault-injected slow windows on this shard's device (empty outside fault plans).
+    slowdowns: Vec<Slowdown>,
     open: Vec<(usize, usize)>, // (global request index, effective sample count)
     open_deadline: u64,
     device_free: u64,
@@ -294,6 +313,7 @@ impl ShardSim {
         mode: ServeMode,
         base_epsilon: usize,
         swaps: &[VersionSwap],
+        slowdowns: &[Slowdown],
     ) -> ShardSim {
         let mut epsilon_counts = vec![base_epsilon];
         epsilon_counts.extend(swaps.iter().map(|s| s.source.epsilon_count()));
@@ -302,6 +322,7 @@ impl ShardSim {
             epsilon_counts,
             mode,
             swap_ticks: swaps.iter().map(|s| s.at_tick).collect(),
+            slowdowns: slowdowns.to_vec(),
             open: Vec::new(),
             open_deadline: 0,
             device_free: 0,
@@ -321,9 +342,11 @@ impl ShardSim {
             + self
                 .open
                 .iter()
-                .map(|&(_, samples)| service_cost(self.mode, self.epsilon_counts[version], samples))
+                .map(|&(_, samples)| {
+                    request_service_cost(self.mode, self.epsilon_counts[version], samples)
+                })
                 .sum::<u64>();
-        let end_tick = start_tick + service;
+        let end_tick = start_tick + slow_multiplier(&self.slowdowns, start_tick) * service;
         self.device_free = end_tick;
         let members: Vec<usize> = self.open.drain(..).map(|(i, _)| i).collect();
         self.in_flight.push_back((end_tick, members.len()));
@@ -363,8 +386,9 @@ impl ShardSim {
         let start = t.max(self.device_free);
         let version = self.swap_ticks.iter().take_while(|&&at| at <= start).count();
         start
-            + BATCH_OVERHEAD_TICKS
-            + service_cost(self.mode, self.epsilon_counts[version], samples)
+            + slow_multiplier(&self.slowdowns, start)
+                * (BATCH_OVERHEAD_TICKS
+                    + request_service_cost(self.mode, self.epsilon_counts[version], samples))
     }
 
     /// Joins the open batch at `t`, mirroring `plan_batches`: an empty batch opens with a
@@ -378,6 +402,16 @@ impl ShardSim {
         if self.open.len() == self.policy.max_batch {
             self.close_open(t);
         }
+    }
+
+    /// Evicts the open (not yet dispatched) batch at crash tick `t` — the fail-stop boundary
+    /// of [`crate::faults::FaultEvent::ShardDown`]: a batch whose wait deadline already
+    /// passed closed (committed to the device) *before* the crash and completes normally;
+    /// whatever is still open at `t` never dispatches and is returned for failover. The
+    /// evicted members are, by construction, the exact tail of this shard's admission order.
+    fn evict_open(&mut self, t: u64) -> Vec<(usize, usize)> {
+        self.advance_to(t);
+        std::mem::take(&mut self.open)
     }
 
     /// Closes the trailing batch at its deadline (the open-loop "no end-of-input oracle"
@@ -413,6 +447,9 @@ pub struct ClusterPlan {
     pub makespan_ticks: u64,
     /// Batches planned per shard.
     pub batches_per_shard: Vec<usize>,
+    /// Everything the fault plan caused: retries, ladder transitions, checkpoint fallbacks
+    /// and per-request serving levels (empty under [`FaultPlan::none`]).
+    pub faults: FaultTrace,
 }
 
 impl ClusterPlan {
@@ -432,18 +469,33 @@ impl ClusterPlan {
         }
         self.sheds.len() as f64 / self.outcomes.len() as f64
     }
+
+    /// Answered requests over submitted requests (1 for an empty trace).
+    pub fn availability(&self) -> f64 {
+        if self.outcomes.is_empty() {
+            return 1.0;
+        }
+        (self.outcomes.len() - self.sheds.len()) as f64 / self.outcomes.len() as f64
+    }
 }
 
 /// Phase-A working state shared by `plan` and `run`.
 struct Routing {
     sims: Vec<ShardSim>,
-    /// Admitted global request indices per shard, in arrival order.
+    /// Admitted global request indices per shard, in admission order (non-decreasing ticks).
     routed: Vec<Vec<usize>>,
-    /// Effective per-request sample count (two-tier low passes override the request's own).
+    /// Effective per-request sample count (two-tier low passes and the degradation ladder
+    /// override the request's own; `0` is the analytic-moment sentinel).
     effective_samples: Vec<usize>,
+    /// The tick each request was (finally) admitted at — its arrival tick unless a crash
+    /// evicted it into the retry path, in which case the last retry's submission tick.
+    admitted_ticks: Vec<u64>,
     outcomes: Vec<Option<RequestOutcome>>,
     sheds: Vec<ShedEvent>,
     scale_events: Vec<ScaleEvent>,
+    retries: Vec<RetryEvent>,
+    degrades: Vec<DegradeEvent>,
+    levels: Vec<DegradeLevel>,
 }
 
 // ---------------------------------------------------------------------------------------------
@@ -521,19 +573,55 @@ impl Cluster {
         grouped
     }
 
-    /// Phase A: walk the trace in arrival order, making every scaling, routing and admission
-    /// decision against the incremental shard simulators.
-    fn route(&self, trace: &[InferRequest], swaps: &[Vec<VersionSwap>]) -> Routing {
+    /// Phase A: a merged tick-ordered event loop over arrivals, failover retries, fault
+    /// transitions and autoscale epochs, making every scaling, routing, degradation and
+    /// admission decision against the incremental shard simulators.
+    ///
+    /// Event ordering, the whole determinism argument in four rules:
+    ///
+    /// 1. *submissions* (fresh arrivals merged with the retry heap) are processed in
+    ///    non-decreasing tick order; a retry tying with an arrival goes first (it is the
+    ///    older request), retries tying with each other go in schedule order;
+    /// 2. *control events* at or before the next submission's tick fire before it, in tick
+    ///    order — fault transitions before autoscale epochs on ties;
+    /// 3. after the last submission, remaining fault transitions still fire (a trailing
+    ///    crash can evict an open batch, whose retries then re-enter rule 1), but no further
+    ///    autoscale epochs do — matching the fault-free router, which never scales after the
+    ///    last arrival;
+    /// 4. nothing reads anything but (trace, config, swaps, fault plan) — no clock, no
+    ///    iteration order of any unordered container.
+    ///
+    /// Under [`FaultPlan::none`] the loop degenerates to exactly the pre-fault router:
+    /// arrivals in trace order, epochs before each, no retries, every level `Normal`.
+    fn route(
+        &self,
+        trace: &[InferRequest],
+        swaps: &[Vec<VersionSwap>],
+        faults: &FaultPlan,
+        timeline: &FaultTimeline,
+    ) -> Routing {
         let routable = Cluster::routable(&self.config);
         let base_epsilon = self.config.source.epsilon_count();
         let mut sims: Vec<ShardSim> = (0..self.config.shards)
-            .map(|s| ShardSim::new(self.config.batch, self.config.mode, base_epsilon, &swaps[s]))
+            .map(|s| {
+                ShardSim::new(
+                    self.config.batch,
+                    self.config.mode,
+                    base_epsilon,
+                    &swaps[s],
+                    &timeline.slowdowns[s],
+                )
+            })
             .collect();
         let mut routed: Vec<Vec<usize>> = vec![Vec::new(); self.config.shards];
         let mut outcomes: Vec<Option<RequestOutcome>> = vec![None; trace.len()];
         let mut sheds = Vec::new();
         let mut scale_events = Vec::new();
         let mut effective_samples = vec![0usize; trace.len()];
+        let mut admitted_ticks = vec![0u64; trace.len()];
+        let mut levels = vec![DegradeLevel::Normal; trace.len()];
+        let mut retries: Vec<RetryEvent> = Vec::new();
+        let mut degrades: Vec<DegradeEvent> = Vec::new();
 
         let mut active = match self.config.autoscale {
             Some(scale) => scale.min_active,
@@ -543,81 +631,231 @@ impl Cluster {
         let mut rr_cursor = 0usize;
         let mut previous_arrival = 0u64;
 
-        for (i, request) in trace.iter().enumerate() {
-            let t = request.arrival_tick;
-            assert!(
-                t >= previous_arrival,
-                "request trace must be sorted by arrival_tick (index {i})"
-            );
-            previous_arrival = t;
+        // Liveness per routable shard, flipped by the fault timeline's transitions.
+        let mut up = vec![true; routable];
+        let mut tr_idx = 0usize;
+        // Retry heap: Reverse<(retry tick, schedule sequence, trace index)> pops the
+        // earliest retry, in schedule order on ties.
+        let mut retry_heap: BinaryHeap<Reverse<(u64, u64, usize)>> = BinaryHeap::new();
+        let mut retry_seq = 0u64;
+        let mut attempts = vec![0u32; trace.len()];
+        let mut current_level = DegradeLevel::Normal;
+        let mut arrival_idx = 0usize;
 
-            // Autoscaling epochs at or before this arrival fire first, in order.
-            if let (Some(scale), Some(epoch)) = (self.config.autoscale, next_epoch) {
-                let mut epoch = epoch;
-                while epoch <= t {
-                    let backlog: usize =
-                        sims[..active].iter_mut().map(|sim| sim.backlog(epoch)).sum();
-                    if backlog > scale.high_watermark * active && active < routable {
-                        active += 1;
-                        scale_events.push(ScaleEvent { tick: epoch, active });
-                    } else if backlog < scale.low_watermark * active && active > scale.min_active {
-                        active -= 1;
-                        scale_events.push(ScaleEvent { tick: epoch, active });
+        loop {
+            // Rule 1: the next submission is the earliest of the retry heap and the arrival
+            // cursor; the retry wins ties.
+            let next_retry = retry_heap.peek().map(|&Reverse(key)| key);
+            let next_arrival = (arrival_idx < trace.len()).then(|| trace[arrival_idx].arrival_tick);
+            let next_sub_tick = match (next_retry, next_arrival) {
+                (Some((rt, _, _)), Some(at)) => Some(rt.min(at)),
+                (Some((rt, _, _)), None) => Some(rt),
+                (None, Some(at)) => Some(at),
+                (None, None) => None,
+            };
+
+            // Rules 2 and 3: fire one due control event and re-evaluate (a transition can
+            // schedule a retry earlier than the submission we were advancing toward).
+            let next_tr = timeline.transitions.get(tr_idx).copied();
+            let tr_due = next_tr.is_some_and(|(tt, _, _)| next_sub_tick.is_none_or(|st| tt <= st));
+            let ep_due = match (next_epoch, next_sub_tick) {
+                (Some(e), Some(st)) => e <= st,
+                _ => false,
+            };
+            if tr_due && (!ep_due || next_tr.is_some_and(|(tt, _, _)| tt <= next_epoch.unwrap())) {
+                let (tick, shard, down) = next_tr.expect("tr_due implies a transition");
+                tr_idx += 1;
+                if !down {
+                    up[shard] = true;
+                } else if up[shard] {
+                    up[shard] = false;
+                    // Fail-stop at the dispatch boundary: committed batches complete, the
+                    // open batch's members fail over. They are the exact tail of this
+                    // shard's admission order, so un-routing them is a truncation.
+                    let evicted = sims[shard].evict_open(tick);
+                    if !evicted.is_empty() {
+                        let keep = routed[shard].len() - evicted.len();
+                        debug_assert!(
+                            routed[shard][keep..].iter().zip(&evicted).all(|(&r, &(e, _))| r == e),
+                            "the open batch must be the tail of the shard's admission order"
+                        );
+                        routed[shard].truncate(keep);
+                        for &(i, _) in &evicted {
+                            attempts[i] += 1;
+                            let attempt = attempts[i];
+                            if attempt <= faults.retry.max_retries {
+                                let retry_tick = tick + faults.retry.backoff_ticks(attempt);
+                                retry_heap.push(Reverse((retry_tick, retry_seq, i)));
+                                retry_seq += 1;
+                                retries.push(RetryEvent {
+                                    request: trace[i].id,
+                                    failed_tick: tick,
+                                    retry_tick,
+                                    shard: Some(shard),
+                                    attempt,
+                                });
+                            } else {
+                                let reason = ShedReason::RetryBudgetExhausted;
+                                sheds.push(ShedEvent { request: trace[i].id, tick, shard, reason });
+                                outcomes[i] = Some(RequestOutcome::Shed { tick, shard, reason });
+                            }
+                        }
                     }
-                    epoch += scale.interval_ticks;
                 }
-                next_epoch = Some(epoch);
+                continue;
             }
+            if ep_due {
+                let scale = self.config.autoscale.expect("ep_due implies autoscaling");
+                let epoch = next_epoch.expect("ep_due implies an epoch");
+                let backlog: usize = sims[..active].iter_mut().map(|sim| sim.backlog(epoch)).sum();
+                if backlog > scale.high_watermark * active && active < routable {
+                    active += 1;
+                    scale_events.push(ScaleEvent { tick: epoch, active });
+                } else if backlog < scale.low_watermark * active && active > scale.min_active {
+                    active -= 1;
+                    scale_events.push(ScaleEvent { tick: epoch, active });
+                }
+                next_epoch = Some(epoch + scale.interval_ticks);
+                continue;
+            }
+
+            // No controls due: process the submission itself (or finish).
+            if next_sub_tick.is_none() {
+                break;
+            }
+            let (t, i) = match (next_retry, next_arrival) {
+                (Some((rt, _, ri)), at) if at.is_none_or(|at| rt <= at) => {
+                    retry_heap.pop();
+                    (rt, ri)
+                }
+                _ => {
+                    let i = arrival_idx;
+                    arrival_idx += 1;
+                    let t = trace[i].arrival_tick;
+                    assert!(
+                        t >= previous_arrival,
+                        "request trace must be sorted by arrival_tick (index {i})"
+                    );
+                    previous_arrival = t;
+                    (t, i)
+                }
+            };
+            let request = &trace[i];
+
+            // Failover's last resort: with every routable-and-active shard down, the
+            // submission re-enters the retry path, and sheds `ShardUnavailable` (shard 0 by
+            // convention — there is no shard to cite) once its budget is spent.
+            let live = (0..active).filter(|&s| up[s]).count();
+            if live == 0 {
+                attempts[i] += 1;
+                let attempt = attempts[i];
+                if attempt <= faults.retry.max_retries {
+                    let retry_tick = t + faults.retry.backoff_ticks(attempt);
+                    retry_heap.push(Reverse((retry_tick, retry_seq, i)));
+                    retry_seq += 1;
+                    retries.push(RetryEvent {
+                        request: request.id,
+                        failed_tick: t,
+                        retry_tick,
+                        shard: None,
+                        attempt,
+                    });
+                } else {
+                    let reason = ShedReason::ShardUnavailable;
+                    sheds.push(ShedEvent { request: request.id, tick: t, shard: 0, reason });
+                    outcomes[i] = Some(RequestOutcome::Shed { tick: t, shard: 0, reason });
+                }
+                continue;
+            }
+
+            // The degradation ladder reads cluster-wide pressure over the live shards at
+            // every submission; a level change is a tick-stamped event.
+            let level = match faults.ladder {
+                Some(ladder) => {
+                    let pressure: usize =
+                        (0..active).filter(|&s| up[s]).map(|s| sims[s].backlog(t)).sum();
+                    let level = ladder.level_for(pressure, live);
+                    if level != current_level {
+                        degrades.push(DegradeEvent {
+                            tick: t,
+                            from: current_level,
+                            to: level,
+                            backlog: pressure,
+                        });
+                        current_level = level;
+                    }
+                    level
+                }
+                None => DegradeLevel::Normal,
+            };
+            levels[i] = level;
 
             let samples = match self.config.routing {
                 RoutingPolicy::TwoTier { low_samples, .. } => low_samples,
-                _ => request.samples,
+                _ => match level {
+                    DegradeLevel::Normal | DegradeLevel::Shed => request.samples,
+                    DegradeLevel::ReducedSamples => request
+                        .samples
+                        .min(faults.ladder.expect("level implies ladder").reduced_samples),
+                    // 0 is the analytic sentinel: priced and answered as one moment pass.
+                    DegradeLevel::Moment => 0,
+                },
             };
             let shard = match self.config.routing {
                 RoutingPolicy::RoundRobin => {
-                    let shard = rr_cursor % active;
+                    let position = rr_cursor % live;
                     rr_cursor += 1;
-                    shard
+                    (0..active)
+                        .filter(|&s| up[s])
+                        .nth(position)
+                        .expect("position is within the live count")
                 }
                 RoutingPolicy::LeastLoaded | RoutingPolicy::TwoTier { .. } => (0..active)
+                    .filter(|&s| up[s])
                     .min_by_key(|&s| (sims[s].backlog(t), s))
-                    .expect("at least one shard is active"),
+                    .expect("at least one live shard"),
             };
 
+            if level == DegradeLevel::Shed {
+                let reason = ShedReason::Overload;
+                sheds.push(ShedEvent { request: request.id, tick: t, shard, reason });
+                outcomes[i] = Some(RequestOutcome::Shed { tick: t, shard, reason });
+                continue;
+            }
             if sims[shard].backlog(t) >= self.config.queue_cap {
-                let event = ShedEvent {
-                    request: request.id,
-                    tick: t,
-                    shard,
-                    reason: ShedReason::QueueFull,
-                };
-                sheds.push(event);
-                outcomes[i] =
-                    Some(RequestOutcome::Shed { tick: t, shard, reason: ShedReason::QueueFull });
+                let reason = ShedReason::QueueFull;
+                sheds.push(ShedEvent { request: request.id, tick: t, shard, reason });
+                outcomes[i] = Some(RequestOutcome::Shed { tick: t, shard, reason });
                 continue;
             }
             if let Some(deadline) = self.config.deadline_ticks {
                 if sims[shard].estimate_end(t, samples) > t + deadline {
-                    let event = ShedEvent {
-                        request: request.id,
-                        tick: t,
-                        shard,
-                        reason: ShedReason::Deadline,
-                    };
-                    sheds.push(event);
-                    outcomes[i] =
-                        Some(RequestOutcome::Shed { tick: t, shard, reason: ShedReason::Deadline });
+                    let reason = ShedReason::Deadline;
+                    sheds.push(ShedEvent { request: request.id, tick: t, shard, reason });
+                    outcomes[i] = Some(RequestOutcome::Shed { tick: t, shard, reason });
                     continue;
                 }
             }
             sims[shard].admit(i, samples, t);
             routed[shard].push(i);
             effective_samples[i] = samples;
+            admitted_ticks[i] = t;
         }
         for sim in &mut sims {
             sim.finish();
         }
-        Routing { sims, routed, effective_samples, outcomes, sheds, scale_events }
+        Routing {
+            sims,
+            routed,
+            effective_samples,
+            admitted_ticks,
+            outcomes,
+            sheds,
+            scale_events,
+            retries,
+            degrades,
+            levels,
+        }
     }
 
     /// Plans a swap-free run without computing any responses: routing, admission, shedding,
@@ -643,12 +881,40 @@ impl Cluster {
     /// Panics under the same conditions as [`Cluster::plan`], or when a swap targets a shard
     /// out of range or a per-shard schedule is not sorted by `at_tick`.
     pub fn plan_with_swaps(&self, trace: &[InferRequest], swaps: &[ShardSwap]) -> ClusterPlan {
+        self.plan_with_faults(trace, swaps, &FaultPlan::none())
+    }
+
+    /// [`Cluster::plan_with_swaps`] under a [`FaultPlan`]: crashes, recoveries, slow windows
+    /// and checkpoint corruptions fire at their exact ticks, failover retries and the
+    /// degradation ladder react, and the plan's `faults` trace records every one of them.
+    /// Still plan-only — no replica is ever materialized — so the chaos grid can sweep fault
+    /// schedules over arbitrarily long traces. Under [`FaultPlan::none`] this *is*
+    /// `plan_with_swaps`.
+    ///
+    /// # Panics
+    ///
+    /// Panics under the same conditions as [`Cluster::plan_with_swaps`], or when the fault
+    /// plan fails validation ([`FaultPlan`] events unsorted, shard out of range, ladder
+    /// watermarks inverted, or a ladder on a non-Monte-Carlo cluster).
+    pub fn plan_with_faults(
+        &self,
+        trace: &[InferRequest],
+        swaps: &[ShardSwap],
+        faults: &FaultPlan,
+    ) -> ClusterPlan {
         assert!(
             !matches!(self.config.routing, RoutingPolicy::TwoTier { .. }),
             "two-tier escalation needs real entropies; use Cluster::run"
         );
-        let swaps = self.swaps_by_shard(swaps);
-        let routing = self.route(trace, &swaps);
+        let timeline = FaultTimeline::build(
+            faults,
+            Cluster::routable(&self.config),
+            self.config.shards,
+            self.config.mode,
+        );
+        let mut grouped = self.swaps_by_shard(swaps);
+        let checkpoint_faults = timeline.cancel_corrupted_swaps(&mut grouped);
+        let routing = self.route(trace, &grouped, faults, &timeline);
         let mut outcomes = routing.outcomes;
         let mut end_ticks = vec![0u64; trace.len()];
         let mut makespan = 0u64;
@@ -672,6 +938,8 @@ impl Cluster {
         }
         let outcomes: Vec<RequestOutcome> =
             outcomes.into_iter().map(|o| o.expect("every request has an outcome")).collect();
+        // Latency is measured from the ORIGINAL arrival: a retried request's failover delay
+        // is real waiting its caller experienced, so it lands in the tail percentiles.
         let latencies: Vec<u64> = outcomes
             .iter()
             .zip(trace)
@@ -687,6 +955,12 @@ impl Cluster {
             latencies,
             makespan_ticks: makespan,
             batches_per_shard: routing.sims.iter().map(|s| s.batches.len()).collect(),
+            faults: FaultTrace {
+                retries: routing.retries,
+                degrades: routing.degrades,
+                checkpoint_faults,
+                levels: routing.levels,
+            },
         }
     }
 
@@ -711,12 +985,52 @@ impl Cluster {
     /// Panics under the same conditions as [`Cluster::run`], or when a swap targets a shard
     /// out of range or a per-shard schedule is not sorted by `at_tick`.
     pub fn run_with_swaps(&self, trace: &[InferRequest], swaps: &[ShardSwap]) -> ClusterRunReport {
-        let grouped = self.swaps_by_shard(swaps);
-        let routing = self.route(trace, &grouped);
+        self.run_with_faults(trace, swaps, &FaultPlan::none())
+    }
+
+    /// [`Cluster::run_with_swaps`] under a [`FaultPlan`] — the executed twin of
+    /// [`Cluster::plan_with_faults`]: the same phase-A decisions, then real answers for
+    /// every finally-admitted request on its shard's own engine. The fail-stop eviction
+    /// boundary keeps phase B honest: an evicted request never appears in a shard's
+    /// sub-trace, so the engine replays exactly the batches the plan committed
+    /// (`assert_sim_matches_engine` still checks every batch, faults or not), and requests
+    /// the degradation ladder downgraded to the analytic backend are answered by the
+    /// engine's moment sentinel (`samples == 0`). Under [`FaultPlan::none`] this *is*
+    /// `run_with_swaps`.
+    ///
+    /// # Panics
+    ///
+    /// Panics under the same conditions as [`Cluster::run_with_swaps`] and
+    /// [`Cluster::plan_with_faults`], or when a non-empty fault plan is combined with
+    /// [`RoutingPolicy::TwoTier`] (escalation across crashing shards is not modelled).
+    pub fn run_with_faults(
+        &self,
+        trace: &[InferRequest],
+        swaps: &[ShardSwap],
+        faults: &FaultPlan,
+    ) -> ClusterRunReport {
+        if matches!(self.config.routing, RoutingPolicy::TwoTier { .. }) {
+            assert!(
+                faults.is_empty(),
+                "fault injection does not support two-tier routing: escalation across \
+                 crashing shards is not modelled"
+            );
+        }
+        let timeline = FaultTimeline::build(
+            faults,
+            Cluster::routable(&self.config),
+            self.config.shards,
+            self.config.mode,
+        );
+        let mut grouped = self.swaps_by_shard(swaps);
+        let checkpoint_faults = timeline.cancel_corrupted_swaps(&mut grouped);
+        let routing = self.route(trace, &grouped, faults, &timeline);
 
         // Phase B: each shard's admitted sub-trace runs on that shard's own engine; the
         // engine re-derives batch timing from the sub-trace, and it must agree with the
         // plan's batch for batch — the cluster's timing and answers come from one clock.
+        // A retried request enters the sub-trace at its final admission tick (its failover
+        // history lives in phase A; the engine sees only the admission that stuck).
         // Under two-tier routing the router never targets the reserved high shard, so its
         // engine (and report) is built once by the escalation block below, not here.
         let phase_b_shards = Cluster::routable(&self.config);
@@ -726,6 +1040,7 @@ impl Cluster {
                 .iter()
                 .map(|&i| {
                     let mut request = trace[i].clone();
+                    request.arrival_tick = routing.admitted_ticks[i];
                     request.samples = routing.effective_samples[i];
                     request
                 })
@@ -736,7 +1051,8 @@ impl Cluster {
                 self.config.batch,
                 self.config.workers_per_shard,
             );
-            let report = engine.run_with_swaps(&sub_trace, shard_swaps);
+            let report =
+                engine.run_with_slowdowns(&sub_trace, shard_swaps, &timeline.slowdowns[shard]);
             assert_sim_matches_engine(&routing.sims[shard], &report, shard);
             shard_reports.push(report);
         }
@@ -746,7 +1062,7 @@ impl Cluster {
         let mut end_ticks = vec![0u64; trace.len()];
         for (shard, members) in routing.routed.iter().enumerate() {
             for (j, &i) in members.iter().enumerate() {
-                let end = trace[i].arrival_tick + shard_reports[shard].latencies[j];
+                let end = routing.admitted_ticks[i] + shard_reports[shard].latencies[j];
                 end_ticks[i] = end;
                 responses[i] = Some(shard_reports[shard].responses[j].clone());
                 outcomes[i] = Some(RequestOutcome::Answered {
@@ -781,6 +1097,7 @@ impl Cluster {
                 self.config.mode,
                 self.config.source.epsilon_count(),
                 &grouped[high],
+                &[], // two-tier runs carry no fault plan (asserted above)
             );
             // `high_trace[k]` escalates the request at trace index `high_indices[k]`; ids
             // are caller-chosen and never used as positions.
@@ -859,6 +1176,12 @@ impl Cluster {
             scale_events: routing.scale_events,
             shard_reports,
             makespan_ticks,
+            faults: FaultTrace {
+                retries: routing.retries,
+                degrades: routing.degrades,
+                checkpoint_faults,
+                levels: routing.levels,
+            },
         }
     }
 }
@@ -922,6 +1245,9 @@ pub struct ClusterRunReport {
     pub shard_reports: Vec<ServeRunReport>,
     /// Tick the last batch on any shard completed at (0 for an empty run).
     pub makespan_ticks: u64,
+    /// Everything the fault plan caused: retries, ladder transitions, checkpoint fallbacks
+    /// and per-request serving levels (empty under [`FaultPlan::none`]).
+    pub faults: FaultTrace,
 }
 
 impl ClusterRunReport {
@@ -941,6 +1267,23 @@ impl ClusterRunReport {
             return 0.0;
         }
         self.sheds.len() as f64 / self.outcomes.len() as f64
+    }
+
+    /// Answered requests over submitted requests (1 for an empty trace) — the headline
+    /// robustness metric the chaos grid gates: under a fault plan it measures how much of
+    /// the offered load survived crashes and overload via failover and degradation.
+    pub fn availability(&self) -> f64 {
+        if self.outcomes.is_empty() {
+            return 1.0;
+        }
+        self.answered() as f64 / self.submitted() as f64
+    }
+
+    /// Counts of answered requests per degradation level `(normal, reduced_samples,
+    /// moment)` — the ladder's occupancy. All-normal without a ladder.
+    pub fn degrade_occupancy(&self) -> (usize, usize, usize) {
+        self.faults
+            .occupancy(self.outcomes.iter().map(|o| matches!(o, RequestOutcome::Answered { .. })))
     }
 
     /// Escalated requests over submitted requests (0 outside two-tier routing).
@@ -992,6 +1335,20 @@ impl ClusterRunReport {
         fnv1a_hex(self.events_json().bytes())
     }
 
+    /// The canonical fault-event bytes: every failover retry, ladder transition and
+    /// checkpoint fallback with its exact tick. Deliberately separate from
+    /// [`events_json`](Self::events_json), whose digest pre-dates fault injection and stays
+    /// byte-identical under [`FaultPlan::none`].
+    pub fn fault_events_json(&self) -> String {
+        self.faults.to_json().to_compact()
+    }
+
+    /// FNV-1a digest of [`fault_events_json`](Self::fault_events_json), 16 hex characters —
+    /// what the committed chaos baseline pins.
+    pub fn fault_events_digest(&self) -> String {
+        fnv1a_hex(self.fault_events_json().bytes())
+    }
+
     /// Serializes the full report. Worker count is deliberately omitted: every serialized
     /// field is a pure function of (trace, config, swap schedule), so 1-worker and N-worker
     /// runs — and re-runs on any machine — produce identical bytes.
@@ -1023,9 +1380,19 @@ impl ClusterRunReport {
                     ("p999", percentile(0.999)),
                 ]),
             ),
+            ("availability", Json::Float(self.availability())),
+            (
+                "degrade_occupancy",
+                Json::obj([
+                    ("normal", Json::UInt(self.degrade_occupancy().0 as u64)),
+                    ("reduced_samples", Json::UInt(self.degrade_occupancy().1 as u64)),
+                    ("moment", Json::UInt(self.degrade_occupancy().2 as u64)),
+                ]),
+            ),
             ("sheds", Json::Array(self.sheds.iter().map(shed_to_json).collect())),
             ("escalations", Json::Array(self.escalations.iter().map(escalation_to_json).collect())),
             ("scale_events", Json::Array(self.scale_events.iter().map(scale_to_json).collect())),
+            ("faults", self.faults.to_json()),
             (
                 "shard_batches",
                 Json::Array(
@@ -1312,6 +1679,234 @@ mod tests {
             plan.batches_per_shard,
             report.shard_reports.iter().map(|r| r.batches.len()).collect::<Vec<_>>()
         );
+    }
+
+    #[test]
+    fn fault_plan_none_is_byte_identical_to_a_plain_run() {
+        let cluster = Cluster::new(config(2, RoutingPolicy::LeastLoaded));
+        let trace = trace(24, 2);
+        let plain = cluster.run(&trace);
+        let faulted = cluster.run_with_faults(&trace, &[], &FaultPlan::none());
+        assert_eq!(plain.to_json().to_compact(), faulted.to_json().to_compact());
+        assert_eq!(plain.events_digest(), faulted.events_digest());
+        assert!(faulted.faults.retries.is_empty());
+        assert!((faulted.availability() - (1.0 - faulted.shed_rate())).abs() < 1e-12);
+    }
+
+    #[test]
+    fn crash_fails_over_the_open_batch_and_conserves_every_request() {
+        use crate::faults::FaultEvent;
+        // Dense arrivals on 2 shards; shard 0 crashes mid-trace and recovers later. The
+        // open batch at the crash tick fails over; everything still ends answered or shed.
+        let mut cfg = config(2, RoutingPolicy::LeastLoaded);
+        cfg.queue_cap = 64;
+        let cluster = Cluster::new(cfg);
+        let trace = trace(32, 3);
+        let faults = FaultPlan::new(vec![
+            FaultEvent::ShardDown { tick: 20, shard: 0 },
+            FaultEvent::ShardUp { tick: 400, shard: 0 },
+        ]);
+        let plan = cluster.plan_with_faults(&trace, &[], &faults);
+        let report = cluster.run_with_faults(&trace, &[], &faults);
+        assert_eq!(report.answered() + report.sheds.len(), report.submitted());
+        assert_eq!(plan.outcomes, report.outcomes);
+        assert_eq!(plan.latencies, report.latencies);
+        assert_eq!(plan.makespan_ticks, report.makespan_ticks);
+        assert_eq!(plan.faults, report.faults);
+        assert!(!report.faults.retries.is_empty(), "the crash must evict an open batch");
+        for retry in &report.faults.retries {
+            assert_eq!(retry.failed_tick, 20);
+            assert_eq!(retry.shard, Some(0));
+            assert_eq!(
+                retry.retry_tick,
+                20 + faults.retry.backoff_ticks(retry.attempt),
+                "backoff is exact in the tick domain"
+            );
+        }
+        // A retried request that was answered completed at or after its retry tick.
+        for retry in &report.faults.retries {
+            let i = trace.iter().position(|r| r.id == retry.request).unwrap();
+            if let RequestOutcome::Answered { end_tick, .. } = report.outcomes[i] {
+                assert!(end_tick >= retry.retry_tick, "no answer before the failover retry");
+            }
+        }
+        assert!(report.availability() == 1.0, "with capacity to spare, nothing is lost");
+    }
+
+    #[test]
+    fn exhausted_retry_budget_sheds_with_typed_reasons() {
+        use crate::faults::{FaultEvent, RetryPolicy};
+        // Both shards stay down across the whole trace with a zero retry budget: every
+        // submission finds no live shard and sheds ShardUnavailable at its arrival tick.
+        let cluster = Cluster::new(config(2, RoutingPolicy::RoundRobin));
+        let trace = trace(8, 4);
+        let faults = FaultPlan::new(vec![
+            FaultEvent::ShardDown { tick: 0, shard: 0 },
+            FaultEvent::ShardDown { tick: 0, shard: 1 },
+        ])
+        .with_retry(RetryPolicy {
+            base_backoff_ticks: 16,
+            max_backoff_ticks: 64,
+            max_retries: 0,
+        });
+        let report = cluster.run_with_faults(&trace, &[], &faults);
+        assert_eq!(report.answered(), 0);
+        assert_eq!(report.sheds.len(), 8);
+        for (shed, request) in report.sheds.iter().zip(&trace) {
+            assert_eq!(shed.reason, ShedReason::ShardUnavailable);
+            assert_eq!(shed.tick, request.arrival_tick);
+            assert_eq!(shed.shard, 0, "no shard to cite: 0 by convention");
+        }
+        assert_eq!(report.availability(), 0.0);
+    }
+
+    #[test]
+    fn slow_shard_stretches_its_batches_and_diverts_load() {
+        use crate::faults::FaultEvent;
+        let cluster = Cluster::new(config(2, RoutingPolicy::LeastLoaded));
+        let trace = trace(40, 24);
+        let faults = FaultPlan::new(vec![FaultEvent::SlowShard {
+            shard: 1,
+            from_tick: 0,
+            until_tick: u64::MAX,
+            multiplier: 6,
+        }]);
+        let healthy = cluster.run(&trace);
+        let report = cluster.run_with_faults(&trace, &[], &faults);
+        assert!(report.makespan_ticks > healthy.makespan_ticks);
+        for batch in &report.shard_reports[1].batches {
+            assert_eq!((batch.end_tick - batch.start_tick) % 6, 0, "shard 1 runs 6x slow");
+        }
+        // Least-loaded routing sees the stretched backlog and diverts work to shard 0: the
+        // slow shard answers less, and the overflow sheds cite the healthy shard's queue.
+        assert!(
+            report.shard_reports[1].responses.len() < healthy.shard_reports[1].responses.len(),
+            "the slow shard must absorb less load"
+        );
+        assert!(!report.sheds.is_empty());
+        assert!(
+            report.sheds.iter().all(|s| s.shard == 0 && s.reason == ShedReason::QueueFull),
+            "diverted overflow lands on the healthy shard's bounded queue"
+        );
+        assert_eq!(report.answered() + report.sheds.len(), report.submitted());
+    }
+
+    #[test]
+    fn degradation_ladder_trades_samples_for_availability() {
+        use crate::faults::{DegradeLadder, DegradeLevel};
+        // One slow-ish shard, bursty oversubscription: without the ladder the queue cap
+        // sheds; with it, requests degrade to fewer samples / the analytic backend first.
+        let mut cfg = config(1, RoutingPolicy::LeastLoaded);
+        cfg.queue_cap = 12;
+        let cluster = Cluster::new(cfg);
+        let dense = trace(40, 1);
+        let ladder = DegradeLadder {
+            reduced_samples: 1,
+            reduce_watermark: 2,
+            moment_watermark: 5,
+            shed_watermark: 64,
+        };
+        let without = cluster.run_with_faults(&dense, &[], &FaultPlan::none());
+        let with = cluster.run_with_faults(&dense, &[], &FaultPlan::none().with_ladder(ladder));
+        assert!(!with.faults.degrades.is_empty(), "pressure must move the ladder");
+        let (normal, reduced, moment) = with.degrade_occupancy();
+        assert!(reduced + moment > 0, "some requests must serve degraded");
+        assert_eq!(normal + reduced + moment, with.answered());
+        assert!(
+            with.availability() >= without.availability(),
+            "degrading quality must not lose more requests than full-quality serving"
+        );
+        // Analytic answers are marked: samples == 0.
+        for (i, level) in with.faults.levels.iter().enumerate() {
+            if *level == DegradeLevel::Moment {
+                if let Some(response) = &with.responses[i] {
+                    assert_eq!(response.samples, 0, "moment-degraded answers are analytic");
+                }
+            }
+        }
+        // Transitions reconstruct the per-request levels: both serialize deterministically.
+        assert_eq!(with.fault_events_digest(), {
+            let again =
+                cluster.run_with_faults(&dense, &[], &FaultPlan::none().with_ladder(ladder));
+            again.fault_events_digest()
+        });
+    }
+
+    #[test]
+    fn overload_ladder_rung_sheds_with_typed_reason() {
+        use crate::faults::DegradeLadder;
+        let mut cfg = config(1, RoutingPolicy::LeastLoaded);
+        cfg.queue_cap = 1000;
+        let cluster = Cluster::new(cfg);
+        let dense = trace(48, 1);
+        let ladder = DegradeLadder {
+            reduced_samples: 1,
+            reduce_watermark: 1,
+            moment_watermark: 2,
+            shed_watermark: 3,
+        };
+        let report = cluster.run_with_faults(&dense, &[], &FaultPlan::none().with_ladder(ladder));
+        assert!(
+            report.sheds.iter().any(|s| s.reason == ShedReason::Overload),
+            "a shed watermark this low must trip the top rung"
+        );
+        assert_eq!(report.answered() + report.sheds.len(), report.submitted());
+    }
+
+    #[test]
+    fn corrupt_checkpoint_cancels_the_swap_and_keeps_the_prior_version() {
+        use crate::faults::FaultEvent;
+        let cluster = Cluster::new(config(2, RoutingPolicy::LeastLoaded));
+        let trace = trace(32, 2);
+        let swaps = vec![ShardSwap {
+            shard: 1,
+            swap: VersionSwap { at_tick: 80, source: ModelSource::Spec(ModelSpec::mlp(77)) },
+        }];
+        let faults = FaultPlan::new(vec![FaultEvent::CorruptCheckpoint { tick: 80, shard: 1 }]);
+        let swapped = cluster.run_with_swaps(&trace, &swaps);
+        let report = cluster.run_with_faults(&trace, &swaps, &faults);
+        assert_eq!(
+            report.faults.checkpoint_faults,
+            vec![crate::faults::CheckpointFaultEvent { tick: 80, shard: 1, cancelled_swaps: 1 }]
+        );
+        assert!(
+            report.shard_reports[1].batches.iter().all(|b| b.version == 0),
+            "the corrupt version must never activate"
+        );
+        assert_ne!(
+            swapped.responses_digest(),
+            report.responses_digest(),
+            "the cancelled swap visibly changes post-boundary answers"
+        );
+        // And the same run without the corruption matches a swap-free run byte for byte.
+        let unswapped = cluster.run(&trace);
+        assert_eq!(unswapped.responses_digest(), report.responses_digest());
+    }
+
+    #[test]
+    fn faulted_reports_are_worker_invariant() {
+        use crate::faults::{DegradeLadder, FaultEvent};
+        let trace = trace(32, 2);
+        let faults = FaultPlan::new(vec![
+            FaultEvent::ShardDown { tick: 30, shard: 0 },
+            FaultEvent::SlowShard { shard: 1, from_tick: 50, until_tick: 500, multiplier: 3 },
+            FaultEvent::ShardUp { tick: 600, shard: 0 },
+        ])
+        .with_ladder(DegradeLadder {
+            reduced_samples: 1,
+            reduce_watermark: 3,
+            moment_watermark: 6,
+            shed_watermark: 12,
+        });
+        let mut reports = Vec::new();
+        for workers in [1, 4] {
+            let mut cfg = config(2, RoutingPolicy::LeastLoaded);
+            cfg.workers_per_shard = workers;
+            reports.push(Cluster::new(cfg).run_with_faults(&trace, &[], &faults));
+        }
+        assert_eq!(reports[0].to_json().to_compact(), reports[1].to_json().to_compact());
+        assert_eq!(reports[0].fault_events_digest(), reports[1].fault_events_digest());
+        assert_eq!(reports[0].responses_digest(), reports[1].responses_digest());
     }
 
     #[test]

@@ -73,6 +73,33 @@ pub struct VersionSwap {
     pub source: ModelSource,
 }
 
+/// A fault-injected slow window on the simulated device: a batch whose service *starts*
+/// inside `[from_tick, until_tick)` takes `multiplier ×` its normal service time. The
+/// multiplier is sampled once, at the start tick — a batch starting just before the window
+/// ends runs slow end to end, mirroring how a thermal-throttled device finishes the work it
+/// started. Windows come from [`crate::faults::FaultEvent::SlowShard`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Slowdown {
+    /// First tick of the slow window (inclusive).
+    pub from_tick: u64,
+    /// End of the slow window (exclusive).
+    pub until_tick: u64,
+    /// Service-time multiplier (≥ 1).
+    pub multiplier: u64,
+}
+
+/// The service-time multiplier in effect for a batch starting at `start_tick`: the maximum
+/// over every slow window containing it, `1` outside all windows (overlapping faults don't
+/// stack multiplicatively — the worst one dominates, keeping grid scenarios composable).
+pub(crate) fn slow_multiplier(slowdowns: &[Slowdown], start_tick: u64) -> u64 {
+    slowdowns
+        .iter()
+        .filter(|s| s.from_tick <= start_tick && start_tick < s.until_tick)
+        .map(|s| s.multiplier)
+        .max()
+        .unwrap_or(1)
+}
+
 /// The result of one engine run over a request trace.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ServeRunReport {
@@ -316,6 +343,25 @@ impl InferenceEngine {
         requests: &[InferRequest],
         swaps: &[VersionSwap],
     ) -> ServeRunReport {
+        self.run_with_slowdowns(requests, swaps, &[])
+    }
+
+    /// [`InferenceEngine::run_with_swaps`] under fault-injected [`Slowdown`] windows:
+    /// batches whose service starts inside a window take `multiplier ×` their normal service
+    /// time (the multiplier is decided at the start tick; overlapping windows take the max).
+    /// Responses are untouched — a slow device answers late, not differently — so only batch
+    /// timing, latencies and the makespan move. With empty `slowdowns` this *is*
+    /// `run_with_swaps`.
+    ///
+    /// # Panics
+    ///
+    /// Panics under the same conditions as [`InferenceEngine::run_with_swaps`].
+    pub fn run_with_slowdowns(
+        &self,
+        requests: &[InferRequest],
+        swaps: &[VersionSwap],
+        slowdowns: &[Slowdown],
+    ) -> ServeRunReport {
         for pair in swaps.windows(2) {
             assert!(pair[0].at_tick <= pair[1].at_tick, "swap schedule must be sorted by at_tick");
         }
@@ -343,9 +389,15 @@ impl InferenceEngine {
                 + plan
                     .requests
                     .iter()
-                    .map(|&i| service_cost(self.mode, epsilon_counts[version], requests[i].samples))
+                    .map(|&i| {
+                        request_service_cost(
+                            self.mode,
+                            epsilon_counts[version],
+                            requests[i].samples,
+                        )
+                    })
                     .sum::<u64>();
-            let end_tick = start_tick + service;
+            let end_tick = start_tick + slow_multiplier(slowdowns, start_tick) * service;
             device_free = end_tick;
             for &i in &plan.requests {
                 latencies[i] = end_tick - requests[i].arrival_tick;
@@ -421,6 +473,22 @@ pub(crate) fn service_cost(mode: ServeMode, epsilon_per_sample: usize, samples: 
     }
 }
 
+/// [`service_cost`] with the graceful-degradation sentinel: in a Monte-Carlo engine,
+/// `samples == 0` marks a request the degradation ladder downgraded to the single-pass
+/// analytic backend, so it is priced (and executed — see [`ServeReplica::answer_into`]) at
+/// moment cost. Every other `(mode, samples)` pair prices exactly as before.
+pub(crate) fn request_service_cost(
+    mode: ServeMode,
+    epsilon_per_sample: usize,
+    samples: usize,
+) -> u64 {
+    if mode == ServeMode::MonteCarlo && samples == 0 {
+        service_cost(ServeMode::Moment, epsilon_per_sample, 0)
+    } else {
+        service_cost(mode, epsilon_per_sample, samples)
+    }
+}
+
 /// One worker's serving backend state, per [`ServeMode`]: a sampled-forward network replica
 /// with its reusable ε sources, or a compiled analytic moment network (which needs none).
 enum ReplicaBackend {
@@ -432,6 +500,10 @@ enum ReplicaBackend {
         /// One forward-only source per Monte-Carlo sample, grown to the largest `S` seen and
         /// reseeded in place for every request.
         sources: Vec<Box<dyn EpsilonSource>>,
+        /// The analytic twin of `network`, compiled lazily the first time a
+        /// graceful-degradation request (`samples == 0`) reaches this replica. Deterministic
+        /// in the posterior, so laziness cannot leak into response bytes.
+        moment: Option<MomentNetwork>,
     },
     /// One analytic `(mean, variance)` pass per request; no ε, no RNG.
     Moment { network: MomentNetwork },
@@ -451,9 +523,11 @@ impl std::fmt::Debug for ServeReplica {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         let mut s = f.debug_struct("ServeReplica");
         match &self.backend {
-            ReplicaBackend::MonteCarlo { network, sources } => {
-                s.field("mode", &"mc").field("network", network).field("sources", &sources.len())
-            }
+            ReplicaBackend::MonteCarlo { network, sources, moment } => s
+                .field("mode", &"mc")
+                .field("network", network)
+                .field("sources", &sources.len())
+                .field("moment_compiled", &moment.is_some()),
             ReplicaBackend::Moment { network } => {
                 s.field("mode", &"moment").field("network", network)
             }
@@ -504,7 +578,7 @@ impl ServeReplica {
             ServeMode::MonteCarlo => {
                 let mut network = source.build();
                 network.set_kernel(kernel);
-                ReplicaBackend::MonteCarlo { network, sources: Vec::new() }
+                ReplicaBackend::MonteCarlo { network, sources: Vec::new(), moment: None }
             }
             ServeMode::Moment => ReplicaBackend::Moment { network: source.build_moment() },
         };
@@ -531,19 +605,32 @@ impl ServeReplica {
     /// Computes one response into `response`, reusing its buffers. Monte-Carlo: `S` forward
     /// passes with seed-regenerated ε, aggregated into mean / variance / entropy. Moment:
     /// one analytic pass — the request's `samples` and ε seed are ignored and the response
-    /// reports `samples = 0` to mark itself analytic. Pure in (replica parameters, request)
-    /// — bit-identical on every worker, whatever was served before. After the replica has
-    /// warmed up (largest `S` seen, buffer shapes), this performs zero heap allocations per
-    /// request (asserted by `crates/bench`'s allocation test).
+    /// reports `samples = 0` to mark itself analytic. A Monte-Carlo replica given a
+    /// `samples == 0` request — the graceful-degradation sentinel set by the cluster's
+    /// [`DegradeLadder`](crate::faults::DegradeLadder) — answers analytically too, from a
+    /// moment network compiled lazily (once per replica) off the same frozen posterior.
+    /// Pure in (replica parameters, request) — bit-identical on every worker, whatever was
+    /// served before. After the replica has warmed up (largest `S` seen, buffer shapes,
+    /// moment compilation if exercised), this performs zero heap allocations per request
+    /// (asserted by `crates/bench`'s allocation test).
     ///
     /// # Panics
     ///
-    /// Panics if a Monte-Carlo request asks for zero samples, or the request's input shape
-    /// mismatches the model.
+    /// Panics if the request's input shape mismatches the model.
     pub fn answer_into(&mut self, request: &InferRequest, response: &mut InferResponse) {
         match &mut self.backend {
-            ReplicaBackend::MonteCarlo { network, sources } => {
-                assert!(request.samples >= 1, "request {} asks for zero samples", request.id);
+            ReplicaBackend::MonteCarlo { network, sources, moment } => {
+                if request.samples == 0 {
+                    let moment = moment.get_or_insert_with(|| {
+                        MomentNetwork::from_network(network)
+                            .expect("a servable posterior always compiles to a moment network")
+                    });
+                    moment
+                        .predictive_into(&request.input, &mut self.predictive)
+                        .expect("request input shape matches the served model");
+                    finish_response(&self.predictive, request, response);
+                    return;
+                }
                 while sources.len() < request.samples {
                     sources.push(Box::new(
                         LfsrForward::new(0)
@@ -570,14 +657,19 @@ impl ServeReplica {
                     .expect("request input shape matches the served model");
             }
         }
-        response.id = request.id;
-        response.samples = self.predictive.samples;
-        response.mean.clear();
-        response.mean.extend_from_slice(self.predictive.mean.data());
-        response.variance.clear();
-        response.variance.extend_from_slice(self.predictive.variance.data());
-        response.entropy = self.predictive.entropy;
+        finish_response(&self.predictive, request, response);
     }
+}
+
+/// Copies a computed predictive into the response's reused buffers.
+fn finish_response(predictive: &Predictive, request: &InferRequest, response: &mut InferResponse) {
+    response.id = request.id;
+    response.samples = predictive.samples;
+    response.mean.clear();
+    response.mean.extend_from_slice(predictive.mean.data());
+    response.variance.clear();
+    response.variance.extend_from_slice(predictive.variance.data());
+    response.entropy = predictive.entropy;
 }
 
 #[cfg(test)]
@@ -670,6 +762,69 @@ mod tests {
         let mut trace_b = trace_a.clone();
         trace_b[0].seed ^= 1;
         assert_ne!(a.responses_digest(), engine.run(&trace_b).responses_digest());
+    }
+
+    #[test]
+    fn slow_multiplier_takes_the_max_overlapping_window() {
+        let windows = [
+            Slowdown { from_tick: 10, until_tick: 20, multiplier: 2 },
+            Slowdown { from_tick: 15, until_tick: 30, multiplier: 5 },
+        ];
+        assert_eq!(slow_multiplier(&windows, 9), 1, "before every window");
+        assert_eq!(slow_multiplier(&windows, 10), 2, "from_tick is inclusive");
+        assert_eq!(slow_multiplier(&windows, 17), 5, "overlap takes the max");
+        assert_eq!(slow_multiplier(&windows, 20), 5, "until_tick is exclusive");
+        assert_eq!(slow_multiplier(&windows, 30), 1, "after every window");
+    }
+
+    #[test]
+    fn slowdown_windows_stretch_timing_but_not_bytes() {
+        let spec = ModelSpec::mlp(5);
+        let engine =
+            InferenceEngine::new(spec.clone(), BatchPolicy { max_batch: 2, max_wait_ticks: 4 }, 1);
+        let trace = small_trace(&spec);
+        let healthy = engine.run(&trace);
+        let slow = engine.run_with_slowdowns(
+            &trace,
+            &[],
+            &[Slowdown { from_tick: 0, until_tick: u64::MAX, multiplier: 3 }],
+        );
+        assert!(slow.makespan_ticks > healthy.makespan_ticks);
+        for (batch, healthy_batch) in slow.batches.iter().zip(&healthy.batches) {
+            assert_eq!(
+                batch.end_tick - batch.start_tick,
+                3 * (healthy_batch.end_tick - healthy_batch.start_tick),
+                "every batch starts inside the window, so service stretches exactly 3x"
+            );
+        }
+        assert_eq!(slow.responses_digest(), healthy.responses_digest(), "late, not different");
+    }
+
+    #[test]
+    fn zero_sample_requests_answer_analytically_in_a_monte_carlo_replica() {
+        let spec = ModelSpec::mlp(5);
+        let source = ModelSource::Spec(spec.clone());
+        let mut mc = ServeReplica::from_source(&source);
+        let mut moment = ServeReplica::from_source_with_mode(&source, ServeMode::Moment);
+        let mut request = small_trace(&spec).remove(0);
+        request.samples = 0;
+        let mut degraded = InferResponse {
+            id: 0,
+            samples: 9,
+            mean: Vec::new(),
+            variance: Vec::new(),
+            entropy: 0.0,
+        };
+        let mut analytic = degraded.clone();
+        mc.answer_into(&request, &mut degraded);
+        moment.answer_into(&request, &mut analytic);
+        assert_eq!(degraded, analytic, "the sentinel routes to the same analytic pass");
+        assert_eq!(degraded.samples, 0, "the answer is marked analytic");
+        // Degraded pricing matches the moment backend's two weight-wide passes.
+        assert_eq!(
+            request_service_cost(ServeMode::MonteCarlo, 5088, 0),
+            service_cost(ServeMode::Moment, 5088, 0),
+        );
     }
 
     #[test]

@@ -28,6 +28,11 @@
 //!   router, N bounded-queue replica shards, admission control / load shedding,
 //!   uncertainty-aware two-tier escalation and queue-depth-driven autoscaling — whose
 //!   reports serialize byte-identically at any shard × worker count.
+//! * [`faults`] injects deterministic failures into the cluster: a [`FaultPlan`] schedules
+//!   shard crashes/recoveries, slow devices and corrupt checkpoints at exact ticks; the
+//!   router reacts with tick-domain failover retries and a backlog-pressure degradation
+//!   ladder (full `S` → reduced `S` → single-pass moment → shed), and every reaction is a
+//!   typed, digest-pinned event.
 //!
 //! # Example
 //!
@@ -51,6 +56,7 @@ pub mod batcher;
 pub mod builder;
 pub mod cluster;
 pub mod engine;
+pub mod faults;
 pub mod request;
 pub mod spec;
 pub mod stats;
@@ -62,7 +68,11 @@ pub use cluster::{
     AutoscalePolicy, Cluster, ClusterConfig, ClusterPlan, ClusterRunReport, EscalationEvent,
     RequestOutcome, RoutingPolicy, ScaleEvent, ShardSwap, ShedEvent, ShedReason,
 };
-pub use engine::{InferenceEngine, ServeReplica, ServeRunReport, VersionSwap};
+pub use engine::{InferenceEngine, ServeReplica, ServeRunReport, Slowdown, VersionSwap};
+pub use faults::{
+    CheckpointFaultEvent, DegradeEvent, DegradeLadder, DegradeLevel, FaultEvent, FaultPlan,
+    FaultTrace, RetryEvent, RetryPolicy,
+};
 pub use request::{mix_seed, InferRequest, InferResponse};
 pub use spec::{CheckpointReplica, ModelSource, ModelSpec, ServeMode};
 pub use stats::latency_percentile;

@@ -80,6 +80,14 @@ pub enum StoreError {
         /// The offending name.
         name: String,
     },
+    /// Every published version of the model failed validation — there is nothing to fall
+    /// back to (see `ModelRegistry::load_latest_valid`).
+    NoValidVersion {
+        /// The requested model name.
+        name: String,
+        /// The versions tried, newest first, all of which failed to decode.
+        tried: Vec<u32>,
+    },
 }
 
 impl fmt::Display for StoreError {
@@ -117,6 +125,9 @@ impl fmt::Display for StoreError {
             }
             StoreError::InvalidName { name } => {
                 write!(f, "invalid model name {name:?} (use 1-64 ASCII letters, digits, '-', '_')")
+            }
+            StoreError::NoValidVersion { name, tried } => {
+                write!(f, "model {name:?} has no valid version (tried, newest first: {tried:?})")
             }
         }
     }
@@ -160,6 +171,7 @@ mod tests {
             (StoreError::UnknownModel { name: "m".into() }, "no model"),
             (StoreError::UnknownVersion { name: "m".into(), version: 2 }, "version 2"),
             (StoreError::InvalidName { name: "a/b".into() }, "invalid model name"),
+            (StoreError::NoValidVersion { name: "m".into(), tried: vec![2, 1] }, "no valid"),
             (StoreError::Train("boom".into()), "boom"),
         ];
         for (error, needle) in cases {

@@ -57,6 +57,23 @@ fn parse_version(file_name: &str) -> Option<u32> {
     (version_file(version) == file_name).then_some(version)
 }
 
+/// True for errors that mean "these bytes are not a valid checkpoint" — the corruption
+/// class [`ModelRegistry::load_latest_valid`] falls back past — as opposed to environmental
+/// failures (I/O, bad names) that trying an older version cannot fix.
+fn is_corruption(error: &StoreError) -> bool {
+    matches!(
+        error,
+        StoreError::BadMagic
+            | StoreError::UnsupportedVersion { .. }
+            | StoreError::Truncated { .. }
+            | StoreError::TrailingBytes { .. }
+            | StoreError::ChecksumMismatch { .. }
+            | StoreError::Malformed { .. }
+            | StoreError::Lfsr(_)
+            | StoreError::Shape(_)
+    )
+}
+
 fn valid_name(name: &str) -> bool {
     !name.is_empty()
         && name.len() <= 64
@@ -223,9 +240,47 @@ impl ModelRegistry {
         Ok((version, self.load(name, version)?))
     }
 
+    /// Loads the newest version of a model **that validates**, skipping corrupted or
+    /// truncated files from the top down.
+    ///
+    /// This is the serving-path loader: a publisher crash, a torn disk, or a bad deploy can
+    /// leave the *newest* version unreadable, and a server restarting into that state must
+    /// come back up on the last good posterior rather than crash-loop. Returns the loaded
+    /// version, its checkpoint, and the versions skipped (newest first) so callers can emit
+    /// a typed fallback event. A version that vanishes between the listing and the read
+    /// (a concurrent cleaner) is treated like corruption and skipped.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::UnknownModel`] when no version has been published at all;
+    /// [`StoreError::NoValidVersion`] when every published version fails validation
+    /// (nothing to fall back to); I/O errors other than not-found propagate — fallback
+    /// cannot fix an unreadable disk.
+    pub fn load_latest_valid(&self, name: &str) -> Result<(u32, Checkpoint, Vec<u32>), StoreError> {
+        let versions = self.versions(name)?;
+        if versions.is_empty() {
+            return Err(StoreError::UnknownModel { name: name.to_string() });
+        }
+        let mut skipped = Vec::new();
+        for &version in versions.iter().rev() {
+            match self.load(name, version) {
+                Ok(checkpoint) => return Ok((version, checkpoint, skipped)),
+                Err(e) if is_corruption(&e) => skipped.push(version),
+                Err(StoreError::UnknownVersion { .. }) => skipped.push(version),
+                Err(e) => return Err(e),
+            }
+        }
+        Err(StoreError::NoValidVersion { name: name.to_string(), tried: skipped })
+    }
+
     /// Loads a version (or the latest, for `None`) as a serving [`ModelSource`], labelled
     /// `"<name>@v<version>"` — ready for `InferenceEngine::from_source` or a
     /// `VersionSwap`. `input_shape` is the request shape the served model expects.
+    ///
+    /// The `None` (latest) path goes through [`ModelRegistry::load_latest_valid`]: a corrupt
+    /// newest version falls back to the last good one instead of failing the server. An
+    /// explicit version is loaded exactly as asked — callers pinning a version want its
+    /// corruption surfaced, not papered over.
     ///
     /// # Errors
     ///
@@ -239,7 +294,10 @@ impl ModelRegistry {
     ) -> Result<(u32, ModelSource), StoreError> {
         let (version, checkpoint) = match version {
             Some(v) => (v, self.load(name, v)?),
-            None => self.load_latest(name)?,
+            None => {
+                let (version, checkpoint, _skipped) = self.load_latest_valid(name)?;
+                (version, checkpoint)
+            }
         };
         let replica =
             CheckpointReplica::new(format!("{name}@v{version}"), checkpoint.network, input_shape)?;
@@ -263,6 +321,73 @@ mod tests {
         assert_eq!(parse_version("v.ckpt"), None);
         assert_eq!(parse_version("vx2.ckpt"), None);
         assert_eq!(parse_version("v2.json"), None);
+    }
+
+    /// A fresh registry root in the system temp dir, cleaned before use so reruns start
+    /// from nothing.
+    fn scratch_root(label: &str) -> PathBuf {
+        let root = std::env::temp_dir().join(format!("bnn-store-registry-{label}"));
+        let _ = fs::remove_dir_all(&root);
+        root
+    }
+
+    fn posterior() -> Checkpoint {
+        use bnn_train::variational::BayesConfig;
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let mut rng = StdRng::seed_from_u64(91);
+        let network = bnn_train::Network::bayes_mlp(4, &[3], 2, BayesConfig::default(), &mut rng);
+        Checkpoint::posterior(&network)
+    }
+
+    #[test]
+    fn corrupt_newest_version_falls_back_to_the_last_valid_one() {
+        let registry = ModelRegistry::open(scratch_root("fallback")).unwrap();
+        let checkpoint = posterior();
+        let v1 = registry.publish("m", &checkpoint).unwrap();
+        let v2 = registry.publish("m", &checkpoint).unwrap();
+        let v3 = registry.publish("m", &checkpoint).unwrap();
+
+        // Truncate v3 (torn write) and bit-flip v2's payload (at-rest corruption).
+        let p3 = registry.checkpoint_path("m", v3).unwrap();
+        let bytes = fs::read(&p3).unwrap();
+        fs::write(&p3, &bytes[..bytes.len() / 2]).unwrap();
+        let p2 = registry.checkpoint_path("m", v2).unwrap();
+        let mut bytes = fs::read(&p2).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0xff;
+        fs::write(&p2, bytes).unwrap();
+
+        let (version, loaded, skipped) = registry.load_latest_valid("m").unwrap();
+        assert_eq!(version, v1);
+        assert_eq!(skipped, vec![v3, v2], "skips are reported newest first");
+        assert_eq!(loaded.digest(), checkpoint.digest());
+
+        // The serving path inherits the fallback: latest == the last valid version.
+        let (served, _) = registry.serve_source("m", None, vec![4]).unwrap();
+        assert_eq!(served, v1);
+        // But pinning the corrupt version explicitly surfaces its corruption.
+        assert!(registry.serve_source("m", Some(v3), vec![4]).is_err());
+    }
+
+    #[test]
+    fn all_versions_corrupt_is_a_typed_error_not_a_panic() {
+        let registry = ModelRegistry::open(scratch_root("no-valid")).unwrap();
+        let v1 = registry.publish("m", &posterior()).unwrap();
+        let path = registry.checkpoint_path("m", v1).unwrap();
+        fs::write(&path, b"garbage").unwrap();
+        match registry.load_latest_valid("m") {
+            Err(StoreError::NoValidVersion { name, tried }) => {
+                assert_eq!(name, "m");
+                assert_eq!(tried, vec![v1]);
+            }
+            other => panic!("expected NoValidVersion, got {other:?}"),
+        }
+        // And an unpublished model is still the distinct UnknownModel error.
+        assert!(matches!(
+            registry.load_latest_valid("ghost"),
+            Err(StoreError::UnknownModel { .. })
+        ));
     }
 
     #[test]

@@ -98,6 +98,19 @@ impl KernelTier {
     pub fn parse(label: &str) -> Option<KernelTier> {
         KernelTier::ALL.into_iter().find(|t| t.label() == label)
     }
+
+    /// Resolves a `SHIFT_BNN_KERNEL_TIER` setting to a tier.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an unrecognized value, naming every valid spelling — a typo'd CI matrix
+    /// leg must fail loudly rather than silently re-test the default tier.
+    pub fn from_env_value(value: &str) -> KernelTier {
+        KernelTier::parse(value).unwrap_or_else(|| {
+            let valid: Vec<&str> = KernelTier::ALL.iter().map(|t| t.label()).collect();
+            panic!("unknown SHIFT_BNN_KERNEL_TIER {value:?}; valid tiers are: {}", valid.join(", "))
+        })
+    }
 }
 
 impl Default for KernelTier {
@@ -106,13 +119,13 @@ impl Default for KernelTier {
     ///
     /// # Panics
     ///
-    /// Panics on an unrecognized `SHIFT_BNN_KERNEL_TIER` value — a typo'd CI leg must fail
-    /// loudly rather than silently re-test the default tier.
+    /// Panics on an unrecognized `SHIFT_BNN_KERNEL_TIER` value (see
+    /// [`KernelTier::from_env_value`]) — a typo'd CI leg must fail loudly rather than
+    /// silently re-test the default tier.
     fn default() -> Self {
         static FORCED: OnceLock<KernelTier> = OnceLock::new();
         *FORCED.get_or_init(|| match std::env::var("SHIFT_BNN_KERNEL_TIER") {
-            Ok(v) => KernelTier::parse(&v)
-                .unwrap_or_else(|| panic!("unknown SHIFT_BNN_KERNEL_TIER {v:?}")),
+            Ok(v) => KernelTier::from_env_value(&v),
             Err(_) => KernelTier::Simd,
         })
     }

@@ -224,6 +224,26 @@ fn default_tier_is_bit_exact_or_explicitly_forced() {
     }
 }
 
+/// A typo'd `SHIFT_BNN_KERNEL_TIER` fails loudly and the panic names every valid spelling —
+/// a silent fallback would re-test the default tier while CI believes it covered another.
+#[test]
+fn unknown_env_tier_fails_loudly_listing_the_valid_tiers() {
+    for tier in KernelTier::ALL {
+        assert_eq!(KernelTier::from_env_value(tier.label()), tier);
+    }
+    let panic = std::panic::catch_unwind(|| KernelTier::from_env_value("smid"))
+        .expect_err("a typo must panic, not fall back");
+    let message = panic
+        .downcast_ref::<String>()
+        .cloned()
+        .or_else(|| panic.downcast_ref::<&str>().map(|s| s.to_string()))
+        .expect("panic payload is a message");
+    assert!(message.contains("smid"), "names the offending value: {message}");
+    for tier in KernelTier::ALL {
+        assert!(message.contains(tier.label()), "lists {:?}: {message}", tier.label());
+    }
+}
+
 /// Labels round-trip through `parse` — the env-var spelling can't drift from the enum.
 #[test]
 fn tier_labels_round_trip() {

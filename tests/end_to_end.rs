@@ -5,8 +5,8 @@
 use bnn_models::workload::ModelVolume;
 use bnn_models::ModelKind;
 use bnn_serve::{
-    BatchPolicy, Cluster, ClusterConfig, InferenceEngine, RequestOutcome, RoutingPolicy, ServeMode,
-    ShardSwap, VersionSwap, WorkloadSpec,
+    BatchPolicy, Cluster, ClusterConfig, FaultEvent, FaultPlan, InferenceEngine, RequestOutcome,
+    RetryPolicy, RoutingPolicy, ServeMode, ShardSwap, VersionSwap, WorkloadSpec,
 };
 use bnn_store::{Checkpoint, ModelRegistry};
 use bnn_train::data::SyntheticDataset;
@@ -193,6 +193,80 @@ fn cluster_serves_registry_versions_across_a_hot_swap() {
         report.shard_reports[1].to_json().to_pretty(),
         "cluster shard 1 diverged from a standalone hot-swapped engine"
     );
+}
+
+/// The robustness chain end to end: train → publish v1 and v2, corrupt v2's bytes on disk,
+/// and the registry's fallback serves v1 instead of failing; a 2-shard cluster built on
+/// that fallback then rides out a mid-trace crash/recovery cycle with zero lost answers —
+/// every evicted request is retried onto the surviving shard and answered.
+#[test]
+fn corrupt_checkpoint_falls_back_and_the_cluster_rides_out_a_crash() {
+    const INPUT: [usize; 3] = [1, 8, 8];
+
+    // Train v1, publish, keep training, publish v2 — then corrupt v2 at rest (bit-flip in
+    // the middle of the payload, past the header so the checksum is what catches it).
+    let dataset = SyntheticDataset::generate(&INPUT, 3, 4, 0.2, 31);
+    let mut rng = StdRng::seed_from_u64(67);
+    let network = Network::bayes_lenet(&INPUT, 3, BayesConfig::default(), &mut rng);
+    let mut trainer = Trainer::new(
+        network,
+        TrainerConfig { samples: 2, learning_rate: 0.05, ..TrainerConfig::default() },
+    )
+    .unwrap();
+    trainer.train_epoch(&dataset).unwrap();
+    let root = std::path::Path::new("target/tmp/end_to_end-chaos-registry");
+    let _ = std::fs::remove_dir_all(root);
+    let registry = ModelRegistry::open(root).unwrap();
+    let v1_checkpoint = Checkpoint::from_trainer(&trainer);
+    let v1 = registry.publish("blenet", &v1_checkpoint).unwrap();
+    trainer.train_epoch(&dataset).unwrap();
+    let v2 = registry.publish("blenet", &Checkpoint::from_trainer(&trainer)).unwrap();
+    let v2_path = registry.checkpoint_path("blenet", v2).unwrap();
+    let mut bytes = std::fs::read(&v2_path).unwrap();
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0xff;
+    std::fs::write(&v2_path, bytes).unwrap();
+
+    // The registry skips the corrupt newest version and lands on v1 — and the un-pinned
+    // serving path inherits exactly that fallback.
+    let (version, loaded, skipped) = registry.load_latest_valid("blenet").unwrap();
+    assert_eq!(version, v1);
+    assert_eq!(skipped, vec![v2]);
+    assert_eq!(loaded.digest(), v1_checkpoint.digest());
+    let (served, source) = registry.serve_source("blenet", None, INPUT.to_vec()).unwrap();
+    assert_eq!(served, v1, "serving must fall back to the last valid version");
+
+    // Serve through a 2-shard cluster that loses shard 0 mid-trace and recovers it later.
+    // The roomy queue and generous retry budget make downtime the only threat: the gate is
+    // zero lost answers.
+    let trace = WorkloadSpec::uniform(18, 4, 3, 77).generate_for_shape(&INPUT);
+    let cluster = Cluster::new(ClusterConfig {
+        source,
+        mode: ServeMode::MonteCarlo,
+        shards: 2,
+        workers_per_shard: 2,
+        batch: BatchPolicy { max_batch: 3, max_wait_ticks: 6 },
+        queue_cap: 64,
+        deadline_ticks: None,
+        routing: RoutingPolicy::LeastLoaded,
+        autoscale: None,
+    });
+    let faults = FaultPlan::new(vec![
+        FaultEvent::ShardDown { tick: 20, shard: 0 },
+        FaultEvent::ShardUp { tick: 48, shard: 0 },
+    ])
+    .with_retry(RetryPolicy { base_backoff_ticks: 8, max_backoff_ticks: 64, max_retries: 4 });
+    let report = cluster.run_with_faults(&trace, &[], &faults);
+    assert!(report.sheds.is_empty(), "a crash with retries and a roomy queue loses nothing");
+    assert_eq!(report.answered(), report.submitted());
+    assert!((report.availability() - 1.0).abs() < 1e-12);
+    assert!(
+        !report.faults.retries.is_empty(),
+        "the crash at tick 20 must evict an open batch into failover"
+    );
+    for event in &report.faults.retries {
+        assert_eq!(event.shard, Some(0), "only the crashed shard evicts");
+    }
 }
 
 /// Full-model coverage: the four designs produce internally consistent reports (per-layer
