@@ -5,9 +5,12 @@
 //! 1. the packed im2col+GEMM convolution kernels against the retained reference loop nests
 //!    (per geometry × direction, asserting bit-identical outputs as it goes);
 //! 2. word-parallel ε generation against the bit-serial LFSR walk;
-//! 3. the steady-state allocation counts of a full training iteration and a served request,
-//!    measured **at the allocator** via the binary's counting `#[global_allocator]` — both
-//!    must be zero after warmup, and the run fails otherwise.
+//! 3. a traced engine run against the identical untraced run (responses asserted
+//!    byte-identical) — the `obs_overhead` ratio gated by `bench_regression`;
+//! 4. the steady-state allocation counts of a full training iteration, a served request and
+//!    a *traced* served request (serving plus recorder writes), measured **at the
+//!    allocator** via the binary's counting `#[global_allocator]` — all must be zero after
+//!    warmup, and the run fails otherwise.
 //!
 //! Outputs: a human table on stdout, the full timing report to `--out` (machine-dependent,
 //! a CI artifact), and the deterministic summary (digests + allocation counts, no timings)
@@ -21,8 +24,8 @@ use bnn_tensor::KernelTier;
 use shift_bnn_bench::alloc::CountingAlloc;
 use shift_bnn_bench::hot::{
     full_json, geometric_mean, run_epsilon_bench, run_fused_serve_bench, run_kernel_benches,
-    run_tier_benches, summary_json, EpsilonBench, KernelBench, ServeProbe, TierBench,
-    TrainingProbe,
+    run_obs_overhead_bench, run_tier_benches, summary_json, EpsilonBench, KernelBench, ServeProbe,
+    TierBench, TracedServeProbe, TrainingProbe,
 };
 use shift_bnn_bench::print_table;
 
@@ -86,6 +89,7 @@ fn main() {
     let kernels = run_kernel_benches(args.reps);
     let tiers = run_tier_benches(args.reps);
     let fused = run_fused_serve_bench(args.reps, 16);
+    let obs = run_obs_overhead_bench(args.reps, 48);
     let epsilon = run_epsilon_bench(args.reps, 16 * 1024);
 
     // Allocation probes: warm two iterations (arena growth, Vec capacity), then measure.
@@ -93,6 +97,8 @@ fn main() {
     let train_allocs = steady_allocs(2, 4, || training.run(1));
     let mut serving = ServeProbe::new();
     let serve_allocs = steady_allocs(2, 4, || serving.run(1));
+    let mut traced = TracedServeProbe::new();
+    let traced_allocs = steady_allocs(2, 4, || traced.run(4));
 
     let rows: Vec<Vec<String>> = kernels
         .iter()
@@ -154,12 +160,22 @@ fn main() {
         e.digest
     );
     println!(
+        "traced serving ({} requests, {} events): untraced {:.1} µs, traced {:.1} µs \
+         ({:.3}x, responses byte-identical)",
+        obs.requests,
+        obs.events,
+        obs.untraced_ns / 1e3,
+        obs.traced_ns / 1e3,
+        obs.overhead(),
+    );
+    println!(
         "steady-state allocations: {train_allocs} per training iteration, \
-         {serve_allocs} per served request"
+         {serve_allocs} per served request, {traced_allocs} per traced request"
     );
 
     assert_eq!(train_allocs, 0, "steady-state training iteration must not allocate");
     assert_eq!(serve_allocs, 0, "steady-state served request must not allocate");
+    assert_eq!(traced_allocs, 0, "steady-state traced request must not allocate");
     if args.min_speedup > 0.0 {
         assert!(
             geomean >= args.min_speedup,
@@ -169,12 +185,21 @@ fn main() {
     }
 
     if let Some(path) = &args.out {
-        let doc = full_json(&kernels, &tiers, &fused, &epsilon, train_allocs, serve_allocs);
+        let doc = full_json(
+            &kernels,
+            &tiers,
+            &fused,
+            &obs,
+            &epsilon,
+            train_allocs,
+            serve_allocs,
+            traced_allocs,
+        );
         std::fs::write(path, doc.to_pretty() + "\n").expect("write full report");
         println!("wrote {path}");
     }
     if let Some(path) = &args.summary {
-        let doc = summary_json(&kernels, &epsilon, train_allocs, serve_allocs);
+        let doc = summary_json(&kernels, &epsilon, train_allocs, serve_allocs, traced_allocs);
         std::fs::write(path, doc.to_pretty() + "\n").expect("write summary");
         println!("wrote {path}");
     }

@@ -17,7 +17,11 @@
 //! `BENCH_hot.json` artifact and the printed table, never in the committed summary.
 
 use bnn_lfsr::{Grng, GrngMode};
-use bnn_serve::{EngineSpec, InferRequest, InferResponse, ModelSpec, ServeReplica};
+use bnn_obs::{Event, Recorder, TraceRecorder};
+use bnn_serve::{
+    BatchPolicy, EngineSpec, InferRequest, InferResponse, InferenceEngine, ModelSpec, ServeReplica,
+    WorkloadSpec,
+};
 use bnn_tensor::conv::{reference, ConvGeometry};
 use bnn_tensor::kernels::{
     conv2d_backward_input_into, conv2d_backward_weights_into, conv2d_forward_into,
@@ -561,6 +565,131 @@ impl Default for MomentProbe {
     }
 }
 
+/// A steady-state *traced*-serving workload: the [`ServeProbe`] request loop with the
+/// enabled recorder's per-request event sequence (admit → batch-close → dispatch →
+/// compute-done → answer) recorded into a pre-sized [`TraceRecorder`]. Used by the
+/// allocation-counting test to prove at the allocator that the recording path itself —
+/// `record()` into warmed capacity — adds **zero** heap allocations to the steady state.
+pub struct TracedServeProbe {
+    replica: ServeReplica,
+    request: InferRequest,
+    response: InferResponse,
+    recorder: TraceRecorder,
+}
+
+impl TracedServeProbe {
+    /// Events recorded per served request (the full admit-to-answer stage sequence).
+    pub const EVENTS_PER_REQUEST: usize = 5;
+
+    /// Builds the probe over the B-LeNet serving proxy with a recorder pre-sized for any
+    /// steady-state window the probe is asked to run (capacity is never grown afterwards).
+    pub fn new() -> TracedServeProbe {
+        let spec = ModelSpec::lenet(7);
+        let replica = ServeReplica::new(&spec);
+        let request = InferRequest {
+            id: 0,
+            arrival_tick: 0,
+            input: fill_tensor(0xFEED, spec.input_shape()),
+            samples: 8,
+            seed: 1,
+        };
+        let response = InferResponse {
+            id: 0,
+            samples: 0,
+            mean: Vec::new(),
+            variance: Vec::new(),
+            entropy: 0.0,
+        };
+        TracedServeProbe { replica, request, response, recorder: TraceRecorder::with_capacity(512) }
+    }
+
+    /// Serves `n` requests, recording the five-stage event sequence around each answer. The
+    /// recorder is cleared first — `clear` keeps capacity, so a warmed probe records
+    /// without touching the allocator (for windows up to `512 / EVENTS_PER_REQUEST`
+    /// requests).
+    pub fn run(&mut self, n: usize) {
+        self.recorder.clear();
+        for i in 0..n {
+            let (id, tick) = (i as u64, i as u64 * 8);
+            self.request.seed = 1 + i as u64;
+            self.recorder.record(Event::Admit { request: id, tick, shard: 0, queue_depth: 1 });
+            self.recorder.record(Event::BatchClose { request: id, shard: 0, tick: tick + 1 });
+            self.recorder.record(Event::Dispatch { request: id, shard: 0, tick: tick + 2 });
+            self.replica.answer_into(&self.request, &mut self.response);
+            self.recorder.record(Event::ComputeDone { request: id, shard: 0, tick: tick + 5 });
+            self.recorder.record(Event::Answer { request: id, tick: tick + 5 });
+        }
+    }
+
+    /// Events recorded by the last [`run`](Self::run) window.
+    pub fn events_recorded(&self) -> usize {
+        self.recorder.len()
+    }
+
+    /// The last response's entropy (read back so the optimizer cannot elide the work).
+    pub fn last_entropy(&self) -> f32 {
+        self.response.entropy
+    }
+}
+
+impl Default for TracedServeProbe {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Timing of a traced engine run against the identical untraced run (the observability
+/// overhead arm): one single-worker B-LeNet engine over a uniform trace, responses asserted
+/// byte-identical tracing-on vs tracing-off before either is timed.
+#[derive(Debug, Clone)]
+pub struct ObsOverheadBench {
+    /// Requests per engine run.
+    pub requests: usize,
+    /// Events the traced run records.
+    pub events: usize,
+    /// Untraced `InferenceEngine::run`, nanoseconds per run.
+    pub untraced_ns: f64,
+    /// Traced `InferenceEngine::run_traced` into a warmed recorder, nanoseconds per run.
+    pub traced_ns: f64,
+    /// FNV-1a digest of the (identical) response document.
+    pub digest: String,
+}
+
+impl ObsOverheadBench {
+    /// untraced / traced wall-clock ratio — the `obs_overhead` gate: ≥ 0.95 means the
+    /// enabled recorder costs at most ~5% of an engine run.
+    pub fn overhead(&self) -> f64 {
+        self.untraced_ns / self.traced_ns
+    }
+}
+
+/// Benchmarks a traced engine run against the untraced run over `requests` B-LeNet
+/// Monte-Carlo requests.
+///
+/// # Panics
+///
+/// Panics if the traced and untraced responses are not byte-identical.
+pub fn run_obs_overhead_bench(reps: usize, requests: usize) -> ObsOverheadBench {
+    let spec = ModelSpec::lenet(7);
+    let trace = WorkloadSpec::uniform(requests, 8, 4, 13).generate(&spec);
+    let engine = InferenceEngine::new(spec, BatchPolicy { max_batch: 8, max_wait_ticks: 16 }, 1);
+    let untraced = engine.run(&trace);
+    let mut recorder = TraceRecorder::new();
+    let traced = engine.run_traced(&trace, &[], &mut recorder);
+    assert_eq!(
+        untraced.responses_json(),
+        traced.responses_json(),
+        "responses must be byte-identical tracing-on vs tracing-off"
+    );
+    let events = recorder.len();
+    let untraced_ns = best_of(reps, || engine.run(&trace));
+    let traced_ns = best_of(reps, || {
+        recorder.clear();
+        engine.run_traced(&trace, &[], &mut recorder)
+    });
+    ObsOverheadBench { requests, events, untraced_ns, traced_ns, digest: traced.responses_digest() }
+}
+
 /// Builds the **deterministic** summary document committed as `BENCH_hot_summary.json` and
 /// gated by `bench_regression`: kernel output digests, the ε stream digest, and the measured
 /// steady-state allocation counts (which must be zero) — no wall-clock values.
@@ -569,6 +698,7 @@ pub fn summary_json(
     epsilon: &EpsilonBench,
     train_allocs: u64,
     serve_allocs: u64,
+    traced_allocs: u64,
 ) -> Json {
     Json::obj([
         (
@@ -598,6 +728,7 @@ pub fn summary_json(
             Json::obj([
                 ("per_training_iteration", Json::UInt(train_allocs)),
                 ("per_served_request", Json::UInt(serve_allocs)),
+                ("per_traced_request", Json::UInt(traced_allocs)),
             ]),
         ),
     ])
@@ -607,13 +738,16 @@ pub fn summary_json(
 /// speedups and the geometric mean alongside everything in the summary, plus PR 8's
 /// per-tier GEMM arms, the fused-serving arm and the named `speedups` object gated by
 /// `bench_regression --min-speedup`.
+#[allow(clippy::too_many_arguments)]
 pub fn full_json(
     kernels: &[KernelBench],
     tiers: &[TierBench],
     fused: &FusedServeBench,
+    obs: &ObsOverheadBench,
     epsilon: &EpsilonBench,
     train_allocs: u64,
     serve_allocs: u64,
+    traced_allocs: u64,
 ) -> Json {
     let speedups: Vec<f64> = kernels.iter().map(KernelBench::speedup).collect();
     let simd: Vec<f64> = tiers.iter().map(TierBench::simd_speedup).collect();
@@ -675,10 +809,22 @@ pub fn full_json(
             ]),
         ),
         (
+            "obs_serving",
+            Json::obj([
+                ("requests", Json::UInt(obs.requests as u64)),
+                ("events", Json::UInt(obs.events as u64)),
+                ("untraced_ns", Json::Float(obs.untraced_ns)),
+                ("traced_ns", Json::Float(obs.traced_ns)),
+                ("overhead", Json::Float(obs.overhead())),
+                ("digest", Json::Str(obs.digest.clone())),
+            ]),
+        ),
+        (
             "speedups",
             Json::obj([
                 ("simd_gemm", Json::Float(geometric_mean(&simd))),
                 ("fused_sampling", Json::Float(fused.speedup())),
+                ("obs_overhead", Json::Float(obs.overhead())),
             ]),
         ),
         (
@@ -696,6 +842,7 @@ pub fn full_json(
             Json::obj([
                 ("per_training_iteration", Json::UInt(train_allocs)),
                 ("per_served_request", Json::UInt(serve_allocs)),
+                ("per_traced_request", Json::UInt(traced_allocs)),
             ]),
         ),
     ])
@@ -741,11 +888,33 @@ mod tests {
         let kernels = run_kernel_benches(1);
         let tiers = run_tier_benches(1);
         let fused = run_fused_serve_bench(1, 4);
+        let obs = run_obs_overhead_bench(1, 8);
         let epsilon = run_epsilon_bench(1, 128);
-        let doc = full_json(&kernels, &tiers, &fused, &epsilon, 0, 0).to_compact();
+        let doc = full_json(&kernels, &tiers, &fused, &obs, &epsilon, 0, 0, 0).to_compact();
         assert!(doc.contains("\"speedups\""));
         assert!(doc.contains("\"simd_gemm\""));
         assert!(doc.contains("\"fused_sampling\""));
+        assert!(doc.contains("\"obs_overhead\""));
+    }
+
+    #[test]
+    fn obs_overhead_bench_pins_byte_identity_before_timing() {
+        let obs = run_obs_overhead_bench(1, 8);
+        assert_eq!(obs.requests, 8);
+        assert!(obs.events > 0, "the traced run must record events");
+        assert_eq!(obs.digest.len(), 16);
+        assert!(obs.untraced_ns > 0.0 && obs.traced_ns > 0.0);
+    }
+
+    #[test]
+    fn traced_probe_records_the_full_stage_sequence() {
+        let mut probe = TracedServeProbe::new();
+        probe.run(3);
+        assert_eq!(probe.events_recorded(), 3 * TracedServeProbe::EVENTS_PER_REQUEST);
+        assert!(probe.last_entropy() >= 0.0);
+        // Re-running clears and re-records — the window, not the history, is bounded.
+        probe.run(2);
+        assert_eq!(probe.events_recorded(), 2 * TracedServeProbe::EVENTS_PER_REQUEST);
     }
 
     #[test]
@@ -778,10 +947,10 @@ mod tests {
     fn summary_json_is_deterministic_and_timing_free() {
         let kernels = run_kernel_benches(1);
         let epsilon = run_epsilon_bench(1, 128);
-        let a = summary_json(&kernels, &epsilon, 0, 0).to_compact();
+        let a = summary_json(&kernels, &epsilon, 0, 0, 0).to_compact();
         let kernels2 = run_kernel_benches(2);
         let epsilon2 = run_epsilon_bench(2, 128);
-        let b = summary_json(&kernels2, &epsilon2, 0, 0).to_compact();
+        let b = summary_json(&kernels2, &epsilon2, 0, 0, 0).to_compact();
         assert_eq!(a, b, "summary must not depend on timings or rep counts");
         assert!(!a.contains("_ns"), "summary must not embed wall-clock fields");
     }

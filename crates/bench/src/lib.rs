@@ -10,7 +10,8 @@
 //! deterministic summary live in [`serve_views`], the cluster-serving benchmark (routing ×
 //! arrival grid plus the plan-only stress arm) in [`cluster_views`], the fault-injection
 //! chaos benchmark (fault scenarios × arrivals with failover and the degradation ladder)
-//! in [`chaos_views`], the checkpoint-store
+//! in [`chaos_views`], the traced-replay observability benchmark (span
+//! assembly, stage attribution, metrics digests) in [`obs_views`], the checkpoint-store
 //! benchmark (train → publish → serve → hot-swap) in [`store_views`], and the numeric-tree
 //! comparison behind the CI bench-regression gate in [`regression`].
 
@@ -22,6 +23,7 @@ pub mod chaos_views;
 pub mod cluster_views;
 pub mod hot;
 pub mod moment_views;
+pub mod obs_views;
 pub mod regression;
 pub mod serve_views;
 pub mod store_views;

@@ -9,7 +9,7 @@
 //! inside a measured zero-allocation window.
 
 use shift_bnn_bench::alloc::CountingAlloc;
-use shift_bnn_bench::hot::{MomentProbe, ServeProbe, TrainingProbe};
+use shift_bnn_bench::hot::{MomentProbe, ServeProbe, TracedServeProbe, TrainingProbe};
 use std::sync::Mutex;
 
 #[global_allocator]
@@ -55,6 +55,20 @@ fn steady_state_moment_request_allocates_nothing() {
     let (allocs, deallocs) = measure(|| probe.run(5));
     assert_eq!(allocs, 0, "analytic requests allocated in the steady state");
     assert_eq!(deallocs, 0, "analytic requests freed buffers instead of recycling them");
+    assert!(probe.last_entropy() >= 0.0);
+}
+
+#[test]
+fn steady_state_traced_request_allocates_nothing() {
+    let _guard = COUNTER_LOCK.lock().unwrap();
+    // The enabled recorder's recording path: serving plus five `record()` calls per request
+    // into warmed capacity must stay invisible to the allocator.
+    let mut probe = TracedServeProbe::new();
+    probe.run(5);
+    let (allocs, deallocs) = measure(|| probe.run(5));
+    assert_eq!(allocs, 0, "traced requests allocated in the steady state");
+    assert_eq!(deallocs, 0, "traced requests freed buffers instead of recycling them");
+    assert_eq!(probe.events_recorded(), 5 * TracedServeProbe::EVENTS_PER_REQUEST);
     assert!(probe.last_entropy() >= 0.0);
 }
 

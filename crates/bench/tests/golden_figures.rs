@@ -22,6 +22,7 @@ use shift_bnn::sweep::{paper_sweep, SweepPrecision, SweepReport};
 use shift_bnn_bench::chaos_views::{chaos_summary_json, run_chaos_grid};
 use shift_bnn_bench::cluster_views::{cluster_summary_json, run_cluster_grid, run_cluster_stress};
 use shift_bnn_bench::moment_views::{moment_summary_json, run_moment_grid};
+use shift_bnn_bench::obs_views::{obs_summary_json, run_obs_grid};
 use shift_bnn_bench::regression;
 use shift_bnn_bench::serve_views::{run_serve_grid, serve_summary_json};
 use shift_bnn_bench::views;
@@ -261,6 +262,15 @@ fn golden_chaos_summary_matches_committed() {
     assert_matches_baseline("BENCH_chaos_summary.json", &fresh);
 }
 
+fn golden_obs_summary_matches_committed() {
+    // Recompute the full traced-replay grid. The run itself asserts the tracing contract
+    // (byte-identical responses tracing-on vs -off, exact 100% stage attribution); this
+    // golden then pins every digest and attribution percentile against the committed
+    // baseline — drift means the recorder changed what the cluster does or sees.
+    let fresh = obs_summary_json(&run_obs_grid(false, 2), false);
+    assert_matches_baseline("BENCH_obs_summary.json", &fresh);
+}
+
 // ---------------------------------------------------------------------------------------------
 // Training-based goldens (slow; only with `-- --include-golden`)
 // ---------------------------------------------------------------------------------------------
@@ -317,6 +327,7 @@ fn main() {
         ("moment_summary_matches_committed", golden_moment_summary_matches_committed),
         ("cluster_summary_matches_committed", golden_cluster_summary_matches_committed),
         ("chaos_summary_matches_committed", golden_chaos_summary_matches_committed),
+        ("obs_summary_matches_committed", golden_obs_summary_matches_committed),
     ];
     let heavy: &[(&str, fn())] = &[
         ("fig09_bit_identical_training", golden_fig09_bit_identical_training),

@@ -166,6 +166,7 @@ impl Grng {
         self.current_sum = self.current_sum + u32::from(entering) - u32::from(leaving);
         debug_assert_eq!(self.current_sum, self.lfsr.popcount());
         self.outstanding += 1;
+        crate::profile::record_epsilon(1);
         self.current_epsilon()
     }
 
@@ -211,6 +212,7 @@ impl Grng {
                 self.current_sum = sum;
                 debug_assert_eq!(self.current_sum, self.lfsr.popcount());
                 self.outstanding += 64;
+                crate::profile::record_epsilon(64);
                 i += 64;
             }
         }

@@ -48,6 +48,7 @@ pub mod gaussian;
 mod grng;
 #[allow(clippy::module_inception)]
 mod lfsr;
+pub mod profile;
 pub mod taps;
 
 pub use bank::GrngBank;

@@ -1,0 +1,38 @@
+//! Thread-local ε-generation counter: how many ε values this thread's GRNGs have emitted.
+//!
+//! A single `Cell<u64>` in thread-local storage — bumping it is one register-width store, so
+//! the hook stays compiled into release builds on the serving hot path. The counter is per
+//! thread by design: a deterministic profiled replay runs its replica on one thread and
+//! brackets each request with [`epsilon_values`] snapshots (presentation lives downstream in
+//! `bnn-obs`). Word-parallel batches count their full 64 values; skipped-over values
+//! ([`crate::Grng::skip_forward`]) are deliberately *not* counted — nothing was emitted.
+
+use std::cell::Cell;
+
+thread_local! {
+    static EPSILON_VALUES: Cell<u64> = const { Cell::new(0) };
+}
+
+/// Records `count` ε values emitted by a forward GRNG walk.
+#[inline]
+pub fn record_epsilon(count: u64) {
+    EPSILON_VALUES.with(|c| c.set(c.get() + count));
+}
+
+/// This thread's cumulative emitted-ε count.
+pub fn epsilon_values() -> u64 {
+    EPSILON_VALUES.with(|c| c.get())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_accumulates() {
+        let before = epsilon_values();
+        record_epsilon(64);
+        record_epsilon(3);
+        assert_eq!(epsilon_values() - before, 67);
+    }
+}

@@ -1,0 +1,38 @@
+//! Deterministic tick-domain observability for the Shift-BNN serving stack.
+//!
+//! Three layers, all of them pure functions of simulated ticks — no wall-clock read ever
+//! happens on a recorded path, so traces, metrics and profiles are byte-identical across
+//! machines, worker counts and shard layouts:
+//!
+//! 1. **Structured request tracing** ([`event`], [`recorder`], [`span`]) — the serving
+//!    stack's routing loop and engines are generic over a [`Recorder`] that receives one
+//!    tick-stamped [`Event`] per stage transition (admit → queue → batch-close → dispatch →
+//!    compute → retry/escalate/degrade → answer-or-shed). The [`NullRecorder`] compiles the
+//!    whole path away; [`assemble_traces`] rebuilds per-request span trees and attributes
+//!    100% of every answered request's end-to-end latency to named stages.
+//! 2. **Metrics registry** ([`metrics`]) — counters, gauges and fixed-bucket tick
+//!    histograms with deterministic merge order, exported as `sweep::json` and as a
+//!    Prometheus-style text exposition.
+//! 3. **Profiling hooks** ([`profile`]) — per-kernel-tier GEMM MAC/call counters, ε-word
+//!    generation counts and scratch high-water marks, snapshot around a request via
+//!    [`ProfileSnapshot`].
+//!
+//! [`export`] is the single serialization path for decision events: the serving crate's
+//! committed shed/escalation/scale and fault-trace digests are produced here, byte-for-byte
+//! in the historical layouts.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod event;
+pub mod export;
+pub mod metrics;
+pub mod profile;
+pub mod recorder;
+pub mod span;
+
+pub use event::Event;
+pub use metrics::{Registry, TickHistogram, HISTOGRAM_BUCKETS};
+pub use profile::{ProfileSnapshot, TIER_LABELS};
+pub use recorder::{NullRecorder, Recorder, TraceRecorder};
+pub use span::{assemble_traces, percentile, RequestTrace, SpanNode, StageBreakdown, STAGES};

@@ -1,0 +1,481 @@
+//! A deterministic metrics registry: counters, gauges, and fixed-bucket tick histograms.
+//!
+//! Everything here is ordinary integer state keyed by `BTreeMap`, so iteration, export and
+//! [`Registry::merge`] are deterministic by construction — merging per-shard registries in
+//! shard order yields the same bytes on every machine and at every worker count. Metric
+//! names carry Prometheus-style labels inline (`sheds_total{reason="queue_full"}`), which
+//! both exporters understand: [`Registry::to_json`] emits a `sweep::json` document and
+//! [`Registry::to_prometheus`] a text exposition.
+//!
+//! Histograms use fixed power-of-two bucket bounds (`1, 2, 4, …, 2^20, +Inf` ticks), so two
+//! histograms always merge bucket-for-bucket and the committed summaries never depend on a
+//! run-derived bucket layout.
+
+use std::collections::BTreeMap;
+
+use shift_bnn::sweep::json::Json;
+
+use crate::event::Event;
+use crate::span::RequestTrace;
+
+/// Number of histogram buckets: upper bounds `2^0 .. 2^20` plus the `+Inf` overflow.
+pub const HISTOGRAM_BUCKETS: usize = 22;
+
+/// A fixed-bucket latency histogram over tick values.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TickHistogram {
+    buckets: [u64; HISTOGRAM_BUCKETS],
+    count: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+}
+
+impl Default for TickHistogram {
+    fn default() -> TickHistogram {
+        TickHistogram::new()
+    }
+}
+
+impl TickHistogram {
+    /// An empty histogram.
+    pub fn new() -> TickHistogram {
+        TickHistogram { buckets: [0; HISTOGRAM_BUCKETS], count: 0, sum: 0, min: 0, max: 0 }
+    }
+
+    fn bucket_index(value: u64) -> usize {
+        if value <= 1 {
+            0
+        } else {
+            (64 - (value - 1).leading_zeros() as usize).min(HISTOGRAM_BUCKETS - 1)
+        }
+    }
+
+    /// The inclusive upper bound of bucket `index`, `None` for the `+Inf` bucket.
+    pub fn bucket_bound(index: usize) -> Option<u64> {
+        if index + 1 < HISTOGRAM_BUCKETS {
+            Some(1u64 << index)
+        } else {
+            None
+        }
+    }
+
+    /// Records one tick value.
+    pub fn observe(&mut self, value: u64) {
+        self.buckets[TickHistogram::bucket_index(value)] += 1;
+        if self.count == 0 || value < self.min {
+            self.min = value;
+        }
+        if value > self.max {
+            self.max = value;
+        }
+        self.count += 1;
+        self.sum += value;
+    }
+
+    /// Adds another histogram bucket-for-bucket (bounds are fixed, so this is exact).
+    pub fn merge(&mut self, other: &TickHistogram) {
+        if other.count == 0 {
+            return;
+        }
+        for (mine, theirs) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *mine += *theirs;
+        }
+        if self.count == 0 || other.min < self.min {
+            self.min = other.min;
+        }
+        if other.max > self.max {
+            self.max = other.max;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+    }
+
+    /// Observation count.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of observed values.
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Smallest observed value (0 when empty).
+    pub fn min(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest observed value (0 when empty).
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Per-bucket (non-cumulative) counts.
+    pub fn bucket_counts(&self) -> &[u64; HISTOGRAM_BUCKETS] {
+        &self.buckets
+    }
+
+    fn to_json(&self) -> Json {
+        let mut buckets = Vec::new();
+        for (i, &count) in self.buckets.iter().enumerate() {
+            if count == 0 {
+                continue;
+            }
+            let le = match TickHistogram::bucket_bound(i) {
+                Some(bound) => Json::UInt(bound),
+                None => Json::Str("+Inf".to_string()),
+            };
+            buckets.push(Json::obj([("le", le), ("count", Json::UInt(count))]));
+        }
+        Json::obj([
+            ("count", Json::UInt(self.count)),
+            ("sum", Json::UInt(self.sum)),
+            ("min", Json::UInt(self.min())),
+            ("max", Json::UInt(self.max)),
+            ("buckets", Json::Array(buckets)),
+        ])
+    }
+}
+
+/// The registry: named counters, gauges and [`TickHistogram`]s.
+///
+/// Names may carry inline labels — `sheds_total{reason="queue_full"}` — which the
+/// Prometheus exposition splits back into label sets.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Registry {
+    counters: BTreeMap<String, u64>,
+    gauges: BTreeMap<String, u64>,
+    histograms: BTreeMap<String, TickHistogram>,
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Registry {
+        Registry::default()
+    }
+
+    /// Adds `by` to counter `name` (creating it at zero).
+    pub fn inc(&mut self, name: &str, by: u64) {
+        *self.counters.entry(name.to_string()).or_insert(0) += by;
+    }
+
+    /// Sets gauge `name` to `value` (last write wins).
+    pub fn set_gauge(&mut self, name: &str, value: u64) {
+        self.gauges.insert(name.to_string(), value);
+    }
+
+    /// Raises gauge `name` to `value` if larger (high-water semantics).
+    pub fn gauge_max(&mut self, name: &str, value: u64) {
+        let slot = self.gauges.entry(name.to_string()).or_insert(0);
+        if value > *slot {
+            *slot = value;
+        }
+    }
+
+    /// Records `value` into histogram `name` (creating it empty).
+    pub fn observe(&mut self, name: &str, value: u64) {
+        self.histograms.entry(name.to_string()).or_default().observe(value);
+    }
+
+    /// Counter value (0 when absent).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Gauge value, if set.
+    pub fn gauge(&self, name: &str) -> Option<u64> {
+        self.gauges.get(name).copied()
+    }
+
+    /// Histogram by name, if any value was observed.
+    pub fn histogram(&self, name: &str) -> Option<&TickHistogram> {
+        self.histograms.get(name)
+    }
+
+    /// Folds another registry in: counters add, gauges take the maximum, histograms merge
+    /// bucket-for-bucket. Merging per-shard registries in shard order is deterministic and
+    /// order-insensitive for everything except gauge ties (max is commutative too, so the
+    /// result is in fact fully order-insensitive).
+    pub fn merge(&mut self, other: &Registry) {
+        for (name, value) in &other.counters {
+            *self.counters.entry(name.clone()).or_insert(0) += *value;
+        }
+        for (name, value) in &other.gauges {
+            let slot = self.gauges.entry(name.clone()).or_insert(0);
+            if *value > *slot {
+                *slot = *value;
+            }
+        }
+        for (name, histogram) in &other.histograms {
+            self.histograms.entry(name.clone()).or_default().merge(histogram);
+        }
+    }
+
+    /// Builds the event-derived metrics for one recorded stream: admission/terminal
+    /// counters by label, queue-depth and batch-occupancy histograms, fault and scaling
+    /// counters. Stage-latency histograms additionally need assembled traces — see
+    /// [`Registry::record_traces`].
+    pub fn from_events(events: &[Event]) -> Registry {
+        let mut reg = Registry::new();
+        for event in events {
+            match *event {
+                Event::Admit { queue_depth, .. } => {
+                    reg.inc("requests_admitted_total", 1);
+                    reg.observe("queue_depth", queue_depth as u64);
+                    reg.gauge_max("queue_depth_high_water", queue_depth as u64);
+                }
+                Event::BatchClose { .. } | Event::Dispatch { .. } | Event::ComputeDone { .. } => {}
+                Event::BatchSeal { members, .. } => {
+                    reg.inc("batches_sealed_total", 1);
+                    reg.observe("batch_occupancy", members as u64);
+                }
+                Event::Retry { attempt, .. } => {
+                    reg.inc("retries_total", 1);
+                    reg.gauge_max("retry_attempt_high_water", attempt as u64);
+                }
+                Event::Degrade { to, .. } => {
+                    reg.inc(&format!("degrades_total{{to=\"{to}\"}}"), 1);
+                }
+                Event::CheckpointFault { cancelled_swaps, .. } => {
+                    reg.inc("checkpoint_faults_total", 1);
+                    reg.inc("cancelled_swaps_total", cancelled_swaps as u64);
+                }
+                Event::Shed { reason, .. } => {
+                    reg.inc(&format!("sheds_total{{reason=\"{reason}\"}}"), 1);
+                }
+                Event::Escalation { admitted, .. } => {
+                    reg.inc(&format!("escalations_total{{admitted=\"{admitted}\"}}"), 1);
+                }
+                Event::Scale { active, .. } => {
+                    reg.inc("scale_events_total", 1);
+                    reg.set_gauge("active_shards", active as u64);
+                }
+                Event::Answer { .. } => {
+                    reg.inc("answers_total", 1);
+                }
+            }
+        }
+        reg
+    }
+
+    /// Records per-stage and end-to-end latency histograms from assembled traces
+    /// (`stage_ticks{stage="…"}` per named stage, `request_latency_ticks` for answered
+    /// requests).
+    pub fn record_traces(&mut self, traces: &[RequestTrace]) {
+        for trace in traces {
+            let b = &trace.breakdown;
+            if !b.answered {
+                continue;
+            }
+            self.observe("request_latency_ticks", b.total());
+            for (stage, ticks) in crate::span::STAGES.iter().zip(b.stage_ticks()) {
+                self.observe(&format!("stage_ticks{{stage=\"{stage}\"}}"), ticks);
+            }
+        }
+    }
+
+    /// The registry as a `sweep::json` document (names in sorted order, so the bytes are
+    /// deterministic).
+    pub fn to_json(&self) -> Json {
+        let counters = self.counters.iter().map(|(name, &value)| (name.clone(), Json::UInt(value)));
+        let gauges = self.gauges.iter().map(|(name, &value)| (name.clone(), Json::UInt(value)));
+        let histograms =
+            self.histograms.iter().map(|(name, histogram)| (name.clone(), histogram.to_json()));
+        Json::obj([
+            ("counters", Json::obj(counters.collect::<Vec<_>>())),
+            ("gauges", Json::obj(gauges.collect::<Vec<_>>())),
+            ("histograms", Json::obj(histograms.collect::<Vec<_>>())),
+        ])
+    }
+
+    /// The registry in Prometheus text exposition format (`# TYPE` per family, cumulative
+    /// `_bucket{le=…}` lines plus `_sum`/`_count` per histogram). Deterministic: families
+    /// appear in sorted-name order.
+    pub fn to_prometheus(&self) -> String {
+        let mut out = String::new();
+        let mut last_family = String::new();
+        let mut type_line = |out: &mut String, family: &str, kind: &str| {
+            if family != last_family {
+                out.push_str("# TYPE ");
+                out.push_str(family);
+                out.push(' ');
+                out.push_str(kind);
+                out.push('\n');
+                last_family = family.to_string();
+            }
+        };
+        for (name, value) in &self.counters {
+            let (family, _) = split_labels(name);
+            type_line(&mut out, family, "counter");
+            out.push_str(name);
+            out.push(' ');
+            out.push_str(&value.to_string());
+            out.push('\n');
+        }
+        for (name, value) in &self.gauges {
+            let (family, _) = split_labels(name);
+            type_line(&mut out, family, "gauge");
+            out.push_str(name);
+            out.push(' ');
+            out.push_str(&value.to_string());
+            out.push('\n');
+        }
+        for (name, histogram) in &self.histograms {
+            let (family, labels) = split_labels(name);
+            type_line(&mut out, family, "histogram");
+            let mut cumulative = 0u64;
+            for (i, &count) in histogram.buckets.iter().enumerate() {
+                cumulative += count;
+                if count == 0 && i + 1 < HISTOGRAM_BUCKETS {
+                    continue;
+                }
+                let le = match TickHistogram::bucket_bound(i) {
+                    Some(bound) => bound.to_string(),
+                    None => "+Inf".to_string(),
+                };
+                out.push_str(family);
+                out.push_str("_bucket{");
+                if !labels.is_empty() {
+                    out.push_str(labels);
+                    out.push(',');
+                }
+                out.push_str("le=\"");
+                out.push_str(&le);
+                out.push_str("\"} ");
+                out.push_str(&cumulative.to_string());
+                out.push('\n');
+            }
+            for (suffix, value) in [("_sum", histogram.sum), ("_count", histogram.count)] {
+                out.push_str(family);
+                out.push_str(suffix);
+                if !labels.is_empty() {
+                    out.push('{');
+                    out.push_str(labels);
+                    out.push('}');
+                }
+                out.push(' ');
+                out.push_str(&value.to_string());
+                out.push('\n');
+            }
+        }
+        out
+    }
+}
+
+/// Splits an inline-labeled name into `(family, labels)`:
+/// `sheds_total{reason="x"}` → `("sheds_total", "reason=\"x\"")`.
+fn split_labels(name: &str) -> (&str, &str) {
+    match name.find('{') {
+        Some(open) => (&name[..open], name[open + 1..].trim_end_matches('}')),
+        None => (name, ""),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_buckets_are_powers_of_two() {
+        let mut h = TickHistogram::new();
+        for v in [0u64, 1, 2, 3, 4, 5, 1 << 20, (1 << 20) + 1] {
+            h.observe(v);
+        }
+        assert_eq!(h.count(), 8);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), (1 << 20) + 1);
+        assert_eq!(h.bucket_counts()[0], 2, "0 and 1 share the first bucket");
+        assert_eq!(h.bucket_counts()[1], 1, "2 lands at le=2");
+        assert_eq!(h.bucket_counts()[2], 2, "3 and 4 land at le=4");
+        assert_eq!(h.bucket_counts()[3], 1, "5 lands at le=8");
+        assert_eq!(h.bucket_counts()[HISTOGRAM_BUCKETS - 1], 1, "overflow goes to +Inf");
+    }
+
+    #[test]
+    fn merge_is_exact_and_order_insensitive() {
+        let mut a = TickHistogram::new();
+        let mut b = TickHistogram::new();
+        for v in [1u64, 7, 130] {
+            a.observe(v);
+        }
+        for v in [2u64, 9] {
+            b.observe(v);
+        }
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        assert_eq!(ab, ba);
+        assert_eq!(ab.count(), 5);
+        assert_eq!(ab.sum(), 1 + 7 + 130 + 2 + 9);
+    }
+
+    #[test]
+    fn registry_from_events_counts_by_label() {
+        let events = [
+            Event::Admit { request: 0, tick: 0, shard: 0, queue_depth: 3 },
+            Event::Shed { request: 1, tick: 4, shard: 1, reason: "queue_full" },
+            Event::Shed { request: 2, tick: 5, shard: 1, reason: "queue_full" },
+            Event::Shed { request: 3, tick: 6, shard: 0, reason: "deadline" },
+            Event::Scale { tick: 8, active: 2 },
+            Event::Answer { request: 0, tick: 9 },
+        ];
+        let reg = Registry::from_events(&events);
+        assert_eq!(reg.counter("sheds_total{reason=\"queue_full\"}"), 2);
+        assert_eq!(reg.counter("sheds_total{reason=\"deadline\"}"), 1);
+        assert_eq!(reg.counter("answers_total"), 1);
+        assert_eq!(reg.gauge("active_shards"), Some(2));
+        assert_eq!(reg.histogram("queue_depth").unwrap().count(), 1);
+    }
+
+    #[test]
+    fn registry_merge_adds_counters_and_maxes_gauges() {
+        let mut a = Registry::new();
+        a.inc("x_total", 2);
+        a.set_gauge("hw", 5);
+        a.observe("lat", 10);
+        let mut b = Registry::new();
+        b.inc("x_total", 3);
+        b.set_gauge("hw", 9);
+        b.observe("lat", 20);
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        assert_eq!(ab, ba, "merge must be order-insensitive");
+        assert_eq!(ab.counter("x_total"), 5);
+        assert_eq!(ab.gauge("hw"), Some(9));
+        assert_eq!(ab.histogram("lat").unwrap().count(), 2);
+    }
+
+    #[test]
+    fn prometheus_exposition_has_families_and_cumulative_buckets() {
+        let mut reg = Registry::new();
+        reg.inc("sheds_total{reason=\"deadline\"}", 1);
+        reg.observe("stage_ticks{stage=\"queue\"}", 3);
+        reg.observe("stage_ticks{stage=\"queue\"}", 5);
+        let text = reg.to_prometheus();
+        assert!(text.contains("# TYPE sheds_total counter"));
+        assert!(text.contains("# TYPE stage_ticks histogram"));
+        assert!(text.contains("stage_ticks_bucket{stage=\"queue\",le=\"4\"} 1"));
+        assert!(text.contains("stage_ticks_bucket{stage=\"queue\",le=\"+Inf\"} 2"));
+        assert!(text.contains("stage_ticks_sum{stage=\"queue\"} 8"));
+        assert!(text.contains("stage_ticks_count{stage=\"queue\"} 2"));
+    }
+
+    #[test]
+    fn json_export_is_deterministic() {
+        let mut reg = Registry::new();
+        reg.inc("b_total", 1);
+        reg.inc("a_total", 1);
+        reg.observe("lat", 4);
+        let text = reg.to_json().to_compact();
+        assert!(text.find("a_total").unwrap() < text.find("b_total").unwrap());
+        assert!(text.contains("\"histograms\""));
+    }
+}

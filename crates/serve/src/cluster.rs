@@ -49,6 +49,7 @@ use crate::engine::{
 use crate::faults::{DegradeEvent, DegradeLevel, FaultPlan, FaultTimeline, FaultTrace, RetryEvent};
 use crate::request::{InferRequest, InferResponse};
 use crate::spec::{ModelSource, ServeMode};
+use bnn_obs::{export, Event, NullRecorder, Recorder};
 use shift_bnn::sweep::json::{fnv1a_hex, Json, ToJson};
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, VecDeque};
@@ -222,6 +223,19 @@ pub struct ShedEvent {
     pub reason: ShedReason,
 }
 
+impl ShedEvent {
+    /// The event in the observability vocabulary — what the recorder stream carries and the
+    /// report's serialization goes through.
+    pub fn to_event(&self) -> Event {
+        Event::Shed {
+            request: self.request,
+            tick: self.tick,
+            shard: self.shard,
+            reason: self.reason.label(),
+        }
+    }
+}
+
 /// One escalation decision of the two-tier policy: which request, the exact tick (its
 /// low-pass completion), and whether the high shard admitted it.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -235,6 +249,13 @@ pub struct EscalationEvent {
     pub admitted: bool,
 }
 
+impl EscalationEvent {
+    /// The event in the observability vocabulary.
+    pub fn to_event(&self) -> Event {
+        Event::Escalation { request: self.request, tick: self.tick, admitted: self.admitted }
+    }
+}
+
 /// One autoscaling decision: the epoch tick and the resulting active-shard count.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ScaleEvent {
@@ -242,6 +263,13 @@ pub struct ScaleEvent {
     pub tick: u64,
     /// Active shards after the decision.
     pub active: usize,
+}
+
+impl ScaleEvent {
+    /// The event in the observability vocabulary.
+    pub fn to_event(&self) -> Event {
+        Event::Scale { tick: self.tick, active: self.active }
+    }
 }
 
 /// What happened to one submitted request.
@@ -593,12 +621,18 @@ impl Cluster {
     ///
     /// Under [`FaultPlan::none`] the loop degenerates to exactly the pre-fault router:
     /// arrivals in trace order, epochs before each, no retries, every level `Normal`.
-    fn route(
+    ///
+    /// The recorder observes every decision the loop makes — admissions (with the queue
+    /// depth the admission control compared), sheds, retries, ladder transitions, scale
+    /// epochs — at the exact ticks the typed event lists carry. It is written to, never
+    /// read, so routing is byte-identical with any recorder.
+    fn route<R: Recorder>(
         &self,
         trace: &[InferRequest],
         swaps: &[Vec<VersionSwap>],
         faults: &FaultPlan,
         timeline: &FaultTimeline,
+        rec: &mut R,
     ) -> Routing {
         let routable = Cluster::routable(&self.config);
         let base_epsilon = self.config.source.epsilon_count();
@@ -687,16 +721,24 @@ impl Cluster {
                                 let retry_tick = tick + faults.retry.backoff_ticks(attempt);
                                 retry_heap.push(Reverse((retry_tick, retry_seq, i)));
                                 retry_seq += 1;
-                                retries.push(RetryEvent {
+                                let event = RetryEvent {
                                     request: trace[i].id,
                                     failed_tick: tick,
                                     retry_tick,
                                     shard: Some(shard),
                                     attempt,
-                                });
+                                };
+                                if R::ENABLED {
+                                    rec.record(event.to_event());
+                                }
+                                retries.push(event);
                             } else {
                                 let reason = ShedReason::RetryBudgetExhausted;
-                                sheds.push(ShedEvent { request: trace[i].id, tick, shard, reason });
+                                let event = ShedEvent { request: trace[i].id, tick, shard, reason };
+                                if R::ENABLED {
+                                    rec.record(event.to_event());
+                                }
+                                sheds.push(event);
                                 outcomes[i] = Some(RequestOutcome::Shed { tick, shard, reason });
                             }
                         }
@@ -710,9 +752,15 @@ impl Cluster {
                 let backlog: usize = sims[..active].iter_mut().map(|sim| sim.backlog(epoch)).sum();
                 if backlog > scale.high_watermark * active && active < routable {
                     active += 1;
+                    if R::ENABLED {
+                        rec.record(Event::Scale { tick: epoch, active });
+                    }
                     scale_events.push(ScaleEvent { tick: epoch, active });
                 } else if backlog < scale.low_watermark * active && active > scale.min_active {
                     active -= 1;
+                    if R::ENABLED {
+                        rec.record(Event::Scale { tick: epoch, active });
+                    }
                     scale_events.push(ScaleEvent { tick: epoch, active });
                 }
                 next_epoch = Some(epoch + scale.interval_ticks);
@@ -753,16 +801,24 @@ impl Cluster {
                     let retry_tick = t + faults.retry.backoff_ticks(attempt);
                     retry_heap.push(Reverse((retry_tick, retry_seq, i)));
                     retry_seq += 1;
-                    retries.push(RetryEvent {
+                    let event = RetryEvent {
                         request: request.id,
                         failed_tick: t,
                         retry_tick,
                         shard: None,
                         attempt,
-                    });
+                    };
+                    if R::ENABLED {
+                        rec.record(event.to_event());
+                    }
+                    retries.push(event);
                 } else {
                     let reason = ShedReason::ShardUnavailable;
-                    sheds.push(ShedEvent { request: request.id, tick: t, shard: 0, reason });
+                    let event = ShedEvent { request: request.id, tick: t, shard: 0, reason };
+                    if R::ENABLED {
+                        rec.record(event.to_event());
+                    }
+                    sheds.push(event);
                     outcomes[i] = Some(RequestOutcome::Shed { tick: t, shard: 0, reason });
                 }
                 continue;
@@ -776,12 +832,16 @@ impl Cluster {
                         (0..active).filter(|&s| up[s]).map(|s| sims[s].backlog(t)).sum();
                     let level = ladder.level_for(pressure, live);
                     if level != current_level {
-                        degrades.push(DegradeEvent {
+                        let event = DegradeEvent {
                             tick: t,
                             from: current_level,
                             to: level,
                             backlog: pressure,
-                        });
+                        };
+                        if R::ENABLED {
+                            rec.record(event.to_event());
+                        }
+                        degrades.push(event);
                         current_level = level;
                     }
                     level
@@ -818,23 +878,45 @@ impl Cluster {
 
             if level == DegradeLevel::Shed {
                 let reason = ShedReason::Overload;
-                sheds.push(ShedEvent { request: request.id, tick: t, shard, reason });
+                let event = ShedEvent { request: request.id, tick: t, shard, reason };
+                if R::ENABLED {
+                    rec.record(event.to_event());
+                }
+                sheds.push(event);
                 outcomes[i] = Some(RequestOutcome::Shed { tick: t, shard, reason });
                 continue;
             }
-            if sims[shard].backlog(t) >= self.config.queue_cap {
+            // The backlog at the admission decision doubles as the recorded queue depth.
+            let depth = sims[shard].backlog(t);
+            if depth >= self.config.queue_cap {
                 let reason = ShedReason::QueueFull;
-                sheds.push(ShedEvent { request: request.id, tick: t, shard, reason });
+                let event = ShedEvent { request: request.id, tick: t, shard, reason };
+                if R::ENABLED {
+                    rec.record(event.to_event());
+                }
+                sheds.push(event);
                 outcomes[i] = Some(RequestOutcome::Shed { tick: t, shard, reason });
                 continue;
             }
             if let Some(deadline) = self.config.deadline_ticks {
                 if sims[shard].estimate_end(t, samples) > t + deadline {
                     let reason = ShedReason::Deadline;
-                    sheds.push(ShedEvent { request: request.id, tick: t, shard, reason });
+                    let event = ShedEvent { request: request.id, tick: t, shard, reason };
+                    if R::ENABLED {
+                        rec.record(event.to_event());
+                    }
+                    sheds.push(event);
                     outcomes[i] = Some(RequestOutcome::Shed { tick: t, shard, reason });
                     continue;
                 }
+            }
+            if R::ENABLED {
+                rec.record(Event::Admit {
+                    request: request.id,
+                    tick: t,
+                    shard,
+                    queue_depth: depth,
+                });
             }
             sims[shard].admit(i, samples, t);
             routed[shard].push(i);
@@ -914,7 +996,7 @@ impl Cluster {
         );
         let mut grouped = self.swaps_by_shard(swaps);
         let checkpoint_faults = timeline.cancel_corrupted_swaps(&mut grouped);
-        let routing = self.route(trace, &grouped, faults, &timeline);
+        let routing = self.route(trace, &grouped, faults, &timeline, &mut NullRecorder);
         let mut outcomes = routing.outcomes;
         let mut end_ticks = vec![0u64; trace.len()];
         let mut makespan = 0u64;
@@ -1009,6 +1091,27 @@ impl Cluster {
         swaps: &[ShardSwap],
         faults: &FaultPlan,
     ) -> ClusterRunReport {
+        self.run_traced(trace, swaps, faults, &mut NullRecorder)
+    }
+
+    /// [`Cluster::run_with_faults`] with structured tracing: every routing decision, batch
+    /// transition, fault reaction and final answer is recorded as a tick-stamped
+    /// [`Event`], keyed by request id. The recorder is written to and never read, so the
+    /// returned report — responses, outcomes, timing, digests — is byte-identical to the
+    /// untraced run's at any worker or shard count (the obs benchmark asserts this on every
+    /// record it commits). Recorded streams attribute 100% of every answered request's
+    /// end-to-end latency to named stages via [`bnn_obs::assemble_traces`].
+    ///
+    /// # Panics
+    ///
+    /// Panics under the same conditions as [`Cluster::run_with_faults`].
+    pub fn run_traced<R: Recorder>(
+        &self,
+        trace: &[InferRequest],
+        swaps: &[ShardSwap],
+        faults: &FaultPlan,
+        rec: &mut R,
+    ) -> ClusterRunReport {
         if matches!(self.config.routing, RoutingPolicy::TwoTier { .. }) {
             assert!(
                 faults.is_empty(),
@@ -1024,7 +1127,12 @@ impl Cluster {
         );
         let mut grouped = self.swaps_by_shard(swaps);
         let checkpoint_faults = timeline.cancel_corrupted_swaps(&mut grouped);
-        let routing = self.route(trace, &grouped, faults, &timeline);
+        if R::ENABLED {
+            for fault in &checkpoint_faults {
+                rec.record(fault.to_event());
+            }
+        }
+        let routing = self.route(trace, &grouped, faults, &timeline, rec);
 
         // Phase B: each shard's admitted sub-trace runs on that shard's own engine; the
         // engine re-derives batch timing from the sub-trace, and it must agree with the
@@ -1051,8 +1159,13 @@ impl Cluster {
                 self.config.batch,
                 self.config.workers_per_shard,
             );
-            let report =
-                engine.run_with_slowdowns(&sub_trace, shard_swaps, &timeline.slowdowns[shard]);
+            let report = engine.run_recorded(
+                &sub_trace,
+                shard_swaps,
+                &timeline.slowdowns[shard],
+                shard,
+                rec,
+            );
             assert_sim_matches_engine(&routing.sims[shard], &report, shard);
             shard_reports.push(report);
         }
@@ -1110,7 +1223,11 @@ impl Cluster {
                     high_sim.estimate_end(tick, high_samples) > tick + deadline
                 });
                 let admit = !full && !late;
-                escalations.push(EscalationEvent { request: trace[i].id, tick, admitted: admit });
+                let event = EscalationEvent { request: trace[i].id, tick, admitted: admit };
+                if R::ENABLED {
+                    rec.record(event.to_event());
+                }
+                escalations.push(event);
                 if admit {
                     high_sim.admit(i, high_samples, tick);
                     let mut request = trace[i].clone();
@@ -1129,7 +1246,7 @@ impl Cluster {
                 self.config.batch,
                 self.config.workers_per_shard,
             );
-            let high_report = engine.run_with_swaps(&high_trace, &grouped[high]);
+            let high_report = engine.run_recorded(&high_trace, &grouped[high], &[], high, rec);
             assert_sim_matches_engine(&high_sim, &high_report, high);
 
             for (k, &i) in high_indices.iter().enumerate() {
@@ -1153,6 +1270,15 @@ impl Cluster {
 
         let outcomes: Vec<RequestOutcome> =
             outcomes.into_iter().map(|o| o.expect("every request has an outcome")).collect();
+        if R::ENABLED {
+            // Terminal leaves for the answered side (sheds already recorded theirs at the
+            // decision): the carried answer's completion tick, post-escalation-upgrade.
+            for (outcome, request) in outcomes.iter().zip(trace) {
+                if let RequestOutcome::Answered { end_tick, .. } = outcome {
+                    rec.record(Event::Answer { request: request.id, tick: *end_tick });
+                }
+            }
+        }
         let latencies: Vec<u64> = outcomes
             .iter()
             .zip(trace)
@@ -1319,15 +1445,22 @@ impl ClusterRunReport {
         fnv1a_hex(self.responses_json().bytes())
     }
 
+    /// The decision events in the observability vocabulary, family by family in report
+    /// order — the one stream both serializations below go through.
+    fn decision_events(&self) -> Vec<Event> {
+        self.sheds
+            .iter()
+            .map(ShedEvent::to_event)
+            .chain(self.escalations.iter().map(EscalationEvent::to_event))
+            .chain(self.scale_events.iter().map(ScaleEvent::to_event))
+            .collect()
+    }
+
     /// The canonical decision bytes: every shed, escalation and scaling event with its exact
-    /// tick. The committed cluster baseline pins this digest.
+    /// tick, serialized through the observability exporter ([`export::decision_events_json`]
+    /// — the single emission code path). The committed cluster baseline pins this digest.
     pub fn events_json(&self) -> String {
-        Json::obj([
-            ("sheds", Json::Array(self.sheds.iter().map(shed_to_json).collect())),
-            ("escalations", Json::Array(self.escalations.iter().map(escalation_to_json).collect())),
-            ("scale_events", Json::Array(self.scale_events.iter().map(scale_to_json).collect())),
-        ])
-        .to_compact()
+        export::decision_events_json(&self.decision_events()).to_compact()
     }
 
     /// FNV-1a digest of [`events_json`](Self::events_json), 16 hex characters.
@@ -1389,9 +1522,27 @@ impl ClusterRunReport {
                     ("moment", Json::UInt(self.degrade_occupancy().2 as u64)),
                 ]),
             ),
-            ("sheds", Json::Array(self.sheds.iter().map(shed_to_json).collect())),
-            ("escalations", Json::Array(self.escalations.iter().map(escalation_to_json).collect())),
-            ("scale_events", Json::Array(self.scale_events.iter().map(scale_to_json).collect())),
+            (
+                "sheds",
+                Json::Array(
+                    self.sheds.iter().map(|e| export::event_payload(&e.to_event())).collect(),
+                ),
+            ),
+            (
+                "escalations",
+                Json::Array(
+                    self.escalations.iter().map(|e| export::event_payload(&e.to_event())).collect(),
+                ),
+            ),
+            (
+                "scale_events",
+                Json::Array(
+                    self.scale_events
+                        .iter()
+                        .map(|e| export::event_payload(&e.to_event()))
+                        .collect(),
+                ),
+            ),
             ("faults", self.faults.to_json()),
             (
                 "shard_batches",
@@ -1410,27 +1561,6 @@ impl ClusterRunReport {
             ),
         ])
     }
-}
-
-fn shed_to_json(event: &ShedEvent) -> Json {
-    Json::obj([
-        ("request", Json::UInt(event.request)),
-        ("tick", Json::UInt(event.tick)),
-        ("shard", Json::UInt(event.shard as u64)),
-        ("reason", Json::Str(event.reason.label().to_string())),
-    ])
-}
-
-fn escalation_to_json(event: &EscalationEvent) -> Json {
-    Json::obj([
-        ("request", Json::UInt(event.request)),
-        ("tick", Json::UInt(event.tick)),
-        ("admitted", Json::Bool(event.admitted)),
-    ])
-}
-
-fn scale_to_json(event: &ScaleEvent) -> Json {
-    Json::obj([("tick", Json::UInt(event.tick)), ("active", Json::UInt(event.active as u64))])
 }
 
 #[cfg(test)]

@@ -26,6 +26,7 @@ use crate::batcher::{plan_batches, BatchPolicy};
 use crate::builder::EngineSpec;
 use crate::request::{mix_seed, InferRequest, InferResponse};
 use crate::spec::{ModelSource, ModelSpec, ServeMode};
+use bnn_obs::{Event, NullRecorder, Recorder};
 use bnn_tensor::{KernelConfig, Tensor};
 use bnn_train::moment::MomentNetwork;
 use bnn_train::network::Predictive;
@@ -362,6 +363,36 @@ impl InferenceEngine {
         swaps: &[VersionSwap],
         slowdowns: &[Slowdown],
     ) -> ServeRunReport {
+        self.run_recorded(requests, swaps, slowdowns, 0, &mut NullRecorder)
+    }
+
+    /// [`InferenceEngine::run`] with structured tracing: each batch's close, dispatch and
+    /// completion are recorded as tick-stamped [`Event`]s keyed by the member requests' ids,
+    /// plus one [`Event::BatchSeal`] per batch for occupancy metrics. The recorder observes
+    /// the exact same timing the report carries — it never influences it — so responses,
+    /// latencies and batch stats are byte-identical to an untraced run (the obs benchmark
+    /// asserts this equivalence on every run).
+    pub fn run_traced<R: Recorder>(
+        &self,
+        requests: &[InferRequest],
+        swaps: &[VersionSwap],
+        rec: &mut R,
+    ) -> ServeRunReport {
+        self.run_recorded(requests, swaps, &[], 0, rec)
+    }
+
+    /// The one serving body every `run*` entry point delegates to, generic over the
+    /// [`Recorder`]. `shard` is stamped into emitted events (single-engine callers pass 0);
+    /// recording happens in the sequential timing loop on the calling thread, never on pool
+    /// workers, so recorded streams are identical at any worker count.
+    pub(crate) fn run_recorded<R: Recorder>(
+        &self,
+        requests: &[InferRequest],
+        swaps: &[VersionSwap],
+        slowdowns: &[Slowdown],
+        shard: usize,
+        rec: &mut R,
+    ) -> ServeRunReport {
         for pair in swaps.windows(2) {
             assert!(pair[0].at_tick <= pair[1].at_tick, "swap schedule must be sorted by at_tick");
         }
@@ -399,9 +430,23 @@ impl InferenceEngine {
                     .sum::<u64>();
             let end_tick = start_tick + slow_multiplier(slowdowns, start_tick) * service;
             device_free = end_tick;
+            if R::ENABLED {
+                rec.record(Event::BatchSeal {
+                    shard,
+                    close_tick: plan.close_tick,
+                    members: plan.requests.len(),
+                    version,
+                });
+            }
             for &i in &plan.requests {
                 latencies[i] = end_tick - requests[i].arrival_tick;
                 version_of[i] = version;
+                if R::ENABLED {
+                    let request = requests[i].id;
+                    rec.record(Event::BatchClose { request, shard, tick: plan.close_tick });
+                    rec.record(Event::Dispatch { request, shard, tick: start_tick });
+                    rec.record(Event::ComputeDone { request, shard, tick: end_tick });
+                }
             }
             batches.push(BatchStat {
                 close_tick: plan.close_tick,
@@ -658,6 +703,32 @@ impl ServeReplica {
             }
         }
         finish_response(&self.predictive, request, response);
+    }
+
+    /// [`ServeReplica::answer_into`] bracketed by the hot-path profiling counters: returns
+    /// what answering this request cost in per-tier GEMM calls/MACs, emitted ε values and
+    /// scratch high-water `f32` slots. The counters are thread-local, so the profile is
+    /// exact when the replica runs on the calling thread (the deterministic replay mode the
+    /// obs benchmark commits) and the response is bit-identical to an unprofiled answer.
+    pub fn answer_profiled(
+        &mut self,
+        request: &InferRequest,
+        response: &mut InferResponse,
+    ) -> bnn_obs::ProfileSnapshot {
+        let before = profile_snapshot();
+        bnn_tensor::profile::reset_scratch_high_water();
+        self.answer_into(request, response);
+        profile_snapshot().delta_since(&before)
+    }
+}
+
+/// A point-in-time copy of this thread's hot-path counters in the obs presentation type.
+fn profile_snapshot() -> bnn_obs::ProfileSnapshot {
+    bnn_obs::ProfileSnapshot {
+        gemm_calls: bnn_tensor::profile::gemm_calls(),
+        gemm_macs: bnn_tensor::profile::gemm_macs(),
+        epsilon_values: bnn_lfsr::profile::epsilon_values(),
+        scratch_high_water: bnn_tensor::profile::scratch_high_water(),
     }
 }
 

@@ -262,6 +262,19 @@ pub struct DegradeEvent {
     pub backlog: usize,
 }
 
+impl DegradeEvent {
+    /// The event in the observability vocabulary — what the recorder stream carries and the
+    /// fault trace's serialization goes through.
+    pub fn to_event(&self) -> bnn_obs::Event {
+        bnn_obs::Event::Degrade {
+            tick: self.tick,
+            from: self.from.label(),
+            to: self.to.label(),
+            backlog: self.backlog,
+        }
+    }
+}
+
 /// One failover retry: a request evicted by a crash (or stranded with no live shard) and
 /// re-scheduled after its deterministic backoff.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -280,6 +293,19 @@ pub struct RetryEvent {
     pub attempt: u32,
 }
 
+impl RetryEvent {
+    /// The event in the observability vocabulary.
+    pub fn to_event(&self) -> bnn_obs::Event {
+        bnn_obs::Event::Retry {
+            request: self.request,
+            failed_tick: self.failed_tick,
+            retry_tick: self.retry_tick,
+            shard: self.shard,
+            attempt: self.attempt,
+        }
+    }
+}
+
 /// One checkpoint-corruption fallback: a hot-swap whose incoming version failed validation
 /// at activation, leaving the shard on its prior version.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -291,6 +317,17 @@ pub struct CheckpointFaultEvent {
     /// How many scheduled swaps at this (shard, tick) were cancelled (0 when the corrupt
     /// version was never scheduled to activate).
     pub cancelled_swaps: usize,
+}
+
+impl CheckpointFaultEvent {
+    /// The event in the observability vocabulary.
+    pub fn to_event(&self) -> bnn_obs::Event {
+        bnn_obs::Event::CheckpointFault {
+            tick: self.tick,
+            shard: self.shard,
+            cancelled_swaps: self.cancelled_swaps,
+        }
+    }
 }
 
 /// A complete fault schedule for one cluster run, plus the policies that govern the
@@ -452,18 +489,19 @@ pub struct FaultTrace {
 
 impl FaultTrace {
     /// The canonical fault-event bytes: every retry, ladder transition and checkpoint
-    /// fallback with its exact tick. Kept separate from
-    /// [`ClusterRunReport::events_json`](crate::ClusterRunReport::events_json) so
-    /// pre-existing committed digests stay valid.
+    /// fallback with its exact tick, serialized through the observability exporter
+    /// ([`bnn_obs::export::fault_events_json`] — the single emission code path). Kept
+    /// separate from [`ClusterRunReport::events_json`](crate::ClusterRunReport::events_json)
+    /// so pre-existing committed digests stay valid.
     pub fn to_json(&self) -> Json {
-        Json::obj([
-            ("retries", Json::Array(self.retries.iter().map(retry_to_json).collect())),
-            ("degrades", Json::Array(self.degrades.iter().map(degrade_to_json).collect())),
-            (
-                "checkpoint_faults",
-                Json::Array(self.checkpoint_faults.iter().map(checkpoint_fault_to_json).collect()),
-            ),
-        ])
+        let events: Vec<bnn_obs::Event> = self
+            .retries
+            .iter()
+            .map(RetryEvent::to_event)
+            .chain(self.degrades.iter().map(DegradeEvent::to_event))
+            .chain(self.checkpoint_faults.iter().map(CheckpointFaultEvent::to_event))
+            .collect();
+        bnn_obs::export::fault_events_json(&events)
     }
 
     /// Counts of *answered* requests per serving level `(normal, reduced_samples, moment)`,
@@ -484,33 +522,6 @@ impl FaultTrace {
         }
         (normal, reduced, moment)
     }
-}
-
-fn retry_to_json(event: &RetryEvent) -> Json {
-    Json::obj([
-        ("request", Json::UInt(event.request)),
-        ("failed_tick", Json::UInt(event.failed_tick)),
-        ("retry_tick", Json::UInt(event.retry_tick)),
-        ("shard", event.shard.map_or(Json::Null, |s| Json::UInt(s as u64))),
-        ("attempt", Json::UInt(u64::from(event.attempt))),
-    ])
-}
-
-fn degrade_to_json(event: &DegradeEvent) -> Json {
-    Json::obj([
-        ("tick", Json::UInt(event.tick)),
-        ("from", Json::Str(event.from.label().to_string())),
-        ("to", Json::Str(event.to.label().to_string())),
-        ("backlog", Json::UInt(event.backlog as u64)),
-    ])
-}
-
-fn checkpoint_fault_to_json(event: &CheckpointFaultEvent) -> Json {
-    Json::obj([
-        ("tick", Json::UInt(event.tick)),
-        ("shard", Json::UInt(event.shard as u64)),
-        ("cancelled_swaps", Json::UInt(event.cancelled_swaps as u64)),
-    ])
 }
 
 #[cfg(test)]

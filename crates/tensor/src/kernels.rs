@@ -554,6 +554,8 @@ pub fn gemm_accumulate_tiered(
     debug_assert_eq!(c.len(), m * n);
     debug_assert_eq!(a.len(), m * k);
     debug_assert_eq!(b.len(), k * n);
+    // Profiling hook: the full MAC volume counts on the calling thread, before any split.
+    crate::profile::record_gemm(cfg.tier, (m * k * n) as u64);
     let workers = cfg.gemm_workers.max(1);
     if workers == 1 || m < 2 || m * k * n < PARALLEL_MIN_MACS {
         return gemm_serial(cfg.tier, c, a, b, m, k, n);

@@ -38,6 +38,7 @@ pub mod init;
 pub mod kernels;
 pub mod loss;
 pub mod pool;
+pub mod profile;
 pub mod quant;
 pub mod scratch;
 mod tensor;

@@ -69,11 +69,13 @@ impl Scratch {
 
     /// Takes a zero-filled `f32` buffer of exactly `len` elements.
     pub fn take_f32(&mut self, len: usize) -> Vec<f32> {
+        crate::profile::scratch_take(len as u64);
         take_from(&mut self.f32_pool, len, len)
     }
 
     /// Returns an `f32` buffer to the pool for reuse.
     pub fn put_f32(&mut self, buf: Vec<f32>) {
+        crate::profile::scratch_put(buf.len() as u64);
         put_into(&mut self.f32_pool, buf);
     }
 
